@@ -1,0 +1,52 @@
+//! Criterion companion to Figure 3: compression / decompression throughput
+//! of every point-wise-relative codec on a NYX field at b_r = 1e-2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pwrel_bench::PwrCodec;
+use pwrel_core::LogBase;
+use pwrel_data::{nyx, Scale};
+
+fn bench_codecs(c: &mut Criterion) {
+    let field = nyx::dark_matter_density(Scale::Medium);
+    let br = 1e-2;
+    let roster = [
+        PwrCodec::SzPwr,
+        PwrCodec::Fpzip,
+        PwrCodec::Isabela,
+        PwrCodec::ZfpT(LogBase::Two),
+        PwrCodec::SzT(LogBase::Two),
+        PwrCodec::ZfpP,
+    ];
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(field.nbytes() as u64));
+    group.sample_size(10);
+    for codec in roster {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.label()),
+            &codec,
+            |b, codec| {
+                b.iter(|| codec.compress(&field, br));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(field.nbytes() as u64));
+    group.sample_size(10);
+    for codec in roster {
+        let stream = codec.compress(&field, br);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.label()),
+            &codec,
+            |b, codec| {
+                b.iter(|| codec.decompress(&stream));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the lossless substrates (SZ stage II/III analogues):
+//! canonical Huffman over quantization-code-like symbols, the LZ pass, and
+//! sign-bitmap RLE.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pwrel_lossless::{huffman, lz, rle};
+
+/// Symbols shaped like SZ quantization codes: tightly clustered around the
+/// radius with occasional outliers.
+fn quant_codes(n: usize) -> Vec<u32> {
+    let mut x = 0x1234_5678u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let spread = (x % 100) as i64;
+            let offset = if spread < 90 {
+                (x % 7) as i64 - 3
+            } else {
+                (x % 2000) as i64 - 1000
+            };
+            (32768 + offset) as u32
+        })
+        .collect()
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let n = 1 << 20;
+    let codes = quant_codes(n);
+
+    let mut group = c.benchmark_group("huffman");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    group.bench_function("encode_1M_codes", |b| {
+        b.iter(|| huffman::encode_symbols(&codes, 65536));
+    });
+    let encoded = huffman::encode_symbols(&codes, 65536);
+    group.bench_function("decode_1M_codes", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            huffman::decode_symbols(&encoded, &mut pos).unwrap()
+        });
+    });
+    group.finish();
+
+    let payload: Vec<u8> = encoded.iter().cycle().take(1 << 20).copied().collect();
+    let mut group = c.benchmark_group("lz");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.sample_size(10);
+    group.bench_function("compress_1MiB", |b| {
+        b.iter(|| lz::compress(&payload));
+    });
+    let packed = lz::compress(&payload);
+    group.bench_function("decompress_1MiB", |b| {
+        b.iter(|| lz::decompress(&packed).unwrap());
+    });
+    group.finish();
+
+    // Sign-plane-like bitmap: long runs with occasional flips.
+    let bits: Vec<bool> = (0..1usize << 20).map(|i| (i / 977) % 2 == 0).collect();
+    let mut group = c.benchmark_group("rle");
+    group.throughput(Throughput::Elements(bits.len() as u64));
+    group.sample_size(10);
+    group.bench_function("compress_1M_bits", |b| {
+        b.iter(|| rle::compress_bits(&bits));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lossless);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion companion to Table III: the forward (pre-processing) and
+//! inverse (post-processing) log transforms per base.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pwrel_core::{transform, LogBase};
+use pwrel_data::{nyx, Scale};
+
+fn bench_transform(c: &mut Criterion) {
+    let field = nyx::dark_matter_density(Scale::Medium);
+    let nbytes = field.nbytes() as u64;
+    let br = 1e-3;
+
+    let mut group = c.benchmark_group("transform_forward");
+    group.throughput(Throughput::Bytes(nbytes));
+    group.sample_size(20);
+    for base in [LogBase::Two, LogBase::E, LogBase::Ten] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{base:?}")),
+            &base,
+            |b, &base| {
+                b.iter(|| transform::forward(&field.data, base, br, 2.0).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("transform_inverse");
+    group.throughput(Throughput::Bytes(nbytes));
+    group.sample_size(20);
+    for base in [LogBase::Two, LogBase::E, LogBase::Ten] {
+        let t = transform::forward(&field.data, base, br, 2.0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{base:?}")),
+            &base,
+            |b, &base| {
+                b.iter(|| {
+                    transform::inverse(
+                        &t.mapped,
+                        base,
+                        t.zero_threshold,
+                        t.sign_section.as_deref(),
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 2: compression ratio vs point-wise relative error bound, for all
+//! four application datasets and five compressors.
+//!
+//! Expected shape: SZ_T wins nearly everywhere; SZ_PWR degrades at loose
+//! bounds and on spiky HACC; FPZIP strong but stepwise; ISABELA lowest;
+//! ZFP_T modest (over-preserved bounds).
+
+use pwrel_bench::{scale_from_env, PwrCodec, Table, FIG2_ROSTER};
+use pwrel_data::{all_datasets, Dataset};
+use pwrel_metrics::compression_ratio;
+
+fn dataset_cr(ds: &Dataset, codec: PwrCodec, br: f64) -> f64 {
+    // Aggregate CR over all fields: total raw bytes / total compressed.
+    let mut raw = 0usize;
+    let mut comp = 0usize;
+    for field in &ds.fields {
+        raw += field.nbytes();
+        comp += codec.compress(field, br).len();
+    }
+    compression_ratio(raw, comp)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let bounds = [1e-4, 1e-3, 1e-2, 1e-1];
+
+    println!("Figure 2: compression ratio vs point-wise relative error bound (scale {scale:?})\n");
+    for ds in all_datasets(scale) {
+        println!(
+            "--- {} ({} fields, {:.1} MB raw) ---",
+            ds.name,
+            ds.fields.len(),
+            ds.total_bytes() as f64 / 1e6
+        );
+        let mut table = Table::new(&["codec", "1e-4", "1e-3", "1e-2", "1e-1"]);
+        let mut best_at_each: Vec<(f64, String)> = vec![(0.0, String::new()); bounds.len()];
+        for codec in FIG2_ROSTER {
+            let mut cells = vec![codec.label()];
+            for (bi, &br) in bounds.iter().enumerate() {
+                let cr = dataset_cr(&ds, codec, br);
+                if cr > best_at_each[bi].0 {
+                    best_at_each[bi] = (cr, codec.label());
+                }
+                cells.push(format!("{cr:.2}"));
+            }
+            table.row(cells);
+        }
+        table.print();
+        let winners: Vec<&str> = best_at_each.iter().map(|(_, l)| l.as_str()).collect();
+        println!("best per bound: {winners:?}\n");
+    }
+    println!("(paper Fig. 2: SZ_T almost always on top; ISABELA lowest)");
+}

@@ -1,0 +1,49 @@
+//! Figure 3: compression and decompression rate (MB/s) for all datasets
+//! and compressors, across point-wise relative error bounds.
+//!
+//! Expected shape: FPZIP fastest to compress; SZ_T faster than SZ_PWR (no
+//! per-block bookkeeping); ISABELA slowest (sorting); decompression rates
+//! comparable for everything except ISABELA.
+
+use pwrel_bench::{scale_from_env, timed, Table, FIG2_ROSTER};
+use pwrel_data::all_datasets;
+use pwrel_metrics::ratio::throughput_mb_s;
+
+fn main() {
+    let scale = scale_from_env();
+    let bounds = [1e-4, 1e-3, 1e-2, 1e-1];
+
+    println!("Figure 3: compression/decompression rate in MB/s (scale {scale:?})\n");
+    for ds in all_datasets(scale) {
+        println!("--- {} ({:.1} MB raw) ---", ds.name, ds.total_bytes() as f64 / 1e6);
+        let mut comp_table = Table::new(&["codec", "1e-4", "1e-3", "1e-2", "1e-1"]);
+        let mut dec_table = Table::new(&["codec", "1e-4", "1e-3", "1e-2", "1e-1"]);
+        for codec in FIG2_ROSTER {
+            let mut comp_cells = vec![codec.label()];
+            let mut dec_cells = vec![codec.label()];
+            for &br in &bounds {
+                let mut comp_s = 0.0;
+                let mut dec_s = 0.0;
+                let mut raw = 0usize;
+                for field in &ds.fields {
+                    let (bytes, dt) = timed(|| codec.compress(field, br));
+                    comp_s += dt;
+                    let (out, dt2) = timed(|| codec.decompress(&bytes));
+                    dec_s += dt2;
+                    assert_eq!(out.0.len(), field.data.len());
+                    raw += field.nbytes();
+                }
+                comp_cells.push(format!("{:.1}", throughput_mb_s(raw, comp_s)));
+                dec_cells.push(format!("{:.1}", throughput_mb_s(raw, dec_s)));
+            }
+            comp_table.row(comp_cells);
+            dec_table.row(dec_cells);
+        }
+        println!("compression rate (MB/s):");
+        comp_table.print();
+        println!("decompression rate (MB/s):");
+        dec_table.print();
+        println!();
+    }
+    println!("(paper Fig. 3: FPZIP leads compression; ISABELA slowest; others comparable)");
+}

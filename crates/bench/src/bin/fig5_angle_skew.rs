@@ -1,0 +1,184 @@
+//! Figure 5: angle skew of reconstructed HACC velocities when every
+//! compressor is tuned to the same compression ratio (8 in the paper).
+//!
+//! A particle's skew is the angle between its original and reconstructed
+//! 3D velocity. Absolute-error-bounded compression lets small-magnitude
+//! particles swing wildly; point-wise relative bounds keep directions.
+//! Prints per-codec skew statistics and writes a blockwise-average skew
+//! map to `target/fig5/`.
+
+use pwrel_bench::{calibrate_to_ratio, scale_from_env, to_grayscale, write_pgm, Table};
+use pwrel_core::{LogBase, PwRelCompressor};
+use pwrel_data::{hacc, Field};
+use pwrel_fpzip::FpzipCompressor;
+use pwrel_metrics::skew;
+use pwrel_sz::SzCompressor;
+
+fn reconstruct_all(
+    fields: &[Field<f32>; 3],
+    mut compress: impl FnMut(&Field<f32>) -> Vec<u8>,
+    decompress: impl Fn(&[u8]) -> Vec<f32>,
+) -> ([Vec<f32>; 3], usize) {
+    let mut total = 0usize;
+    let mut out: Vec<Vec<f32>> = Vec::new();
+    for f in fields {
+        let stream = compress(f);
+        total += stream.len();
+        out.push(decompress(&stream));
+    }
+    let [a, b, c] = <[Vec<f32>; 3]>::try_from(out).unwrap();
+    ([a, b, c], total)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let target_cr = 8.0;
+    let fields = [
+        hacc::velocity(scale, 'x'),
+        hacc::velocity(scale, 'y'),
+        hacc::velocity(scale, 'z'),
+    ];
+    let raw_one = fields[0].nbytes();
+    let raw_all = raw_one * 3;
+    let out_dir = "target/fig5";
+    std::fs::create_dir_all(out_dir).expect("mkdir fig5");
+
+    println!(
+        "Figure 5: HACC velocity angle skew at matched CR = {target_cr} ({} particles)\n",
+        fields[0].data.len()
+    );
+
+    let sz = SzCompressor::default();
+    let sz_t = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
+
+    // Calibrate each codec's parameter on the x component, reuse for y/z.
+    let (abs_eb, _) = calibrate_to_ratio(raw_one, target_cr, 1e-3, 1e5, |eb| {
+        sz.compress_abs(&fields[0].data, fields[0].dims, eb).unwrap()
+    });
+    let fpz_p = (10u32..=30)
+        .min_by_key(|&p| {
+            let s = FpzipCompressor::new(p)
+                .compress(&fields[0].data, fields[0].dims)
+                .unwrap();
+            (((raw_one as f64 / s.len() as f64) - target_cr).abs() * 1e6) as u64
+        })
+        .unwrap();
+    let (szt_br, _) = calibrate_to_ratio(raw_one, target_cr, 1e-6, 0.999, |br| {
+        sz_t.compress(&fields[0].data, fields[0].dims, br).unwrap()
+    });
+
+    let runs: Vec<(&str, String, [Vec<f32>; 3], usize)> = vec![
+        {
+            let (dec, bytes) = reconstruct_all(
+                &fields,
+                |f| sz.compress_abs(&f.data, f.dims, abs_eb).unwrap(),
+                |s| sz.decompress::<f32>(s).unwrap().0,
+            );
+            ("SZ_ABS", format!("abs eb = {abs_eb:.1}"), dec, bytes)
+        },
+        {
+            let fpz = FpzipCompressor::new(fpz_p);
+            let (dec, bytes) = reconstruct_all(
+                &fields,
+                |f| fpz.compress(&f.data, f.dims).unwrap(),
+                |s| pwrel_fpzip::decompress::<f32>(s).unwrap().0,
+            );
+            (
+                "FPZIP",
+                format!(
+                    "-p {fpz_p} (pw rel {:.3})",
+                    pwrel_fpzip::rel_bound_for_precision::<f32>(fpz_p)
+                ),
+                dec,
+                bytes,
+            )
+        },
+        {
+            let (dec, bytes) = reconstruct_all(
+                &fields,
+                |f| sz_t.compress(&f.data, f.dims, szt_br).unwrap(),
+                |s| sz_t.decompress::<f32>(s).unwrap(),
+            );
+            ("SZ_T", format!("pw rel = {szt_br:.3}"), dec, bytes)
+        },
+    ];
+
+    let n = fields[0].data.len();
+    let block = (n / 4096).max(1);
+    // The paper's maps light up where velocities are small: an absolute
+    // bound lets those particles' directions swing. Find the slowest 2%.
+    let speeds: Vec<f64> = (0..n)
+        .map(|i| {
+            let (x, y, z) = (
+                fields[0].data[i] as f64,
+                fields[1].data[i] as f64,
+                fields[2].data[i] as f64,
+            );
+            (x * x + y * y + z * z).sqrt()
+        })
+        .collect();
+    let mut sorted_speeds = speeds.clone();
+    sorted_speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let low_speed_cut = sorted_speeds[n / 50]; // slowest 2% of particles
+
+    let mut table = Table::new(&[
+        "codec", "setting", "CR", "mean skew", "low-|v| mean", "p99 skew", "max skew",
+    ]);
+    let mut low_means = Vec::new();
+    for (name, setting, dec, bytes) in &runs {
+        let skews = skew::per_particle_skew(
+            &fields[0].data,
+            &fields[1].data,
+            &fields[2].data,
+            &dec[0],
+            &dec[1],
+            &dec[2],
+        );
+        let blocks = skew::blockwise_skew(&skews, block);
+        let mut sorted = skews.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = skews.iter().sum::<f64>() / skews.len() as f64;
+        let (mut low_sum, mut low_n) = (0.0f64, 0usize);
+        for (s, &sp) in skews.iter().zip(&speeds) {
+            if sp <= low_speed_cut {
+                low_sum += s;
+                low_n += 1;
+            }
+        }
+        let low_mean = low_sum / low_n as f64;
+        low_means.push(low_mean);
+        table.row(vec![
+            name.to_string(),
+            setting.clone(),
+            format!("{:.2}", raw_all as f64 / *bytes as f64),
+            format!("{mean:.3}°"),
+            format!("{low_mean:.3}°"),
+            format!("{:.3}°", sorted[(sorted.len() * 99) / 100]),
+            format!("{:.2}°", sorted[sorted.len() - 1]),
+        ]);
+
+        // Blockwise skew map as a square-ish grayscale image.
+        let w = (blocks.len() as f64).sqrt().ceil() as usize;
+        let h = blocks.len().div_ceil(w);
+        let mut px: Vec<f32> = blocks.iter().map(|&s| s as f32).collect();
+        px.resize(w * h, 0.0);
+        write_pgm(
+            &format!("{out_dir}/{}_skew.pgm", name.to_lowercase()),
+            w,
+            h,
+            &to_grayscale(&px, 0.0, 10.0),
+        )
+        .unwrap();
+    }
+    table.print();
+    println!("\nblock skew maps written to {out_dir}/*.pgm (brighter = more distorted)");
+    println!(
+        "(paper Fig. 5: in the low-velocity regions that light up the maps, SZ_ABS\n\
+         skews ≳6°, FPZIP ≈4°, SZ_T ≈2°; low-|v| ordering here: {})",
+        if low_means[0] > low_means[1] && low_means[1] > low_means[2] {
+            "reproduced"
+        } else {
+            "CHECK ORDERING"
+        }
+    );
+}

@@ -1,0 +1,107 @@
+//! Figure 6: parallel data-dumping and data-loading time for NYX on
+//! 1,024–4,096 simulated ranks, with SZ_PWR, FPZIP and SZ_T at pw bound
+//! 1e-2.
+//!
+//! Compute is executed and timed on this machine (weak scaling, one rank's
+//! shard); I/O comes from the GPFS-style model. Because the paper gives
+//! every rank a 3 GB shard and ours is laptop-sized, both the compute time
+//! and the I/O volume are scaled by the same factor `3 GB / shard_bytes` —
+//! ratios between codecs (the figure's message) are unaffected.
+
+use pwrel_bench::{scale_from_env, PwrCodec, Table};
+use pwrel_core::LogBase;
+use pwrel_data::nyx;
+use pwrel_parallel::{PfsModel, ScalingExperiment, WorkerPool};
+
+fn main() {
+    let scale = scale_from_env();
+    let ds = nyx::dataset(scale);
+    let br = 1e-2;
+    let ranks = [1024usize, 2048, 4096];
+    let shard_bytes = ds.total_bytes() as f64;
+    let volume_scale = 3.0e9 / shard_bytes;
+
+    println!(
+        "Figure 6: NYX parallel dump/load, pw bound {br}, shard {:.1} MB scaled to 3 GB/rank\n",
+        shard_bytes / 1e6
+    );
+
+    let codecs = [
+        PwrCodec::SzPwr,
+        PwrCodec::Fpzip,
+        PwrCodec::SzT(LogBase::Two),
+    ];
+
+    // Paper-era GPFS: a few GB/s of aggregate bandwidth shared by all
+    // ranks (the paper cites 8 GB/s parallel writes with 32 burst
+    // buffers). At 4,096 ranks this makes I/O the bottleneck, the regime
+    // Figure 6 is about.
+    let pfs = PfsModel {
+        write_bw: 5.0e9,
+        read_bw: 8.0e9,
+        ..PfsModel::default()
+    };
+
+    let mut dump_table = Table::new(&["ranks", "codec", "CR", "compress (s)", "write (s)", "dump total (s)"]);
+    let mut load_table = Table::new(&["ranks", "codec", "read (s)", "decompress (s)", "load total (s)"]);
+    let mut totals: Vec<(String, f64, f64)> = Vec::new();
+
+    for codec in codecs {
+        let exp = ScalingExperiment {
+            name: "fig6",
+            fields: &ds.fields,
+            pfs,
+            pool: WorkerPool::per_cpu(),
+        };
+        let (dumps, streams) = exp.dump(&ranks, |f| codec.compress(f, br));
+        let loads = exp.load(&ranks, &streams, |s| codec.decompress(s).0.len());
+        for (d, l) in dumps.iter().zip(&loads) {
+            let compress_s = d.compress_seconds * volume_scale;
+            let write_s = exp.pfs.write_time(
+                (d.compressed_bytes_per_rank as f64 * volume_scale) as u64 * d.ranks as u64,
+                d.ranks,
+            );
+            let read_s = exp.pfs.read_time(
+                (l.compressed_bytes_per_rank as f64 * volume_scale) as u64 * l.ranks as u64,
+                l.ranks,
+            );
+            let decompress_s = l.decompress_seconds * volume_scale;
+            dump_table.row(vec![
+                d.ranks.to_string(),
+                codec.label(),
+                format!("{:.2}", d.ratio()),
+                format!("{compress_s:.1}"),
+                format!("{write_s:.1}"),
+                format!("{:.1}", compress_s + write_s),
+            ]);
+            load_table.row(vec![
+                l.ranks.to_string(),
+                codec.label(),
+                format!("{read_s:.1}"),
+                format!("{decompress_s:.1}"),
+                format!("{:.1}", read_s + decompress_s),
+            ]);
+            if d.ranks == 4096 {
+                totals.push((codec.label(), compress_s + write_s, read_s + decompress_s));
+            }
+        }
+    }
+
+    println!("data dumping (compression + writing):");
+    dump_table.print();
+    println!("\ndata loading (reading + decompression):");
+    load_table.print();
+
+    let sz_t = totals.iter().find(|t| t.0 == "SZ_T").unwrap();
+    println!("\nspeedups of SZ_T at 4096 ranks:");
+    for (name, dump, load) in &totals {
+        if name != "SZ_T" {
+            println!(
+                "  vs {name}: {:.2}x dumping, {:.2}x loading",
+                dump / sz_t.1,
+                load / sz_t.2
+            );
+        }
+    }
+    println!("(paper: 1.62x/1.38x dumping and 1.55x/1.31x loading over SZ_PWR/FPZIP at 4k cores)");
+}

@@ -1,0 +1,63 @@
+//! Table III: pre-/post-processing time of the transform under different
+//! logarithm bases.
+//!
+//! Paper finding: base 10 post-processing is slow (no fast `10^x`), base e
+//! is fastest forward but slower backward than base 2 — hence base 2.
+
+use pwrel_bench::{scale_from_env, timed, Table};
+use pwrel_core::{transform, LogBase};
+use pwrel_data::nyx;
+
+fn main() {
+    let scale = scale_from_env();
+    let fields = [nyx::dark_matter_density(scale), nyx::velocity_x(scale)];
+    let bases = [LogBase::Two, LogBase::E, LogBase::Ten];
+    let br = 1e-3;
+    const REPS: usize = 5;
+
+    println!("Table III: transform (pre/post-processing) time per base, {REPS} reps");
+    println!("(dims {} per field, scale {scale:?})\n", fields[0].dims);
+
+    let mut table = Table::new(&["field", "phase", "base 2 (s)", "base e (s)", "base 10 (s)"]);
+    for field in &fields {
+        let mut pre = Vec::new();
+        let mut post = Vec::new();
+        for &base in &bases {
+            let mut t_pre = 0.0;
+            let mut t_post = 0.0;
+            let mut sink = 0usize;
+            for _ in 0..REPS {
+                let (t, dt) = timed(|| transform::forward(&field.data, base, br, 2.0).unwrap());
+                t_pre += dt;
+                let (back, dt2) = timed(|| {
+                    transform::inverse(
+                        &t.mapped,
+                        base,
+                        t.zero_threshold,
+                        t.sign_section.as_deref(),
+                    )
+                    .unwrap()
+                });
+                t_post += dt2;
+                sink += back.len();
+            }
+            assert_eq!(sink, REPS * field.data.len());
+            pre.push(t_pre);
+            post.push(t_post);
+        }
+        table.row(
+            std::iter::once(field.name.clone())
+                .chain(std::iter::once("pre-processing".into()))
+                .chain(pre.iter().map(|t| format!("{t:.3}")))
+                .collect(),
+        );
+        table.row(
+            std::iter::once(field.name.clone())
+                .chain(std::iter::once("post-processing".into()))
+                .chain(post.iter().map(|t| format!("{t:.3}")))
+                .collect(),
+        );
+    }
+    table.print();
+    println!("\n(paper Table III: base 10 post-processing ~3-4x slower; base 2 chosen)");
+}

@@ -1,0 +1,53 @@
+//! Table IV: strict error-bound test on the two representative NYX fields.
+//!
+//! For each compressor and bound b_r ∈ {1e-3, 1e-2, 1e-1}: the fraction of
+//! points within the bound, average and maximum point-wise relative error,
+//! and compression ratio. Expected shape (paper): FPZIP, SZ_T and ZFP_T are
+//! 100% bounded with exact zeros; SZ_PWR approximates zeros (`*`); ZFP_P
+//! leaves ~0.1% of points unbounded with enormous max errors.
+
+use pwrel_bench::{scale_from_env, PwrCodec, Table};
+use pwrel_core::LogBase;
+use pwrel_data::nyx;
+use pwrel_metrics::{compression_ratio, RelErrorStats};
+
+fn main() {
+    let scale = scale_from_env();
+    let fields = [nyx::dark_matter_density(scale), nyx::velocity_x(scale)];
+    let roster = [
+        PwrCodec::Isabela,
+        PwrCodec::Fpzip,
+        PwrCodec::SzPwr,
+        PwrCodec::SzT(LogBase::Two),
+        PwrCodec::ZfpP,
+        PwrCodec::ZfpT(LogBase::Two),
+    ];
+
+    println!("Table IV: point-wise relative error bound test (scale {scale:?})\n");
+    for field in &fields {
+        println!("--- {} ({}) ---", field.name, field.dims);
+        let mut table = Table::new(&["pwr eb", "name", "bounded", "Avg E", "Max E", "CR"]);
+        for &br in &[1e-3, 1e-2, 1e-1] {
+            for codec in roster {
+                let bytes = codec.compress(field, br);
+                let (dec, _) = codec.decompress(&bytes);
+                let stats = RelErrorStats::compute(&field.data, &dec, br);
+                let star = if stats.broken_zeros > 0 { "*" } else { "" };
+                table.row(vec![
+                    format!("{br}"),
+                    codec.label(),
+                    format!("{:.4}%{star}", stats.bounded_fraction * 100.0),
+                    format!("{:.2e}", stats.avg_rel),
+                    if stats.max_rel.is_finite() {
+                        format!("{:.2e}", stats.max_rel)
+                    } else {
+                        "inf(zeros)".into()
+                    },
+                    format!("{:.2}", compression_ratio(field.nbytes(), bytes.len())),
+                ]);
+            }
+        }
+        table.print();
+        println!("(* = compressor modified exact zeros, as the paper marks for SZ_PWR)\n");
+    }
+}

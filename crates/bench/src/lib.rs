@@ -1,0 +1,271 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (Sec. VI); see DESIGN.md for the index. This library
+//! provides the common pieces: the codec roster, timing helpers, and plain
+//! text table output.
+//!
+//! Binaries honour the `PWREL_SCALE` environment variable
+//! (`small|medium|large`, default `medium`).
+
+use pwrel_core::{LogBase, PwRelCompressor};
+use pwrel_data::{Dims, Field, Scale};
+use pwrel_fpzip::FpzipCompressor;
+use pwrel_isabela::IsabelaCompressor;
+use pwrel_sz::SzCompressor;
+use pwrel_zfp::ZfpCompressor;
+use std::time::Instant;
+
+/// The compressor roster of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PwrCodec {
+    /// ISABELA (sort + spline + index).
+    Isabela,
+    /// FPZIP driven by the loosest precision respecting the bound.
+    Fpzip,
+    /// SZ's blockwise PW_REL mode.
+    SzPwr,
+    /// SZ + the paper's log transform ("our solution").
+    SzT(LogBase),
+    /// ZFP + the paper's log transform.
+    ZfpT(LogBase),
+    /// ZFP's fixed-precision pseudo-relative mode.
+    ZfpP,
+}
+
+/// All codecs in the order the paper's figures list them.
+pub const FIG2_ROSTER: [PwrCodec; 5] = [
+    PwrCodec::SzPwr,
+    PwrCodec::Fpzip,
+    PwrCodec::Isabela,
+    PwrCodec::ZfpT(LogBase::Two),
+    PwrCodec::SzT(LogBase::Two),
+];
+
+impl PwrCodec {
+    /// Display label matching the paper's naming.
+    pub fn label(&self) -> String {
+        match self {
+            PwrCodec::Isabela => "ISABELA".into(),
+            PwrCodec::Fpzip => "FPZIP".into(),
+            PwrCodec::SzPwr => "SZ_PWR".into(),
+            PwrCodec::SzT(LogBase::Two) => "SZ_T".into(),
+            PwrCodec::SzT(b) => format!("SZ_T(base {b:?})"),
+            PwrCodec::ZfpT(LogBase::Two) => "ZFP_T".into(),
+            PwrCodec::ZfpT(b) => format!("ZFP_T(base {b:?})"),
+            PwrCodec::ZfpP => "ZFP_P".into(),
+        }
+    }
+
+    /// Compresses `field` under the point-wise relative bound `br`.
+    pub fn compress(&self, field: &Field<f32>, br: f64) -> Vec<u8> {
+        match self {
+            PwrCodec::Isabela => IsabelaCompressor::default()
+                .compress_rel(&field.data, field.dims, br)
+                .expect("isabela compress"),
+            PwrCodec::Fpzip => FpzipCompressor::for_rel_bound::<f32>(br)
+                .compress(&field.data, field.dims)
+                .expect("fpzip compress"),
+            PwrCodec::SzPwr => SzCompressor::default()
+                .compress_pwr(&field.data, field.dims, br)
+                .expect("sz_pwr compress"),
+            PwrCodec::SzT(base) => PwRelCompressor::new(SzCompressor::default(), *base)
+                .compress(&field.data, field.dims, br)
+                .expect("sz_t compress"),
+            PwrCodec::ZfpT(base) => PwRelCompressor::new(ZfpCompressor, *base)
+                .compress(&field.data, field.dims, br)
+                .expect("zfp_t compress"),
+            PwrCodec::ZfpP => ZfpCompressor
+                .compress_precision(
+                    &field.data,
+                    field.dims,
+                    pwrel_zfp::precision_for_rel_bound(br),
+                )
+                .expect("zfp_p compress"),
+        }
+    }
+
+    /// Decompresses a stream produced by [`PwrCodec::compress`].
+    pub fn decompress(&self, bytes: &[u8]) -> (Vec<f32>, Dims) {
+        match self {
+            PwrCodec::Isabela => pwrel_isabela::decompress::<f32>(bytes).expect("isabela"),
+            PwrCodec::Fpzip => pwrel_fpzip::decompress::<f32>(bytes).expect("fpzip"),
+            PwrCodec::SzPwr => SzCompressor::default().decompress::<f32>(bytes).expect("sz"),
+            PwrCodec::SzT(base) => PwRelCompressor::new(SzCompressor::default(), *base)
+                .decompress_full::<f32>(bytes)
+                .expect("sz_t"),
+            PwrCodec::ZfpT(base) => PwRelCompressor::new(ZfpCompressor, *base)
+                .decompress_full::<f32>(bytes)
+                .expect("zfp_t"),
+            PwrCodec::ZfpP => ZfpCompressor.decompress::<f32>(bytes).expect("zfp_p"),
+        }
+    }
+}
+
+/// Finds the parameter value whose compressed stream hits a target
+/// compression ratio, by bisection over a monotone `compress` parameter
+/// (larger parameter → smaller stream). Returns `(param, stream)`.
+///
+/// Used by the Figure 4/5 experiments, which compare codecs *at matched
+/// compression ratio* rather than matched bound.
+pub fn calibrate_to_ratio(
+    raw_bytes: usize,
+    target_cr: f64,
+    mut lo: f64,
+    mut hi: f64,
+    compress: impl Fn(f64) -> Vec<u8>,
+) -> (f64, Vec<u8>) {
+    let mut best: Option<(f64, Vec<u8>)> = None;
+    for _ in 0..24 {
+        let mid = (lo * hi).sqrt(); // geometric: params span decades
+        let stream = compress(mid);
+        let cr = raw_bytes as f64 / stream.len() as f64;
+        let better = match &best {
+            None => true,
+            Some((p, s)) => {
+                let prev_cr = raw_bytes as f64 / s.len() as f64;
+                let _ = p;
+                (cr - target_cr).abs() < (prev_cr - target_cr).abs()
+            }
+        };
+        if better {
+            best = Some((mid, stream));
+        }
+        if cr < target_cr {
+            lo = mid; // need looser parameter
+        } else {
+            hi = mid;
+        }
+    }
+    best.expect("calibration ran")
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Reads the dataset scale from `PWREL_SCALE` (default `medium`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("PWREL_SCALE").as_deref() {
+        Ok("small") => Scale::Small,
+        Ok("large") => Scale::Large,
+        _ => Scale::Medium,
+    }
+}
+
+/// Plain-text table printer with right-aligned columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// Writes a grayscale PGM image (for the Figure 4/5 visual outputs).
+pub fn write_pgm(path: &str, width: usize, height: usize, pixels: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    assert_eq!(pixels.len(), width * height);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P5\n{width} {height}\n255")?;
+    f.write_all(pixels)?;
+    Ok(())
+}
+
+/// Maps a slice of values to 8-bit grayscale over `[lo, hi]` (clamped).
+pub fn to_grayscale(values: &[f32], lo: f64, hi: f64) -> Vec<u8> {
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v as f64 - lo) / (hi - lo)).clamp(0.0, 1.0);
+            (t * 255.0) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwrel_data::nyx;
+
+    #[test]
+    fn roster_round_trips_every_codec() {
+        let field = nyx::dark_matter_density(Scale::Small);
+        let roster = [
+            PwrCodec::Isabela,
+            PwrCodec::Fpzip,
+            PwrCodec::SzPwr,
+            PwrCodec::SzT(LogBase::Two),
+            PwrCodec::ZfpT(LogBase::Two),
+            PwrCodec::ZfpP,
+        ];
+        for codec in roster {
+            let bytes = codec.compress(&field, 1e-2);
+            let (dec, dims) = codec.decompress(&bytes);
+            assert_eq!(dims, field.dims, "{}", codec.label());
+            assert_eq!(dec.len(), field.data.len(), "{}", codec.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PwrCodec::SzT(LogBase::Two).label(), "SZ_T");
+        assert_eq!(PwrCodec::ZfpT(LogBase::Two).label(), "ZFP_T");
+        assert_eq!(PwrCodec::ZfpP.label(), "ZFP_P");
+        assert_eq!(PwrCodec::SzT(LogBase::E).label(), "SZ_T(base E)");
+    }
+
+    #[test]
+    fn grayscale_mapping() {
+        let px = to_grayscale(&[0.0, 0.5, 1.0, 2.0], 0.0, 1.0);
+        assert_eq!(px, vec![0, 127, 255, 255]);
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2.345".into()]);
+        t.print();
+    }
+}

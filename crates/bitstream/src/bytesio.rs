@@ -1,0 +1,98 @@
+//! Little-endian scalar put/get helpers for byte-aligned headers.
+
+use crate::{Error, Result};
+
+/// Appends a `u16` little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f32` little-endian.
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` little-endian.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let end = pos.checked_add(n).ok_or(Error::UnexpectedEof)?;
+    if end > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    let out = &data[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+/// Reads a `u16` little-endian at `pos`, advancing it.
+pub fn get_u16(data: &[u8], pos: &mut usize) -> Result<u16> {
+    Ok(u16::from_le_bytes(take(data, pos, 2)?.try_into().unwrap()))
+}
+
+/// Reads a `u32` little-endian at `pos`, advancing it.
+pub fn get_u32(data: &[u8], pos: &mut usize) -> Result<u32> {
+    Ok(u32::from_le_bytes(take(data, pos, 4)?.try_into().unwrap()))
+}
+
+/// Reads a `u64` little-endian at `pos`, advancing it.
+pub fn get_u64(data: &[u8], pos: &mut usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(take(data, pos, 8)?.try_into().unwrap()))
+}
+
+/// Reads an `f32` little-endian at `pos`, advancing it.
+pub fn get_f32(data: &[u8], pos: &mut usize) -> Result<f32> {
+    Ok(f32::from_le_bytes(take(data, pos, 4)?.try_into().unwrap()))
+}
+
+/// Reads an `f64` little-endian at `pos`, advancing it.
+pub fn get_f64(data: &[u8], pos: &mut usize) -> Result<f64> {
+    Ok(f64::from_le_bytes(take(data, pos, 8)?.try_into().unwrap()))
+}
+
+/// Reads `n` raw bytes at `pos`, advancing it.
+pub fn get_bytes<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    take(data, pos, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        put_f32(&mut buf, -1.5);
+        put_f64(&mut buf, std::f64::consts::PI);
+        let mut pos = 0;
+        assert_eq!(get_u16(&buf, &mut pos).unwrap(), 0xBEEF);
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, &mut pos).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_f32(&buf, &mut pos).unwrap(), -1.5);
+        assert_eq!(get_f64(&buf, &mut pos).unwrap(), std::f64::consts::PI);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_reads_fail() {
+        let buf = vec![0u8; 3];
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos), Err(Error::UnexpectedEof));
+        assert_eq!(pos, 0, "failed read must not advance");
+    }
+}

@@ -1,0 +1,244 @@
+//! MSB-first bit stream reader.
+
+use crate::{Error, Result};
+
+/// Reads bits most-significant-bit first from a byte slice.
+///
+/// The reader is the exact inverse of [`crate::BitWriter`]: a stream produced
+/// by the writer decodes to the same bit sequence. Reads past the end return
+/// [`Error::UnexpectedEof`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Index of the next unread byte.
+    pos: usize,
+    /// Bits already consumed from `bytes[pos]` (0..8).
+    bit_pos: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice for bit-level reading.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> u64 {
+        self.pos as u64 * 8 + self.bit_pos as u64
+    }
+
+    /// Number of bits still available.
+    pub fn bits_remaining(&self) -> u64 {
+        self.bytes.len() as u64 * 8 - self.bits_read()
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = *self.bytes.get(self.pos).ok_or(Error::UnexpectedEof)?;
+        let bit = (byte >> (7 - self.bit_pos)) & 1 == 1;
+        self.bit_pos += 1;
+        if self.bit_pos == 8 {
+            self.bit_pos = 0;
+            self.pos += 1;
+        }
+        Ok(bit)
+    }
+
+    /// Reads `n` bits (≤ 64) into the low bits of the result, MSB first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if self.bits_remaining() < n as u64 {
+            return Err(Error::UnexpectedEof);
+        }
+        let mut out: u64 = 0;
+        let mut remaining = n;
+        while remaining > 0 {
+            let avail = 8 - self.bit_pos;
+            let take = avail.min(remaining);
+            let byte = self.bytes[self.pos];
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.bit_pos += take;
+            remaining -= take;
+            if self.bit_pos == 8 {
+                self.bit_pos = 0;
+                self.pos += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads `n` bits (≤ 64) placing the first stream bit at bit 0 of the
+    /// result — the inverse of [`crate::BitWriter::write_bits_lsb`].
+    #[inline]
+    pub fn read_bits_lsb(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        let mut out = 0u64;
+        for i in 0..n {
+            if self.read_bit()? {
+                out |= 1u64 << i;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the next `n` bits (≤ 32) without consuming them, MSB first.
+    /// The caller must ensure `bits_remaining() >= n`.
+    #[inline]
+    pub fn peek_bits(&self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 32);
+        if self.bits_remaining() < n as u64 {
+            return Err(Error::UnexpectedEof);
+        }
+        // Read up to 5 bytes covering the window.
+        let mut acc: u64 = 0;
+        let first = self.pos;
+        let nbytes = (self.bit_pos + n).div_ceil(8) as usize;
+        for k in 0..nbytes {
+            acc = (acc << 8) | self.bytes[first + k] as u64;
+        }
+        let total_bits = nbytes as u32 * 8;
+        Ok((acc >> (total_bits - self.bit_pos - n)) & ((1u64 << n) - 1))
+    }
+
+    /// Consumes `n` bits previously inspected with [`BitReader::peek_bits`].
+    #[inline]
+    pub fn skip_bits(&mut self, n: u32) -> Result<()> {
+        if self.bits_remaining() < n as u64 {
+            return Err(Error::UnexpectedEof);
+        }
+        let total = self.bit_pos + n;
+        self.pos += (total / 8) as usize;
+        self.bit_pos = total % 8;
+        Ok(())
+    }
+
+    /// Skips to the next byte boundary (no-op when already aligned).
+    pub fn align_byte(&mut self) {
+        if self.bit_pos != 0 {
+            self.bit_pos = 0;
+            self.pos += 1;
+        }
+    }
+
+    /// Reads `n` whole bytes; the reader must be byte-aligned.
+    pub fn read_aligned_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        assert_eq!(self.bit_pos, 0, "read_aligned_bytes requires byte alignment");
+        let end = self.pos.checked_add(n).ok_or(Error::UnexpectedEof)?;
+        if end > self.bytes.len() {
+            return Err(Error::UnexpectedEof);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bit(true);
+        w.write_bits(0x3FFF, 14);
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(14).unwrap(), 0x3FFF);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bit(), Err(Error::UnexpectedEof));
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn lsb_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits_lsb(0b1011_0101_1010_0011, 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits_lsb(16).unwrap(), 0b1011_0101_1010_0011);
+    }
+
+    #[test]
+    fn aligned_bytes_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_byte();
+        w.write_aligned_bytes(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        r.align_byte();
+        assert_eq!(r.read_aligned_bytes(3).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn peek_matches_read_without_consuming() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF_CAFE_F00D, 64);
+        w.write_bits(0x0123_4567_89AB_CDEF, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(5).unwrap(); // misalign
+        for n in [1u32, 7, 8, 13, 24, 32] {
+            let peeked = r.peek_bits(n).unwrap();
+            let pos_before = r.bits_read();
+            let read = r.read_bits(n).unwrap();
+            assert_eq!(peeked, read, "n={n}");
+            // Rewind by constructing a fresh reader is impossible; instead
+            // verify peek did not advance before the read.
+            assert_eq!(r.bits_read(), pos_before + n as u64);
+        }
+    }
+
+    #[test]
+    fn skip_bits_advances_like_read() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x1234_5678, 32);
+        let bytes = w.into_bytes();
+        let mut a = BitReader::new(&bytes);
+        let mut b = BitReader::new(&bytes);
+        a.read_bits(13).unwrap();
+        b.skip_bits(13).unwrap();
+        assert_eq!(a.bits_read(), b.bits_read());
+        assert_eq!(a.read_bits(19).unwrap(), b.read_bits(19).unwrap());
+        assert!(b.skip_bits(1).is_err());
+    }
+
+    #[test]
+    fn peek_past_end_errors() {
+        let bytes = [0xAB];
+        let r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(8).unwrap(), 0xAB);
+        assert!(r.peek_bits(9).is_err());
+    }
+
+    #[test]
+    fn read_64_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+}

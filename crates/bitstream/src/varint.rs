@@ -1,0 +1,111 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! Used by container headers (block counts, payload lengths) where values are
+//! usually small but must scale to 64 bits.
+
+use crate::{Error, Result};
+
+/// Appends `value` as unsigned LEB128 to `out`.
+pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 value from `data[*pos..]`, advancing `pos`.
+pub fn read_uvarint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *data.get(*pos).ok_or(Error::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(Error::InvalidValue("uvarint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::InvalidValue("uvarint too long"));
+        }
+    }
+}
+
+/// Maps a signed integer to an unsigned one with small magnitudes staying
+/// small (0, -1, 1, -2, ... → 0, 1, 2, 3, ...).
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `value` as zigzag + LEB128.
+pub fn write_ivarint(out: &mut Vec<u8>, value: i64) {
+    write_uvarint(out, zigzag_encode(value));
+}
+
+/// Reads a zigzag + LEB128 signed value.
+pub fn read_ivarint(data: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(zigzag_decode(read_uvarint(data, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn ivarint_round_trip_extremes() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_ivarint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+    }
+
+    #[test]
+    fn truncated_uvarint_is_eof() {
+        let buf = vec![0x80, 0x80];
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_uvarint_rejected() {
+        let buf = vec![0x80; 10].into_iter().chain([0x02]).collect::<Vec<_>>();
+        let mut pos = 0;
+        assert!(read_uvarint(&buf, &mut pos).is_err());
+    }
+}

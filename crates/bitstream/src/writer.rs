@@ -1,0 +1,167 @@
+//! MSB-first bit stream writer.
+
+/// Accumulates bits most-significant-bit first into a byte vector.
+///
+/// The MSB-first convention matches the embedded bit-plane coder in the
+/// ZFP-like codec, where truncating a stream at any bit position must keep
+/// the highest-value information. `write_bits` accepts up to 64 bits at a
+/// time; values are masked to the requested width.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bit accumulator; bits are staged from the MSB side of `acc`.
+    acc: u64,
+    /// Number of valid bits currently staged in `acc` (< 8 after flush).
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with a byte-capacity hint.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | bit as u64;
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.bytes.push(self.acc as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    ///
+    /// `n` must be ≤ 64. Writing zero bits is a no-op.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let mut remaining = n;
+        // Fill the current partial byte, then emit whole bytes.
+        while remaining > 0 {
+            let take = (8 - self.nbits).min(remaining);
+            let shift = remaining - take;
+            let chunk = (value >> shift) & ((1u64 << take) - 1);
+            self.acc = (self.acc << take) | chunk;
+            self.nbits += take;
+            remaining -= take;
+            if self.nbits == 8 {
+                self.bytes.push(self.acc as u8);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Appends `n` bits taken LSB-first from `value` (bit 0 first).
+    ///
+    /// This matches ZFP's stream convention for bit-plane payloads where the
+    /// coefficient-index order maps to ascending bit positions.
+    #[inline]
+    pub fn write_bits_lsb(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        for i in 0..n {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc <<= pad;
+            self.bytes.push(self.acc as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends a whole byte slice; the writer must be byte-aligned.
+    pub fn write_aligned_bytes(&mut self, data: &[u8]) {
+        assert_eq!(self.nbits, 0, "write_aligned_bytes requires byte alignment");
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns it.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_pack_msb_first() {
+        let mut w = BitWriter::new();
+        for bit in [true, false, true, true, false, false, true, false] {
+            w.write_bit(bit);
+        }
+        assert_eq!(w.into_bytes(), vec![0b1011_0010]);
+    }
+
+    #[test]
+    fn bulk_bits_match_single_bits() {
+        let mut a = BitWriter::new();
+        let mut b = BitWriter::new();
+        let v = 0b1_1010_1101u64; // 9 bits
+        a.write_bits(v, 9);
+        for i in (0..9).rev() {
+            b.write_bit((v >> i) & 1 == 1);
+        }
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn write_64_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        assert_eq!(w.into_bytes(), vec![0xFF; 8]);
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.align_byte();
+        assert_eq!(w.into_bytes(), vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 13);
+    }
+
+    #[test]
+    fn lsb_order_reverses() {
+        let mut w = BitWriter::new();
+        w.write_bits_lsb(0b0000_0001, 8); // bit 0 first -> MSB of output byte
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: arbitrary bit-level write sequences round-trip exactly.
+
+use proptest::prelude::*;
+use pwrel_bitstream::{varint, BitReader, BitWriter};
+
+/// One write operation in a random program.
+#[derive(Debug, Clone)]
+enum Op {
+    Bit(bool),
+    Bits(u64, u32),
+    BitsLsb(u64, u32),
+    Align,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<bool>().prop_map(Op::Bit),
+        (any::<u64>(), 0u32..=64).prop_map(|(v, n)| Op::Bits(v, n)),
+        (any::<u64>(), 0u32..=64).prop_map(|(v, n)| Op::BitsLsb(v, n)),
+        Just(Op::Align),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mixed_write_programs_round_trip(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut w = BitWriter::new();
+        for op in &ops {
+            match *op {
+                Op::Bit(b) => w.write_bit(b),
+                Op::Bits(v, n) => w.write_bits(v, n),
+                Op::BitsLsb(v, n) => w.write_bits_lsb(v, n),
+                Op::Align => w.align_byte(),
+            }
+        }
+        let total_bits = w.bit_len();
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len() as u64, total_bits.div_ceil(8));
+
+        let mut r = BitReader::new(&bytes);
+        for op in &ops {
+            match *op {
+                Op::Bit(b) => prop_assert_eq!(r.read_bit().unwrap(), b),
+                Op::Bits(v, n) => {
+                    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                    prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+                }
+                Op::BitsLsb(v, n) => {
+                    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                    prop_assert_eq!(r.read_bits_lsb(n).unwrap(), v & mask);
+                }
+                Op::Align => r.align_byte(),
+            }
+        }
+    }
+
+    #[test]
+    fn varint_sequences_round_trip(vals in prop::collection::vec(any::<u64>(), 0..200)) {
+        let mut buf = Vec::new();
+        for &v in &vals {
+            varint::write_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            prop_assert_eq!(varint::read_uvarint(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn signed_varint_sequences_round_trip(vals in prop::collection::vec(any::<i64>(), 0..200)) {
+        let mut buf = Vec::new();
+        for &v in &vals {
+            varint::write_ivarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            prop_assert_eq!(varint::read_ivarint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn reads_never_exceed_written_bits(nbits in 0u64..512, extra in 1u32..64) {
+        let mut w = BitWriter::new();
+        for i in 0..nbits {
+            w.write_bit(i % 3 == 0);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // Consuming all *stored* bits (including padding) succeeds...
+        let stored = bytes.len() as u64 * 8;
+        for _ in 0..stored {
+            r.read_bit().unwrap();
+        }
+        // ...and anything beyond errors out without panicking.
+        prop_assert!(r.read_bits(extra).is_err());
+    }
+}

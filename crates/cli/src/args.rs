@@ -1,0 +1,396 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use crate::CliError;
+use pwrel_core::LogBase;
+use pwrel_data::Dims;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+pwrel — point-wise relative-error-bounded lossy compression
+
+USAGE:
+  pwrel compress   -i <raw> -o <stream> --dims <NX|NYxNX|NZxNYxNX> --bound <b>
+                   [--codec sz_t|zfp_t|sz_abs|sz_pwr|fpzip|isabela|sz_hybrid_t]
+                   [--type f32|f64] [--base 2|e|10]
+  pwrel decompress -i <stream> -o <raw>
+  pwrel info       -i <stream>
+  pwrel verify     -i <raw> -c <stream> --dims <...> --bound <b> [--type f32|f64]
+  pwrel pack       -o <archive> --bound <b> [--codec ...] <raw>:<dims> ...
+  pwrel unpack     -i <archive> -o <dir>
+  pwrel list       -i <archive>
+
+  compress   raw little-endian floats -> compressed stream (default codec sz_t)
+  decompress compressed stream -> raw little-endian floats (codec auto-detected)
+  info       print stream kind and sizes
+  verify     decompress and report error statistics against the original
+  pack       bundle several fields into one snapshot archive
+  unpack     extract every field of an archive into a directory
+  list       show an archive's contents
+
+EXAMPLE:
+  pwrel compress -i snap.f32 -o snap.pwr --dims 512x512x512 --bound 1e-3
+";
+
+/// Which compressor to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecChoice {
+    /// SZ wrapped in the log transform (point-wise relative bound).
+    SzT,
+    /// ZFP wrapped in the log transform (point-wise relative bound).
+    ZfpT,
+    /// SZ absolute-error mode (`--bound` is an absolute bound).
+    SzAbs,
+    /// SZ_T with the hybrid Lorenzo/regression predictor.
+    SzHybridT,
+    /// SZ blockwise point-wise-relative mode.
+    SzPwr,
+    /// FPZIP at the loosest precision respecting the bound.
+    Fpzip,
+    /// ISABELA.
+    Isabela,
+}
+
+/// Element type of the raw file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemType {
+    /// 4-byte little-endian IEEE floats.
+    F32,
+    /// 8-byte little-endian IEEE floats.
+    F64,
+}
+
+/// A parsed command.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `pwrel compress`.
+    Compress {
+        /// Raw input path.
+        input: String,
+        /// Stream output path.
+        output: String,
+        /// Grid shape.
+        dims: Dims,
+        /// Error bound (interpretation depends on the codec).
+        bound: f64,
+        /// Compressor.
+        codec: CodecChoice,
+        /// Element type.
+        elem: ElemType,
+        /// Log base for the transform codecs.
+        base: LogBase,
+    },
+    /// `pwrel decompress`.
+    Decompress {
+        /// Stream input path.
+        input: String,
+        /// Raw output path.
+        output: String,
+        /// Element type expected in the stream.
+        elem: ElemType,
+    },
+    /// `pwrel info`.
+    Info {
+        /// Stream path.
+        input: String,
+    },
+    /// `pwrel pack`.
+    Pack {
+        /// Archive output path.
+        output: String,
+        /// Error bound for every field.
+        bound: f64,
+        /// Compressor.
+        codec: CodecChoice,
+        /// Element type.
+        elem: ElemType,
+        /// Log base.
+        base: LogBase,
+        /// `(path, dims)` field specs.
+        inputs: Vec<(String, Dims)>,
+    },
+    /// `pwrel unpack`.
+    Unpack {
+        /// Archive input path.
+        input: String,
+        /// Output directory.
+        output: String,
+    },
+    /// `pwrel list`.
+    List {
+        /// Archive path.
+        input: String,
+    },
+    /// `pwrel verify`.
+    Verify {
+        /// Raw original path.
+        input: String,
+        /// Compressed stream path.
+        stream: String,
+        /// Grid shape of the original.
+        dims: Dims,
+        /// Bound to check against.
+        bound: f64,
+        /// Element type.
+        elem: ElemType,
+    },
+}
+
+/// Top-level parsed CLI.
+#[derive(Debug, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(format!("{}\n\n{USAGE}", msg.into()))
+}
+
+/// Parses `NX`, `NYxNX` or `NZxNYxNX` (also accepts `X` separators in
+/// upper case).
+pub fn parse_dims(s: &str) -> Result<Dims, CliError> {
+    let parts: Vec<&str> = s.split(['x', 'X']).collect();
+    let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+    let nums = nums.map_err(|_| usage_err(format!("bad --dims value '{s}'")))?;
+    match nums.as_slice() {
+        [nx] => Ok(Dims::d1(*nx)),
+        [ny, nx] => Ok(Dims::d2(*ny, *nx)),
+        [nz, ny, nx] => Ok(Dims::d3(*nz, *ny, *nx)),
+        _ => Err(usage_err(format!("bad --dims value '{s}' (1-3 extents)"))),
+    }
+}
+
+fn parse_codec(s: &str) -> Result<CodecChoice, CliError> {
+    match s {
+        "sz_t" => Ok(CodecChoice::SzT),
+        "sz_hybrid_t" => Ok(CodecChoice::SzHybridT),
+        "zfp_t" => Ok(CodecChoice::ZfpT),
+        "sz_abs" => Ok(CodecChoice::SzAbs),
+        "sz_pwr" => Ok(CodecChoice::SzPwr),
+        "fpzip" => Ok(CodecChoice::Fpzip),
+        "isabela" => Ok(CodecChoice::Isabela),
+        _ => Err(usage_err(format!("unknown --codec '{s}'"))),
+    }
+}
+
+fn parse_base(s: &str) -> Result<LogBase, CliError> {
+    match s {
+        "2" => Ok(LogBase::Two),
+        "e" => Ok(LogBase::E),
+        "10" => Ok(LogBase::Ten),
+        _ => Err(usage_err(format!("unknown --base '{s}' (2|e|10)"))),
+    }
+}
+
+fn parse_elem(s: &str) -> Result<ElemType, CliError> {
+    match s {
+        "f32" => Ok(ElemType::F32),
+        "f64" => Ok(ElemType::F64),
+        _ => Err(usage_err(format!("unknown --type '{s}' (f32|f64)"))),
+    }
+}
+
+/// Collects `--flag value` / `-f value` pairs plus positional arguments.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positionals: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut positionals = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if !arg.starts_with('-') {
+                positionals.push(arg.clone());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| usage_err(format!("flag '{arg}' needs a value")))?;
+            pairs.push((arg.clone(), value.clone()));
+        }
+        Ok(Self { pairs, positionals })
+    }
+
+    fn get(&self, names: &[&str]) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| names.contains(&f.as_str()))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, names: &[&str], what: &str) -> Result<&str, CliError> {
+        self.get(names)
+            .ok_or_else(|| usage_err(format!("missing required {what} ({})", names.join("/"))))
+    }
+}
+
+impl Cli {
+    /// Parses a full argument vector (excluding the program name).
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let (cmd, rest) = args
+            .split_first()
+            .ok_or_else(|| usage_err("missing command"))?;
+        if cmd == "--help" || cmd == "-h" || cmd == "help" {
+            return Err(CliError::Usage(USAGE.to_string()));
+        }
+        let flags = Flags::parse(rest)?;
+        let elem = flags.get(&["--type"]).map_or(Ok(ElemType::F32), parse_elem)?;
+        let command = match cmd.as_str() {
+            "compress" => Command::Compress {
+                input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                output: flags.require(&["-o", "--output"], "output path")?.to_string(),
+                dims: parse_dims(flags.require(&["--dims"], "--dims")?)?,
+                bound: flags
+                    .require(&["--bound", "-b"], "--bound")?
+                    .parse::<f64>()
+                    .map_err(|_| usage_err("bad --bound value"))?,
+                codec: flags.get(&["--codec"]).map_or(Ok(CodecChoice::SzT), parse_codec)?,
+                elem,
+                base: flags.get(&["--base"]).map_or(Ok(LogBase::Two), parse_base)?,
+            },
+            "decompress" => Command::Decompress {
+                input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                output: flags.require(&["-o", "--output"], "output path")?.to_string(),
+                elem,
+            },
+            "info" => Command::Info {
+                input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+            },
+            "pack" => {
+                if flags.positionals.is_empty() {
+                    return Err(usage_err("pack needs at least one <raw>:<dims> spec"));
+                }
+                let mut inputs = Vec::new();
+                for spec in &flags.positionals {
+                    let (path, dims_str) = spec
+                        .rsplit_once(':')
+                        .ok_or_else(|| usage_err(format!("bad field spec '{spec}' (want path:dims)")))?;
+                    inputs.push((path.to_string(), parse_dims(dims_str)?));
+                }
+                Command::Pack {
+                    output: flags.require(&["-o", "--output"], "output path")?.to_string(),
+                    bound: flags
+                        .require(&["--bound", "-b"], "--bound")?
+                        .parse::<f64>()
+                        .map_err(|_| usage_err("bad --bound value"))?,
+                    codec: flags.get(&["--codec"]).map_or(Ok(CodecChoice::SzT), parse_codec)?,
+                    elem,
+                    base: flags.get(&["--base"]).map_or(Ok(LogBase::Two), parse_base)?,
+                    inputs,
+                }
+            }
+            "unpack" => Command::Unpack {
+                input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                output: flags.require(&["-o", "--output"], "output dir")?.to_string(),
+            },
+            "list" => Command::List {
+                input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+            },
+            "verify" => Command::Verify {
+                input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                stream: flags.require(&["-c", "--stream"], "stream path")?.to_string(),
+                dims: parse_dims(flags.require(&["--dims"], "--dims")?)?,
+                bound: flags
+                    .require(&["--bound", "-b"], "--bound")?
+                    .parse::<f64>()
+                    .map_err(|_| usage_err("bad --bound value"))?,
+                elem,
+            },
+            other => return Err(usage_err(format!("unknown command '{other}'"))),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_dims_variants() {
+        assert_eq!(parse_dims("100").unwrap(), Dims::d1(100));
+        assert_eq!(parse_dims("5x7").unwrap(), Dims::d2(5, 7));
+        assert_eq!(parse_dims("2X3X4").unwrap(), Dims::d3(2, 3, 4));
+        assert!(parse_dims("").is_err());
+        assert!(parse_dims("axb").is_err());
+        assert!(parse_dims("1x2x3x4").is_err());
+    }
+
+    #[test]
+    fn compress_command_full() {
+        let cli = Cli::parse(&argv(
+            "compress -i in.f32 -o out.pwr --dims 4x5x6 --bound 1e-3 --codec zfp_t --base e --type f64",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Compress {
+                dims,
+                bound,
+                codec,
+                elem,
+                base,
+                ..
+            } => {
+                assert_eq!(dims, Dims::d3(4, 5, 6));
+                assert_eq!(bound, 1e-3);
+                assert_eq!(codec, CodecChoice::ZfpT);
+                assert_eq!(elem, ElemType::F64);
+                assert_eq!(base, LogBase::E);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn compress_defaults() {
+        let cli = Cli::parse(&argv("compress -i a -o b --dims 10 --bound 0.01")).unwrap();
+        match cli.command {
+            Command::Compress { codec, elem, base, .. } => {
+                assert_eq!(codec, CodecChoice::SzT);
+                assert_eq!(elem, ElemType::F32);
+                assert_eq!(base, LogBase::Two);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(Cli::parse(&argv("compress -i a -o b --bound 0.01")).is_err());
+        assert!(Cli::parse(&argv("compress -i a --dims 10 --bound 0.01")).is_err());
+        assert!(Cli::parse(&argv("verify -i a --dims 10 --bound 0.01")).is_err());
+        assert!(Cli::parse(&argv("nonsense")).is_err());
+        assert!(Cli::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn decompress_and_info() {
+        assert_eq!(
+            Cli::parse(&argv("decompress -i s -o r")).unwrap().command,
+            Command::Decompress {
+                input: "s".into(),
+                output: "r".into(),
+                elem: ElemType::F32
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv("info -i s")).unwrap().command,
+            Command::Info { input: "s".into() }
+        );
+    }
+
+    #[test]
+    fn help_is_usage_error_with_text() {
+        match Cli::parse(&argv("--help")) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("USAGE")),
+            other => panic!("expected usage, got {other:?}"),
+        }
+    }
+}

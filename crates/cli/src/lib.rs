@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Library backing the `pwrel` command-line tool.
+//!
+//! Mirrors the ergonomics of the `sz`/`zfp` CLIs the paper's users drive:
+//! compress a raw binary float file under a chosen mode and bound,
+//! decompress it back, inspect a stream, or verify error statistics
+//! against the original. All logic lives here (unit-testable); `main.rs`
+//! only forwards `std::env::args`.
+
+pub mod archive;
+pub mod args;
+pub mod io;
+pub mod run;
+
+pub use args::{Cli, Command};
+pub use run::run;
+
+/// CLI-level errors (argument, I/O, codec).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing command-line arguments; includes usage help.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Compression/decompression failure.
+    Codec(pwrel_data::CodecError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<pwrel_data::CodecError> for CliError {
+    fn from(e: pwrel_data::CodecError) -> Self {
+        CliError::Codec(e)
+    }
+}

@@ -1,0 +1,25 @@
+//! `pwrel` command-line entry point. All logic lives in the library so it
+//! can be unit-tested; this file only adapts process arguments and exit
+//! codes.
+
+use pwrel_cli::{run, Cli, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = run(cli, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,487 @@
+//! Command execution.
+
+use crate::archive::{self, Entry};
+use crate::args::{Cli, CodecChoice, Command, ElemType};
+use crate::io::{self, StreamKind};
+use crate::CliError;
+use pwrel_core::PwRelCompressor;
+use pwrel_data::{CodecError, Dims, Float};
+use pwrel_fpzip::FpzipCompressor;
+use pwrel_isabela::IsabelaCompressor;
+use pwrel_metrics::RelErrorStats;
+use pwrel_sz::SzCompressor;
+use pwrel_zfp::ZfpCompressor;
+
+/// Runs a parsed command, writing human-readable progress to `out`.
+pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    match cli.command {
+        Command::Compress {
+            input,
+            output,
+            dims,
+            bound,
+            codec,
+            elem,
+            base,
+        } => {
+            let (n_points, raw_bytes, stream) = match elem {
+                ElemType::F32 => {
+                    let data = io::read_f32(&input)?;
+                    let s = compress_one(&data, dims, bound, codec, base)?;
+                    (data.len(), data.len() * 4, s)
+                }
+                ElemType::F64 => {
+                    let data = io::read_f64(&input)?;
+                    let s = compress_one(&data, dims, bound, codec, base)?;
+                    (data.len(), data.len() * 8, s)
+                }
+            };
+            if n_points != dims.len() {
+                return Err(CliError::Usage(format!(
+                    "file holds {n_points} values but --dims {dims} needs {}",
+                    dims.len()
+                )));
+            }
+            std::fs::write(&output, &stream)?;
+            writeln!(
+                out,
+                "{input} -> {output}: {raw_bytes} -> {} bytes (ratio {:.2}x)",
+                stream.len(),
+                raw_bytes as f64 / stream.len() as f64
+            )?;
+        }
+        Command::Decompress { input, output, elem } => {
+            let stream = std::fs::read(&input)?;
+            match elem {
+                ElemType::F32 => {
+                    let (data, dims) = decompress_any::<f32>(&stream)?;
+                    io::write_f32(&output, &data)?;
+                    writeln!(out, "{input} -> {output}: {} values ({dims})", data.len())?;
+                }
+                ElemType::F64 => {
+                    let (data, dims) = decompress_any::<f64>(&stream)?;
+                    io::write_f64(&output, &data)?;
+                    writeln!(out, "{input} -> {output}: {} values ({dims})", data.len())?;
+                }
+            }
+        }
+        Command::Info { input } => {
+            let stream = std::fs::read(&input)?;
+            let kind = io::identify(&stream);
+            writeln!(
+                out,
+                "{input}: {} bytes, kind: {}",
+                stream.len(),
+                match kind {
+                    Some(StreamKind::PwRel) => "pwrel log-transform container (SZ_T/ZFP_T)",
+                    Some(StreamKind::Sz) => "SZ container",
+                    Some(StreamKind::Zfp) => "ZFP container",
+                    Some(StreamKind::Fpzip) => "FPZIP container",
+                    Some(StreamKind::Isabela) => "ISABELA container",
+                    None => "unrecognized",
+                }
+            )?;
+        }
+        Command::Pack {
+            output,
+            bound,
+            codec,
+            elem,
+            base,
+            inputs,
+        } => {
+            // Fields are independent: compress them on a worker pool.
+            let pool = pwrel_parallel::WorkerPool::per_cpu();
+            let results = pool.map(inputs.clone(), |(path, dims)| {
+                let name = std::path::Path::new(&path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("field")
+                    .to_string();
+                let packed = match elem {
+                    ElemType::F32 => io::read_f32(&path).and_then(|data| {
+                        Ok((compress_one(&data, dims, bound, codec, base)?, data.len() * 4))
+                    }),
+                    ElemType::F64 => io::read_f64(&path).and_then(|data| {
+                        Ok((compress_one(&data, dims, bound, codec, base)?, data.len() * 8))
+                    }),
+                };
+                packed.map(|(stream, raw)| {
+                    (
+                        Entry {
+                            name,
+                            dims,
+                            elem_bits: if elem == ElemType::F32 { 32 } else { 64 },
+                            stream,
+                        },
+                        raw,
+                    )
+                })
+            });
+            let mut entries = Vec::with_capacity(inputs.len());
+            let mut raw_total = 0usize;
+            for r in results {
+                let (entry, raw) = r?;
+                raw_total += raw;
+                entries.push(entry);
+            }
+            let bytes = archive::pack(&entries);
+            std::fs::write(&output, &bytes)?;
+            writeln!(
+                out,
+                "{output}: {} fields, {raw_total} -> {} bytes (ratio {:.2}x)",
+                entries.len(),
+                bytes.len(),
+                raw_total as f64 / bytes.len() as f64
+            )?;
+        }
+        Command::Unpack { input, output } => {
+            let bytes = std::fs::read(&input)?;
+            let entries = archive::unpack(&bytes)?;
+            std::fs::create_dir_all(&output)?;
+            for e in &entries {
+                let dir = std::path::Path::new(&output);
+                match e.elem_bits {
+                    32 => {
+                        let (data, dims) = decompress_any::<f32>(&e.stream)?;
+                        check_entry_dims(e, dims)?;
+                        io::write_f32(dir.join(format!("{}.f32", e.name)), &data)?;
+                    }
+                    _ => {
+                        let (data, dims) = decompress_any::<f64>(&e.stream)?;
+                        check_entry_dims(e, dims)?;
+                        io::write_f64(dir.join(format!("{}.f64", e.name)), &data)?;
+                    }
+                }
+                writeln!(out, "{} ({}, f{})", e.name, e.dims, e.elem_bits)?;
+            }
+        }
+        Command::List { input } => {
+            let bytes = std::fs::read(&input)?;
+            let entries = archive::unpack(&bytes)?;
+            writeln!(out, "{input}: {} fields", entries.len())?;
+            for e in &entries {
+                writeln!(
+                    out,
+                    "  {:<24} {:>14} f{} {:>10} bytes",
+                    e.name,
+                    e.dims.to_string(),
+                    e.elem_bits,
+                    e.stream.len()
+                )?;
+            }
+        }
+        Command::Verify {
+            input,
+            stream,
+            dims,
+            bound,
+            elem,
+        } => {
+            let compressed = std::fs::read(&stream)?;
+            match elem {
+                ElemType::F32 => {
+                    let original = io::read_f32(&input)?;
+                    verify_one(&original, dims, bound, &compressed, out)?;
+                }
+                ElemType::F64 => {
+                    let original = io::read_f64(&input)?;
+                    verify_one(&original, dims, bound, &compressed, out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rejects archives whose stream dims disagree with their header.
+fn check_entry_dims(e: &Entry, dims: Dims) -> Result<(), CliError> {
+    if dims != e.dims {
+        return Err(CliError::Codec(CodecError::Corrupt(
+            "archive entry dims disagree with its stream",
+        )));
+    }
+    Ok(())
+}
+
+/// Compresses with the chosen codec (generic over element type).
+fn compress_one<F: Float>(
+    data: &[F],
+    dims: Dims,
+    bound: f64,
+    codec: CodecChoice,
+    base: pwrel_core::LogBase,
+) -> Result<Vec<u8>, CliError> {
+    if data.len() != dims.len() {
+        return Err(CliError::Usage(format!(
+            "file holds {} values but --dims needs {}",
+            data.len(),
+            dims.len()
+        )));
+    }
+    let stream = match codec {
+        CodecChoice::SzT => {
+            PwRelCompressor::new(SzCompressor::default(), base).compress(data, dims, bound)?
+        }
+        CodecChoice::SzHybridT => {
+            let sz = SzCompressor {
+                hybrid_predictor: true,
+                ..SzCompressor::default()
+            };
+            PwRelCompressor::new(sz, base).compress(data, dims, bound)?
+        }
+        CodecChoice::ZfpT => {
+            PwRelCompressor::new(ZfpCompressor, base).compress(data, dims, bound)?
+        }
+        CodecChoice::SzAbs => SzCompressor::default().compress_abs(data, dims, bound)?,
+        CodecChoice::SzPwr => SzCompressor::default().compress_pwr(data, dims, bound)?,
+        CodecChoice::Fpzip => FpzipCompressor::for_rel_bound::<F>(bound).compress(data, dims)?,
+        CodecChoice::Isabela => {
+            IsabelaCompressor::default().compress_rel(data, dims, bound)?
+        }
+    };
+    Ok(stream)
+}
+
+/// Decompresses any stream by sniffing its magic.
+fn decompress_any<F: Float>(stream: &[u8]) -> Result<(Vec<F>, Dims), CliError> {
+    match io::identify(stream) {
+        Some(StreamKind::PwRel) => {
+            // The wrapper needs an inner codec; the inner stream is
+            // self-identifying, so try SZ first and fall back to ZFP.
+            let sz = PwRelCompressor::new(SzCompressor::default(), pwrel_core::LogBase::Two);
+            match sz.decompress_full::<F>(stream) {
+                Ok(r) => Ok(r),
+                Err(_) => {
+                    let zfp = PwRelCompressor::new(ZfpCompressor, pwrel_core::LogBase::Two);
+                    Ok(zfp.decompress_full::<F>(stream)?)
+                }
+            }
+        }
+        Some(StreamKind::Sz) => Ok(SzCompressor::default().decompress::<F>(stream)?),
+        Some(StreamKind::Zfp) => Ok(ZfpCompressor.decompress::<F>(stream)?),
+        Some(StreamKind::Fpzip) => Ok(pwrel_fpzip::decompress::<F>(stream)?),
+        Some(StreamKind::Isabela) => Ok(pwrel_isabela::decompress::<F>(stream)?),
+        None => Err(CliError::Codec(CodecError::Mismatch("unrecognized stream"))),
+    }
+}
+
+/// Decompresses and prints error statistics against the original.
+fn verify_one<F: Float>(
+    original: &[F],
+    dims: Dims,
+    bound: f64,
+    compressed: &[u8],
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    if original.len() != dims.len() {
+        return Err(CliError::Usage("original length != --dims".into()));
+    }
+    let (decoded, ddims) = decompress_any::<F>(compressed)?;
+    if ddims != dims || decoded.len() != original.len() {
+        return Err(CliError::Usage(format!(
+            "stream dims {ddims} do not match --dims {dims}"
+        )));
+    }
+    let stats = RelErrorStats::compute(original, &decoded, bound);
+    writeln!(out, "points:        {}", original.len())?;
+    writeln!(out, "bound:         {bound:e}")?;
+    writeln!(out, "within bound:  {:.4}%", stats.bounded_fraction * 100.0)?;
+    writeln!(out, "avg rel error: {:.3e}", stats.avg_rel)?;
+    writeln!(out, "max rel error: {:.3e}", stats.max_rel)?;
+    writeln!(out, "broken zeros:  {}", stats.broken_zeros)?;
+    writeln!(
+        out,
+        "verdict:       {}",
+        if stats.max_rel <= bound && stats.broken_zeros == 0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("pwrel_cli_run_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    fn run_str(cmd: &str) -> Result<String, CliError> {
+        let cli = Cli::parse(&argv(cmd))?;
+        let mut out = Vec::new();
+        run(cli, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn sample_data() -> Vec<f32> {
+        (0..2048)
+            .map(|i| {
+                if i % 100 == 0 {
+                    0.0
+                } else {
+                    ((i as f32) * 0.01).sin() * 10f32.powi((i % 7) - 3)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compress_decompress_verify_cycle() {
+        let raw = tmp("cycle.f32");
+        let stream = tmp("cycle.pwr");
+        let restored = tmp("cycle_out.f32");
+        io::write_f32(&raw, &sample_data()).unwrap();
+
+        let msg = run_str(&format!(
+            "compress -i {raw} -o {stream} --dims 2048 --bound 1e-3"
+        ))
+        .unwrap();
+        assert!(msg.contains("ratio"), "{msg}");
+
+        let msg = run_str(&format!("decompress -i {stream} -o {restored}")).unwrap();
+        assert!(msg.contains("2048 values"), "{msg}");
+
+        let msg = run_str(&format!(
+            "verify -i {raw} -c {stream} --dims 2048 --bound 1e-3"
+        ))
+        .unwrap();
+        assert!(msg.contains("verdict:       PASS"), "{msg}");
+
+        // Decompressed file respects the bound.
+        let a = io::read_f32(&raw).unwrap();
+        let b = io::read_f32(&restored).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            if *x == 0.0 {
+                assert_eq!(*y, 0.0);
+            } else {
+                assert!(((x - y) / x).abs() <= 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn every_codec_choice_cycles() {
+        let data = sample_data();
+        let raw = tmp("all.f32");
+        io::write_f32(&raw, &data).unwrap();
+        for codec in ["sz_t", "zfp_t", "sz_abs", "sz_pwr", "fpzip", "isabela", "sz_hybrid_t"] {
+            let stream = tmp(&format!("all_{codec}.pwr"));
+            let restored = tmp(&format!("all_{codec}_out.f32"));
+            run_str(&format!(
+                "compress -i {raw} -o {stream} --dims 2048 --bound 1e-2 --codec {codec}"
+            ))
+            .unwrap_or_else(|e| panic!("{codec}: {e}"));
+            run_str(&format!("decompress -i {stream} -o {restored}"))
+                .unwrap_or_else(|e| panic!("{codec}: {e}"));
+            assert_eq!(io::read_f32(&restored).unwrap().len(), data.len(), "{codec}");
+        }
+    }
+
+    #[test]
+    fn info_identifies_streams() {
+        let raw = tmp("info.f32");
+        let stream = tmp("info.pwr");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        run_str(&format!(
+            "compress -i {raw} -o {stream} --dims 2048 --bound 1e-2"
+        ))
+        .unwrap();
+        let msg = run_str(&format!("info -i {stream}")).unwrap();
+        assert!(msg.contains("log-transform container"), "{msg}");
+    }
+
+    #[test]
+    fn dims_mismatch_is_usage_error() {
+        let raw = tmp("mm.f32");
+        let stream = tmp("mm.pwr");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        let err = run_str(&format!(
+            "compress -i {raw} -o {stream} --dims 1000 --bound 1e-2"
+        ));
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+    }
+
+    #[test]
+    fn f64_cycle() {
+        let raw = tmp("d.f64");
+        let stream = tmp("d.pwr");
+        let restored = tmp("d_out.f64");
+        let data: Vec<f64> = (1..500).map(|i| (i as f64).sqrt() * 1e100).collect();
+        io::write_f64(&raw, &data).unwrap();
+        run_str(&format!(
+            "compress -i {raw} -o {stream} --dims 499 --bound 1e-4 --type f64"
+        ))
+        .unwrap();
+        run_str(&format!("decompress -i {stream} -o {restored} --type f64")).unwrap();
+        let back = io::read_f64(&restored).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert!(((a - b) / a).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn pack_list_unpack_cycle() {
+        let a = tmp("snap_a.f32");
+        let b = tmp("snap_b.f32");
+        let arch = tmp("snap.pwa");
+        let outdir = tmp("snap_out");
+        io::write_f32(&a, &sample_data()).unwrap();
+        let small: Vec<f32> = (0..512).map(|i| (i as f32 + 1.0).sqrt()).collect();
+        io::write_f32(&b, &small).unwrap();
+
+        let msg = run_str(&format!(
+            "pack -o {arch} --bound 1e-2 {a}:2048 {b}:16x32"
+        ))
+        .unwrap();
+        assert!(msg.contains("2 fields"), "{msg}");
+
+        let msg = run_str(&format!("list -i {arch}")).unwrap();
+        assert!(msg.contains("snap_a") && msg.contains("snap_b"), "{msg}");
+        assert!(msg.contains("16x32"), "{msg}");
+
+        run_str(&format!("unpack -i {arch} -o {outdir}")).unwrap();
+        let restored_a = io::read_f32(format!("{outdir}/snap_a.f32")).unwrap();
+        assert_eq!(restored_a.len(), 2048);
+        let restored_b = io::read_f32(format!("{outdir}/snap_b.f32")).unwrap();
+        for (x, y) in small.iter().zip(&restored_b) {
+            assert!(((x - y) / x).abs() <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn pack_without_specs_is_usage_error() {
+        let arch = tmp("empty.pwa");
+        let err = run_str(&format!("pack -o {arch} --bound 1e-2"));
+        assert!(matches!(err, Err(CliError::Usage(_))));
+        let err = run_str(&format!("pack -o {arch} --bound 1e-2 nodims"));
+        assert!(matches!(err, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn verify_fails_on_wrong_bound_claim() {
+        let raw = tmp("vf.f32");
+        let stream = tmp("vf.pwr");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        run_str(&format!(
+            "compress -i {raw} -o {stream} --dims 2048 --bound 1e-1"
+        ))
+        .unwrap();
+        // Claim a tighter bound than was used: must FAIL.
+        let msg = run_str(&format!(
+            "verify -i {raw} -c {stream} --dims 2048 --bound 1e-4"
+        ))
+        .unwrap();
+        assert!(msg.contains("verdict:       FAIL"), "{msg}");
+    }
+}

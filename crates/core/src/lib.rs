@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: a logarithmic transformation scheme that turns
+//! any absolute-error-bounded lossy compressor into a point-wise
+//! relative-error-bounded one.
+//!
+//! *An Efficient Transformation Scheme for Lossy Data Compression with
+//! Point-wise Relative Error Bound* (Liang, Di, Tao, Chen, Cappello — IEEE
+//! CLUSTER 2018) proves (Theorems 1–2) that `f(x) = log_base x + C` is the
+//! **unique** continuous bijection under which a point-wise relative bound
+//! `b_r` in the original domain becomes the absolute bound
+//! `b_a = log_base(1 + b_r)` in the transformed domain, and (Lemma 2) that
+//! floating-point round-off requires shrinking the bound to
+//! `b'_a = log_base(1 + b_r) - max|log_base x| · ε0`.
+//!
+//! Modules:
+//!
+//! * [`theory`] — the error-bound mapping `g`, its round-off correction,
+//!   and numerically checkable statements of the paper's theorems,
+//! * [`transform`] — Algorithm 1: forward/inverse log mapping with sign
+//!   bitmap and exact-zero sentinel handling, parameterized by
+//!   [`LogBase`] (bases 2, e, 10 — Sec. IV studies their equivalence),
+//! * [`pwrel`] — [`PwRelCompressor`], the wrapper that composes the
+//!   transform with any [`pwrel_data::AbsErrorCodec`] (SZ → "SZ_T",
+//!   ZFP → "ZFP_T").
+
+pub mod pwrel;
+pub mod theory;
+pub mod transform;
+
+pub use pwrel::PwRelCompressor;
+pub use transform::{LogBase, TransformedField};

@@ -1,0 +1,314 @@
+//! [`PwRelCompressor`]: the transform scheme composed with an inner
+//! absolute-error-bounded codec.
+//!
+//! This is the deliverable of the paper: `PwRelCompressor<SzCompressor>` is
+//! "SZ_T" and `PwRelCompressor<ZfpCompressor>` is "ZFP_T". Compression:
+//!
+//! 1. forward log transform (with Lemma 2's round-off-corrected bound),
+//! 2. inner `compress_abs` on the log-domain data,
+//! 3. container = sign section + inner stream.
+
+use crate::transform::{self, LogBase};
+use pwrel_bitstream::{bytesio, varint};
+use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
+
+const MAGIC: &[u8; 4] = b"PWT1";
+
+/// Point-wise relative-error-bounded compressor built from any
+/// absolute-error-bounded codec via the logarithmic transformation scheme.
+///
+/// ```
+/// use pwrel_core::{PwRelCompressor, LogBase};
+/// use pwrel_sz::SzCompressor;
+/// use pwrel_data::Dims;
+///
+/// let data: Vec<f32> = (1..=1000).map(|i| (i as f32) * 0.25).collect();
+/// let codec = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
+/// let stream = codec.compress(&data, Dims::d1(data.len()), 1e-3).unwrap();
+/// let back: Vec<f32> = codec.decompress(&stream).unwrap();
+/// for (a, b) in data.iter().zip(&back) {
+///     assert!(((a - b) / a).abs() <= 1e-3);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PwRelCompressor<C> {
+    /// The wrapped absolute-error-bounded codec.
+    pub inner: C,
+    /// Logarithm base (the paper fixes 2; others kept for the base study).
+    pub base: LogBase,
+    /// Multiplier on Lemma 2's `ε0` round-off term (the paper uses 1; the
+    /// default 2 also covers inverse-map rounding).
+    pub roundoff_guard: f64,
+}
+
+impl<C> PwRelCompressor<C> {
+    /// Wraps `inner` with the given base and the default round-off guard.
+    pub fn new(inner: C, base: LogBase) -> Self {
+        Self {
+            inner,
+            base,
+            roundoff_guard: 2.0,
+        }
+    }
+
+    /// Compresses `data` so that every decompressed value satisfies
+    /// `|x - x'| <= rel_bound * |x|`, with exact zeros preserved.
+    pub fn compress<F: Float>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        rel_bound: f64,
+    ) -> Result<Vec<u8>, CodecError>
+    where
+        C: AbsErrorCodec<F>,
+    {
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
+        }
+        let t = transform::forward(data, self.base, rel_bound, self.roundoff_guard)?;
+        let inner_stream = self.inner.compress_abs(&t.mapped, dims, t.abs_bound)?;
+
+        let mut out = Vec::with_capacity(inner_stream.len() + 64);
+        out.extend_from_slice(MAGIC);
+        out.push(F::BITS as u8);
+        out.push(self.base.id());
+        out.push(t.sign_section.is_some() as u8);
+        bytesio::put_f64(&mut out, rel_bound);
+        bytesio::put_f64(&mut out, t.zero_threshold);
+        if let Some(signs) = &t.sign_section {
+            varint::write_uvarint(&mut out, signs.len() as u64);
+            out.extend_from_slice(signs);
+        }
+        varint::write_uvarint(&mut out, inner_stream.len() as u64);
+        out.extend_from_slice(&inner_stream);
+        Ok(out)
+    }
+
+    /// Decompresses, returning the data and its grid shape.
+    pub fn decompress_full<F: Float>(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError>
+    where
+        C: AbsErrorCodec<F>,
+    {
+        if bytes.len() < 23 || &bytes[..4] != MAGIC {
+            return Err(CodecError::Mismatch("bad PWT magic"));
+        }
+        let mut pos = 4usize;
+        let float_bits = bytes[pos];
+        pos += 1;
+        if float_bits as u32 != F::BITS {
+            return Err(CodecError::Mismatch("element type differs from stream"));
+        }
+        let base = LogBase::from_id(bytes[pos]).ok_or(CodecError::Corrupt("bad base id"))?;
+        pos += 1;
+        let has_signs = match bytes[pos] {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Corrupt("bad sign flag")),
+        };
+        pos += 1;
+        let _rel_bound = bytesio::get_f64(bytes, &mut pos)?;
+        let zero_threshold = bytesio::get_f64(bytes, &mut pos)?;
+        let sign_section = if has_signs {
+            let len = varint::read_uvarint(bytes, &mut pos)? as usize;
+            Some(bytesio::get_bytes(bytes, &mut pos, len)?)
+        } else {
+            None
+        };
+        let inner_len = varint::read_uvarint(bytes, &mut pos)? as usize;
+        let inner_stream = bytesio::get_bytes(bytes, &mut pos, inner_len)?;
+
+        let (mapped, dims) = self.inner.decompress_abs(inner_stream)?;
+        let data = transform::inverse(&mapped, base, zero_threshold, sign_section)?;
+        Ok((data, dims))
+    }
+
+    /// Decompresses, returning just the data.
+    pub fn decompress<F: Float>(&self, bytes: &[u8]) -> Result<Vec<F>, CodecError>
+    where
+        C: AbsErrorCodec<F>,
+    {
+        Ok(self.decompress_full(bytes)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwrel_data::{grf, nyx, Scale};
+    use pwrel_sz::SzCompressor;
+    use pwrel_zfp::ZfpCompressor;
+
+    fn sz_t(base: LogBase) -> PwRelCompressor<SzCompressor> {
+        PwRelCompressor::new(SzCompressor::default(), base)
+    }
+
+    fn zfp_t(base: LogBase) -> PwRelCompressor<ZfpCompressor> {
+        PwRelCompressor::new(ZfpCompressor, base)
+    }
+
+    fn assert_rel_bounded(data: &[f32], dec: &[f32], br: f64, tag: &str) {
+        assert_eq!(data.len(), dec.len());
+        for (idx, (&a, &b)) in data.iter().zip(dec).enumerate() {
+            if a == 0.0 {
+                assert_eq!(b, 0.0, "{tag} idx {idx}: zero not exact");
+            } else {
+                let rel = ((a as f64 - b as f64) / a as f64).abs();
+                assert!(rel <= br, "{tag} idx {idx}: {a} vs {b} rel {rel} > {br}");
+            }
+        }
+    }
+
+    #[test]
+    fn sz_t_strictly_bounded_on_nyx_density() {
+        let field = nyx::dark_matter_density(Scale::Small);
+        let codec = sz_t(LogBase::Two);
+        for br in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let bytes = codec.compress(&field.data, field.dims, br).unwrap();
+            let (dec, dims) = codec.decompress_full::<f32>(&bytes).unwrap();
+            assert_eq!(dims, field.dims);
+            assert_rel_bounded(&field.data, &dec, br, "density");
+        }
+    }
+
+    #[test]
+    fn sz_t_strictly_bounded_on_signed_velocity() {
+        let field = nyx::velocity_x(Scale::Small);
+        let codec = sz_t(LogBase::Two);
+        let bytes = codec.compress(&field.data, field.dims, 1e-3).unwrap();
+        let dec: Vec<f32> = codec.decompress(&bytes).unwrap();
+        assert_rel_bounded(&field.data, &dec, 1e-3, "velocity");
+        // Signs must be preserved exactly.
+        for (&a, &b) in field.data.iter().zip(&dec) {
+            assert!(a.signum() == b.signum() || a == 0.0);
+        }
+    }
+
+    #[test]
+    fn zfp_t_strictly_bounded() {
+        let field = nyx::dark_matter_density(Scale::Small);
+        let codec = zfp_t(LogBase::Two);
+        for br in [1e-1, 1e-3] {
+            let bytes = codec.compress(&field.data, field.dims, br).unwrap();
+            let dec: Vec<f32> = codec.decompress(&bytes).unwrap();
+            assert_rel_bounded(&field.data, &dec, br, "zfp_t");
+        }
+    }
+
+    #[test]
+    fn all_bases_bounded_and_similar_size() {
+        let field = nyx::dark_matter_density(Scale::Small);
+        let mut sizes = Vec::new();
+        for base in [LogBase::Two, LogBase::E, LogBase::Ten] {
+            let codec = sz_t(base);
+            let bytes = codec.compress(&field.data, field.dims, 1e-2).unwrap();
+            let dec: Vec<f32> = codec.decompress(&bytes).unwrap();
+            assert_rel_bounded(&field.data, &dec, 1e-2, "base study");
+            sizes.push(bytes.len() as f64);
+        }
+        // Lemma 3/4: base choice barely affects compressed size (<5%).
+        let max = sizes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = sizes.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.05, "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn zeros_and_mixed_signs_with_zero_regions() {
+        let dims = pwrel_data::Dims::d2(40, 50);
+        let mut data = grf::gaussian_field(dims, 77, 3, 2);
+        for (i, v) in data.iter_mut().enumerate() {
+            if i % 11 == 0 {
+                *v = 0.0;
+            }
+        }
+        let codec = sz_t(LogBase::Two);
+        let bytes = codec.compress(&data, dims, 1e-2).unwrap();
+        let dec: Vec<f32> = codec.decompress(&bytes).unwrap();
+        assert_rel_bounded(&data, &dec, 1e-2, "zeros+signs");
+    }
+
+    #[test]
+    fn wide_dynamic_range_f64() {
+        let dims = pwrel_data::Dims::d1(4096);
+        let data: Vec<f64> = (0..4096)
+            .map(|i| {
+                let mag = 10f64.powi((i % 200) - 100);
+                if i % 2 == 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect();
+        let codec = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
+        let bytes = codec.compress(&data, dims, 1e-3).unwrap();
+        let dec: Vec<f64> = codec.decompress(&bytes).unwrap();
+        for (&a, &b) in data.iter().zip(&dec) {
+            assert!(((a - b) / a).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn sz_t_beats_sz_pwr_on_spiky_data() {
+        // The headline claim: on data whose blocks mix tiny and large
+        // magnitudes, the transform scheme compresses much better than the
+        // blockwise PWR mode.
+        let dims = pwrel_data::Dims::d1(1 << 15);
+        let mut data: Vec<f32> = (0..dims.len())
+            .map(|i| 1000.0 + 10.0 * (i as f32 * 0.01).sin())
+            .collect();
+        for b in 0..(dims.len() / 256) {
+            data[b * 256 + 13] = 1e-5; // one tiny value per PWR block
+        }
+        let br = 1e-2;
+        let sz = SzCompressor::default();
+        let pwr_stream = sz.compress_pwr(&data, dims, br).unwrap();
+        let t_stream = sz_t(LogBase::Two).compress(&data, dims, br).unwrap();
+        assert!(
+            (t_stream.len() as f64) < pwr_stream.len() as f64 / 2.0,
+            "SZ_T {} vs SZ_PWR {}",
+            t_stream.len(),
+            pwr_stream.len()
+        );
+    }
+
+    #[test]
+    fn rejects_nonfinite_and_bad_bounds() {
+        let codec = sz_t(LogBase::Two);
+        let dims = pwrel_data::Dims::d1(2);
+        assert!(codec.compress(&[1.0f32, f32::NAN], dims, 1e-2).is_err());
+        assert!(codec.compress(&[1.0f32, 2.0], dims, 0.0).is_err());
+        assert!(codec.compress(&[1.0f32, 2.0], dims, 1.5).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let codec = sz_t(LogBase::Two);
+        let dims = pwrel_data::Dims::d1(64);
+        let data = vec![1.5f32; 64];
+        let bytes = codec.compress(&data, dims, 1e-2).unwrap();
+        assert!(codec.decompress::<f32>(&bytes[..8]).is_err());
+        assert!(codec.decompress::<f64>(&bytes).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(codec.decompress::<f32>(&bad).is_err());
+    }
+
+    #[test]
+    fn tighter_bound_gives_lower_ratio() {
+        let field = nyx::dark_matter_density(Scale::Small);
+        let codec = sz_t(LogBase::Two);
+        let loose = codec.compress(&field.data, field.dims, 1e-1).unwrap();
+        let tight = codec.compress(&field.data, field.dims, 1e-4).unwrap();
+        assert!(tight.len() > loose.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let codec = sz_t(LogBase::Two);
+        let bytes = codec
+            .compress::<f32>(&[], pwrel_data::Dims::d1(0), 1e-2)
+            .unwrap();
+        let dec: Vec<f32> = codec.decompress(&bytes).unwrap();
+        assert!(dec.is_empty());
+    }
+}

@@ -1,0 +1,397 @@
+// `!(x > 0.0)` deliberately treats NaN as invalid; clippy prefers
+// partial_cmp, which would hide that intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+//! Algorithm 1: the logarithmic data transform with sign and zero handling.
+//!
+//! Forward (compression side):
+//!
+//! * `x > 0` → `log_base(x)`
+//! * `x < 0` → `log_base(-x)`, with a bit recorded in a sign bitmap
+//! * `x = 0` → a sentinel placed `2 b'_a` below the log of the smallest
+//!   representable positive magnitude, so that after absolute-error-bounded
+//!   compression the reconstruction still falls below the zero threshold
+//!   and decodes to an *exact* zero (unlike SZ 1.4's PWR mode).
+//!
+//! The sign bitmap is compressed (RLE / bit-packing + the LZ pass) only
+//! when the field actually mixes signs — Algorithm 1's `P` flag.
+
+use crate::theory;
+use pwrel_data::{CodecError, Float};
+use pwrel_lossless::{lz, rle};
+
+/// Logarithm base for the mapping. Sec. IV proves the choice cannot change
+/// compression quality; Table III shows it *does* change transform speed
+/// (base 10 has no fast `10^x` in libm), which is why base 2 is the paper's
+/// final pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogBase {
+    /// Base 2: `log2`/`exp2` fast paths. The paper's choice.
+    Two,
+    /// Natural base: `ln`/`exp` fast paths.
+    E,
+    /// Base 10: fast `log10` forward, but the inverse needs `powf` — the
+    /// slow postprocessing the paper measures in Table III.
+    Ten,
+}
+
+impl LogBase {
+    /// Numeric base value.
+    pub fn value(self) -> f64 {
+        match self {
+            LogBase::Two => 2.0,
+            LogBase::E => std::f64::consts::E,
+            LogBase::Ten => 10.0,
+        }
+    }
+
+    /// `ln(base)`.
+    pub fn ln_base(self) -> f64 {
+        match self {
+            LogBase::Two => std::f64::consts::LN_2,
+            LogBase::E => 1.0,
+            LogBase::Ten => std::f64::consts::LN_10,
+        }
+    }
+
+    /// Stream tag.
+    pub fn id(self) -> u8 {
+        match self {
+            LogBase::Two => 0,
+            LogBase::E => 1,
+            LogBase::Ten => 2,
+        }
+    }
+
+    /// Inverse of [`LogBase::id`].
+    pub fn from_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(LogBase::Two),
+            1 => Some(LogBase::E),
+            2 => Some(LogBase::Ten),
+            _ => None,
+        }
+    }
+
+    /// `log_base(m)` using the per-base fast path.
+    #[inline]
+    pub fn log(self, m: f64) -> f64 {
+        match self {
+            LogBase::Two => m.log2(),
+            LogBase::E => m.ln(),
+            LogBase::Ten => m.log10(),
+        }
+    }
+
+    /// `base^d` using the per-base fast path (or `powf` for base 10).
+    #[inline]
+    pub fn exp(self, d: f64) -> f64 {
+        match self {
+            LogBase::Two => d.exp2(),
+            LogBase::E => d.exp(),
+            LogBase::Ten => 10f64.powf(d),
+        }
+    }
+
+    /// Exponent (base 2) of the smallest positive value of `F`, *including*
+    /// denormals — stricter than the paper's normal-range bound so that
+    /// denormal inputs also survive the zero threshold.
+    pub fn zero_exp2<F: Float>() -> f64 {
+        // One below the smallest denormal exponent: -150 (f32) / -1075 (f64).
+        (F::ZERO_EXP - F::MANT_BITS as i32 - 1) as f64
+    }
+}
+
+/// Output of the forward transform.
+#[derive(Debug, Clone)]
+pub struct TransformedField<F: Float> {
+    /// Log-domain data (same length as the input).
+    pub mapped: Vec<F>,
+    /// Corrected absolute bound `b'_a` for the inner compressor.
+    pub abs_bound: f64,
+    /// Compressed sign bitmap; `None` when no input value was negative
+    /// (Algorithm 1's `P == 1` case).
+    pub sign_section: Option<Vec<u8>>,
+    /// Decode threshold: reconstructions at or below this decode to zero.
+    pub zero_threshold: f64,
+}
+
+/// Forward transform (Algorithm 1, lines 1–17).
+///
+/// Rejects non-finite inputs and `rel_bound` outside `(0, 1)`.
+pub fn forward<F: Float>(
+    data: &[F],
+    base: LogBase,
+    rel_bound: f64,
+    roundoff_guard: f64,
+) -> Result<TransformedField<F>, CodecError> {
+    if !(rel_bound > 0.0 && rel_bound < 1.0) {
+        return Err(CodecError::InvalidArgument("rel_bound must be in (0, 1)"));
+    }
+
+    // Pass 1: map magnitudes, track the sign bitmap and max |log|.
+    let mut mapped: Vec<F> = Vec::with_capacity(data.len());
+    let mut signs: Vec<bool> = Vec::with_capacity(data.len());
+    let mut any_negative = false;
+    let mut any_zero = false;
+    let mut max_abs_log = 0f64;
+    for &x in data {
+        if !x.is_finite() {
+            return Err(CodecError::InvalidArgument(
+                "log transform requires finite input",
+            ));
+        }
+        let v = x.to_f64();
+        let neg = v < 0.0;
+        any_negative |= neg;
+        signs.push(neg);
+        if v == 0.0 {
+            any_zero = true;
+            mapped.push(F::zero()); // placeholder, patched below
+        } else {
+            let d = base.log(v.abs());
+            max_abs_log = max_abs_log.max(d.abs());
+            mapped.push(F::from_f64(d));
+        }
+    }
+
+    // Lemma 2: shrink the bound for mapping round-off. The paper's term is
+    // max|log x|·ε0 (forward-map rounding); the +1 adds a constant margin
+    // for the inverse map's own output rounding, which matters when the
+    // data sits near 1 and max|log x| ≈ 0.
+    let eps0 = F::EPSILON.to_f64();
+    let abs_bound =
+        theory::corrected_abs_bound(base, rel_bound, max_abs_log + 1.0, eps0, roundoff_guard);
+    if !(abs_bound > 0.0) {
+        return Err(CodecError::InvalidArgument(
+            "bound vanishes after round-off correction (dynamic range too large)",
+        ));
+    }
+
+    // Pass 2: patch zero sentinels (needs abs_bound, hence two passes).
+    let zero_log = LogBase::zero_exp2::<F>() * std::f64::consts::LN_2 / base.ln_base();
+    let sentinel = F::from_f64(zero_log - 2.0 * abs_bound);
+    let zero_threshold = zero_log - abs_bound;
+    if any_zero {
+        for (m, &x) in mapped.iter_mut().zip(data) {
+            if x.to_f64() == 0.0 {
+                *m = sentinel;
+            }
+        }
+    }
+
+    // Algorithm 1, lines 15–17: compress signs only when present.
+    let sign_section = if any_negative {
+        Some(lz::compress(&rle::compress_bits(&signs)))
+    } else {
+        None
+    };
+
+    Ok(TransformedField {
+        mapped,
+        abs_bound,
+        sign_section,
+        zero_threshold,
+    })
+}
+
+/// Inverse transform: log-domain reconstructions back to the value domain.
+pub fn inverse<F: Float>(
+    mapped: &[F],
+    base: LogBase,
+    zero_threshold: f64,
+    sign_section: Option<&[u8]>,
+) -> Result<Vec<F>, CodecError> {
+    let signs: Option<Vec<bool>> = match sign_section {
+        Some(buf) => {
+            let unpacked = lz::decompress(buf)?;
+            let mut pos = 0;
+            let bits = rle::decompress_bits(&unpacked, &mut pos)?;
+            if bits.len() != mapped.len() {
+                return Err(CodecError::Corrupt("sign bitmap length mismatch"));
+            }
+            Some(bits)
+        }
+        None => None,
+    };
+
+    let mut out = Vec::with_capacity(mapped.len());
+    for (i, &d) in mapped.iter().enumerate() {
+        let dv = d.to_f64();
+        let v = if dv <= zero_threshold {
+            0.0
+        } else {
+            let m = base.exp(dv);
+            if signs.as_ref().is_some_and(|s| s[i]) {
+                -m
+            } else {
+                m
+            }
+        };
+        out.push(F::from_f64(v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASES: [LogBase; 3] = [LogBase::Two, LogBase::E, LogBase::Ten];
+
+    #[test]
+    fn lossless_round_trip_without_inner_compression() {
+        // forward → inverse with untouched mapped data must respect the
+        // bound on its own (pure mapping round-off).
+        for base in BASES {
+            let data: Vec<f32> = vec![1.0, -2.5, 0.0, 3.75e-6, -1.2e8, 42.0, 0.0];
+            let t = forward(&data, base, 1e-3, 2.0).unwrap();
+            let back = inverse(&t.mapped, base, t.zero_threshold, t.sign_section.as_deref())
+                .unwrap();
+            for (&a, &b) in data.iter().zip(&back) {
+                if a == 0.0 {
+                    assert_eq!(b, 0.0, "{base:?}");
+                } else {
+                    let rel = ((a - b) / a).abs();
+                    assert!(rel <= 1e-3, "{base:?}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_survives_worst_case_perturbation() {
+        // Perturb every mapped value by ±b'_a (what an inner compressor is
+        // allowed to do) and check the relative bound still holds.
+        for base in BASES {
+            let data: Vec<f32> = (1..2000)
+                .map(|i| (i as f32 * 0.731).sin() * 10f32.powi((i % 60) - 30))
+                .filter(|v| *v != 0.0)
+                .collect();
+            let br = 1e-2;
+            let t = forward(&data, base, br, 2.0).unwrap();
+            for sign in [1.0, -1.0] {
+                let perturbed: Vec<f32> = t
+                    .mapped
+                    .iter()
+                    .map(|&d| F32Ext::add_f64(d, sign * t.abs_bound))
+                    .collect();
+                let back =
+                    inverse(&perturbed, base, t.zero_threshold, t.sign_section.as_deref())
+                        .unwrap();
+                for (idx, (&a, &b)) in data.iter().zip(&back).enumerate() {
+                    let rel = ((a as f64 - b as f64) / a as f64).abs();
+                    assert!(
+                        rel <= br,
+                        "{base:?} sign {sign} idx {idx}: {a} vs {b} rel {rel}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Helper: f32 + f64 in f64 then round to f32 (mimics inner codec).
+    trait F32Ext {
+        fn add_f64(self, d: f64) -> f32;
+    }
+    impl F32Ext for f32 {
+        fn add_f64(self, d: f64) -> f32 {
+            (self as f64 + d) as f32
+        }
+    }
+
+    #[test]
+    fn zeros_decode_exactly_even_when_perturbed() {
+        let data = vec![0.0f32, 5.0, 0.0, -3.0, 0.0];
+        let t = forward(&data, LogBase::Two, 0.5, 2.0).unwrap();
+        let perturbed: Vec<f32> = t
+            .mapped
+            .iter()
+            .map(|&d| (d as f64 + t.abs_bound) as f32)
+            .collect();
+        let back = inverse(&perturbed, LogBase::Two, t.zero_threshold, t.sign_section.as_deref())
+            .unwrap();
+        assert_eq!(back[0], 0.0);
+        assert_eq!(back[2], 0.0);
+        assert_eq!(back[4], 0.0);
+        assert!(back[1] > 0.0 && back[3] < 0.0);
+    }
+
+    #[test]
+    fn all_positive_data_skips_sign_section() {
+        let data = vec![1.0f32, 2.0, 0.5];
+        let t = forward(&data, LogBase::Two, 1e-2, 2.0).unwrap();
+        assert!(t.sign_section.is_none());
+        let data_neg = vec![1.0f32, -2.0, 0.5];
+        let t2 = forward(&data_neg, LogBase::Two, 1e-2, 2.0).unwrap();
+        assert!(t2.sign_section.is_some());
+    }
+
+    #[test]
+    fn sign_bitmap_round_trips() {
+        let data: Vec<f32> = (0..3000)
+            .map(|i| if (i / 100) % 2 == 0 { 1.5 } else { -1.5 })
+            .collect();
+        let t = forward(&data, LogBase::E, 1e-2, 2.0).unwrap();
+        let back = inverse(&t.mapped, LogBase::E, t.zero_threshold, t.sign_section.as_deref())
+            .unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            assert_eq!(a.signum(), b.signum());
+        }
+        // Runs of 100 compress far below 3000/8 packed bytes.
+        assert!(t.sign_section.unwrap().len() < 150);
+    }
+
+    #[test]
+    fn denormals_survive() {
+        let data = vec![1e-42f32, -1e-44, 2e-38, 0.0];
+        let t = forward(&data, LogBase::Two, 1e-2, 2.0).unwrap();
+        let back = inverse(&t.mapped, LogBase::Two, t.zero_threshold, t.sign_section.as_deref())
+            .unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            if a == 0.0 {
+                assert_eq!(b, 0.0);
+            } else {
+                assert!(((a as f64 - b as f64) / a as f64).abs() <= 1e-2 + 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn abs_bound_matches_lemma2() {
+        let data: Vec<f32> = vec![2.0f32.powi(100), 2.0f32.powi(-100)];
+        let t = forward(&data, LogBase::Two, 1e-3, 1.0).unwrap();
+        let expected = (1.0f64 + 1e-3).log2() - (100.0 + 1.0) * f32::EPSILON as f64;
+        assert!((t.abs_bound - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(forward(&[1.0f32], LogBase::Two, 0.0, 2.0).is_err());
+        assert!(forward(&[1.0f32], LogBase::Two, 1.0, 2.0).is_err());
+        assert!(forward(&[f32::NAN], LogBase::Two, 0.1, 2.0).is_err());
+        assert!(forward(&[f32::INFINITY], LogBase::Two, 0.1, 2.0).is_err());
+    }
+
+    #[test]
+    fn base_ids_round_trip() {
+        for base in BASES {
+            assert_eq!(LogBase::from_id(base.id()), Some(base));
+        }
+        assert_eq!(LogBase::from_id(9), None);
+    }
+
+    #[test]
+    fn f64_transform_round_trip() {
+        let data: Vec<f64> = vec![1e-300, -1e300, 0.0, 7.7];
+        let t = forward(&data, LogBase::Two, 1e-4, 2.0).unwrap();
+        let back = inverse(&t.mapped, LogBase::Two, t.zero_threshold, t.sign_section.as_deref())
+            .unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            if a == 0.0 {
+                assert_eq!(b, 0.0);
+            } else {
+                assert!(((a - b) / a).abs() <= 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Synthetic CESM-ATM climate fields (2D, paper: 1800×3600, 79 fields).
+//!
+//! CESM atmospheric fields are smooth lat/lon grids. Cloud-fraction fields
+//! (CLDHGH, CLDLOW, ...) live in `[0, 1]` with large exactly-zero (clear
+//! sky) regions — the zero-handling path of the log transform gets real
+//! exercise here. We also include a pressure-like strictly positive field
+//! and a signed wind field. We generate a representative subset of the 79
+//! fields (the paper itself reports aggregates).
+
+use crate::{grf, Dataset, Dims, Field, Scale};
+
+/// Grid at each scale (aspect ratio 1:2 like the real 1800×3600 grid).
+pub fn dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Small => Dims::d2(32, 64),
+        Scale::Medium => Dims::d2(450, 900),
+        Scale::Large => Dims::d2(1800, 3600),
+    }
+}
+
+/// Cloud-fraction-like field: smooth, clamped to `[0,1]`, with exact zeros.
+pub fn cloud_fraction(scale: Scale, name: &str, seed: u64) -> Field<f32> {
+    let d = dims(scale);
+    let g = grf::gaussian_field(d, seed, 4, 3);
+    let data: Vec<f32> = g
+        .into_iter()
+        .map(|v| {
+            let c = 0.45 + 0.55 * v as f64;
+            c.clamp(0.0, 1.0) as f32
+        })
+        .collect();
+    Field::new(name, d, data)
+}
+
+/// Latitude-banded strictly positive field (surface-pressure-like).
+fn pressure(scale: Scale, seed: u64) -> Field<f32> {
+    let d = dims(scale);
+    let g = grf::gaussian_field(d, seed, 6, 3);
+    let mut data = Vec::with_capacity(d.len());
+    for j in 0..d.ny {
+        // Zonal structure: pressure varies with latitude.
+        let lat = (j as f64 / d.ny as f64 - 0.5) * std::f64::consts::PI;
+        for i in 0..d.nx {
+            let base = 101_325.0 - 3_000.0 * lat.sin().powi(2);
+            data.push((base + 800.0 * g[j * d.nx + i] as f64) as f32);
+        }
+    }
+    Field::new("PS", d, data)
+}
+
+/// Signed zonal wind field (m/s).
+fn wind(scale: Scale, seed: u64) -> Field<f32> {
+    let d = dims(scale);
+    let g = grf::gaussian_field(d, seed, 5, 3);
+    let data: Vec<f32> = g.into_iter().map(|v| v * 12.0).collect();
+    Field::new("U850", d, data)
+}
+
+/// Representative CESM-ATM dataset.
+pub fn dataset(scale: Scale) -> Dataset {
+    Dataset {
+        name: "CESM-ATM",
+        fields: vec![
+            cloud_fraction(scale, "CLDHGH", 0xCE51_0001),
+            cloud_fraction(scale, "CLDLOW", 0xCE51_0002),
+            cloud_fraction(scale, "CLDMED", 0xCE51_0003),
+            pressure(scale, 0xCE51_0004),
+            wind(scale, 0xCE51_0005),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_fraction_in_unit_interval_with_zeros() {
+        let f = cloud_fraction(Scale::Medium, "CLDHGH", 1);
+        let (min, max) = f.min_max().unwrap();
+        assert!(min >= 0.0 && max <= 1.0);
+        let zf = f.zero_fraction();
+        assert!(zf > 0.01, "expected clear-sky zeros, got {zf}");
+    }
+
+    #[test]
+    fn pressure_positive_and_banded() {
+        let f = pressure(Scale::Small, 2);
+        let (min, _) = f.min_max().unwrap();
+        assert!(min > 90_000.0);
+    }
+
+    #[test]
+    fn wind_is_signed() {
+        let f = wind(Scale::Small, 3);
+        assert!(f.negative_fraction() > 0.2);
+    }
+
+    #[test]
+    fn dataset_is_2d() {
+        let ds = dataset(Scale::Small);
+        assert_eq!(ds.fields.len(), 5);
+        assert!(ds.fields.iter().all(|f| f.dims.rank() == 2));
+    }
+}

@@ -1,0 +1,55 @@
+//! Convenience helpers on [`crate::Dataset`].
+
+use crate::{Dataset, Field};
+
+impl Dataset {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field<f32>> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Widens every field to f64 (exact conversion).
+    pub fn to_f64(&self) -> Vec<Field<f64>> {
+        self.fields.iter().map(|f| f.to_f64()).collect()
+    }
+
+    /// Summary line: name, field count, raw size.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} fields, {:.1} MB",
+            self.name,
+            self.fields.len(),
+            self.total_bytes() as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{nyx, Scale};
+
+    #[test]
+    fn field_lookup() {
+        let ds = nyx::dataset(Scale::Small);
+        assert!(ds.field("dark_matter_density").is_some());
+        assert!(ds.field("velocity_z").is_some());
+        assert!(ds.field("no_such_field").is_none());
+    }
+
+    #[test]
+    fn widening_preserves_values() {
+        let ds = nyx::dataset(Scale::Small);
+        let wide = ds.to_f64();
+        assert_eq!(wide.len(), ds.fields.len());
+        for (a, b) in ds.fields.iter().zip(&wide) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.data[0] as f64, b.data[0]);
+        }
+    }
+
+    #[test]
+    fn summary_mentions_name_and_count() {
+        let s = nyx::dataset(Scale::Small).summary();
+        assert!(s.contains("NYX") && s.contains("6 fields"), "{s}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Named scalar field container.
+
+use crate::{Dims, Float};
+
+/// A named scalar field on a regular grid.
+#[derive(Debug, Clone)]
+pub struct Field<F: Float> {
+    /// Field name (matches the paper's naming, e.g. `dark_matter_density`).
+    pub name: String,
+    /// Grid shape; `data.len() == dims.len()`.
+    pub dims: Dims,
+    /// Raster-order samples (x fastest).
+    pub data: Vec<F>,
+}
+
+impl<F: Float> Field<F> {
+    /// Creates a field, checking that the data length matches the dims.
+    pub fn new(name: impl Into<String>, dims: Dims, data: Vec<F>) -> Self {
+        assert_eq!(dims.len(), data.len(), "dims/data length mismatch");
+        Self {
+            name: name.into(),
+            dims,
+            data,
+        }
+    }
+
+    /// Size of the raw field in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * (F::BITS as usize / 8)
+    }
+
+    /// Minimum and maximum values (ignoring NaNs; `None` when empty).
+    pub fn min_max(&self) -> Option<(F, F)> {
+        let mut it = self.data.iter().copied().filter(|v| v.is_finite());
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for v in it {
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        Some((min, max))
+    }
+
+    /// Fraction of exactly-zero samples.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self
+            .data
+            .iter()
+            .filter(|v| v.to_f64() == 0.0)
+            .count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Fraction of strictly negative samples.
+    pub fn negative_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let negs = self.data.iter().filter(|v| v.to_f64() < 0.0).count();
+        negs as f64 / self.data.len() as f64
+    }
+
+    /// Extracts the 2D slice `k = plane` of a 3D field (row-major `ny × nx`).
+    pub fn slice_z(&self, plane: usize) -> Vec<F> {
+        assert_eq!(self.dims.rank(), 3);
+        assert!(plane < self.dims.nz);
+        let n = self.dims.nx * self.dims.ny;
+        self.data[plane * n..(plane + 1) * n].to_vec()
+    }
+}
+
+impl Field<f32> {
+    /// Widens to an f64 field (exact).
+    pub fn to_f64(&self) -> Field<f64> {
+        Field::new(
+            self.name.clone(),
+            self.dims,
+            self.data.iter().map(|&v| v as f64).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        let f = Field::new("t", Dims::d1(5), vec![-1.0f32, 0.0, 0.0, 2.0, 4.0]);
+        assert_eq!(f.min_max(), Some((-1.0, 4.0)));
+        assert_eq!(f.zero_fraction(), 0.4);
+        assert_eq!(f.negative_fraction(), 0.2);
+        assert_eq!(f.nbytes(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_len_panics() {
+        Field::new("t", Dims::d1(3), vec![0.0f32; 4]);
+    }
+
+    #[test]
+    fn slice_extraction() {
+        let dims = Dims::d3(2, 2, 2);
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let f = Field::new("t", dims, data);
+        assert_eq!(f.slice_z(1), vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn widening_is_exact() {
+        let f = Field::new("t", Dims::d1(2), vec![0.1f32, -3.25]);
+        let g = f.to_f64();
+        assert_eq!(g.data[0], 0.1f32 as f64);
+        assert_eq!(g.data[1], -3.25);
+    }
+}

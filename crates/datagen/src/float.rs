@@ -1,0 +1,162 @@
+//! Abstraction over `f32`/`f64` with the bit-level access the codecs need.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// IEEE-754 binary float with bit-level access.
+///
+/// All codecs in the workspace are generic over this trait so that both
+/// single and double precision fields compress through the same code paths.
+/// Only `f32` and `f64` implement it.
+pub trait Float:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Total bit width (32 or 64).
+    const BITS: u32;
+    /// Explicit mantissa bits (23 or 52).
+    const MANT_BITS: u32;
+    /// Exponent field bits (8 or 11).
+    const EXP_BITS: u32;
+    /// Machine epsilon (2^-23 or 2^-52).
+    const EPSILON: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// The exponent of the smallest representable magnitude used by the
+    /// paper's zero sentinel: -127 for f32, -1024 for f64 ("the lower-bound
+    /// exponent of the data value range", Sec. V).
+    const ZERO_EXP: i32;
+
+    /// Raw bits widened to u64.
+    fn to_bits_u64(self) -> u64;
+    /// Inverse of [`Float::to_bits_u64`] (truncates to the native width).
+    fn from_bits_u64(bits: u64) -> Self;
+    /// Lossless widening to f64.
+    fn to_f64(self) -> f64;
+    /// Narrowing conversion from f64 (rounds for f32).
+    fn from_f64(v: f64) -> Self;
+
+    /// `|self|`.
+    fn abs(self) -> Self;
+    /// True for anything that is not NaN/±inf.
+    fn is_finite(self) -> bool;
+    /// Additive identity.
+    fn zero() -> Self {
+        Self::default()
+    }
+}
+
+impl Float for f32 {
+    const BITS: u32 = 32;
+    const MANT_BITS: u32 = 23;
+    const EXP_BITS: u32 = 8;
+    const EPSILON: Self = f32::EPSILON;
+    const MIN_POSITIVE: Self = f32::MIN_POSITIVE;
+    const ZERO_EXP: i32 = -127;
+
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Float for f64 {
+    const BITS: u32 = 64;
+    const MANT_BITS: u32 = 52;
+    const EXP_BITS: u32 = 11;
+    const EPSILON: Self = f64::EPSILON;
+    const MIN_POSITIVE: Self = f64::MIN_POSITIVE;
+    const ZERO_EXP: i32 = -1024;
+
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_bit_round_trip() {
+        for v in [0.0f32, -0.0, 1.5, -2.75, f32::MIN_POSITIVE, 1e30] {
+            assert_eq!(f32::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn f64_bit_round_trip() {
+        for v in [0.0f64, -0.0, 1.5, -2.75, f64::MIN_POSITIVE, 1e300] {
+            assert_eq!(f64::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(<f32 as Float>::BITS, 1 + f32::EXP_BITS + f32::MANT_BITS);
+        assert_eq!(<f64 as Float>::BITS, 1 + f64::EXP_BITS + f64::MANT_BITS);
+        assert_eq!(<f32 as Float>::EPSILON, 2f32.powi(-23));
+        assert_eq!(<f64 as Float>::EPSILON, 2f64.powi(-52));
+    }
+
+    #[test]
+    fn generic_fn_compiles_for_both() {
+        fn mid<F: Float>(a: F, b: F) -> F {
+            (a + b) / F::from_f64(2.0)
+        }
+        assert_eq!(mid(1.0f32, 3.0f32), 2.0);
+        assert_eq!(mid(1.0f64, 3.0f64), 2.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Smoothed Gaussian random fields — the building block of every synthetic
+//! dataset.
+//!
+//! Scientific simulation fields are *spatially correlated*: neighbouring
+//! values are close, which is exactly what prediction- and transform-based
+//! compressors exploit. We synthesize that correlation by drawing white
+//! Gaussian noise and applying separable periodic box blurs (each pass
+//! convolves with a box kernel; three passes approximate a Gaussian kernel),
+//! then re-standardizing to zero mean / unit variance.
+
+use crate::Dims;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard-normal white noise of length `n` from a fixed seed (Box–Muller).
+pub fn white_noise(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        out.push((r * c) as f32);
+        if out.len() < n {
+            out.push((r * s) as f32);
+        }
+    }
+    out
+}
+
+/// One periodic box blur of radius `r` along contiguous lines of length
+/// `line_len` with stride `stride` (prefix-sum based, O(n)).
+fn box_blur_axis(data: &mut [f32], line_len: usize, stride: usize, offsets: &[usize], r: usize) {
+    // Clamp the radius so the window never wraps more than once.
+    let r = r.min(line_len.saturating_sub(1) / 2);
+    if line_len < 2 || r == 0 {
+        return;
+    }
+    let n_lines = offsets.len();
+    let w = (2 * r + 1) as f32;
+    let mut line = vec![0.0f32; line_len];
+    let mut blurred = vec![0.0f32; line_len];
+    for &base in offsets.iter().take(n_lines) {
+        for i in 0..line_len {
+            line[i] = data[base + i * stride];
+        }
+        // Sliding-window sum with periodic wraparound.
+        let mut sum: f32 = 0.0;
+        for d in 0..(2 * r + 1) {
+            let idx = (line_len + d).wrapping_sub(r) % line_len;
+            sum += line[idx];
+        }
+        for (i, b) in blurred.iter_mut().enumerate() {
+            *b = sum / w;
+            let leave = (line_len + i).wrapping_sub(r) % line_len;
+            let enter = (i + r + 1) % line_len;
+            sum += line[enter] - line[leave];
+        }
+        for i in 0..line_len {
+            data[base + i * stride] = blurred[i];
+        }
+    }
+}
+
+/// Applies `passes` separable periodic box blurs of radius `r` over all axes.
+pub fn smooth(data: &mut [f32], dims: Dims, r: usize, passes: usize) {
+    assert_eq!(data.len(), dims.len());
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    for _ in 0..passes {
+        // X axis: lines are contiguous.
+        let offsets: Vec<usize> = (0..ny * nz).map(|l| l * nx).collect();
+        box_blur_axis(data, nx, 1, &offsets, r);
+        if dims.rank() >= 2 {
+            // Y axis: stride nx, one line per (x, z).
+            let offsets: Vec<usize> = (0..nz)
+                .flat_map(|k| (0..nx).map(move |i| k * ny * nx + i))
+                .collect();
+            box_blur_axis(data, ny, nx, &offsets, r);
+        }
+        if dims.rank() >= 3 {
+            // Z axis: stride nx*ny, one line per (x, y).
+            let offsets: Vec<usize> = (0..nx * ny).collect();
+            box_blur_axis(data, nz, nx * ny, &offsets, r);
+        }
+    }
+}
+
+/// Rescales `data` to zero mean and unit variance (no-op on constants).
+pub fn standardize(data: &mut [f32]) {
+    if data.is_empty() {
+        return;
+    }
+    let n = data.len() as f64;
+    let mean = data.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = data
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let std = var.sqrt();
+    if std < 1e-30 {
+        for v in data.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    for v in data.iter_mut() {
+        *v = ((*v as f64 - mean) / std) as f32;
+    }
+}
+
+/// Convenience: standardized smoothed Gaussian random field.
+pub fn gaussian_field(dims: Dims, seed: u64, radius: usize, passes: usize) -> Vec<f32> {
+    let mut data = white_noise(dims.len(), seed);
+    smooth(&mut data, dims, radius, passes);
+    standardize(&mut data);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_noise_is_deterministic() {
+        assert_eq!(white_noise(100, 7), white_noise(100, 7));
+        assert_ne!(white_noise(100, 7), white_noise(100, 8));
+    }
+
+    #[test]
+    fn white_noise_moments() {
+        let x = white_noise(200_000, 1);
+        let n = x.len() as f64;
+        let mean = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = x.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn smoothing_reduces_neighbor_differences() {
+        let dims = Dims::d2(64, 64);
+        let raw = white_noise(dims.len(), 3);
+        let smoothed = gaussian_field(dims, 3, 2, 3);
+        let rough = |d: &[f32]| -> f64 {
+            d.windows(2).map(|w| ((w[1] - w[0]) as f64).abs()).sum::<f64>() / (d.len() - 1) as f64
+        };
+        // Both are unit variance; the smoothed field must be far less rough.
+        let mut std_raw = raw.clone();
+        standardize(&mut std_raw);
+        assert!(rough(&smoothed) < 0.5 * rough(&std_raw));
+    }
+
+    #[test]
+    fn standardize_unit_variance() {
+        let mut x: Vec<f32> = (0..1000).map(|i| (i as f32) * 0.01 + 5.0).collect();
+        standardize(&mut x);
+        let n = x.len() as f64;
+        let mean = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = x.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn standardize_constant_input() {
+        let mut x = vec![3.0f32; 10];
+        standardize(&mut x);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn blur_preserves_mean_periodically() {
+        let dims = Dims::d1(128);
+        let mut x: Vec<f32> = (0..128).map(|i| (i % 7) as f32).collect();
+        let before: f64 = x.iter().map(|&v| v as f64).sum();
+        smooth(&mut x, dims, 2, 1);
+        let after: f64 = x.iter().map(|&v| v as f64).sum();
+        assert!((before - after).abs() < 1e-3, "{before} vs {after}");
+    }
+
+    #[test]
+    fn smooth_3d_runs_all_axes() {
+        let dims = Dims::d3(8, 8, 8);
+        let mut x = white_noise(dims.len(), 9);
+        smooth(&mut x, dims, 1, 2);
+        // Variance must drop substantially after two 3-axis passes.
+        let var = x.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / x.len() as f64;
+        assert!(var < 0.5, "var = {var}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Synthetic HACC cosmology particle data (1D, paper: 280,953,867 particles,
+//! fields `velocity_x/y/z`).
+//!
+//! HACC stores per-particle velocities in storage order, which is only
+//! weakly correlated with spatial position — the paper calls HACC "sharply
+//! varying" and notes SZ_PWR's group-minimum design suffers on it. We model
+//! that as a sum of
+//!
+//! * a low-frequency bulk flow (particles are dumped in coarse spatial
+//!   order, so *some* smoothness survives),
+//! * a dominant heavy-tailed per-particle component (two-sided, spiky),
+//!
+//! giving signed data whose local minima are often orders of magnitude
+//! below the local maxima — exactly the regime where blockwise PWR bounds
+//! collapse.
+
+use crate::{grf, Dataset, Dims, Field, Scale};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of particles per velocity component at each scale.
+pub fn n_particles(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 4096,
+        Scale::Medium => 1 << 20,
+        Scale::Large => 1 << 25,
+    }
+}
+
+/// One velocity component (km/s-like magnitudes, mixed sign, spiky).
+pub fn velocity(scale: Scale, component: char) -> Field<f32> {
+    let n = n_particles(scale);
+    let seed = 0x4AC0_0000 + component as u64;
+    let dims = Dims::d1(n);
+
+    let bulk = grf::gaussian_field(dims, seed, 16, 2);
+    let meso = grf::gaussian_field(dims, seed ^ 0x0123_4567, 3, 2);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+    let data: Vec<f32> = bulk
+        .iter()
+        .zip(&meso)
+        .map(|(&b, &m)| {
+            // Mostly coherent flow (bulk + mesoscale turbulence) plus a
+            // small heavy-tailed per-particle jitter and rare velocity
+            // spikes. The spikes make block minima collapse (the SZ_PWR
+            // failure mode) without destroying overall predictability.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let lap = sign * (-u.ln()) * 40.0;
+            let spike = if rng.gen::<f64>() < 0.002 {
+                sign * rng.gen_range(2_000.0..20_000.0)
+            } else {
+                0.0
+            };
+            (b as f64 * 600.0 + m as f64 * 180.0 + lap + spike) as f32
+        })
+        .collect();
+    Field::new(format!("velocity_{component}"), dims, data)
+}
+
+/// The three-field HACC dataset.
+pub fn dataset(scale: Scale) -> Dataset {
+    Dataset {
+        name: "HACC",
+        fields: vec![
+            velocity(scale, 'x'),
+            velocity(scale, 'y'),
+            velocity(scale, 'z'),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn velocity_is_spiky_and_signed() {
+        let f = velocity(Scale::Medium, 'x');
+        let neg = f.negative_fraction();
+        assert!((0.3..=0.7).contains(&neg), "neg = {neg}");
+        let (min, max) = f.min_max().unwrap();
+        assert!(max > 2000.0 && min < -2000.0, "spikes missing: [{min}, {max}]");
+        // Ratio of max |v| to median |v| must be large (sharply varying).
+        let mut mags: Vec<f32> = f.data.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = mags[mags.len() / 2];
+        assert!(max / median > 10.0, "max/median = {}", max / median);
+    }
+
+    #[test]
+    fn components_differ() {
+        let x = velocity(Scale::Small, 'x');
+        let y = velocity(Scale::Small, 'y');
+        assert_ne!(x.data, y.data);
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let ds = dataset(Scale::Small);
+        assert_eq!(ds.fields.len(), 3);
+        assert_eq!(ds.fields[0].dims.rank(), 1);
+        assert_eq!(ds.fields[2].name, "velocity_z");
+    }
+}

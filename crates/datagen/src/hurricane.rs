@@ -1,0 +1,137 @@
+//! Synthetic Hurricane ISABEL fields (3D, paper: 100×500×500, 13 fields).
+//!
+//! The ISABEL simulation is a storm: fields combine a coherent vortex with
+//! turbulence. `CLOUDf48`-like fields are non-negative with large zero
+//! regions outside the storm; `Uf48`-like wind components are signed with a
+//! rotational structure around the eye.
+
+use crate::{grf, Dataset, Dims, Field, Scale};
+
+/// Grid at each scale (z shallower than x/y like the real 100×500×500).
+pub fn dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Small => Dims::d3(8, 24, 24),
+        Scale::Medium => Dims::d3(25, 125, 125),
+        Scale::Large => Dims::d3(100, 500, 500),
+    }
+}
+
+/// Distance-from-eye helper in normalized units, per (j, i).
+fn eye_radius2(d: Dims, i: usize, j: usize) -> f64 {
+    let x = i as f64 / d.nx as f64 - 0.55;
+    let y = j as f64 / d.ny as f64 - 0.45;
+    x * x + y * y
+}
+
+/// Signed wind component with vortex rotation (`Uf48`-like, m/s).
+pub fn wind_u(scale: Scale) -> Field<f32> {
+    let d = dims(scale);
+    let noise = grf::gaussian_field(d, 0x15AB_0001, 2, 2);
+    let mut data = Vec::with_capacity(d.len());
+    for k in 0..d.nz {
+        let height_decay = (-(k as f64) / d.nz as f64 * 1.2).exp();
+        for j in 0..d.ny {
+            for i in 0..d.nx {
+                let r2 = eye_radius2(d, i, j);
+                // Rankine-like vortex: tangential speed peaks near the eye wall.
+                let y = j as f64 / d.ny as f64 - 0.45;
+                let swirl = -y * 60.0 / (r2 * 40.0 + 0.15);
+                let n = noise[d.index(i, j, k)] as f64 * 4.0;
+                data.push(((swirl + n) * height_decay) as f32);
+            }
+        }
+    }
+    Field::new("Uf48", d, data)
+}
+
+/// Non-negative cloud water field with zeros outside the storm
+/// (`CLOUDf48`-like, kg/kg, tiny magnitudes).
+pub fn cloud(scale: Scale) -> Field<f32> {
+    let d = dims(scale);
+    let noise = grf::gaussian_field(d, 0x15AB_0002, 2, 3);
+    let mut data = Vec::with_capacity(d.len());
+    for k in 0..d.nz {
+        for j in 0..d.ny {
+            for i in 0..d.nx {
+                let r2 = eye_radius2(d, i, j);
+                let envelope = (-r2 * 18.0).exp();
+                let v = (noise[d.index(i, j, k)] as f64 * 0.6 + 0.4) * envelope * 2.0e-3;
+                data.push(if v < 2.0e-5 { 0.0 } else { v as f32 });
+            }
+        }
+    }
+    Field::new("CLOUDf48", d, data)
+}
+
+/// Strictly positive temperature field (K).
+fn temperature(scale: Scale) -> Field<f32> {
+    let d = dims(scale);
+    let noise = grf::gaussian_field(d, 0x15AB_0003, 3, 3);
+    let mut data = Vec::with_capacity(d.len());
+    for k in 0..d.nz {
+        let lapse = 288.0 - 60.0 * (k as f64 / d.nz.max(1) as f64);
+        for j in 0..d.ny {
+            for i in 0..d.nx {
+                data.push((lapse + 3.0 * noise[d.index(i, j, k)] as f64) as f32);
+            }
+        }
+    }
+    Field::new("TCf48", d, data)
+}
+
+/// Representative Hurricane ISABEL dataset.
+pub fn dataset(scale: Scale) -> Dataset {
+    let d = dims(scale);
+    let v_noise = grf::gaussian_field(d, 0x15AB_0004, 2, 2);
+    let wind_v = Field::new(
+        "Vf48",
+        d,
+        wind_u(scale)
+            .data
+            .iter()
+            .zip(&v_noise)
+            .map(|(&u, &n)| -u * 0.8 + n * 5.0)
+            .collect(),
+    );
+    Dataset {
+        name: "Hurricane",
+        fields: vec![wind_u(scale), wind_v, cloud(scale), temperature(scale)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_has_zero_background() {
+        let f = cloud(Scale::Medium);
+        let zf = f.zero_fraction();
+        assert!(zf > 0.2, "zero fraction = {zf}");
+        let (min, max) = f.min_max().unwrap();
+        assert!(min >= 0.0);
+        assert!(max > 1.0e-4 && max < 1.0, "max = {max}");
+    }
+
+    #[test]
+    fn wind_rotates_around_eye() {
+        let f = wind_u(Scale::Medium);
+        assert!(f.negative_fraction() > 0.2);
+        let (min, max) = f.min_max().unwrap();
+        assert!(max > 10.0 && min < -10.0, "[{min}, {max}]");
+    }
+
+    #[test]
+    fn temperature_positive() {
+        let f = temperature(Scale::Small);
+        let (min, max) = f.min_max().unwrap();
+        assert!(min > 150.0 && max < 350.0, "[{min}, {max}]");
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let ds = dataset(Scale::Small);
+        assert_eq!(ds.fields.len(), 4);
+        assert!(ds.fields.iter().all(|f| f.dims.rank() == 3));
+    }
+}

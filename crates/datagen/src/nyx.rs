@@ -1,0 +1,113 @@
+//! Synthetic NYX cosmology fields (3D, paper: 512×512×512, 6 fields).
+//!
+//! The two fields the paper studies in depth:
+//!
+//! * `dark_matter_density` — lognormal: the paper reports 84% of values in
+//!   `[0, 1]` with a tail reaching `1.378e4`. We draw `exp(mu + sigma * g)`
+//!   from a smoothed Gaussian field `g` with `mu = -sigma` so that
+//!   `P(rho < 1) = Phi(1) ≈ 0.84`.
+//! * `velocity_x` — "usually large values with positive/negative signs
+//!   indicating directions": a smooth zero-mean field scaled to ~1e7 (cm/s),
+//!   plus small-scale jitter.
+
+use crate::{grf, Dataset, Dims, Field, Scale};
+
+/// Grid used at each scale.
+pub fn dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Small => Dims::d3(16, 16, 16),
+        Scale::Medium => Dims::d3(64, 64, 64),
+        Scale::Large => Dims::d3(256, 256, 256),
+    }
+}
+
+/// Lognormal matter density field; `sigma` controls the dynamic range.
+fn lognormal(dims: Dims, seed: u64, sigma: f64) -> Vec<f32> {
+    let g = grf::gaussian_field(dims, seed, 2, 3);
+    let mu = -sigma;
+    g.into_iter()
+        .map(|v| (mu + sigma * v as f64).exp() as f32)
+        .collect()
+}
+
+/// Smooth signed velocity component in cm/s (~1e7 magnitude).
+fn velocity(dims: Dims, seed: u64) -> Vec<f32> {
+    let bulk = grf::gaussian_field(dims, seed, 3, 3);
+    let jitter = grf::gaussian_field(dims, seed ^ 0xBEEF, 1, 1);
+    bulk.iter()
+        .zip(&jitter)
+        .map(|(&b, &j)| (b as f64 * 9.0e6 + j as f64 * 4.0e5) as f32)
+        .collect()
+}
+
+/// `dark_matter_density`: heavy-tailed positive field.
+pub fn dark_matter_density(scale: Scale) -> Field<f32> {
+    Field::new("dark_matter_density", dims(scale), lognormal(dims(scale), 0x4E59_0001, 2.2))
+}
+
+/// `velocity_x`: large signed values.
+pub fn velocity_x(scale: Scale) -> Field<f32> {
+    Field::new("velocity_x", dims(scale), velocity(dims(scale), 0x4E59_0002))
+}
+
+/// The full six-field NYX dataset.
+pub fn dataset(scale: Scale) -> Dataset {
+    let d = dims(scale);
+    let temperature: Vec<f32> = grf::gaussian_field(d, 0x4E59_0005, 2, 3)
+        .into_iter()
+        .map(|v| (1.0e4 * (0.8 * v as f64).exp()) as f32)
+        .collect();
+    Dataset {
+        name: "NYX",
+        fields: vec![
+            dark_matter_density(scale),
+            Field::new("baryon_density", d, lognormal(d, 0x4E59_0004, 1.4)),
+            Field::new("temperature", d, temperature),
+            velocity_x(scale),
+            Field::new("velocity_y", d, velocity(d, 0x4E59_0006)),
+            Field::new("velocity_z", d, velocity(d, 0x4E59_0007)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_matches_paper_distribution() {
+        let f = dark_matter_density(Scale::Medium);
+        let n = f.data.len() as f64;
+        let below_one = f.data.iter().filter(|&&v| v <= 1.0).count() as f64 / n;
+        // Paper: "a large majority (84%) of its data is distributed in [0,1]".
+        assert!((0.70..=0.95).contains(&below_one), "frac = {below_one}");
+        let (min, max) = f.min_max().unwrap();
+        assert!(min > 0.0, "density must be strictly positive");
+        assert!(max > 50.0, "needs a heavy tail, max = {max}");
+    }
+
+    #[test]
+    fn velocity_is_signed_and_large() {
+        let f = velocity_x(Scale::Medium);
+        let neg = f.negative_fraction();
+        assert!((0.2..=0.8).contains(&neg), "neg frac = {neg}");
+        let (min, max) = f.min_max().unwrap();
+        assert!(max > 1.0e6 && min < -1.0e6, "range [{min}, {max}]");
+    }
+
+    #[test]
+    fn dataset_has_six_named_fields() {
+        let ds = dataset(Scale::Small);
+        assert_eq!(ds.fields.len(), 6);
+        assert_eq!(ds.name, "NYX");
+        assert!(ds.fields.iter().all(|f| f.dims == dims(Scale::Small)));
+        assert_eq!(ds.total_bytes(), 6 * 16 * 16 * 16 * 4);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = dark_matter_density(Scale::Small);
+        let b = dark_matter_density(Scale::Small);
+        assert_eq!(a.data, b.data);
+    }
+}

@@ -1,0 +1,116 @@
+//! Residual coding: bit-length classes + raw remainder bits.
+//!
+//! A residual `r` is zigzag-mapped to `u`, whose *bit length* (0..=64)
+//! becomes a Huffman symbol while the bits below the (implicit) leading one
+//! are emitted raw. Small residuals — the common case after Lorenzo
+//! prediction — therefore cost a few Huffman bits, while the scheme
+//! degrades gracefully to ~65 bits for incompressible values.
+
+use pwrel_bitstream::{varint, BitReader, Result};
+
+/// Class reserved for raw-escape values (full-width verbatim bits follow
+/// in the payload stream instead of residual bits).
+pub const RAW_CLASS: u32 = 65;
+
+/// Number of classes (bit lengths 0..=64, plus the raw escape).
+pub const N_CLASSES: usize = 66;
+
+/// Encodes a residual as `(class, payload_bits, n_payload_bits)`.
+#[inline]
+pub fn encode(r: i64) -> (u32, u64, u32) {
+    let u = varint::zigzag_encode(r);
+    if u == 0 {
+        return (0, 0, 0);
+    }
+    let class = 64 - u.leading_zeros();
+    let nbits = class - 1;
+    let payload = if nbits == 0 { 0 } else { u & ((1u64 << nbits) - 1) };
+    (class, payload, nbits)
+}
+
+/// Decodes a residual from its class and the raw bit stream.
+#[inline]
+pub fn decode(class: u32, r: &mut BitReader) -> Result<i64> {
+    if class == 0 {
+        return Ok(0);
+    }
+    debug_assert!(class <= 64);
+    let nbits = class - 1;
+    let low = if nbits == 0 { 0 } else { r.read_bits(nbits)? };
+    let u = if class == 64 {
+        (1u64 << 63) | low
+    } else {
+        (1u64 << nbits) | low
+    };
+    Ok(varint::zigzag_decode(u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwrel_bitstream::BitWriter;
+
+    #[test]
+    fn round_trip_extremes() {
+        for r in [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            1023,
+            -1024,
+            i64::MAX,
+            i64::MIN,
+            i64::MAX / 3,
+            -(1 << 40),
+        ] {
+            let (class, payload, nbits) = encode(r);
+            assert!(class < N_CLASSES as u32);
+            let mut w = BitWriter::new();
+            w.write_bits(payload, nbits);
+            let bytes = w.into_bytes();
+            let mut reader = BitReader::new(&bytes);
+            assert_eq!(decode(class, &mut reader).unwrap(), r, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn zero_residual_costs_no_payload_bits() {
+        let (class, _, nbits) = encode(0);
+        assert_eq!(class, 0);
+        assert_eq!(nbits, 0);
+    }
+
+    #[test]
+    fn small_residuals_have_small_classes() {
+        assert_eq!(encode(1).0, 2); // zigzag(1) = 2 -> 2 bits
+        assert_eq!(encode(-1).0, 1); // zigzag(-1) = 1 -> 1 bit
+        assert!(encode(100).0 <= 8);
+    }
+
+    #[test]
+    fn payload_bits_equal_class_minus_one() {
+        for r in [5i64, -17, 123456, -987654321] {
+            let (class, _, nbits) = encode(r);
+            assert_eq!(nbits, class - 1);
+        }
+    }
+
+    #[test]
+    fn stream_of_mixed_residuals() {
+        let rs: Vec<i64> = (0..1000).map(|i| (i * i) as i64 * if i % 2 == 0 { 1 } else { -1 }).collect();
+        let mut w = BitWriter::new();
+        let mut classes = Vec::new();
+        for &r in &rs {
+            let (c, p, n) = encode(r);
+            classes.push(c);
+            w.write_bits(p, n);
+        }
+        let bytes = w.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        for (&c, &expect) in classes.iter().zip(&rs) {
+            assert_eq!(decode(c, &mut reader).unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Canonical Huffman coding over sparse `u32` symbol alphabets.
+//!
+//! SZ's stage-II entropy coder builds a Huffman tree over the linear-scaling
+//! quantization codes actually present in a dataset (a tiny subset of the
+//! nominal 2^16-code alphabet). We reproduce that with canonical codes:
+//! only (symbol, code length) pairs are serialized, never the tree shape.
+
+use pwrel_bitstream::{varint, BitReader, BitWriter, Error, Result};
+use std::collections::BinaryHeap;
+
+/// Maximum admissible code length. Frequencies are rescaled (halved,
+/// rounding up so nonzero stays nonzero) until the tree fits; with 2^16
+/// symbols this triggers only on adversarial distributions.
+const MAX_CODE_LEN: u32 = 48;
+
+/// Computes Huffman code lengths for `freqs` (index = symbol).
+///
+/// Returns a vector of lengths, zero for unused symbols. Lengths are
+/// guaranteed ≤ `MAX_CODE_LEN` (48); a single used symbol gets length 1.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = tree_lengths(&scaled);
+        if lens.iter().all(|&l| l <= MAX_CODE_LEN) {
+            return lens;
+        }
+        for f in scaled.iter_mut() {
+            if *f > 0 {
+                *f = (*f).div_ceil(2);
+            }
+        }
+    }
+}
+
+/// One pass of plain Huffman tree construction returning per-symbol depths.
+fn tree_lengths(freqs: &[u64]) -> Vec<u32> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        // Tie-break on id for determinism.
+        id: u32,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u32),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse: BinaryHeap is a max-heap, we need min-by-frequency.
+            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: BinaryHeap<Node> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(s, &f)| Node {
+            freq: f,
+            id: s as u32,
+            kind: NodeKind::Leaf(s as u32),
+        })
+        .collect();
+
+    let mut lens = vec![0u32; freqs.len()];
+    match heap.len() {
+        0 => return lens,
+        1 => {
+            if let NodeKind::Leaf(s) = heap.pop().unwrap().kind {
+                lens[s as usize] = 1;
+            }
+            return lens;
+        }
+        _ => {}
+    }
+
+    let mut next_id = freqs.len() as u32;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        heap.push(Node {
+            freq: a.freq.saturating_add(b.freq),
+            id: next_id,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+        next_id += 1;
+    }
+
+    // Iterative depth assignment to avoid recursion on deep trees.
+    let root = heap.pop().unwrap();
+    let mut stack = vec![(root, 0u32)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(s) => lens[s as usize] = depth.max(1),
+            NodeKind::Internal(l, r) => {
+                stack.push((*l, depth + 1));
+                stack.push((*r, depth + 1));
+            }
+        }
+    }
+    lens
+}
+
+/// Width of the decode lookup table: codes up to this length decode with a
+/// single peek instead of a bit-by-bit walk.
+const LUT_BITS: u32 = 11;
+
+/// A canonical Huffman code: encode and decode tables plus a compact
+/// serialized form (sorted sparse `(symbol, length)` pairs).
+#[derive(Debug, Clone)]
+pub struct CanonicalCode {
+    /// `(code, len)` per symbol; `len == 0` means the symbol is unused.
+    encode_table: Vec<(u64, u32)>,
+    /// Used symbols sorted canonically (by length, then symbol).
+    sorted_symbols: Vec<u32>,
+    /// `count[l]` = number of codes of length `l`.
+    counts: Vec<u32>,
+    /// `first_code[l]` = canonical code value of the first code of length `l`.
+    first_code: Vec<u64>,
+    /// `offset[l]` = index into `sorted_symbols` of the first length-`l` code.
+    offsets: Vec<u32>,
+    /// `lut[prefix]` = (symbol, len) for codes of length ≤ LUT_BITS;
+    /// len == 0 marks prefixes belonging to longer codes.
+    lut: Vec<(u32, u8)>,
+}
+
+impl CanonicalCode {
+    /// Builds the canonical code from per-symbol lengths.
+    pub fn from_lengths(lens: &[u32]) -> Self {
+        let max_len = lens.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max_len + 1];
+        for &l in lens {
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        let mut sorted: Vec<u32> = (0..lens.len() as u32)
+            .filter(|&s| lens[s as usize] > 0)
+            .collect();
+        sorted.sort_by_key(|&s| (lens[s as usize], s));
+
+        let mut first_code = vec![0u64; max_len + 1];
+        let mut offsets = vec![0u32; max_len + 1];
+        let mut code: u64 = 0;
+        let mut offset: u32 = 0;
+        for l in 1..=max_len {
+            code <<= 1;
+            first_code[l] = code;
+            offsets[l] = offset;
+            code += counts[l] as u64;
+            offset += counts[l];
+        }
+
+        let mut encode_table = vec![(0u64, 0u32); lens.len()];
+        let mut next = first_code.clone();
+        for &s in &sorted {
+            let l = lens[s as usize] as usize;
+            encode_table[s as usize] = (next[l], l as u32);
+            next[l] += 1;
+        }
+
+        // Decode LUT: every LUT_BITS-wide prefix of a short code maps
+        // straight to its symbol.
+        let mut lut = vec![(0u32, 0u8); 1usize << LUT_BITS];
+        for &s in &sorted {
+            let (code, l) = encode_table[s as usize];
+            if l <= LUT_BITS {
+                let lo = (code << (LUT_BITS - l)) as usize;
+                let hi = ((code + 1) << (LUT_BITS - l)) as usize;
+                for entry in lut.iter_mut().take(hi).skip(lo) {
+                    *entry = (s, l as u8);
+                }
+            }
+        }
+
+        Self {
+            encode_table,
+            sorted_symbols: sorted,
+            counts,
+            first_code,
+            offsets,
+            lut,
+        }
+    }
+
+    /// Number of symbols in the (nominal) alphabet.
+    pub fn alphabet_len(&self) -> usize {
+        self.encode_table.len()
+    }
+
+    /// Total encoded size in bits for the given frequency histogram.
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.encode_table)
+            .map(|(&f, &(_, len))| f * len as u64)
+            .sum()
+    }
+
+    /// Writes one symbol.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: u32) {
+        let (code, len) = self.encode_table[symbol as usize];
+        debug_assert!(len > 0, "encoding symbol absent from the code");
+        w.write_bits(code, len);
+    }
+
+    /// Reads one symbol.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader) -> Result<u32> {
+        // Fast path: one table lookup when enough bits remain.
+        if r.bits_remaining() >= LUT_BITS as u64 {
+            let prefix = r.peek_bits(LUT_BITS)?;
+            let (sym, len) = self.lut[prefix as usize];
+            if len > 0 {
+                r.skip_bits(len as u32)?;
+                return Ok(sym);
+            }
+        }
+        self.decode_slow(r)
+    }
+
+    /// Bit-by-bit canonical decode (long codes and stream tails).
+    fn decode_slow(&self, r: &mut BitReader) -> Result<u32> {
+        let mut code: u64 = 0;
+        for len in 1..self.counts.len() {
+            code = (code << 1) | r.read_bit()? as u64;
+            let n = self.counts[len] as u64;
+            if n > 0 {
+                let first = self.first_code[len];
+                if code < first + n {
+                    let idx = self.offsets[len] as u64 + (code - first);
+                    return Ok(self.sorted_symbols[idx as usize]);
+                }
+            }
+        }
+        Err(Error::InvalidValue("huffman code not in table"))
+    }
+
+    /// Serializes the code as sparse `(symbol delta, length)` pairs.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        varint::write_uvarint(out, self.encode_table.len() as u64);
+        let used: Vec<u32> = (0..self.encode_table.len() as u32)
+            .filter(|&s| self.encode_table[s as usize].1 > 0)
+            .collect();
+        varint::write_uvarint(out, used.len() as u64);
+        let mut prev = 0u32;
+        for &s in &used {
+            varint::write_uvarint(out, (s - prev) as u64);
+            varint::write_uvarint(out, self.encode_table[s as usize].1 as u64);
+            prev = s;
+        }
+    }
+
+    /// Inverse of [`CanonicalCode::serialize`].
+    pub fn deserialize(data: &[u8], pos: &mut usize) -> Result<Self> {
+        let alphabet = varint::read_uvarint(data, pos)? as usize;
+        if alphabet > (1 << 28) {
+            return Err(Error::InvalidValue("huffman alphabet too large"));
+        }
+        let n_used = varint::read_uvarint(data, pos)? as usize;
+        if n_used > alphabet {
+            return Err(Error::InvalidValue("more used symbols than alphabet"));
+        }
+        let mut lens = vec![0u32; alphabet];
+        let mut sym = 0u64;
+        for i in 0..n_used {
+            let delta = varint::read_uvarint(data, pos)?;
+            sym = if i == 0 { delta } else { sym + delta };
+            let len = varint::read_uvarint(data, pos)? as u32;
+            if sym as usize >= alphabet || len == 0 || len > MAX_CODE_LEN {
+                return Err(Error::InvalidValue("bad huffman table entry"));
+            }
+            lens[sym as usize] = len;
+        }
+        Ok(Self::from_lengths(&lens))
+    }
+}
+
+/// Convenience: Huffman-encode a symbol slice into a self-contained buffer
+/// (table + count + payload).
+pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
+    let mut freqs = vec![0u64; alphabet];
+    for &s in symbols {
+        freqs[s as usize] += 1;
+    }
+    let code = CanonicalCode::from_lengths(&code_lengths(&freqs));
+    let mut out = Vec::new();
+    code.serialize(&mut out);
+    varint::write_uvarint(&mut out, symbols.len() as u64);
+    let mut w = BitWriter::with_capacity(symbols.len() / 2);
+    for &s in symbols {
+        code.encode(&mut w, s);
+    }
+    let payload = w.into_bytes();
+    varint::write_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Inverse of [`encode_symbols`]; advances `pos` past the buffer.
+pub fn decode_symbols(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    let code = CanonicalCode::deserialize(data, pos)?;
+    let n = varint::read_uvarint(data, pos)? as usize;
+    let payload_len = varint::read_uvarint(data, pos)? as usize;
+    let end = pos.checked_add(payload_len).ok_or(Error::UnexpectedEof)?;
+    if end > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    // `n` is untrusted: a symbol costs ≥1 bit, so bound it by the payload
+    // before reserving, and let the EOF check stop oversized claims.
+    if (n as u64) > payload_len as u64 * 8 {
+        return Err(Error::InvalidValue("symbol count exceeds payload bits"));
+    }
+    let mut r = BitReader::new(&data[*pos..end]);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(code.decode(&mut r)?);
+    }
+    *pos = end;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_round_trips() {
+        let buf = encode_symbols(&[], 16);
+        let mut pos = 0;
+        assert_eq!(decode_symbols(&buf, &mut pos).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_symbol_round_trips() {
+        let syms = vec![7u32; 100];
+        let buf = encode_symbols(&syms, 16);
+        let mut pos = 0;
+        assert_eq!(decode_symbols(&buf, &mut pos).unwrap(), syms);
+    }
+
+    #[test]
+    fn skewed_distribution_round_trips_and_compresses() {
+        let mut syms = Vec::new();
+        for i in 0..10_000u32 {
+            syms.push(if i % 100 == 0 { i % 64 } else { 32 });
+        }
+        let buf = encode_symbols(&syms, 64);
+        let mut pos = 0;
+        assert_eq!(decode_symbols(&buf, &mut pos).unwrap(), syms);
+        // 10k symbols dominated by one value must compress far below 2 B/sym.
+        assert!(buf.len() < 4000, "buf.len() = {}", buf.len());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs = [5u64, 9, 12, 13, 16, 45, 0, 3];
+        let lens = code_lengths(&freqs);
+        let code = CanonicalCode::from_lengths(&lens);
+        let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+        for &a in &used {
+            for &b in &used {
+                if a == b {
+                    continue;
+                }
+                let (ca, la) = code.encode_table[a];
+                let (cb, lb) = code.encode_table[b];
+                if la <= lb {
+                    assert_ne!(ca, cb >> (lb - la), "code {a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..=300).map(|i| i * i).collect();
+        let lens = code_lengths(&freqs);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn near_optimal_for_uniform() {
+        // 256 equally likely symbols need exactly 8 bits each.
+        let syms: Vec<u32> = (0..25600).map(|i| i % 256).collect();
+        let buf = encode_symbols(&syms, 256);
+        let payload_bits = (buf.len() as f64) * 8.0 / syms.len() as f64;
+        assert!(payload_bits < 8.5, "bits/sym = {payload_bits}");
+    }
+
+    #[test]
+    fn table_round_trips_through_serialization() {
+        let freqs = [0u64, 10, 0, 0, 7, 1, 1, 0, 99];
+        let code = CanonicalCode::from_lengths(&code_lengths(&freqs));
+        let mut buf = Vec::new();
+        code.serialize(&mut buf);
+        let mut pos = 0;
+        let back = CanonicalCode::deserialize(&buf, &mut pos).unwrap();
+        assert_eq!(code.encode_table, back.encode_table);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let syms: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let buf = encode_symbols(&syms, 8);
+        let mut pos = 0;
+        assert!(decode_symbols(&buf[..buf.len() - 5], &mut pos).is_err());
+    }
+
+    #[test]
+    fn large_alphabet_sparse_usage() {
+        // SZ uses a 65536-code alphabet with few distinct codes in practice.
+        let syms: Vec<u32> = (0..5000).map(|i| 32768 + (i % 5) * 17).collect();
+        let buf = encode_symbols(&syms, 65536);
+        let mut pos = 0;
+        assert_eq!(decode_symbols(&buf, &mut pos).unwrap(), syms);
+        assert!(buf.len() < 2500);
+    }
+}

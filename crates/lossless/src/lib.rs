@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Lossless compression stages used by the lossy codecs.
+//!
+//! SZ-style compressors pipe their quantization codes through a custom
+//! Huffman coder and then an optional general-purpose lossless pass (gzip in
+//! the original implementation). This crate supplies both from scratch:
+//!
+//! * [`huffman`] — canonical Huffman coding over arbitrary `u32` symbol
+//!   alphabets (SZ quantization codes use up to 2^16 symbols),
+//! * [`lz`] — an LZ77 hash-chain compressor with a Huffman-coded token
+//!   stream, standing in for gzip/DEFLATE,
+//! * [`rle`] — run-length coding for bitmaps (sign planes, outlier masks).
+//!
+//! Every stage round-trips exactly; this is asserted by unit and property
+//! tests, since a single flipped bit here would silently break the error
+//! bounds of every downstream lossy codec.
+
+pub mod huffman;
+pub mod lz;
+pub mod rle;
+
+pub use pwrel_bitstream::{Error, Result};

@@ -1,0 +1,171 @@
+//! Run-length coding for bitmaps.
+//!
+//! The log-transform scheme stores one sign bit per data point when a field
+//! mixes positive and negative values. Scientific sign planes are usually
+//! long runs (velocity components flip sign over large spatial regions), so
+//! run lengths + varints beat plain bit packing; a bit-packed fallback keeps
+//! the worst case bounded.
+
+use pwrel_bitstream::{varint, BitReader, BitWriter, Error, Result};
+
+const MODE_RLE: u8 = 0;
+const MODE_PACKED: u8 = 1;
+
+/// Compresses a boolean slice.
+pub fn compress_bits(bits: &[bool]) -> Vec<u8> {
+    // RLE attempt: leading value, then run lengths.
+    let mut rle = Vec::new();
+    varint::write_uvarint(&mut rle, bits.len() as u64);
+    if !bits.is_empty() {
+        rle.push(bits[0] as u8);
+        let mut run = 1u64;
+        for w in bits.windows(2) {
+            if w[1] == w[0] {
+                run += 1;
+            } else {
+                varint::write_uvarint(&mut rle, run);
+                run = 1;
+            }
+        }
+        varint::write_uvarint(&mut rle, run);
+    }
+
+    let packed_len = bits.len().div_ceil(8);
+    if rle.len() <= packed_len + 9 {
+        let mut out = vec![MODE_RLE];
+        out.extend_from_slice(&rle);
+        return out;
+    }
+
+    let mut out = vec![MODE_PACKED];
+    varint::write_uvarint(&mut out, bits.len() as u64);
+    let mut w = BitWriter::with_capacity(packed_len);
+    for &b in bits {
+        w.write_bit(b);
+    }
+    out.extend_from_slice(&w.into_bytes());
+    out
+}
+
+/// Inverse of [`compress_bits`]; advances `pos` past the buffer.
+pub fn decompress_bits(data: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
+    let mode = *data.get(*pos).ok_or(Error::UnexpectedEof)?;
+    *pos += 1;
+    let n = varint::read_uvarint(data, pos)? as usize;
+    match mode {
+        MODE_RLE => {
+            let mut out = Vec::with_capacity(n);
+            if n == 0 {
+                return Ok(out);
+            }
+            let mut value = match data.get(*pos) {
+                Some(0) => false,
+                Some(1) => true,
+                Some(_) => return Err(Error::InvalidValue("rle leading bit")),
+                None => return Err(Error::UnexpectedEof),
+            };
+            *pos += 1;
+            while out.len() < n {
+                let run = varint::read_uvarint(data, pos)? as usize;
+                if run == 0 || out.len() + run > n {
+                    return Err(Error::InvalidValue("rle run overflows bitmap"));
+                }
+                out.extend(std::iter::repeat_n(value, run));
+                value = !value;
+            }
+            Ok(out)
+        }
+        MODE_PACKED => {
+            let nbytes = n.div_ceil(8);
+            let end = pos.checked_add(nbytes).ok_or(Error::UnexpectedEof)?;
+            if end > data.len() {
+                return Err(Error::UnexpectedEof);
+            }
+            let mut r = BitReader::new(&data[*pos..end]);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(r.read_bit()?);
+            }
+            *pos = end;
+            Ok(out)
+        }
+        _ => Err(Error::InvalidValue("unknown bitmap mode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(bits: &[bool]) {
+        let c = compress_bits(bits);
+        let mut pos = 0;
+        assert_eq!(decompress_bits(&c, &mut pos).unwrap(), bits);
+        assert_eq!(pos, c.len());
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn uniform_bitmaps_compress_to_bytes() {
+        let bits = vec![true; 100_000];
+        let c = compress_bits(&bits);
+        assert!(c.len() < 16, "c.len() = {}", c.len());
+        round_trip(&bits);
+        round_trip(&vec![false; 100_000]);
+    }
+
+    #[test]
+    fn long_runs() {
+        let mut bits = vec![false; 5000];
+        bits.extend(vec![true; 7000]);
+        bits.extend(vec![false; 1]);
+        round_trip(&bits);
+    }
+
+    #[test]
+    fn alternating_falls_back_to_packing() {
+        let bits: Vec<bool> = (0..10_000).map(|i| i % 2 == 0).collect();
+        let c = compress_bits(&bits);
+        // RLE would need ~1 byte/bit; packed mode caps at n/8 + header.
+        assert!(c.len() <= 10_000 / 8 + 16, "c.len() = {}", c.len());
+        round_trip(&bits);
+    }
+
+    #[test]
+    fn pseudo_random_bits() {
+        let mut x = 0xACE1u32;
+        let bits: Vec<bool> = (0..4321)
+            .map(|_| {
+                x = x.wrapping_mul(75).wrapping_add(74) % 65537;
+                x & 1 == 1
+            })
+            .collect();
+        round_trip(&bits);
+    }
+
+    #[test]
+    fn sequential_buffers_decode_in_order() {
+        let a = vec![true; 17];
+        let b: Vec<bool> = (0..33).map(|i| i % 3 == 0).collect();
+        let mut buf = compress_bits(&a);
+        buf.extend(compress_bits(&b));
+        let mut pos = 0;
+        assert_eq!(decompress_bits(&buf, &mut pos).unwrap(), a);
+        assert_eq!(decompress_bits(&buf, &mut pos).unwrap(), b);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn corrupt_run_rejected() {
+        let bits = vec![true; 100];
+        let mut c = compress_bits(&bits);
+        let last = c.len() - 1;
+        c[last] = 0xFF; // break final varint
+        let mut pos = 0;
+        assert!(decompress_bits(&c, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Error-distribution analysis (after Lindstrom, "Error Distributions of
+//! Lossy Floating-Point Compressors", the paper's reference \[7\]).
+//!
+//! Different compressor families leave different error signatures:
+//! prediction + linear-scaling quantization (SZ) produces errors close to
+//! *uniform* on `[-eb, +eb]`; transform coders (ZFP) produce more
+//! Gaussian-shaped errors. The statistics here — moments, histogram,
+//! uniformity distance — let tests and analyses check those signatures.
+
+use pwrel_data::Float;
+
+/// Summary statistics of a (signed) error sample.
+#[derive(Debug, Clone)]
+pub struct ErrorDistribution {
+    /// Sample count.
+    pub n: usize,
+    /// Mean error (bias; ~0 for unbiased compressors).
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Excess kurtosis (0 for Gaussian, −1.2 for uniform).
+    pub excess_kurtosis: f64,
+    /// Normalized histogram over `bins` equal cells spanning `[-range, range]`.
+    pub histogram: Vec<f64>,
+    /// Half-width of the histogram domain.
+    pub range: f64,
+}
+
+impl ErrorDistribution {
+    /// Computes the distribution of `decoded - original` over `bins` cells.
+    ///
+    /// `range` defaults to the maximum absolute error when `None`.
+    pub fn compute<F: Float>(
+        original: &[F],
+        decoded: &[F],
+        bins: usize,
+        range: Option<f64>,
+    ) -> Self {
+        assert_eq!(original.len(), decoded.len());
+        assert!(bins >= 2);
+        let errors: Vec<f64> = original
+            .iter()
+            .zip(decoded)
+            .map(|(&a, &b)| b.to_f64() - a.to_f64())
+            .filter(|e| e.is_finite())
+            .collect();
+        let n = errors.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                excess_kurtosis: 0.0,
+                histogram: vec![0.0; bins],
+                range: 0.0,
+            };
+        }
+        let nf = n as f64;
+        let mean = errors.iter().sum::<f64>() / nf;
+        let m2 = errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / nf;
+        let m4 = errors.iter().map(|e| (e - mean).powi(4)).sum::<f64>() / nf;
+        let std = m2.sqrt();
+        let excess_kurtosis = if m2 > 0.0 { m4 / (m2 * m2) - 3.0 } else { 0.0 };
+
+        let range = range
+            .unwrap_or_else(|| errors.iter().fold(0.0f64, |m, e| m.max(e.abs())))
+            .max(f64::MIN_POSITIVE);
+        let mut histogram = vec![0.0f64; bins];
+        for &e in &errors {
+            let t = ((e + range) / (2.0 * range)).clamp(0.0, 1.0);
+            let cell = ((t * bins as f64) as usize).min(bins - 1);
+            histogram[cell] += 1.0;
+        }
+        for h in histogram.iter_mut() {
+            *h /= nf;
+        }
+        Self {
+            n,
+            mean,
+            std,
+            excess_kurtosis,
+            histogram,
+            range,
+        }
+    }
+
+    /// Total-variation distance from the uniform distribution over the
+    /// histogram cells (0 = exactly uniform, →1 = concentrated).
+    pub fn uniformity_distance(&self) -> f64 {
+        let bins = self.histogram.len() as f64;
+        0.5 * self
+            .histogram
+            .iter()
+            .map(|&h| (h - 1.0 / bins).abs())
+            .sum::<f64>()
+    }
+
+    /// Fraction of errors in the central half of the range — 0.5 for
+    /// uniform errors, noticeably higher for peaked (Gaussian-ish) ones.
+    pub fn central_mass(&self) -> f64 {
+        let bins = self.histogram.len();
+        let (lo, hi) = (bins / 4, bins - bins / 4);
+        self.histogram[lo..hi].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(errors: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let orig = vec![0.0f64; errors.len()];
+        let dec = errors.to_vec();
+        (orig, dec)
+    }
+
+    fn lcg(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_errors_have_uniform_signature() {
+        let u: Vec<f64> = lcg(100_000, 7).iter().map(|v| 2.0 * v - 1.0).collect();
+        let (o, d) = synth(&u);
+        let dist = ErrorDistribution::compute(&o, &d, 20, Some(1.0));
+        assert!(dist.mean.abs() < 0.01);
+        assert!((dist.excess_kurtosis + 1.2).abs() < 0.1, "{}", dist.excess_kurtosis);
+        assert!(dist.uniformity_distance() < 0.02);
+        assert!((dist.central_mass() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaussian_errors_are_peaked() {
+        // Box–Muller from the LCG.
+        let u1 = lcg(50_000, 11);
+        let u2 = lcg(50_000, 13);
+        let g: Vec<f64> = u1
+            .iter()
+            .zip(&u2)
+            .map(|(&a, &b)| {
+                (-2.0 * a.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * b).cos() * 0.25
+            })
+            .collect();
+        let (o, d) = synth(&g);
+        let dist = ErrorDistribution::compute(&o, &d, 20, Some(1.0));
+        assert!(dist.excess_kurtosis > -0.5, "{}", dist.excess_kurtosis);
+        assert!(dist.uniformity_distance() > 0.2);
+        assert!(dist.central_mass() > 0.8);
+    }
+
+    #[test]
+    fn empty_and_constant_inputs() {
+        let e: [f32; 0] = [];
+        let dist = ErrorDistribution::compute(&e, &e, 8, None);
+        assert_eq!(dist.n, 0);
+        let a = [1.0f32; 10];
+        let dist = ErrorDistribution::compute(&a, &a, 8, None);
+        assert_eq!(dist.std, 0.0);
+        assert_eq!(dist.excess_kurtosis, 0.0);
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let errs: Vec<f64> = (0..1000).map(|i| (i as f64 / 500.0) - 1.0).collect();
+        let (o, d) = synth(&errs);
+        let dist = ErrorDistribution::compute(&o, &d, 16, Some(1.0));
+        let total: f64 = dist.histogram.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! Absolute and point-wise relative error statistics.
+
+use pwrel_data::Float;
+
+/// Absolute-error statistics between an original and a reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Maximum `|x - x'|`.
+    pub max_abs: f64,
+    /// Mean `|x - x'|`.
+    pub avg_abs: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// `max(x) - min(x)` of the original data.
+    pub value_range: f64,
+}
+
+impl ErrorStats {
+    /// Computes absolute error statistics. Panics on length mismatch.
+    pub fn compute<F: Float>(original: &[F], decoded: &[F]) -> Self {
+        assert_eq!(original.len(), decoded.len());
+        let mut max_abs = 0f64;
+        let mut sum_abs = 0f64;
+        let mut sum_sq = 0f64;
+        let mut vmin = f64::INFINITY;
+        let mut vmax = f64::NEG_INFINITY;
+        for (&a, &b) in original.iter().zip(decoded) {
+            let a = a.to_f64();
+            let b = b.to_f64();
+            let e = (a - b).abs();
+            max_abs = max_abs.max(e);
+            sum_abs += e;
+            sum_sq += e * e;
+            vmin = vmin.min(a);
+            vmax = vmax.max(a);
+        }
+        let n = original.len().max(1) as f64;
+        Self {
+            max_abs,
+            avg_abs: sum_abs / n,
+            rmse: (sum_sq / n).sqrt(),
+            value_range: if original.is_empty() { 0.0 } else { vmax - vmin },
+        }
+    }
+
+    /// Fraction of points with `|x - x'| <= bound` (1.0 for empty input).
+    pub fn bounded_fraction<F: Float>(original: &[F], decoded: &[F], bound: f64) -> f64 {
+        assert_eq!(original.len(), decoded.len());
+        if original.is_empty() {
+            return 1.0;
+        }
+        let ok = original
+            .iter()
+            .zip(decoded)
+            .filter(|(&a, &b)| (a.to_f64() - b.to_f64()).abs() <= bound)
+            .count();
+        ok as f64 / original.len() as f64
+    }
+}
+
+/// Point-wise relative error statistics (Table IV's `Avg E` / `Max E`).
+///
+/// The relative error of point `i` is `|x_i - x'_i| / |x_i|`. Zero-valued
+/// originals are handled the way the paper's strict-bound test does: a zero
+/// that decodes to exact zero contributes error 0; a zero that decodes to
+/// anything else counts as a violation (infinite relative error).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelErrorStats {
+    /// Maximum point-wise relative error (may be `f64::INFINITY`).
+    pub max_rel: f64,
+    /// Mean point-wise relative error over non-zero originals.
+    pub avg_rel: f64,
+    /// Fraction of points within `bound` (the Table IV "bounded" column).
+    pub bounded_fraction: f64,
+    /// Number of zero originals that did not decode to exact zero.
+    pub broken_zeros: usize,
+}
+
+impl RelErrorStats {
+    /// Computes relative-error statistics against `bound`.
+    pub fn compute<F: Float>(original: &[F], decoded: &[F], bound: f64) -> Self {
+        assert_eq!(original.len(), decoded.len());
+        let mut max_rel = 0f64;
+        let mut sum_rel = 0f64;
+        let mut n_nonzero = 0usize;
+        let mut n_bounded = 0usize;
+        let mut broken_zeros = 0usize;
+        for (&a, &b) in original.iter().zip(decoded) {
+            let a = a.to_f64();
+            let b = b.to_f64();
+            if a == 0.0 {
+                if b == 0.0 {
+                    n_bounded += 1;
+                } else {
+                    broken_zeros += 1;
+                    max_rel = f64::INFINITY;
+                }
+                continue;
+            }
+            let e = (a - b).abs() / a.abs();
+            max_rel = max_rel.max(e);
+            sum_rel += e;
+            n_nonzero += 1;
+            if e <= bound {
+                n_bounded += 1;
+            }
+        }
+        let n = original.len().max(1) as f64;
+        Self {
+            max_rel,
+            avg_rel: if n_nonzero == 0 { 0.0 } else { sum_rel / n_nonzero as f64 },
+            bounded_fraction: n_bounded as f64 / n,
+            broken_zeros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_stats_basic() {
+        let a = [0.0f32, 1.0, 2.0, 4.0];
+        let b = [0.5f32, 1.0, 1.5, 4.0];
+        let s = ErrorStats::compute(&a, &b);
+        assert_eq!(s.max_abs, 0.5);
+        assert!((s.avg_abs - 0.25).abs() < 1e-12);
+        assert_eq!(s.value_range, 4.0);
+        assert_eq!(ErrorStats::bounded_fraction(&a, &b, 0.5), 1.0);
+        assert_eq!(ErrorStats::bounded_fraction(&a, &b, 0.4), 0.5);
+    }
+
+    #[test]
+    fn rel_stats_respects_bound() {
+        let a = [100.0f32, 1.0, 0.01];
+        let b = [101.0f32, 1.001, 0.0100001];
+        let s = RelErrorStats::compute(&a, &b, 1e-2);
+        assert!(s.max_rel <= 1e-2 + 1e-9);
+        assert_eq!(s.bounded_fraction, 1.0);
+        assert_eq!(s.broken_zeros, 0);
+    }
+
+    #[test]
+    fn zero_handling() {
+        let a = [0.0f32, 0.0, 2.0];
+        let good = [0.0f32, 0.0, 2.0];
+        let bad = [0.0f32, 1e-9, 2.0];
+        assert_eq!(RelErrorStats::compute(&a, &good, 0.1).broken_zeros, 0);
+        let s = RelErrorStats::compute(&a, &bad, 0.1);
+        assert_eq!(s.broken_zeros, 1);
+        assert!(s.max_rel.is_infinite());
+        assert!(s.bounded_fraction < 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: [f32; 0] = [];
+        let s = ErrorStats::compute(&e, &e);
+        assert_eq!(s.max_abs, 0.0);
+        let r = RelErrorStats::compute(&e, &e, 0.1);
+        assert_eq!(r.bounded_fraction, 0.0 / 1.0 + 0.0); // n.max(1) => 0/1
+        assert_eq!(r.broken_zeros, 0);
+    }
+
+    #[test]
+    fn f64_path() {
+        let a = [1.0f64, -2.0];
+        let b = [1.0f64, -2.0002];
+        let s = RelErrorStats::compute(&a, &b, 1e-3);
+        assert!((s.max_rel - 1e-4).abs() < 1e-9);
+    }
+}

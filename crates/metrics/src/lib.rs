@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Compression-quality metrics used throughout the evaluation.
+//!
+//! Everything the paper's tables and figures report lives here:
+//!
+//! * [`error`] — absolute / point-wise relative error statistics and the
+//!   "bounded %" check from Table IV,
+//! * [`psnr`](crate::psnr()) (module `psnr`) — standard PSNR and the relative-error-based PSNR used for
+//!   Figure 1's rate-distortion curves,
+//! * [`ratio`] — compression ratio and bit rate,
+//! * [`skew`] — 3D velocity angle skew (Figure 5),
+//! * [`ratedist`] — (bit-rate, PSNR) series containers,
+//! * [`distribution`] — error-distribution signatures (uniform vs peaked).
+
+pub mod distribution;
+pub mod error;
+pub mod psnr;
+pub mod ratedist;
+pub mod ratio;
+pub mod skew;
+pub mod ssim;
+
+pub use distribution::ErrorDistribution;
+pub use error::{ErrorStats, RelErrorStats};
+pub use psnr::{psnr, rel_psnr};
+pub use ratedist::{RateDistortionCurve, RateDistortionPoint};
+pub use ratio::{bit_rate, compression_ratio};
+pub use skew::{angle_skew_deg, blockwise_skew};
+pub use ssim::ssim_2d;

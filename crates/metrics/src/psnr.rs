@@ -1,0 +1,91 @@
+//! Peak signal-to-noise ratio variants.
+
+use pwrel_data::Float;
+
+/// Standard PSNR in dB: `20 log10(range) - 10 log10(mse)`.
+///
+/// Returns `f64::INFINITY` for a perfect reconstruction.
+pub fn psnr<F: Float>(original: &[F], decoded: &[F]) -> f64 {
+    assert_eq!(original.len(), decoded.len());
+    if original.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut vmin = f64::INFINITY;
+    let mut vmax = f64::NEG_INFINITY;
+    let mut sum_sq = 0f64;
+    for (&a, &b) in original.iter().zip(decoded) {
+        let a = a.to_f64();
+        let b = b.to_f64();
+        vmin = vmin.min(a);
+        vmax = vmax.max(a);
+        sum_sq += (a - b) * (a - b);
+    }
+    let mse = sum_sq / original.len() as f64;
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (vmax - vmin).log10() - 10.0 * mse.log10()
+}
+
+/// Relative-error-based PSNR (Figure 1): PSNR of the *point-wise relative
+/// errors* "with the value range being set to 1", i.e.
+/// `-10 log10( mean( ((x - x') / x)^2 ) )` over non-zero originals.
+pub fn rel_psnr<F: Float>(original: &[F], decoded: &[F]) -> f64 {
+    assert_eq!(original.len(), decoded.len());
+    let mut sum_sq = 0f64;
+    let mut n = 0usize;
+    for (&a, &b) in original.iter().zip(decoded) {
+        let a = a.to_f64();
+        let b = b.to_f64();
+        if a == 0.0 {
+            continue;
+        }
+        let e = (a - b) / a;
+        sum_sq += e * e;
+        n += 1;
+    }
+    if n == 0 || sum_sq == 0.0 {
+        return f64::INFINITY;
+    }
+    -10.0 * (sum_sq / n as f64).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_reconstruction_is_infinite() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert!(psnr(&a, &a).is_infinite());
+        assert!(rel_psnr(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn known_value() {
+        // range 1, uniform error 0.1 -> mse 0.01 -> psnr 20 dB.
+        let a = [0.0f32, 1.0];
+        let b = [0.1f32, 0.9];
+        // f32 literals are not exactly 0.1/0.9, so allow float slack.
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rel_psnr_tracks_relative_error_scale() {
+        let a: Vec<f32> = (1..=1000).map(|i| i as f32).collect();
+        let b3: Vec<f32> = a.iter().map(|v| v * (1.0 + 1e-3)).collect();
+        let b2: Vec<f32> = a.iter().map(|v| v * (1.0 + 1e-2)).collect();
+        let p3 = rel_psnr(&a, &b3);
+        let p2 = rel_psnr(&a, &b2);
+        // 10x larger relative error => 20 dB lower.
+        assert!((p3 - p2 - 20.0).abs() < 0.5, "p3={p3} p2={p2}");
+    }
+
+    #[test]
+    fn psnr_improves_with_accuracy() {
+        let a: Vec<f32> = (0..100).map(|i| (i as f32 * 0.1).sin()).collect();
+        let coarse: Vec<f32> = a.iter().map(|v| v + 0.01).collect();
+        let fine: Vec<f32> = a.iter().map(|v| v + 0.001).collect();
+        assert!(psnr(&a, &fine) > psnr(&a, &coarse) + 10.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Rate-distortion series containers (Figure 1).
+
+/// One (bit-rate, PSNR) sample of a rate-distortion curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateDistortionPoint {
+    /// Bits per data point.
+    pub bit_rate: f64,
+    /// PSNR in dB (variant chosen by the producer).
+    pub psnr: f64,
+}
+
+/// A labelled rate-distortion curve.
+#[derive(Debug, Clone)]
+pub struct RateDistortionCurve {
+    /// Series label (e.g. `base_2`).
+    pub label: String,
+    /// Samples sorted by bit rate.
+    pub points: Vec<RateDistortionPoint>,
+}
+
+impl RateDistortionCurve {
+    /// Creates an empty curve.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a sample, keeping the series sorted by bit rate.
+    pub fn push(&mut self, bit_rate: f64, psnr: f64) {
+        self.points.push(RateDistortionPoint { bit_rate, psnr });
+        self.points
+            .sort_by(|a, b| a.bit_rate.partial_cmp(&b.bit_rate).unwrap());
+    }
+
+    /// Linear interpolation of PSNR at a given bit rate (`None` outside the
+    /// sampled range). Used to compare curves at matched rates.
+    pub fn psnr_at(&self, bit_rate: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() || bit_rate < pts[0].bit_rate || bit_rate > pts[pts.len() - 1].bit_rate {
+            return None;
+        }
+        for w in pts.windows(2) {
+            if bit_rate >= w[0].bit_rate && bit_rate <= w[1].bit_rate {
+                let span = w[1].bit_rate - w[0].bit_rate;
+                if span == 0.0 {
+                    return Some(w[0].psnr);
+                }
+                let t = (bit_rate - w[0].bit_rate) / span;
+                return Some(w[0].psnr + t * (w[1].psnr - w[0].psnr));
+            }
+        }
+        Some(pts[pts.len() - 1].psnr)
+    }
+
+    /// Maximum |PSNR difference| against another curve over their common
+    /// rate range, probed at `samples` points. `None` when ranges are
+    /// disjoint. Used to verify "different bases give the same curve".
+    pub fn max_gap(&self, other: &Self, samples: usize) -> Option<f64> {
+        let lo = self.points.first()?.bit_rate.max(other.points.first()?.bit_rate);
+        let hi = self
+            .points
+            .last()?
+            .bit_rate
+            .min(other.points.last()?.bit_rate);
+        if hi < lo {
+            return None;
+        }
+        let mut max = 0f64;
+        for s in 0..samples.max(2) {
+            let r = lo + (hi - lo) * s as f64 / (samples.max(2) - 1) as f64;
+            if let (Some(a), Some(b)) = (self.psnr_at(r), other.psnr_at(r)) {
+                max = max.max((a - b).abs());
+            }
+        }
+        Some(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_sorted() {
+        let mut c = RateDistortionCurve::new("t");
+        c.push(4.0, 60.0);
+        c.push(2.0, 40.0);
+        c.push(8.0, 80.0);
+        let rates: Vec<f64> = c.points.iter().map(|p| p.bit_rate).collect();
+        assert_eq!(rates, vec![2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn interpolation() {
+        let mut c = RateDistortionCurve::new("t");
+        c.push(2.0, 40.0);
+        c.push(4.0, 60.0);
+        assert_eq!(c.psnr_at(3.0), Some(50.0));
+        assert_eq!(c.psnr_at(2.0), Some(40.0));
+        assert_eq!(c.psnr_at(1.0), None);
+        assert_eq!(c.psnr_at(5.0), None);
+    }
+
+    #[test]
+    fn max_gap_between_identical_curves_is_zero() {
+        let mut a = RateDistortionCurve::new("a");
+        let mut b = RateDistortionCurve::new("b");
+        for (r, p) in [(1.0, 30.0), (2.0, 45.0), (3.0, 55.0)] {
+            a.push(r, p);
+            b.push(r, p);
+        }
+        assert!(a.max_gap(&b, 10).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn max_gap_detects_offset() {
+        let mut a = RateDistortionCurve::new("a");
+        let mut b = RateDistortionCurve::new("b");
+        for r in 1..=3 {
+            a.push(r as f64, 30.0);
+            b.push(r as f64, 33.0);
+        }
+        assert!((a.max_gap(&b, 5).unwrap() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Compression ratio and bit rate.
+
+/// Compression ratio `original_bytes / compressed_bytes`.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    assert!(compressed_bytes > 0, "empty compressed stream");
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// Bit rate: compressed bits per data point.
+pub fn bit_rate(compressed_bytes: usize, n_points: usize) -> f64 {
+    assert!(n_points > 0, "no data points");
+    compressed_bytes as f64 * 8.0 / n_points as f64
+}
+
+/// Throughput in MB/s given raw bytes processed and elapsed seconds.
+pub fn throughput_mb_s(raw_bytes: usize, seconds: f64) -> f64 {
+    assert!(seconds > 0.0);
+    raw_bytes as f64 / 1.0e6 / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bitrate_consistent() {
+        // f32 data: CR 8 <=> 4 bits/point.
+        let n = 1000usize;
+        let raw = n * 4;
+        let comp = raw / 8;
+        assert_eq!(compression_ratio(raw, comp), 8.0);
+        assert_eq!(bit_rate(comp, n), 4.0);
+    }
+
+    #[test]
+    fn throughput() {
+        assert_eq!(throughput_mb_s(10_000_000, 2.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_compressed_panics() {
+        compression_ratio(10, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Structural similarity (SSIM) for 2D slices — quantifies the visual
+//! comparison Figure 4 makes between reconstructions at matched ratio.
+//!
+//! Standard single-scale SSIM with an 8×8 sliding window (stride 4),
+//! constants `C1 = (0.01·L)²`, `C2 = (0.03·L)²` over the dynamic range `L`
+//! of the original slice.
+
+use pwrel_data::Float;
+
+/// Mean SSIM between two row-major `height × width` images.
+///
+/// Returns 1.0 for identical inputs; panics on shape mismatch.
+pub fn ssim_2d<F: Float>(original: &[F], decoded: &[F], width: usize, height: usize) -> f64 {
+    assert_eq!(original.len(), width * height);
+    assert_eq!(decoded.len(), width * height);
+    const WIN: usize = 8;
+    const STRIDE: usize = 4;
+
+    // Dynamic range of the reference image.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in original {
+        let v = v.to_f64();
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let l = (hi - lo).max(f64::MIN_POSITIVE);
+    let c1 = (0.01 * l).powi(2);
+    let c2 = (0.03 * l).powi(2);
+
+    let mut sum = 0.0f64;
+    let mut windows = 0usize;
+    let mut y = 0;
+    loop {
+        let win_h = WIN.min(height.saturating_sub(y));
+        if win_h == 0 {
+            break;
+        }
+        let mut x = 0;
+        loop {
+            let win_w = WIN.min(width.saturating_sub(x));
+            if win_w == 0 {
+                break;
+            }
+            let n = (win_w * win_h) as f64;
+            let (mut ma, mut mb) = (0.0f64, 0.0f64);
+            for dy in 0..win_h {
+                for dx in 0..win_w {
+                    let idx = (y + dy) * width + (x + dx);
+                    ma += original[idx].to_f64();
+                    mb += decoded[idx].to_f64();
+                }
+            }
+            ma /= n;
+            mb /= n;
+            let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+            for dy in 0..win_h {
+                for dx in 0..win_w {
+                    let idx = (y + dy) * width + (x + dx);
+                    let da = original[idx].to_f64() - ma;
+                    let db = decoded[idx].to_f64() - mb;
+                    va += da * da;
+                    vb += db * db;
+                    cov += da * db;
+                }
+            }
+            va /= n;
+            vb /= n;
+            cov /= n;
+            sum += ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            windows += 1;
+            if x + WIN >= width {
+                break;
+            }
+            x += STRIDE;
+        }
+        if y + WIN >= height {
+            break;
+        }
+        y += STRIDE;
+    }
+    if windows == 0 {
+        1.0
+    } else {
+        sum / windows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h).map(|i| (i % w) as f32 + (i / w) as f32 * 0.5).collect()
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = ramp(32, 32);
+        let s = ssim_2d(&img, &img, 32, 32);
+        assert!((s - 1.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn noise_lowers_ssim_monotonically() {
+        let img = ramp(64, 64);
+        let noisy = |amp: f32| -> Vec<f32> {
+            img.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let sign = if (i * 2654435761) & 8 == 0 { 1.0 } else { -1.0 };
+                    v + sign * amp
+                })
+                .collect()
+        };
+        let s_small = ssim_2d(&img, &noisy(0.5), 64, 64);
+        let s_big = ssim_2d(&img, &noisy(8.0), 64, 64);
+        assert!(s_small > s_big, "{s_small} vs {s_big}");
+        assert!(s_small > 0.95);
+        assert!(s_big < 0.9);
+    }
+
+    #[test]
+    fn constant_shift_is_penalized_less_than_structure_loss() {
+        let img = ramp(64, 64);
+        let shifted: Vec<f32> = img.iter().map(|v| v + 1.0).collect();
+        let flat = vec![img.iter().sum::<f32>() / img.len() as f32; img.len()];
+        let s_shift = ssim_2d(&img, &shifted, 64, 64);
+        let s_flat = ssim_2d(&img, &flat, 64, 64);
+        assert!(s_shift > s_flat, "{s_shift} vs {s_flat}");
+    }
+
+    #[test]
+    fn small_images_do_not_panic() {
+        let img = ramp(3, 3);
+        let s = ssim_2d(&img, &img, 3, 3);
+        assert!((s - 1.0).abs() < 1e-9);
+        let empty: [f32; 0] = [];
+        assert_eq!(ssim_2d(&empty, &empty, 0, 0), 1.0);
+    }
+}

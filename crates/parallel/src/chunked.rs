@@ -1,0 +1,322 @@
+//! Chunked parallel compression of a single large field.
+//!
+//! The paper parallelizes across *files* (one rank, one field, one file).
+//! Within a node it is often preferable to split one large field into
+//! slabs along its slowest axis and compress the slabs concurrently: each
+//! slab is an independent stream (prediction restarts at the boundary, so
+//! the error bound is preserved per-slab at a small compression-ratio
+//! cost), and decompression parallelizes the same way.
+//!
+//! Container: `magic "PWC1" | elem u8 | dims header | n_chunks uvarint |
+//! (slab_extent uvarint, stream_len uvarint)* | streams...`
+
+use crate::pool::WorkerPool;
+use pwrel_bitstream::varint;
+use pwrel_data::{CodecError, Dims, Float};
+
+const MAGIC: &[u8; 4] = b"PWC1";
+
+/// Splits `dims` into at most `target_chunks` slabs along the slowest
+/// axis, returning each slab's extent along that axis.
+pub fn slab_extents(dims: Dims, target_chunks: usize) -> Vec<usize> {
+    let slow = match dims.rank() {
+        1 => dims.nx,
+        2 => dims.ny,
+        _ => dims.nz,
+    };
+    if slow == 0 {
+        return Vec::new();
+    }
+    let n = target_chunks.clamp(1, slow);
+    let base = slow / n;
+    let extra = slow % n;
+    (0..n)
+        .map(|i| base + usize::from(i < extra))
+        .filter(|&e| e > 0)
+        .collect()
+}
+
+/// Dims of one slab of `extent` slices.
+fn slab_dims(dims: Dims, extent: usize) -> Dims {
+    match dims.rank() {
+        1 => Dims::d1(extent),
+        2 => Dims::d2(extent, dims.nx),
+        _ => Dims::d3(extent, dims.ny, dims.nx),
+    }
+}
+
+/// Points per unit of the slowest axis.
+fn slice_len(dims: Dims) -> usize {
+    match dims.rank() {
+        1 => 1,
+        2 => dims.nx,
+        _ => dims.nx * dims.ny,
+    }
+}
+
+/// Chunked-parallel wrapper around any per-buffer codec.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedCodec {
+    /// Worker pool used for both directions.
+    pub pool: WorkerPool,
+    /// Desired number of slabs (clamped to the slowest-axis extent).
+    pub target_chunks: usize,
+}
+
+impl ChunkedCodec {
+    /// Creates a chunked codec with one chunk per worker by default.
+    pub fn new(pool: WorkerPool) -> Self {
+        Self {
+            target_chunks: pool.workers() * 2,
+            pool,
+        }
+    }
+
+    /// Compresses `data` slab-by-slab with `compress_chunk` in parallel.
+    pub fn compress<F, C>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        compress_chunk: C,
+    ) -> Result<Vec<u8>, CodecError>
+    where
+        F: Float,
+        C: Fn(&[F], Dims) -> Result<Vec<u8>, CodecError> + Sync,
+    {
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
+        }
+        let extents = slab_extents(dims, self.target_chunks);
+        let sl = slice_len(dims);
+
+        // Build (slab dims, slice of data) tasks.
+        let mut tasks = Vec::with_capacity(extents.len());
+        let mut offset = 0usize;
+        for &e in &extents {
+            let len = e * sl;
+            tasks.push((slab_dims(dims, e), &data[offset..offset + len]));
+            offset += len;
+        }
+
+        let results: Vec<Result<Vec<u8>, CodecError>> = self
+            .pool
+            .map(tasks, |(d, slice)| compress_chunk(slice, d));
+        let mut streams = Vec::with_capacity(results.len());
+        for r in results {
+            streams.push(r?);
+        }
+
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(F::BITS as u8);
+        let (rank, nx, ny, nz) = dims.to_header();
+        out.push(rank);
+        varint::write_uvarint(&mut out, nx);
+        varint::write_uvarint(&mut out, ny);
+        varint::write_uvarint(&mut out, nz);
+        varint::write_uvarint(&mut out, streams.len() as u64);
+        for (&e, s) in extents.iter().zip(&streams) {
+            varint::write_uvarint(&mut out, e as u64);
+            varint::write_uvarint(&mut out, s.len() as u64);
+        }
+        for s in &streams {
+            out.extend_from_slice(s);
+        }
+        Ok(out)
+    }
+
+    /// Decompresses a chunked container with `decompress_chunk` in parallel.
+    pub fn decompress<F, D>(
+        &self,
+        bytes: &[u8],
+        decompress_chunk: D,
+    ) -> Result<(Vec<F>, Dims), CodecError>
+    where
+        F: Float,
+        D: Fn(&[u8]) -> Result<(Vec<F>, Dims), CodecError> + Sync,
+    {
+        if bytes.len() < 7 || &bytes[..4] != MAGIC {
+            return Err(CodecError::Mismatch("bad chunked magic"));
+        }
+        let mut pos = 4usize;
+        let elem = bytes[pos];
+        pos += 1;
+        if elem as u32 != F::BITS {
+            return Err(CodecError::Mismatch("element type differs from stream"));
+        }
+        let rank = bytes[pos];
+        pos += 1;
+        let nx = varint::read_uvarint(bytes, &mut pos)?;
+        let ny = varint::read_uvarint(bytes, &mut pos)?;
+        let nz = varint::read_uvarint(bytes, &mut pos)?;
+        let dims = Dims::from_header(rank, nx, ny, nz).ok_or(CodecError::Corrupt("bad dims"))?;
+        let n_chunks = varint::read_uvarint(bytes, &mut pos)? as usize;
+        if n_chunks > bytes.len() {
+            return Err(CodecError::Corrupt("chunk count exceeds stream"));
+        }
+        let mut meta = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let extent = varint::read_uvarint(bytes, &mut pos)? as usize;
+            let len = varint::read_uvarint(bytes, &mut pos)? as usize;
+            meta.push((extent, len));
+        }
+        let slow_total: usize = meta.iter().map(|(e, _)| e).sum();
+        let expected_slow = match dims.rank() {
+            1 => dims.nx,
+            2 => dims.ny,
+            _ => dims.nz,
+        };
+        if slow_total != expected_slow {
+            return Err(CodecError::Corrupt("slab extents do not cover the grid"));
+        }
+
+        let mut tasks = Vec::with_capacity(n_chunks);
+        for &(extent, len) in &meta {
+            let end = pos.checked_add(len).ok_or(CodecError::Corrupt("eof"))?;
+            if end > bytes.len() {
+                return Err(CodecError::Corrupt("truncated chunk"));
+            }
+            tasks.push((extent, &bytes[pos..end]));
+            pos = end;
+        }
+
+        let results: Vec<Result<(Vec<F>, Dims), CodecError>> = self
+            .pool
+            .map(tasks, |(extent, stream)| {
+                let (data, d) = decompress_chunk(stream)?;
+                if d != slab_dims(dims, extent) || data.len() != d.len() {
+                    return Err(CodecError::Corrupt("chunk dims mismatch"));
+                }
+                Ok((data, d))
+            });
+
+        let mut out = Vec::with_capacity(dims.len());
+        for r in results {
+            out.extend(r?.0);
+        }
+        Ok((out, dims))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwrel_core::{LogBase, PwRelCompressor};
+    use pwrel_data::grf;
+    use pwrel_sz::SzCompressor;
+
+    fn sz_t() -> PwRelCompressor<SzCompressor> {
+        PwRelCompressor::new(SzCompressor::default(), LogBase::Two)
+    }
+
+    #[test]
+    fn slab_extents_cover_and_balance() {
+        assert_eq!(slab_extents(Dims::d3(10, 4, 4), 4), vec![3, 3, 2, 2]);
+        assert_eq!(slab_extents(Dims::d3(2, 4, 4), 8), vec![1, 1]);
+        assert_eq!(slab_extents(Dims::d1(7), 3), vec![3, 2, 2]);
+        assert_eq!(slab_extents(Dims::d2(5, 9), 1), vec![5]);
+    }
+
+    #[test]
+    fn chunked_round_trip_preserves_bound_3d() {
+        let dims = Dims::d3(24, 16, 16);
+        let data = grf::gaussian_field(dims, 42, 2, 2);
+        let positive: Vec<f32> = data.iter().map(|v| v.abs() + 0.1).collect();
+        let codec = sz_t();
+        let chunked = ChunkedCodec::new(WorkerPool::new(4));
+        let br = 1e-3;
+        let stream = chunked
+            .compress(&positive, dims, |slice, d| codec.compress(slice, d, br))
+            .unwrap();
+        let (dec, d2) = chunked
+            .decompress::<f32, _>(&stream, |s| codec.decompress_full(s))
+            .unwrap();
+        assert_eq!(d2, dims);
+        for (&a, &b) in positive.iter().zip(&dec) {
+            assert!(((a as f64 - b as f64) / a as f64).abs() <= br);
+        }
+    }
+
+    #[test]
+    fn chunked_output_is_deterministic_across_worker_counts() {
+        let dims = Dims::d2(40, 32);
+        let data = grf::gaussian_field(dims, 7, 3, 2);
+        let codec = sz_t();
+        let br = 1e-2;
+        let one = ChunkedCodec {
+            pool: WorkerPool::new(1),
+            target_chunks: 5,
+        };
+        let four = ChunkedCodec {
+            pool: WorkerPool::new(4),
+            target_chunks: 5,
+        };
+        let a = one
+            .compress(&data, dims, |s, d| codec.compress(s, d, br))
+            .unwrap();
+        let b = four
+            .compress(&data, dims, |s, d| codec.compress(s, d, br))
+            .unwrap();
+        assert_eq!(a, b, "stream must not depend on scheduling");
+    }
+
+    #[test]
+    fn chunked_1d_and_partial_chunks() {
+        let dims = Dims::d1(1001);
+        let data: Vec<f32> = (0..1001).map(|i| (i as f32 + 2.0).ln()).collect();
+        let codec = sz_t();
+        let chunked = ChunkedCodec {
+            pool: WorkerPool::new(3),
+            target_chunks: 7,
+        };
+        let stream = chunked
+            .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
+            .unwrap();
+        let (dec, _) = chunked
+            .decompress::<f32, _>(&stream, |s| codec.decompress_full(s))
+            .unwrap();
+        assert_eq!(dec.len(), data.len());
+        for (&a, &b) in data.iter().zip(&dec) {
+            assert!(((a - b) / a).abs() <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn corrupt_container_rejected() {
+        let dims = Dims::d1(100);
+        let data = vec![1.5f32; 100];
+        let codec = sz_t();
+        let chunked = ChunkedCodec::new(WorkerPool::new(2));
+        let stream = chunked
+            .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
+            .unwrap();
+        let dec = |s: &[u8]| codec.decompress_full::<f32>(s);
+        assert!(chunked.decompress::<f32, _>(&stream[..10], dec).is_err());
+        let mut bad = stream.clone();
+        bad[0] = b'X';
+        assert!(chunked.decompress::<f32, _>(&bad, dec).is_err());
+        // f64 element type mismatch.
+        assert!(chunked
+            .decompress::<f64, _>(&stream, |s| codec.decompress_full::<f64>(s))
+            .is_err());
+    }
+
+    #[test]
+    fn more_chunks_cost_some_ratio_but_not_much() {
+        let dims = Dims::d2(128, 64);
+        let data: Vec<f32> = grf::gaussian_field(dims, 9, 4, 3)
+            .iter()
+            .map(|v| v.abs() + 0.5)
+            .collect();
+        let codec = sz_t();
+        let whole = codec.compress(&data, dims, 1e-2).unwrap();
+        let chunked = ChunkedCodec {
+            pool: WorkerPool::new(4),
+            target_chunks: 8,
+        };
+        let split = chunked
+            .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
+            .unwrap();
+        assert!(split.len() < whole.len() * 2, "{} vs {}", split.len(), whole.len());
+    }
+}

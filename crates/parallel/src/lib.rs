@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Parallel execution and the simulated parallel-file-system experiment.
+//!
+//! The paper's Figure 6 measures *data dumping* (compression + parallel
+//! write) and *data loading* (parallel read + decompression) for NYX on
+//! 1,024–4,096 cores of the Bebop supercomputer with GPFS storage, one file
+//! per process. We do not have 128 nodes; we reproduce the experiment's
+//! mechanism instead:
+//!
+//! * **compute** is real: per-rank compression/decompression is executed on
+//!   this machine by a [`pool`] of worker threads and timed (weak scaling —
+//!   every rank holds an equally-sized shard, so one rank's wall time
+//!   stands for all),
+//! * **I/O** is modeled: GPFS-style shared aggregate bandwidth plus
+//!   per-file latency ([`pfs::PfsModel`]). With thousands of ranks the
+//!   shared link is the bottleneck, so dump/load time is dominated by
+//!   `total_bytes / aggregate_bandwidth` — exactly the regime where a
+//!   higher compression ratio wins, which is the effect Figure 6 reports.
+
+pub mod chunked;
+pub mod experiment;
+pub mod pfs;
+pub mod pool;
+
+pub use chunked::ChunkedCodec;
+pub use experiment::{DumpReport, LoadReport, ScalingExperiment};
+pub use pfs::PfsModel;
+pub use pool::WorkerPool;

@@ -1,0 +1,91 @@
+//! Analytic parallel-file-system model (GPFS-style shared storage).
+//!
+//! File-per-process I/O on a shared parallel file system saturates the
+//! aggregate backend bandwidth once enough ranks write simultaneously; each
+//! file also pays metadata/open latency. The model is deliberately simple —
+//! the paper's Figure 6 behaviour only needs the bandwidth-bound regime:
+//!
+//! `time = latency(n_files) + total_bytes / aggregate_bandwidth`
+
+/// Shared-storage performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct PfsModel {
+    /// Aggregate write bandwidth (bytes/s) across all ranks.
+    pub write_bw: f64,
+    /// Aggregate read bandwidth (bytes/s).
+    pub read_bw: f64,
+    /// Per-file metadata overhead (seconds), divided by the metadata
+    /// servers' parallelism (files are opened concurrently).
+    pub per_file_latency: f64,
+    /// Effective metadata parallelism.
+    pub metadata_parallelism: f64,
+}
+
+impl Default for PfsModel {
+    /// Roughly a mid-size GPFS installation: 80 GB/s writes, 100 GB/s
+    /// reads, 1 ms/file metadata over 64-way parallel metadata service.
+    fn default() -> Self {
+        Self {
+            write_bw: 80.0e9,
+            read_bw: 100.0e9,
+            per_file_latency: 1.0e-3,
+            metadata_parallelism: 64.0,
+        }
+    }
+}
+
+impl PfsModel {
+    fn metadata_time(&self, n_files: usize) -> f64 {
+        self.per_file_latency * n_files as f64 / self.metadata_parallelism
+    }
+
+    /// Wall time for `n_files` ranks writing `total_bytes` in aggregate.
+    pub fn write_time(&self, total_bytes: u64, n_files: usize) -> f64 {
+        self.metadata_time(n_files) + total_bytes as f64 / self.write_bw
+    }
+
+    /// Wall time for `n_files` ranks reading `total_bytes` in aggregate.
+    pub fn read_time(&self, total_bytes: u64, n_files: usize) -> f64 {
+        self.metadata_time(n_files) + total_bytes as f64 / self.read_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_bound_regime() {
+        let pfs = PfsModel::default();
+        // 12 TB over 80 GB/s = 150 s (plus small metadata term).
+        let t = pfs.write_time(12_000_000_000_000, 4096);
+        assert!((150.0..151.0).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn write_time_scales_linearly_with_bytes() {
+        let pfs = PfsModel::default();
+        let t1 = pfs.write_time(1_000_000_000, 1024);
+        let t2 = pfs.write_time(2_000_000_000, 1024);
+        assert!(t2 > t1);
+        let fixed = pfs.write_time(0, 1024);
+        assert!(((t2 - fixed) / (t1 - fixed) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_faster_than_writes_by_default() {
+        let pfs = PfsModel::default();
+        assert!(pfs.read_time(1 << 30, 64) < pfs.write_time(1 << 30, 64));
+    }
+
+    #[test]
+    fn compression_ratio_cuts_io_time() {
+        // The Figure 6 mechanism in one assertion: a 13.5x-ratio codec
+        // spends ~half the I/O of an 8x-ratio codec on the same raw data.
+        let pfs = PfsModel::default();
+        let raw: u64 = 3 << 40; // 3 TB
+        let t_8x = pfs.write_time(raw / 8, 1024);
+        let t_13x = pfs.write_time(raw / 13, 1024);
+        assert!(t_13x < t_8x * 0.7);
+    }
+}

@@ -1,0 +1,155 @@
+//! A small ordered-result worker pool on crossbeam channels.
+//!
+//! Built from scratch (no rayon): scoped worker threads pull `(index, task)`
+//! pairs from a shared channel and push `(index, result)` back; the caller
+//! reassembles results in input order. Workers inherit panics: a panicking
+//! task poisons the pool and the call panics, rather than silently dropping
+//! a result.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// Fixed-size pool configuration (threads are spawned per call, scoped).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: NonZeroUsize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: NonZeroUsize::new(workers.max(1)).unwrap(),
+        }
+    }
+
+    /// One thread per available CPU.
+    pub fn per_cpu() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.get()
+    }
+
+    /// Runs `f` over `tasks` on the pool, returning results in input order.
+    pub fn map<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let n_workers = self.workers.get().min(n);
+        if n_workers == 1 {
+            return tasks.into_iter().map(f).collect();
+        }
+
+        let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+        let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+        for pair in tasks.into_iter().enumerate() {
+            task_tx.send(pair).expect("queue send");
+        }
+        drop(task_tx);
+
+        let results: Vec<Option<R>> = std::thread::scope(|s| {
+            for _ in 0..n_workers {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                let f = &f;
+                s.spawn(move || {
+                    while let Ok((i, t)) = task_rx.recv() {
+                        let r = f(t);
+                        if res_tx.send((i, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            while let Ok((i, r)) = res_rx.recv() {
+                out[i] = Some(r);
+            }
+            out
+        });
+
+        results
+            .into_iter()
+            .map(|r| r.expect("worker task panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_input_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<u64> = (0..1000).collect();
+        let out = pool.map(tasks, |t| t * t);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = WorkerPool::new(3);
+        let out: Vec<u32> = pool.map(Vec::<u32>::new(), |t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_is_sequential_path() {
+        let pool = WorkerPool::new(1);
+        let out = pool.map(vec![1, 2, 3], |t| t + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let pool = WorkerPool::new(8);
+        let out = pool.map((0..500).collect::<Vec<_>>(), |t| {
+            count.fetch_add(1, Ordering::Relaxed);
+            t
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn workers_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn parallel_speedup_on_cpu_bound_work() {
+        // Not a strict benchmark — just verify the pool actually uses
+        // multiple threads by observing concurrent execution.
+        use std::sync::atomic::AtomicUsize;
+        static CONCURRENT: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkerPool::new(4);
+        pool.map((0..16).collect::<Vec<_>>(), |_| {
+            let now = CONCURRENT.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            CONCURRENT.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(PEAK.load(Ordering::SeqCst) >= 2, "no observed concurrency");
+    }
+}

@@ -1,0 +1,98 @@
+//! Lorenzo prediction over previously decompressed neighbours.
+//!
+//! SZ predicts each point from its already-reconstructed causal neighbours:
+//! 1 neighbour in 1D, 3 in 2D, 7 in 3D (paper Sec. IV-A, footnote 1).
+//! Out-of-grid neighbours read as 0, which makes the first point of every
+//! line/plane effectively "predicted by zero" — it is then either quantized
+//! against 0 or stored verbatim.
+
+use pwrel_data::{Dims, Float};
+
+/// Predicts point `(i, j, k)` from the decompressed buffer `dec`.
+///
+/// `dec` must already contain reconstructed values for all causal
+/// predecessors in raster order.
+#[inline]
+pub fn predict<F: Float>(dec: &[F], dims: Dims, i: usize, j: usize, k: usize) -> f64 {
+    let at = |ii: isize, jj: isize, kk: isize| -> f64 {
+        if ii < 0 || jj < 0 || kk < 0 {
+            return 0.0;
+        }
+        dec[dims.index(ii as usize, jj as usize, kk as usize)].to_f64()
+    };
+    let (i, j, k) = (i as isize, j as isize, k as isize);
+    match dims.rank() {
+        1 => at(i - 1, 0, 0),
+        2 => at(i - 1, j, 0) + at(i, j - 1, 0) - at(i - 1, j - 1, 0),
+        _ => {
+            at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1)
+                - at(i - 1, j - 1, k)
+                - at(i - 1, j, k - 1)
+                - at(i, j - 1, k - 1)
+                + at(i - 1, j - 1, k - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_prediction_is_previous_value() {
+        let dims = Dims::d1(4);
+        let dec = [1.0f32, 2.0, 3.0, 0.0];
+        assert_eq!(predict(&dec, dims, 0, 0, 0), 0.0);
+        assert_eq!(predict(&dec, dims, 3, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn d2_prediction_exact_on_planes() {
+        // Lorenzo 2D is exact for bilinear data f(i,j) = a + b*i + c*j.
+        let dims = Dims::d2(4, 4);
+        let mut dec = vec![0.0f64; 16];
+        for j in 0..4 {
+            for i in 0..4 {
+                dec[dims.index(i, j, 0)] = 2.0 + 3.0 * i as f64 - 1.5 * j as f64;
+            }
+        }
+        for j in 1..4 {
+            for i in 1..4 {
+                let p = predict(&dec, dims, i, j, 0);
+                assert!((p - dec[dims.index(i, j, 0)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn d3_prediction_exact_on_trilinear() {
+        let dims = Dims::d3(3, 3, 3);
+        let mut dec = vec![0.0f64; 27];
+        for k in 0..3 {
+            for j in 0..3 {
+                for i in 0..3 {
+                    dec[dims.index(i, j, k)] =
+                        1.0 + 2.0 * i as f64 + 0.5 * j as f64 - 3.0 * k as f64;
+                }
+            }
+        }
+        for k in 1..3 {
+            for j in 1..3 {
+                for i in 1..3 {
+                    let p = predict(&dec, dims, i, j, k);
+                    assert!((p - dec[dims.index(i, j, k)]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn border_neighbours_read_zero() {
+        let dims = Dims::d2(2, 2);
+        let dec = [5.0f32, 6.0, 7.0, 0.0];
+        // (0,0): all neighbours out of grid.
+        assert_eq!(predict(&dec, dims, 0, 0, 0), 0.0);
+        // (0,1): only the (i, j-1) term is in-grid.
+        assert_eq!(predict(&dec, dims, 0, 1, 0), 5.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Spatial-block PW_REL mode for 2D/3D data.
+//!
+//! The DRBSD-2 design the paper describes splits *multidimensional* data
+//! into non-overlapping spatial blocks and compresses each with the
+//! absolute bound `b_r · min|x|` over the block. Spatially coherent blocks
+//! have more homogeneous magnitudes than raster runs, so this is the
+//! faithful (and slightly stronger) version of SZ_PWR for rank ≥ 2; 1D
+//! data keeps the raster-run implementation in `engine`.
+//!
+//! Blocks are the 6^d partition shared with the hybrid predictor;
+//! traversal is block-by-block on both sides, with Lorenzo predicting from
+//! the global decompressed buffer.
+
+use crate::format::{SzMode, SzStream};
+use crate::regression;
+use crate::{lorenzo, unpred, SzCompressor};
+use pwrel_bitstream::{BitReader, BitWriter};
+use pwrel_data::{CodecError, Dims, Float};
+use pwrel_lossless::huffman;
+
+/// Per-block power-of-two bound exponent (see `engine::block_exponents`
+/// for the 1D analogue and the zero-block rationale).
+fn block_exponent<F: Float>(data: &[F], dims: Dims, b: &regression::Block, rel: f64) -> i32 {
+    let (ox, oy, oz) = b.origin;
+    let (ex, ey, ez) = b.extent;
+    let mut min_mag = f64::INFINITY;
+    for dk in 0..ez {
+        for dj in 0..ey {
+            for di in 0..ex {
+                let m = data[dims.index(ox + di, oy + dj, oz + dk)].to_f64().abs();
+                if m > 0.0 && m < min_mag {
+                    min_mag = m;
+                }
+            }
+        }
+    }
+    if min_mag.is_infinite() {
+        -1074
+    } else {
+        let e = (rel * min_mag).log2();
+        if e.is_finite() {
+            (e.floor() as i64).clamp(-1074, 1000) as i32
+        } else {
+            -1074
+        }
+    }
+}
+
+/// Compresses with the spatial-block PW_REL mode (rank ≥ 2).
+pub(crate) fn compress<F: Float>(
+    data: &[F],
+    dims: Dims,
+    rel_bound: f64,
+    cfg: &SzCompressor,
+) -> Result<Vec<u8>, CodecError> {
+    let capacity = cfg.capacity;
+    let radius = (capacity / 2) as i64;
+    let blist = regression::blocks(dims);
+    let exps: Vec<i32> = blist
+        .iter()
+        .map(|b| block_exponent(data, dims, b, rel_bound))
+        .collect();
+
+    let n = data.len();
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut unpred_w = BitWriter::new();
+    let mut n_unpred = 0u64;
+    let mut dec: Vec<F> = vec![F::zero(); n];
+
+    for (bi, b) in blist.iter().enumerate() {
+        let eb = (exps[bi] as f64).exp2();
+        let (ox, oy, oz) = b.origin;
+        let (ex, ey, ez) = b.extent;
+        for dk in 0..ez {
+            for dj in 0..ey {
+                for di in 0..ex {
+                    let (i, j, k) = (ox + di, oy + dj, oz + dk);
+                    let idx = dims.index(i, j, k);
+                    let x = data[idx];
+                    let mut done = false;
+                    if x.is_finite() {
+                        let pred = lorenzo::predict(&dec, dims, i, j, k);
+                        let qf = ((x.to_f64() - pred) / (2.0 * eb)).round();
+                        if qf.is_finite() && qf.abs() < radius as f64 {
+                            let q = qf as i64;
+                            let val = F::from_f64(pred + 2.0 * eb * q as f64);
+                            if val.is_finite() && (val.to_f64() - x.to_f64()).abs() <= eb {
+                                codes.push((radius + q) as u32);
+                                dec[idx] = val;
+                                done = true;
+                            }
+                        }
+                    }
+                    if !done {
+                        codes.push(0);
+                        dec[idx] = unpred::write(&mut unpred_w, x, eb);
+                        n_unpred += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let stream = SzStream {
+        float_bits: F::BITS as u8,
+        dims,
+        capacity,
+        mode: SzMode::PwrSpatial {
+            rel_bound,
+            block_exps: exps,
+        },
+        codes_buf: huffman::encode_symbols(&codes, capacity as usize),
+        n_unpred,
+        unpred_bytes: unpred_w.into_bytes(),
+    };
+    Ok(stream.serialize(cfg.lossless_pass))
+}
+
+/// Decompresses a `PwrSpatial` stream.
+pub(crate) fn decompress<F: Float>(stream: &SzStream) -> Result<(Vec<F>, Dims), CodecError> {
+    let block_exps = match &stream.mode {
+        SzMode::PwrSpatial { block_exps, .. } => block_exps,
+        _ => return Err(CodecError::Corrupt("not a spatial PWR stream")),
+    };
+    let dims = stream.dims;
+    let n = dims.len();
+    let radius = (stream.capacity / 2) as i64;
+    let blist = regression::blocks(dims);
+    if blist.len() != block_exps.len() {
+        return Err(CodecError::Corrupt("spatial block count mismatch"));
+    }
+
+    let mut pos = 0usize;
+    let codes = huffman::decode_symbols(&stream.codes_buf, &mut pos)?;
+    if codes.len() != n {
+        return Err(CodecError::Corrupt("code count != point count"));
+    }
+
+    let mut unpred_r = BitReader::new(&stream.unpred_bytes);
+    let mut dec: Vec<F> = vec![F::zero(); n];
+    let mut code_idx = 0usize;
+
+    for (bi, b) in blist.iter().enumerate() {
+        let eb = (block_exps[bi] as f64).exp2();
+        let (ox, oy, oz) = b.origin;
+        let (ex, ey, ez) = b.extent;
+        for dk in 0..ez {
+            for dj in 0..ey {
+                for di in 0..ex {
+                    let (i, j, k) = (ox + di, oy + dj, oz + dk);
+                    let idx = dims.index(i, j, k);
+                    let code = codes[code_idx];
+                    code_idx += 1;
+                    let val = if code == 0 {
+                        unpred::read::<F>(&mut unpred_r, eb)?
+                    } else {
+                        if code as i64 >= stream.capacity as i64 {
+                            return Err(CodecError::Corrupt("code out of range"));
+                        }
+                        let q = code as i64 - radius;
+                        let pred = lorenzo::predict(&dec, dims, i, j, k);
+                        F::from_f64(pred + 2.0 * eb * q as f64)
+                    };
+                    dec[idx] = val;
+                }
+            }
+        }
+    }
+    Ok((dec, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwrel_data::grf;
+
+    fn sz() -> SzCompressor {
+        SzCompressor::default()
+    }
+
+    fn check_rel(data: &[f32], dims: Dims, br: f64) -> Vec<u8> {
+        let bytes = sz().compress_pwr(data, dims, br).unwrap();
+        let (dec, d2) = sz().decompress::<f32>(&bytes).unwrap();
+        assert_eq!(d2, dims);
+        for (idx, (&a, &b)) in data.iter().zip(&dec).enumerate() {
+            if a != 0.0 {
+                let rel = ((a as f64 - b as f64) / a as f64).abs();
+                assert!(rel <= br, "idx {idx}: rel {rel} > {br}");
+            }
+        }
+        bytes
+    }
+
+    #[test]
+    fn spatial_pwr_bounded_2d_3d() {
+        let d2 = Dims::d2(50, 60);
+        let f2: Vec<f32> = grf::gaussian_field(d2, 61, 2, 2)
+            .iter()
+            .map(|v| v + 3.0)
+            .collect();
+        check_rel(&f2, d2, 1e-2);
+        let d3 = Dims::d3(13, 14, 15);
+        let f3 = grf::gaussian_field(d3, 62, 1, 2);
+        check_rel(&f3, d3, 1e-3);
+    }
+
+    #[test]
+    fn spatial_blocks_beat_raster_runs_on_banded_2d_data() {
+        // Rows alternate between tiny and large magnitudes. Raster runs of
+        // 256 points mix both (tiny min everywhere); 6x6 spatial blocks
+        // also straddle rows here, BUT with vertically banded data the
+        // spatial advantage shows: make *columns* alternate instead, so a
+        // raster run always hits tiny values while a 6-wide block inside a
+        // band does not.
+        let dims = Dims::d2(60, 60);
+        let mut data = vec![0.0f32; dims.len()];
+        for j in 0..60 {
+            for i in 0..60 {
+                let band_large = (j / 6) % 2 == 0;
+                let mag = if band_large { 1000.0 } else { 1e-3 };
+                data[dims.index(i, j, 0)] = mag * (1.0 + 0.01 * ((i + j) as f32 * 0.1).sin());
+            }
+        }
+        let spatial = check_rel(&data, dims, 1e-2);
+        // Compare against the 1D raster-run implementation on the same
+        // data flattened (forces runs across bands).
+        let flat_dims = Dims::d1(dims.len());
+        let raster = sz().compress_pwr(&data, flat_dims, 1e-2).unwrap();
+        assert!(
+            spatial.len() < raster.len(),
+            "spatial {} vs raster {}",
+            spatial.len(),
+            raster.len()
+        );
+    }
+
+    #[test]
+    fn zeros_in_blocks_decode_approximately_like_sz14() {
+        // Mixed blocks approximate zeros (paper's `*`); all-zero blocks
+        // stay exact.
+        let dims = Dims::d2(24, 24);
+        let mut data = vec![0.0f32; dims.len()];
+        for j in 12..24 {
+            for i in 0..24 {
+                data[dims.index(i, j, 0)] = 5.0 + (i as f32) * 0.01;
+            }
+        }
+        data[dims.index(3, 12, 0)] = 0.0; // a zero inside a non-zero block
+        let bytes = sz().compress_pwr(&data, dims, 1e-2).unwrap();
+        let (dec, _) = sz().decompress::<f32>(&bytes).unwrap();
+        // All-zero half exact:
+        for j in 0..6 {
+            for i in 0..24 {
+                assert_eq!(dec[dims.index(i, j, 0)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_spatial_path() {
+        let dims = Dims::d3(8, 9, 10);
+        let data: Vec<f64> = (0..dims.len())
+            .map(|i| 1e6 + (i as f64) * 3.7)
+            .collect();
+        let bytes = sz().compress_pwr(&data, dims, 1e-3).unwrap();
+        let (dec, _) = sz().decompress::<f64>(&bytes).unwrap();
+        for (&a, &b) in data.iter().zip(&dec) {
+            assert!(((a - b) / a).abs() <= 1e-3);
+        }
+    }
+}

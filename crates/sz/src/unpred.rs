@@ -1,0 +1,199 @@
+//! Truncated binary storage for unpredictable values.
+//!
+//! SZ 1.4 does not store escaped ("unpredictable") points as full IEEE
+//! floats: it analyses the binary representation and keeps only the
+//! leading mantissa bits needed to stay within the error bound. For a
+//! value `x = ±1.f × 2^(e-1)` and bound `eb`, rounding the mantissa to
+//! `m = e − 2 − floor(log2 eb)` bits leaves error `≤ 2^(e−m−2) ≤ eb`.
+//!
+//! Encoding per value: `1` + raw IEEE bits (escape: non-finite, zero,
+//! values needing full precision, or rounding overflow), or `0` + sign bit
+//! plus a biased exponent (9 bits for f32, 12 for f64) and `m` mantissa
+//! bits. Encoder and decoder derive `m` from the exponent and the bound,
+//! so no length field is stored.
+
+use pwrel_bitstream::{BitReader, BitWriter, Result};
+use pwrel_data::Float;
+
+/// Exponent field width: 9 bits cover f32's frexp range [-148, 129]
+/// (bias 256), 12 bits cover f64's [-1073, 1025] (bias 2048).
+fn exp_field_bits<F: Float>() -> u32 {
+    if F::BITS == 32 {
+        9
+    } else {
+        12
+    }
+}
+
+fn exp_bias<F: Float>() -> i64 {
+    1i64 << (exp_field_bits::<F>() - 1)
+}
+
+/// frexp-style exponent for finite `m > 0`: `m ∈ [2^(e-1), 2^e)`.
+fn frexp_exp(m: f64) -> i32 {
+    debug_assert!(m > 0.0 && m.is_finite());
+    let bits = m.to_bits();
+    let e = ((bits >> 52) & 0x7FF) as i32;
+    if e == 0 {
+        let mant = bits & ((1u64 << 52) - 1);
+        -1022 - (mant.leading_zeros() as i32 - 12) - 1
+    } else {
+        e - 1022
+    }
+}
+
+/// Mantissa bits required for bound `2^eb_exp` at value exponent `e`.
+#[inline]
+fn mantissa_bits(e: i32, eb_exp: i32) -> i64 {
+    e as i64 - 2 - eb_exp as i64
+}
+
+/// `floor(log2 eb)` shared by encoder and decoder.
+#[inline]
+pub fn bound_exp(eb: f64) -> i32 {
+    debug_assert!(eb > 0.0 && eb.is_finite());
+    eb.log2().floor().clamp(-4200.0, 4200.0) as i32
+}
+
+/// Writes one unpredictable value with error ≤ `eb`, returning the exact
+/// value the decoder will reconstruct (the caller must feed this, not the
+/// original, to its prediction state).
+pub fn write<F: Float>(w: &mut BitWriter, x: F, eb: f64) -> F {
+    let v = x.to_f64();
+    let raw = |w: &mut BitWriter| -> F {
+        w.write_bit(true);
+        w.write_bits(x.to_bits_u64(), F::BITS);
+        x
+    };
+    if !v.is_finite() || v == 0.0 {
+        return raw(w);
+    }
+    let e = frexp_exp(v.abs());
+    let bias = exp_bias::<F>();
+    let m = mantissa_bits(e, bound_exp(eb));
+    if m >= F::MANT_BITS as i64 || !(-bias..bias).contains(&(e as i64)) {
+        return raw(w); // needs (almost) full precision anyway
+    }
+    let m = m.max(0) as u32;
+    // Fraction in [1, 2); round its low bits away.
+    let frac = v.abs() * ((1 - e) as f64).exp2();
+    let scaled = ((frac - 1.0) * (m as f64).exp2()).round();
+    if scaled < 0.0 || scaled >= (m as f64).exp2() {
+        return raw(w); // rounding overflowed the mantissa (frac → 2.0)
+    }
+    // Verify in the stored element type before committing.
+    let rec = reconstruct::<F>(v < 0.0, e, scaled as u64, m);
+    if (rec.to_f64() - v).abs() > eb {
+        return raw(w);
+    }
+    w.write_bit(false);
+    w.write_bit(v < 0.0);
+    w.write_bits((e as i64 + bias) as u64, exp_field_bits::<F>());
+    w.write_bits(scaled as u64, m);
+    rec
+}
+
+fn reconstruct<F: Float>(neg: bool, e: i32, scaled: u64, m: u32) -> F {
+    let frac = 1.0 + scaled as f64 * (-(m as f64)).exp2();
+    let mag = frac * ((e - 1) as f64).exp2();
+    F::from_f64(if neg { -mag } else { mag })
+}
+
+/// Reads one value written by [`write`] under the same bound.
+pub fn read<F: Float>(r: &mut BitReader, eb: f64) -> Result<F> {
+    if r.read_bit()? {
+        return Ok(F::from_bits_u64(r.read_bits(F::BITS)?));
+    }
+    let neg = r.read_bit()?;
+    let e = r.read_bits(exp_field_bits::<F>())? as i64 - exp_bias::<F>();
+    let m = mantissa_bits(e as i32, bound_exp(eb)).max(0) as u32;
+    let scaled = r.read_bits(m)?;
+    Ok(reconstruct::<F>(neg, e as i32, scaled, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_f32(vals: &[f32], eb: f64) -> Vec<f32> {
+        let mut w = BitWriter::new();
+        for &v in vals {
+            write(&mut w, v, eb);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        vals.iter().map(|_| read::<f32>(&mut r, eb).unwrap()).collect()
+    }
+
+    #[test]
+    fn error_within_bound_across_magnitudes() {
+        let vals: Vec<f32> = (-60..60)
+            .map(|e| 1.37f32 * 2f32.powi(e) * if e % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        for eb in [1e-6, 1e-3, 1.0, 1e3] {
+            let dec = round_trip_f32(&vals, eb);
+            for (&a, &b) in vals.iter().zip(&dec) {
+                assert!(
+                    (a as f64 - b as f64).abs() <= eb,
+                    "{a} vs {b} at eb {eb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specials_are_exact() {
+        let vals = [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e-42];
+        let dec = round_trip_f32(&vals, 0.1);
+        assert_eq!(dec[0].to_bits(), vals[0].to_bits());
+        assert_eq!(dec[1].to_bits(), vals[1].to_bits());
+        assert!(dec[2].is_nan());
+        assert_eq!(dec[3], f32::INFINITY);
+        assert_eq!(dec[4], f32::NEG_INFINITY);
+        // Denormals are not special-cased: they are coded like any other
+        // value, within the bound.
+        assert!((dec[5] as f64 - 1e-42).abs() <= 0.1);
+    }
+
+    #[test]
+    fn loose_bounds_store_fewer_bits() {
+        let vals: Vec<f32> = (0..1000).map(|i| (i as f32 + 1.0) * 1.001).collect();
+        let bits_at = |eb: f64| -> u64 {
+            let mut w = BitWriter::new();
+            for &v in &vals {
+                write(&mut w, v, eb);
+            }
+            w.bit_len()
+        };
+        let loose = bits_at(1.0);
+        let tight = bits_at(1e-4);
+        assert!(loose < tight, "{loose} vs {tight}");
+        // At eb=1.0 a value ~1000 needs ~8 mantissa bits + 14 header
+        // bits ≈ 22 — far below the 33 bits of raw storage.
+        assert!(loose < vals.len() as u64 * 26, "loose = {loose}");
+    }
+
+    #[test]
+    fn tiny_bound_falls_back_to_raw_exactness() {
+        let vals = [123.456f32, -0.75];
+        let dec = round_trip_f32(&vals, 1e-12);
+        for (&a, &b) in vals.iter().zip(&dec) {
+            assert_eq!(a.to_bits(), b.to_bits(), "raw escape must be exact");
+        }
+    }
+
+    #[test]
+    fn f64_path_bounded() {
+        let vals: Vec<f64> = vec![1e-200, -3.7e150, 2.5, -1.0000001];
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            write(&mut w, v, 1e-3);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            let d = read::<f64>(&mut r, 1e-3).unwrap();
+            assert!((d - v).abs() <= 1e-3, "{v} vs {d}");
+        }
+    }
+}

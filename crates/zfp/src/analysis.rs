@@ -1,0 +1,223 @@
+//! Transform effectiveness metrics (paper Definition 1).
+//!
+//! Treating each of the 4^d positions in a block as a random variable, the
+//! covariance matrix `σ` of the *transformed coefficients* across all
+//! blocks of a dataset determines
+//!
+//! * decorrelation efficiency `η = Σ σ_ii² / Σ_ij σ_ij²` (how much of the
+//!   covariance energy the transform packs onto the diagonal),
+//! * coding gain `γ = (Σ σ_ii² / n) / (Π σ_ii²)^(1/n)` (arithmetic over
+//!   geometric mean of the coefficient variances).
+//!
+//! Lemma 4 argues a logarithm base change multiplies every covariance by
+//! the same constant `1/(ln a)²`, which cancels in both metrics — verified
+//! numerically in the tests here.
+
+use crate::blocks;
+use crate::lift;
+use pwrel_data::{Dims, Float};
+
+/// Real-valued analogue of ZFP's lifting (divisions instead of truncating
+/// shifts), used only for statistics — the codec itself stays integer.
+fn fwd_lift_f64(p: &mut [f64], base: usize, s: usize) {
+    let (mut x, mut y, mut z, mut w) = (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);
+    x += w;
+    x /= 2.0;
+    w -= x;
+    z += y;
+    z /= 2.0;
+    y -= z;
+    x += z;
+    x /= 2.0;
+    z -= x;
+    w += y;
+    w /= 2.0;
+    y -= w;
+    w += y / 2.0;
+    y -= w / 2.0;
+    p[base] = x;
+    p[base + s] = y;
+    p[base + 2 * s] = z;
+    p[base + 3 * s] = w;
+}
+
+/// Applies the real-valued separable forward transform to a block.
+pub fn fwd_xform_f64(block: &mut [f64], rank: u8) {
+    match rank {
+        1 => fwd_lift_f64(block, 0, 1),
+        2 => {
+            for j in 0..4 {
+                fwd_lift_f64(block, 4 * j, 1);
+            }
+            for i in 0..4 {
+                fwd_lift_f64(block, i, 4);
+            }
+        }
+        _ => {
+            for k in 0..4 {
+                for j in 0..4 {
+                    fwd_lift_f64(block, 16 * k + 4 * j, 1);
+                }
+            }
+            for k in 0..4 {
+                for i in 0..4 {
+                    fwd_lift_f64(block, 16 * k + i, 4);
+                }
+            }
+            for j in 0..4 {
+                for i in 0..4 {
+                    fwd_lift_f64(block, 4 * j + i, 16);
+                }
+            }
+        }
+    }
+}
+
+/// Covariance matrix of transformed coefficients over all blocks.
+///
+/// Pass `transform = false` to analyse the raw block entries instead (the
+/// baseline the transform is compared against).
+pub fn coefficient_covariance<F: Float>(data: &[F], dims: Dims, transform: bool) -> Vec<Vec<f64>> {
+    let rank = dims.rank();
+    let bs = lift::block_size(rank);
+    let (gx, gy, gz) = blocks::block_grid(dims);
+    let n_blocks = gx * gy * gz;
+    assert!(n_blocks > 1, "need at least two blocks for covariance");
+
+    let mut sums = vec![0.0f64; bs];
+    let mut prods = vec![vec![0.0f64; bs]; bs];
+    let mut block = vec![0.0f64; bs];
+    for bz in 0..gz {
+        for by in 0..gy {
+            for bx in 0..gx {
+                blocks::gather(data, dims, bx, by, bz, &mut block);
+                if transform {
+                    fwd_xform_f64(&mut block, rank);
+                }
+                for i in 0..bs {
+                    sums[i] += block[i];
+                    for j in 0..bs {
+                        prods[i][j] += block[i] * block[j];
+                    }
+                }
+            }
+        }
+    }
+    let nb = n_blocks as f64;
+    let mut cov = vec![vec![0.0f64; bs]; bs];
+    for (i, row) in cov.iter_mut().enumerate() {
+        for (j, c) in row.iter_mut().enumerate() {
+            *c = prods[i][j] / nb - (sums[i] / nb) * (sums[j] / nb);
+        }
+    }
+    cov
+}
+
+/// Decorrelation efficiency `η` from a covariance matrix.
+pub fn decorrelation_efficiency(cov: &[Vec<f64>]) -> f64 {
+    let mut diag = 0.0f64;
+    let mut total = 0.0f64;
+    for (i, row) in cov.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            let s2 = v * v;
+            total += s2;
+            if i == j {
+                diag += s2;
+            }
+        }
+    }
+    if total == 0.0 {
+        1.0
+    } else {
+        diag / total
+    }
+}
+
+/// Coding gain `γ` from a covariance matrix.
+pub fn coding_gain(cov: &[Vec<f64>]) -> f64 {
+    let n = cov.len();
+    let mut arith = 0.0f64;
+    let mut log_geom = 0.0f64;
+    for (i, row) in cov.iter().enumerate() {
+        let v = row[i].max(f64::MIN_POSITIVE);
+        arith += v;
+        log_geom += v.ln();
+    }
+    (arith / n as f64) / (log_geom / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwrel_data::grf;
+
+    fn smooth_field(dims: Dims) -> Vec<f32> {
+        grf::gaussian_field(dims, 99, 3, 3)
+    }
+
+    #[test]
+    fn transform_improves_both_metrics_on_smooth_data() {
+        let dims = Dims::d2(64, 64);
+        let data = smooth_field(dims);
+        let raw = coefficient_covariance(&data, dims, false);
+        let xf = coefficient_covariance(&data, dims, true);
+        assert!(
+            decorrelation_efficiency(&xf) > decorrelation_efficiency(&raw),
+            "η: {} vs {}",
+            decorrelation_efficiency(&xf),
+            decorrelation_efficiency(&raw)
+        );
+        assert!(
+            coding_gain(&xf) > coding_gain(&raw) * 2.0,
+            "γ: {} vs {}",
+            coding_gain(&xf),
+            coding_gain(&raw)
+        );
+    }
+
+    #[test]
+    fn lemma4_metrics_invariant_under_scaling() {
+        // A base change multiplies the (log-domain) data by 1/ln a; η and γ
+        // must not move.
+        let dims = Dims::d2(48, 48);
+        let data = smooth_field(dims);
+        for factor in [std::f32::consts::LOG2_E, std::f32::consts::LOG10_E] {
+            let scaled: Vec<f32> = data.iter().map(|&v| v * factor).collect();
+            let a = coefficient_covariance(&data, dims, true);
+            let b = coefficient_covariance(&scaled, dims, true);
+            let (ea, eb) = (decorrelation_efficiency(&a), decorrelation_efficiency(&b));
+            let (ga, gb) = (coding_gain(&a), coding_gain(&b));
+            assert!((ea - eb).abs() < 1e-3, "η {ea} vs {eb}");
+            assert!((ga / gb - 1.0).abs() < 1e-3, "γ {ga} vs {gb}");
+        }
+    }
+
+    #[test]
+    fn white_noise_has_no_coding_gain() {
+        let dims = Dims::d1(4096);
+        let data = grf::white_noise(dims.len(), 5);
+        let xf = coefficient_covariance(&data, dims, true);
+        let g = coding_gain(&xf);
+        assert!(g < 1.6, "γ on noise should be ~1, got {g}");
+    }
+
+    #[test]
+    fn eta_is_in_unit_interval() {
+        let dims = Dims::d3(8, 8, 8);
+        let data = smooth_field(dims);
+        for transform in [false, true] {
+            let cov = coefficient_covariance(&data, dims, transform);
+            let e = decorrelation_efficiency(&cov);
+            assert!((0.0..=1.0).contains(&e), "η = {e}");
+        }
+    }
+
+    #[test]
+    fn float_lift_matches_integer_lift_shape() {
+        // Same DC concentration behaviour as the integer transform.
+        let mut b = vec![7.0f64; 4];
+        fwd_lift_f64(&mut b, 0, 1);
+        assert!((b[0] - 7.0).abs() < 1e-12);
+        assert!(b[1].abs() + b[2].abs() + b[3].abs() < 1e-12);
+    }
+}

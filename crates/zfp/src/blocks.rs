@@ -1,0 +1,165 @@
+//! 4^d block gather/scatter with edge replication.
+
+use pwrel_data::{Dims, Float};
+
+/// Number of 4-sample blocks along each axis.
+pub fn block_grid(dims: Dims) -> (usize, usize, usize) {
+    (
+        dims.nx.div_ceil(4).max(if dims.nx == 0 { 0 } else { 1 }),
+        if dims.rank() >= 2 { dims.ny.div_ceil(4) } else { 1 },
+        if dims.rank() >= 3 { dims.nz.div_ceil(4) } else { 1 },
+    )
+}
+
+/// Total number of blocks.
+#[allow(dead_code)]
+pub fn n_blocks(dims: Dims) -> usize {
+    let (bx, by, bz) = block_grid(dims);
+    bx * by * bz
+}
+
+/// Gathers block `(bx, by, bz)` into `out` (length 4^rank), replicating the
+/// last in-grid sample across padded positions, as f64.
+pub fn gather<F: Float>(data: &[F], dims: Dims, bx: usize, by: usize, bz: usize, out: &mut [f64]) {
+    let rank = dims.rank();
+    let ext = |n: usize, b: usize, o: usize| -> usize { (4 * b + o).min(n - 1) };
+    match rank {
+        1 => {
+            for (i, o) in out.iter_mut().enumerate().take(4) {
+                *o = data[ext(dims.nx, bx, i)].to_f64();
+            }
+        }
+        2 => {
+            for j in 0..4 {
+                let jj = ext(dims.ny, by, j);
+                for i in 0..4 {
+                    out[4 * j + i] = data[dims.index(ext(dims.nx, bx, i), jj, 0)].to_f64();
+                }
+            }
+        }
+        _ => {
+            for k in 0..4 {
+                let kk = ext(dims.nz, bz, k);
+                for j in 0..4 {
+                    let jj = ext(dims.ny, by, j);
+                    for i in 0..4 {
+                        out[16 * k + 4 * j + i] =
+                            data[dims.index(ext(dims.nx, bx, i), jj, kk)].to_f64();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a reconstructed block back, writing only in-grid positions.
+pub fn scatter<F: Float>(
+    out: &mut [F],
+    dims: Dims,
+    bx: usize,
+    by: usize,
+    bz: usize,
+    block: &[f64],
+) {
+    let rank = dims.rank();
+    match rank {
+        1 => {
+            for (i, &b) in block.iter().enumerate().take(4) {
+                let x = 4 * bx + i;
+                if x < dims.nx {
+                    out[x] = F::from_f64(b);
+                }
+            }
+        }
+        2 => {
+            for j in 0..4 {
+                let y = 4 * by + j;
+                if y >= dims.ny {
+                    continue;
+                }
+                for i in 0..4 {
+                    let x = 4 * bx + i;
+                    if x < dims.nx {
+                        out[dims.index(x, y, 0)] = F::from_f64(block[4 * j + i]);
+                    }
+                }
+            }
+        }
+        _ => {
+            for k in 0..4 {
+                let z = 4 * bz + k;
+                if z >= dims.nz {
+                    continue;
+                }
+                for j in 0..4 {
+                    let y = 4 * by + j;
+                    if y >= dims.ny {
+                        continue;
+                    }
+                    for i in 0..4 {
+                        let x = 4 * bx + i;
+                        if x < dims.nx {
+                            out[dims.index(x, y, z)] = F::from_f64(block[16 * k + 4 * j + i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_grid_counts() {
+        assert_eq!(block_grid(Dims::d1(9)), (3, 1, 1));
+        assert_eq!(block_grid(Dims::d2(5, 8)), (2, 2, 1));
+        assert_eq!(block_grid(Dims::d3(4, 4, 4)), (1, 1, 1));
+        assert_eq!(n_blocks(Dims::d3(5, 5, 5)), 8);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip_unaligned() {
+        let dims = Dims::d2(5, 6);
+        let data: Vec<f32> = (0..30).map(|i| i as f32).collect();
+        let mut out = vec![0.0f32; 30];
+        let (gx, gy, _) = block_grid(dims);
+        let mut block = vec![0.0f64; 16];
+        for by in 0..gy {
+            for bx in 0..gx {
+                gather(&data, dims, bx, by, 0, &mut block);
+                scatter(&mut out, dims, bx, by, 0, &block);
+            }
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn padding_replicates_edges() {
+        let dims = Dims::d1(5);
+        let data = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let mut block = vec![0.0f64; 4];
+        gather(&data, dims, 1, 0, 0, &mut block);
+        assert_eq!(block, vec![5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn gather_scatter_3d() {
+        let dims = Dims::d3(3, 6, 7);
+        let data: Vec<f64> = (0..dims.len()).map(|i| (i as f64).sin()).collect();
+        let mut out = vec![0.0f64; dims.len()];
+        let (gx, gy, gz) = block_grid(dims);
+        let mut block = vec![0.0f64; 64];
+        for bz in 0..gz {
+            for by in 0..gy {
+                for bx in 0..gx {
+                    gather(&data, dims, bx, by, bz, &mut block);
+                    scatter(&mut out, dims, bx, by, bz, &block);
+                }
+            }
+        }
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,313 @@
+//! Negabinary mapping and ZFP's embedded group-testing bit-plane coder.
+//!
+//! Negabinary (base −2) representation makes the sign bit implicit, so
+//! truncating low bit planes always rounds *toward* the value instead of
+//! toward zero from one side. The plane coder is a transcription of ZFP's
+//! `encode_ints` / `decode_ints`: within each plane the first `n` bits
+//! (coefficients already known to be significant) are sent verbatim, and the
+//! remainder is group-tested with unary runs.
+
+use pwrel_bitstream::{BitReader, BitWriter, Result};
+
+const NBMASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+#[inline]
+fn width_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Two's-complement (width `n`) → negabinary (width `n`).
+#[inline]
+pub fn nb_encode(x: i64, n: u32) -> u64 {
+    let m = NBMASK & width_mask(n);
+    ((x as u64).wrapping_add(m) ^ m) & width_mask(n)
+}
+
+/// Negabinary (width `n`) → two's-complement sign-extended i64.
+#[inline]
+pub fn nb_decode(u: u64, n: u32) -> i64 {
+    let m = NBMASK & width_mask(n);
+    let v = (u ^ m).wrapping_sub(m) & width_mask(n);
+    // Sign-extend from bit n-1.
+    if n < 64 && v & (1u64 << (n - 1)) != 0 {
+        (v | !width_mask(n)) as i64
+    } else {
+        v as i64
+    }
+}
+
+/// Encodes bit planes `intprec-1 .. kmin` of `coeffs` (negabinary, one u64
+/// per coefficient, `coeffs.len() <= 64`).
+pub fn encode_planes(w: &mut BitWriter, coeffs: &[u64], intprec: u32, kmin: u32) {
+    encode_planes_budget(w, coeffs, intprec, kmin, u64::MAX);
+}
+
+/// Budgeted variant of [`encode_planes`]: stops after `maxbits` emitted
+/// bits (ZFP's fixed-rate mode). Returns the number of bits written.
+pub fn encode_planes_budget(
+    w: &mut BitWriter,
+    coeffs: &[u64],
+    intprec: u32,
+    kmin: u32,
+    maxbits: u64,
+) -> u64 {
+    let size = coeffs.len();
+    debug_assert!(size <= 64);
+    let mut bits = maxbits;
+    let mut n: usize = 0;
+    for k in (kmin..intprec).rev() {
+        if bits == 0 {
+            break;
+        }
+        // Extract plane k (bit i = coefficient i's bit k).
+        let mut x: u64 = 0;
+        for (i, &c) in coeffs.iter().enumerate() {
+            x |= ((c >> k) & 1) << i;
+        }
+        // First n coefficients are already significant: verbatim bits
+        // (truncated to the remaining budget).
+        let m = (n as u64).min(bits) as u32;
+        bits -= m as u64;
+        w.write_bits_lsb(x, m);
+        x = if m >= 64 { 0 } else { x >> m };
+        // Group-test the rest. If the budget died mid-verbatim (m < n) the
+        // plane is over and the outer loop exits on bits == 0.
+        let mut n_cur = if (m as usize) < n { size } else { n };
+        while n_cur < size && bits > 0 {
+            bits -= 1;
+            let more = x != 0;
+            w.write_bit(more);
+            if !more {
+                break;
+            }
+            while n_cur < size - 1 && bits > 0 {
+                bits -= 1;
+                let bit = x & 1 == 1;
+                w.write_bit(bit);
+                if bit {
+                    break;
+                }
+                x >>= 1;
+                n_cur += 1;
+            }
+            if bits == 0 && n_cur < size - 1 {
+                break;
+            }
+            x >>= 1;
+            n_cur += 1;
+        }
+        n = if (m as usize) < n { n } else { n_cur };
+    }
+    maxbits - bits
+}
+
+/// Decodes bit planes written by [`encode_planes`] into `coeffs`
+/// (must be zero-initialized, length = block size).
+pub fn decode_planes(r: &mut BitReader, coeffs: &mut [u64], intprec: u32, kmin: u32) -> Result<()> {
+    decode_planes_budget(r, coeffs, intprec, kmin, u64::MAX).map(|_| ())
+}
+
+/// Budgeted variant of [`decode_planes`] (mirror of
+/// [`encode_planes_budget`]). Returns the number of bits consumed.
+pub fn decode_planes_budget(
+    r: &mut BitReader,
+    coeffs: &mut [u64],
+    intprec: u32,
+    kmin: u32,
+    maxbits: u64,
+) -> Result<u64> {
+    let size = coeffs.len();
+    debug_assert!(size <= 64);
+    let mut bits = maxbits;
+    let mut n: usize = 0;
+    for k in (kmin..intprec).rev() {
+        if bits == 0 {
+            break;
+        }
+        let m = (n as u64).min(bits) as u32;
+        bits -= m as u64;
+        let mut x: u64 = r.read_bits_lsb(m)?;
+        let mut n_cur = if (m as usize) < n { size } else { n };
+        while n_cur < size && bits > 0 {
+            bits -= 1;
+            if !r.read_bit()? {
+                break;
+            }
+            while n_cur < size - 1 && bits > 0 {
+                bits -= 1;
+                if r.read_bit()? {
+                    break;
+                }
+                n_cur += 1;
+            }
+            if bits == 0 && n_cur < size - 1 {
+                break;
+            }
+            x += 1u64 << n_cur;
+            n_cur += 1;
+        }
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c |= ((x >> i) & 1) << k;
+        }
+        n = if (m as usize) < n { n } else { n_cur };
+    }
+    Ok(maxbits - bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negabinary_round_trip_64() {
+        for x in [0i64, 1, -1, 2, -2, 1000, -1000, i64::MAX / 4, i64::MIN / 4] {
+            assert_eq!(nb_decode(nb_encode(x, 64), 64), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn negabinary_round_trip_32() {
+        for x in [0i64, 1, -1, 123456, -123456, (1 << 30) - 1, -(1 << 30)] {
+            assert_eq!(nb_decode(nb_encode(x, 32), 32), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn negabinary_zero_is_zero() {
+        assert_eq!(nb_encode(0, 32), 0);
+        assert_eq!(nb_encode(0, 64), 0);
+    }
+
+    #[test]
+    fn negabinary_magnitude_monotone_truncation() {
+        // Truncating low planes of negabinary must give error < 2^planes.
+        for x in [-100_000i64, -37, 12, 99_999] {
+            let u = nb_encode(x, 64);
+            for drop in [0u32, 4, 8] {
+                let trunc = u >> drop << drop;
+                let back = nb_decode(trunc, 64);
+                assert!(
+                    (back - x).abs() < (1i64 << (drop + 1)),
+                    "x={x} drop={drop} back={back}"
+                );
+            }
+        }
+    }
+
+    fn plane_round_trip(vals: &[i64], intprec: u32, kmin: u32) -> Vec<i64> {
+        let coeffs: Vec<u64> = vals.iter().map(|&v| nb_encode(v, intprec)).collect();
+        let mut w = BitWriter::new();
+        encode_planes(&mut w, &coeffs, intprec, kmin);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0u64; vals.len()];
+        decode_planes(&mut r, &mut out, intprec, kmin).unwrap();
+        out.into_iter().map(|u| nb_decode(u, intprec)).collect()
+    }
+
+    #[test]
+    fn all_planes_is_lossless() {
+        let vals = [7i64, -13, 0, 255, -1_000_000, 1, 1 << 40, -(1 << 40)];
+        assert_eq!(plane_round_trip(&vals, 64, 0), vals);
+    }
+
+    #[test]
+    fn lossless_various_block_sizes() {
+        for size in [4usize, 16, 64] {
+            let vals: Vec<i64> = (0..size).map(|i| (i as i64 - 7) * 1001).collect();
+            assert_eq!(plane_round_trip(&vals, 64, 0), vals);
+        }
+    }
+
+    #[test]
+    fn truncated_planes_bound_error() {
+        let vals: Vec<i64> = (0..16).map(|i| (i as i64 * 7919) % 10007 - 5000).collect();
+        for kmin in [4u32, 8, 12] {
+            let out = plane_round_trip(&vals, 64, kmin);
+            for (a, b) in vals.iter().zip(&out) {
+                assert!(
+                    (a - b).abs() < 1i64 << (kmin + 1),
+                    "kmin={kmin}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_block_costs_few_bits() {
+        // One significant coefficient among 64: group testing must keep the
+        // stream tiny compared to 64 * 64 raw bits.
+        let mut vals = vec![0i64; 64];
+        vals[0] = 3;
+        let coeffs: Vec<u64> = vals.iter().map(|&v| nb_encode(v, 64)).collect();
+        let mut w = BitWriter::new();
+        encode_planes(&mut w, &coeffs, 64, 0);
+        let bits = w.bit_len();
+        assert!(bits < 300, "bits = {bits}");
+        assert_eq!(plane_round_trip(&vals, 64, 0), vals);
+    }
+
+    #[test]
+    fn budgeted_encoder_matches_unbudgeted_with_infinite_budget() {
+        let vals: Vec<i64> = (0..16).map(|i| (i as i64 * 7919) % 10007 - 5000).collect();
+        let coeffs: Vec<u64> = vals.iter().map(|&v| nb_encode(v, 64)).collect();
+        let mut a = BitWriter::new();
+        encode_planes(&mut a, &coeffs, 64, 0);
+        let mut b = BitWriter::new();
+        encode_planes_budget(&mut b, &coeffs, 64, 0, u64::MAX);
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn budgeted_round_trip_consumes_exactly_written_bits() {
+        let vals: Vec<i64> = (0..64).map(|i| ((i * 2654435761u64 as usize) as i64 % 100001) - 50000).collect();
+        let coeffs: Vec<u64> = vals.iter().map(|&v| nb_encode(v, 64)).collect();
+        for budget in [1u64, 7, 16, 33, 100, 500, 1000, 2500] {
+            let mut w = BitWriter::new();
+            let written = encode_planes_budget(&mut w, &coeffs, 64, 0, budget);
+            assert!(written <= budget);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let mut out = vec![0u64; 64];
+            let read = decode_planes_budget(&mut r, &mut out, 64, 0, budget).unwrap();
+            assert_eq!(read, written, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn error_shrinks_as_budget_grows() {
+        let vals: Vec<i64> = (0..16).map(|i| (i as i64 - 8) * 1_000_001).collect();
+        let coeffs: Vec<u64> = vals.iter().map(|&v| nb_encode(v, 64)).collect();
+        let mut last_err = i64::MAX;
+        for budget in [64u64, 192, 448, 960, 4096] {
+            let mut w = BitWriter::new();
+            encode_planes_budget(&mut w, &coeffs, 64, 0, budget);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let mut out = vec![0u64; 16];
+            decode_planes_budget(&mut r, &mut out, 64, 0, budget).unwrap();
+            let err: i64 = vals
+                .iter()
+                .zip(&out)
+                .map(|(&v, &u)| (v - nb_decode(u, 64)).abs())
+                .max()
+                .unwrap();
+            assert!(err <= last_err, "budget {budget}: {err} > {last_err}");
+            last_err = err;
+        }
+        assert_eq!(last_err, 0, "full budget must be lossless");
+    }
+
+    #[test]
+    fn zero_block_is_one_bit_per_plane() {
+        let vals = [0i64; 16];
+        let coeffs: Vec<u64> = vals.iter().map(|&v| nb_encode(v, 64)).collect();
+        let mut w = BitWriter::new();
+        encode_planes(&mut w, &coeffs, 64, 0);
+        assert_eq!(w.bit_len(), 64);
+    }
+}

@@ -1,0 +1,117 @@
+//! Decoder robustness: corrupted or truncated streams must produce errors
+//! (or garbage data of the right shape), never panics or unbounded
+//! allocations.
+
+use proptest::prelude::*;
+use pwrel::core::{LogBase, PwRelCompressor};
+use pwrel::data::Dims;
+use pwrel::fpzip::FpzipCompressor;
+use pwrel::isabela::IsabelaCompressor;
+use pwrel::sz::SzCompressor;
+use pwrel::zfp::ZfpCompressor;
+
+fn sample_field() -> (Vec<f32>, Dims) {
+    let dims = Dims::d2(16, 24);
+    let data = (0..dims.len())
+        .map(|i| ((i as f32) * 0.37).sin() * 40.0 + 1.0)
+        .collect();
+    (data, dims)
+}
+
+/// All valid streams to mutate.
+fn streams() -> Vec<(&'static str, Vec<u8>)> {
+    let (data, dims) = sample_field();
+    vec![
+        (
+            "sz_abs",
+            SzCompressor::default().compress_abs(&data, dims, 0.01).unwrap(),
+        ),
+        (
+            "sz_pwr",
+            SzCompressor::default().compress_pwr(&data, dims, 0.01).unwrap(),
+        ),
+        (
+            "zfp",
+            ZfpCompressor.compress_accuracy(&data, dims, 0.01).unwrap(),
+        ),
+        (
+            "fpzip",
+            FpzipCompressor::new(16).compress(&data, dims).unwrap(),
+        ),
+        (
+            "isabela",
+            IsabelaCompressor::default().compress_rel(&data, dims, 0.01).unwrap(),
+        ),
+        (
+            "sz_t",
+            PwRelCompressor::new(SzCompressor::default(), LogBase::Two)
+                .compress(&data, dims, 0.01)
+                .unwrap(),
+        ),
+    ]
+}
+
+/// Decodes a stream with every decoder; must never panic.
+fn try_all_decoders(name: &str, bytes: &[u8]) {
+    let _ = SzCompressor::default().decompress::<f32>(bytes);
+    let _ = ZfpCompressor.decompress::<f32>(bytes);
+    let _ = pwrel::fpzip::decompress::<f32>(bytes);
+    let _ = pwrel::isabela::decompress::<f32>(bytes);
+    let _ = PwRelCompressor::new(SzCompressor::default(), LogBase::Two).decompress::<f32>(bytes);
+    let _ = name;
+}
+
+#[test]
+fn truncation_never_panics() {
+    for (name, stream) in streams() {
+        for cut in 0..stream.len().min(64) {
+            try_all_decoders(name, &stream[..cut]);
+        }
+        // Also a few cuts spread through the body.
+        for frac in 1..8 {
+            let cut = stream.len() * frac / 8;
+            try_all_decoders(name, &stream[..cut]);
+        }
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    for (name, stream) in streams() {
+        // Exhaustive over header bytes, sampled over the body.
+        let positions: Vec<usize> = (0..stream.len().min(48))
+            .chain((48..stream.len()).step_by(37))
+            .collect();
+        for pos in positions {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = stream.clone();
+                bad[pos] ^= flip;
+                try_all_decoders(name, &bad);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_mutations_never_panic(
+        which in 0usize..6,
+        mutations in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        let all = streams();
+        let (name, stream) = &all[which];
+        let mut bad = stream.clone();
+        for (idx, byte) in mutations {
+            let i = idx.index(bad.len());
+            bad[i] = byte;
+        }
+        try_all_decoders(name, &bad);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        try_all_decoders("garbage", &bytes);
+    }
+}
