@@ -71,11 +71,12 @@ impl PwrCodec {
             PwrCodec::SzPwr => SzCompressor::default()
                 .compress_pwr(&field.data, field.dims, br)
                 .expect("sz_pwr compress"),
+            // Fused single-pass path; byte-identical to the buffered route.
             PwrCodec::SzT(base) => PwRelCompressor::new(SzCompressor::default(), *base)
-                .compress(&field.data, field.dims, br)
+                .compress_fused(&field.data, field.dims, br)
                 .expect("sz_t compress"),
             PwrCodec::ZfpT(base) => PwRelCompressor::new(ZfpCompressor, *base)
-                .compress(&field.data, field.dims, br)
+                .compress_fused(&field.data, field.dims, br)
                 .expect("zfp_t compress"),
             PwrCodec::ZfpP => ZfpCompressor
                 .compress_precision(

@@ -219,19 +219,21 @@ fn compress_one<F: Float>(
             dims.len()
         )));
     }
+    // The `_T` codecs use the fused single-pass entry point (transform +
+    // predict + quantize in one sweep); its stream is byte-identical to the
+    // buffered `compress` route.
     let stream = match codec {
-        CodecChoice::SzT => {
-            PwRelCompressor::new(SzCompressor::default(), base).compress(data, dims, bound)?
-        }
+        CodecChoice::SzT => PwRelCompressor::new(SzCompressor::default(), base)
+            .compress_fused(data, dims, bound)?,
         CodecChoice::SzHybridT => {
             let sz = SzCompressor {
                 hybrid_predictor: true,
                 ..SzCompressor::default()
             };
-            PwRelCompressor::new(sz, base).compress(data, dims, bound)?
+            PwRelCompressor::new(sz, base).compress_fused(data, dims, bound)?
         }
         CodecChoice::ZfpT => {
-            PwRelCompressor::new(ZfpCompressor, base).compress(data, dims, bound)?
+            PwRelCompressor::new(ZfpCompressor, base).compress_fused(data, dims, bound)?
         }
         CodecChoice::SzAbs => SzCompressor::default().compress_abs(data, dims, bound)?,
         CodecChoice::SzPwr => SzCompressor::default().compress_pwr(data, dims, bound)?,

@@ -29,4 +29,4 @@ pub mod theory;
 pub mod transform;
 
 pub use pwrel::PwRelCompressor;
-pub use transform::{LogBase, TransformedField};
+pub use transform::{Kernel, LogBase, TransformedField};

@@ -11,8 +11,35 @@
 use crate::transform::{self, LogBase};
 use pwrel_bitstream::{bytesio, varint};
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
+use pwrel_kernels::{Kernel, LogFusedCodec};
 
 const MAGIC: &[u8; 4] = b"PWT1";
+
+/// Assembles the `PWT1` container around an inner stream. Shared by the
+/// buffered and fused compression paths so their outputs stay identical.
+fn container(
+    float_bits: u32,
+    base: LogBase,
+    rel_bound: f64,
+    zero_threshold: f64,
+    sign_section: Option<&[u8]>,
+    inner_stream: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(inner_stream.len() + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(float_bits as u8);
+    out.push(base.id());
+    out.push(sign_section.is_some() as u8);
+    bytesio::put_f64(&mut out, rel_bound);
+    bytesio::put_f64(&mut out, zero_threshold);
+    if let Some(signs) = sign_section {
+        varint::write_uvarint(&mut out, signs.len() as u64);
+        out.extend_from_slice(signs);
+    }
+    varint::write_uvarint(&mut out, inner_stream.len() as u64);
+    out.extend_from_slice(inner_stream);
+    out
+}
 
 /// Point-wise relative-error-bounded compressor built from any
 /// absolute-error-bounded codec via the logarithmic transformation scheme.
@@ -67,21 +94,59 @@ impl<C> PwRelCompressor<C> {
         }
         let t = transform::forward(data, self.base, rel_bound, self.roundoff_guard)?;
         let inner_stream = self.inner.compress_abs(&t.mapped, dims, t.abs_bound)?;
+        Ok(container(
+            F::BITS,
+            self.base,
+            rel_bound,
+            t.zero_threshold,
+            t.sign_section.as_deref(),
+            &inner_stream,
+        ))
+    }
 
-        let mut out = Vec::with_capacity(inner_stream.len() + 64);
-        out.extend_from_slice(MAGIC);
-        out.push(F::BITS as u8);
-        out.push(self.base.id());
-        out.push(t.sign_section.is_some() as u8);
-        bytesio::put_f64(&mut out, rel_bound);
-        bytesio::put_f64(&mut out, t.zero_threshold);
-        if let Some(signs) = &t.sign_section {
-            varint::write_uvarint(&mut out, signs.len() as u64);
-            out.extend_from_slice(signs);
+    /// Single-pass variant of [`PwRelCompressor::compress`] for inner
+    /// codecs that implement [`LogFusedCodec`]: the log transform runs
+    /// inside the codec's own sweep (chunked through a stack scratch)
+    /// instead of materializing the mapped field first. Produces the same
+    /// container bytes as the buffered route; kernel chosen by
+    /// `PWREL_KERNEL`.
+    pub fn compress_fused<F: Float>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        rel_bound: f64,
+    ) -> Result<Vec<u8>, CodecError>
+    where
+        C: LogFusedCodec<F>,
+    {
+        self.compress_fused_with_kernel(data, dims, rel_bound, Kernel::from_env())
+    }
+
+    /// [`PwRelCompressor::compress_fused`] with an explicit kernel choice.
+    pub fn compress_fused_with_kernel<F: Float>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        rel_bound: f64,
+        kernel: Kernel,
+    ) -> Result<Vec<u8>, CodecError>
+    where
+        C: LogFusedCodec<F>,
+    {
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
         }
-        varint::write_uvarint(&mut out, inner_stream.len() as u64);
-        out.extend_from_slice(&inner_stream);
-        Ok(out)
+        let plan = transform::plan(data, self.base, rel_bound, self.roundoff_guard, kernel)?;
+        let fused = self.inner.compress_fused(data, dims, &plan)?;
+        let sign_section = fused.signs.as_deref().map(transform::compress_signs);
+        Ok(container(
+            F::BITS,
+            self.base,
+            rel_bound,
+            plan.zero_threshold,
+            sign_section.as_deref(),
+            &fused.stream,
+        ))
     }
 
     /// Decompresses, returning the data and its grid shape.
@@ -269,6 +334,87 @@ mod tests {
             t_stream.len(),
             pwr_stream.len()
         );
+    }
+
+    /// Spiky signed data with zero runs — exercises every fused-path
+    /// branch (sentinels, signs, unpredictables).
+    fn fused_test_field() -> (Vec<f32>, pwrel_data::Dims) {
+        let dims = pwrel_data::Dims::d3(20, 15, 10);
+        let mut data = grf::gaussian_field(dims, 1234, 3, 2);
+        for (i, v) in data.iter_mut().enumerate() {
+            if i % 17 == 0 {
+                *v = 0.0;
+            } else if i % 23 == 0 {
+                *v *= 1e20;
+            } else if i % 29 == 0 {
+                *v = 1e-40; // subnormal-range magnitude
+            }
+        }
+        (data, dims)
+    }
+
+    #[test]
+    fn fused_sz_stream_is_byte_identical_to_buffered() {
+        let (data, dims) = fused_test_field();
+        for kernel in [pwrel_kernels::Kernel::Fast, pwrel_kernels::Kernel::Libm] {
+            let codec = sz_t(LogBase::Two);
+            let t = transform::forward_with_kernel(&data, LogBase::Two, 1e-3, 2.0, kernel)
+                .unwrap();
+            let buffered = container(
+                32,
+                LogBase::Two,
+                1e-3,
+                t.zero_threshold,
+                t.sign_section.as_deref(),
+                &codec.inner.compress_abs(&t.mapped, dims, t.abs_bound).unwrap(),
+            );
+            let fused = codec
+                .compress_fused_with_kernel(&data, dims, 1e-3, kernel)
+                .unwrap();
+            assert_eq!(buffered, fused, "{kernel:?}");
+            let dec: Vec<f32> = codec.decompress(&fused).unwrap();
+            assert_rel_bounded(&data, &dec, 1e-3, "fused sz");
+        }
+    }
+
+    #[test]
+    fn fused_zfp_stream_is_byte_identical_to_buffered() {
+        let (data, dims) = fused_test_field();
+        for kernel in [pwrel_kernels::Kernel::Fast, pwrel_kernels::Kernel::Libm] {
+            let codec = zfp_t(LogBase::Two);
+            let t = transform::forward_with_kernel(&data, LogBase::Two, 1e-2, 2.0, kernel)
+                .unwrap();
+            let buffered = container(
+                32,
+                LogBase::Two,
+                1e-2,
+                t.zero_threshold,
+                t.sign_section.as_deref(),
+                &AbsErrorCodec::<f32>::compress_abs(&codec.inner, &t.mapped, dims, t.abs_bound)
+                    .unwrap(),
+            );
+            let fused = codec
+                .compress_fused_with_kernel(&data, dims, 1e-2, kernel)
+                .unwrap();
+            assert_eq!(buffered, fused, "{kernel:?}");
+            let dec: Vec<f32> = codec.decompress(&fused).unwrap();
+            assert_rel_bounded(&data, &dec, 1e-2, "fused zfp");
+        }
+    }
+
+    #[test]
+    fn fused_hybrid_sz_matches_buffered() {
+        let (data, dims) = fused_test_field();
+        let codec = PwRelCompressor::new(
+            SzCompressor {
+                hybrid_predictor: true,
+                ..SzCompressor::default()
+            },
+            LogBase::Two,
+        );
+        let buffered = codec.compress(&data, dims, 1e-3).unwrap();
+        let fused = codec.compress_fused(&data, dims, 1e-3).unwrap();
+        assert_eq!(buffered, fused);
     }
 
     #[test]

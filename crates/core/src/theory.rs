@@ -15,6 +15,7 @@
 //! Lorenzo neighbour (1, 3, 7 neighbours for 1D/2D/3D).
 
 use crate::transform::LogBase;
+use pwrel_kernels::Kernel;
 
 /// `g(b_r) = log_base(1 + b_r)` — Theorem 2's error-bound mapping.
 pub fn abs_bound_for(base: LogBase, rel_bound: f64) -> f64 {
@@ -40,6 +41,31 @@ pub fn corrected_abs_bound(
     guard: f64,
 ) -> f64 {
     abs_bound_for(base, rel_bound) - guard * max_abs_log * eps0
+}
+
+/// Lemma 2 widened for approximate kernels.
+///
+/// On top of [`corrected_abs_bound`], subtracts the kernel's documented
+/// worst-case errors: its forward map can sit `forward_abs_margin` away
+/// from the exact log (an absolute log-domain displacement), and its
+/// inverse introduces a relative error `inverse_rel_margin`, which costs
+/// `margin / ln(base)` in the log domain (since `d/dx log_b(x) = 1/(x ln b)`,
+/// a relative value-space error `ε` ≈ a log-space offset `ε / ln b`).
+/// Every term only *shrinks* the bound handed to the inner compressor, so
+/// the end-to-end point-wise relative guarantee survives the approximation.
+/// For [`Kernel::Libm`] both margins are zero and this reduces exactly to
+/// [`corrected_abs_bound`].
+pub fn kernel_corrected_abs_bound(
+    base: LogBase,
+    rel_bound: f64,
+    max_abs_log: f64,
+    eps0: f64,
+    guard: f64,
+    kernel: Kernel,
+) -> f64 {
+    corrected_abs_bound(base, rel_bound, max_abs_log, eps0, guard)
+        - kernel.forward_abs_margin(base)
+        - kernel.inverse_rel_margin() / base.ln_base()
 }
 
 /// Theorem 3's per-neighbour quantization-index deviation bound:
@@ -127,6 +153,21 @@ mod tests {
         let b2 = corrected_abs_bound(base, 1e-3, 1024.0, eps, 1.0);
         assert!(b0 > b1 && b1 > b2);
         assert!((b0 - (1.0f64 + 1e-3).log2()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kernel_widening_reduces_to_lemma2_for_libm() {
+        for base in BASES {
+            let plain = corrected_abs_bound(base, 1e-3, 40.0, f32::EPSILON as f64, 2.0);
+            let libm =
+                kernel_corrected_abs_bound(base, 1e-3, 40.0, f32::EPSILON as f64, 2.0, Kernel::Libm);
+            assert_eq!(plain, libm);
+            let fast =
+                kernel_corrected_abs_bound(base, 1e-3, 40.0, f32::EPSILON as f64, 2.0, Kernel::Fast);
+            assert!(fast < libm);
+            // The widening is tiny next to the bound itself.
+            assert!(libm - fast < 1e-9);
+        }
     }
 
     #[test]

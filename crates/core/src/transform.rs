@@ -1,6 +1,3 @@
-// `!(x > 0.0)` deliberately treats NaN as invalid; clippy prefers
-// partial_cmp, which would hide that intent.
-#![allow(clippy::neg_cmp_op_on_partial_ord)]
 //! Algorithm 1: the logarithmic data transform with sign and zero handling.
 //!
 //! Forward (compression side):
@@ -14,92 +11,21 @@
 //!
 //! The sign bitmap is compressed (RLE / bit-packing + the LZ pass) only
 //! when the field actually mixes signs — Algorithm 1's `P` flag.
+//!
+//! The mapping itself is organized for throughput: one integer
+//! [`pwrel_kernels::scan`] pass learns everything the bound needs (validity,
+//! signs, zeros, an exponent-field bound on `max |log x|`), then the data is
+//! mapped through [`Kernel::log_batch`] in fixed-size chunks through a
+//! stack scratch buffer — no intermediate `Vec<f64>`, no second sweep for
+//! the sign bitmap, and the fast-kernel approximation error is folded into
+//! the Lemma 2 correction so the point-wise guarantee still holds.
 
 use crate::theory;
 use pwrel_data::{CodecError, Float};
+use pwrel_kernels::{plan::unmap_chunk, scan};
 use pwrel_lossless::{lz, rle};
 
-/// Logarithm base for the mapping. Sec. IV proves the choice cannot change
-/// compression quality; Table III shows it *does* change transform speed
-/// (base 10 has no fast `10^x` in libm), which is why base 2 is the paper's
-/// final pick.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LogBase {
-    /// Base 2: `log2`/`exp2` fast paths. The paper's choice.
-    Two,
-    /// Natural base: `ln`/`exp` fast paths.
-    E,
-    /// Base 10: fast `log10` forward, but the inverse needs `powf` — the
-    /// slow postprocessing the paper measures in Table III.
-    Ten,
-}
-
-impl LogBase {
-    /// Numeric base value.
-    pub fn value(self) -> f64 {
-        match self {
-            LogBase::Two => 2.0,
-            LogBase::E => std::f64::consts::E,
-            LogBase::Ten => 10.0,
-        }
-    }
-
-    /// `ln(base)`.
-    pub fn ln_base(self) -> f64 {
-        match self {
-            LogBase::Two => std::f64::consts::LN_2,
-            LogBase::E => 1.0,
-            LogBase::Ten => std::f64::consts::LN_10,
-        }
-    }
-
-    /// Stream tag.
-    pub fn id(self) -> u8 {
-        match self {
-            LogBase::Two => 0,
-            LogBase::E => 1,
-            LogBase::Ten => 2,
-        }
-    }
-
-    /// Inverse of [`LogBase::id`].
-    pub fn from_id(id: u8) -> Option<Self> {
-        match id {
-            0 => Some(LogBase::Two),
-            1 => Some(LogBase::E),
-            2 => Some(LogBase::Ten),
-            _ => None,
-        }
-    }
-
-    /// `log_base(m)` using the per-base fast path.
-    #[inline]
-    pub fn log(self, m: f64) -> f64 {
-        match self {
-            LogBase::Two => m.log2(),
-            LogBase::E => m.ln(),
-            LogBase::Ten => m.log10(),
-        }
-    }
-
-    /// `base^d` using the per-base fast path (or `powf` for base 10).
-    #[inline]
-    pub fn exp(self, d: f64) -> f64 {
-        match self {
-            LogBase::Two => d.exp2(),
-            LogBase::E => d.exp(),
-            LogBase::Ten => 10f64.powf(d),
-        }
-    }
-
-    /// Exponent (base 2) of the smallest positive value of `F`, *including*
-    /// denormals — stricter than the paper's normal-range bound so that
-    /// denormal inputs also survive the zero threshold.
-    pub fn zero_exp2<F: Float>() -> f64 {
-        // One below the smallest denormal exponent: -150 (f32) / -1075 (f64).
-        (F::ZERO_EXP - F::MANT_BITS as i32 - 1) as f64
-    }
-}
+pub use pwrel_kernels::{Kernel, LogBase, LogPlan, CHUNK};
 
 /// Output of the forward transform.
 #[derive(Debug, Clone)]
@@ -115,7 +41,69 @@ pub struct TransformedField<F: Float> {
     pub zero_threshold: f64,
 }
 
-/// Forward transform (Algorithm 1, lines 1–17).
+/// Scans `data` and computes the Lemma 2 / kernel-corrected bound and zero
+/// sentinel — the per-field setup shared by every transform path.
+pub fn plan<F: Float>(
+    data: &[F],
+    base: LogBase,
+    rel_bound: f64,
+    roundoff_guard: f64,
+    kernel: Kernel,
+) -> Result<LogPlan, CodecError> {
+    if !(rel_bound > 0.0 && rel_bound < 1.0) {
+        return Err(CodecError::InvalidArgument("rel_bound must be in (0, 1)"));
+    }
+    let field = scan(data)?;
+
+    // Lemma 2: shrink the bound for mapping round-off. The paper's term is
+    // max|log x|·ε0 (forward-map rounding); the +1 adds a constant margin
+    // for the inverse map's own output rounding, which matters when the
+    // data sits near 1 and max|log x| ≈ 0. The kernel margins widen the
+    // correction further when the approximate kernels are in play.
+    let eps0 = F::EPSILON.to_f64();
+    let abs_bound = theory::kernel_corrected_abs_bound(
+        base,
+        rel_bound,
+        field.max_abs_log(base) + 1.0,
+        eps0,
+        roundoff_guard,
+        kernel,
+    );
+    if !abs_bound.is_finite() || abs_bound <= 0.0 {
+        return Err(CodecError::InvalidArgument(
+            "bound vanishes after round-off correction (dynamic range too large)",
+        ));
+    }
+
+    let zero_log = LogBase::zero_exp2::<F>() * std::f64::consts::LN_2 / base.ln_base();
+    Ok(LogPlan {
+        base,
+        kernel,
+        abs_bound,
+        sentinel: zero_log - 2.0 * abs_bound,
+        zero_threshold: zero_log - abs_bound,
+        any_negative: field.any_negative,
+    })
+}
+
+/// Compresses a sign bitmap the way Algorithm 1 stores it.
+pub fn compress_signs(signs: &[bool]) -> Vec<u8> {
+    lz::compress(&rle::compress_bits(signs))
+}
+
+/// Decodes a sign section back to `expect` bits.
+pub fn decompress_signs(buf: &[u8], expect: usize) -> Result<Vec<bool>, CodecError> {
+    let unpacked = lz::decompress(buf)?;
+    let mut pos = 0;
+    let bits = rle::decompress_bits(&unpacked, &mut pos)?;
+    if bits.len() != expect {
+        return Err(CodecError::Corrupt("sign bitmap length mismatch"));
+    }
+    Ok(bits)
+}
+
+/// Forward transform (Algorithm 1, lines 1–17) with the kernel chosen by
+/// `PWREL_KERNEL` (default: the fast batched kernels).
 ///
 /// Rejects non-finite inputs and `rel_bound` outside `(0, 1)`.
 pub fn forward<F: Float>(
@@ -124,110 +112,70 @@ pub fn forward<F: Float>(
     rel_bound: f64,
     roundoff_guard: f64,
 ) -> Result<TransformedField<F>, CodecError> {
-    if !(rel_bound > 0.0 && rel_bound < 1.0) {
-        return Err(CodecError::InvalidArgument("rel_bound must be in (0, 1)"));
+    forward_with_kernel(data, base, rel_bound, roundoff_guard, Kernel::from_env())
+}
+
+/// [`forward`] with an explicit kernel choice.
+pub fn forward_with_kernel<F: Float>(
+    data: &[F],
+    base: LogBase,
+    rel_bound: f64,
+    roundoff_guard: f64,
+    kernel: Kernel,
+) -> Result<TransformedField<F>, CodecError> {
+    let plan = plan(data, base, rel_bound, roundoff_guard, kernel)?;
+
+    let mut mapped: Vec<F> = vec![F::zero(); data.len()];
+    let mut signs: Vec<bool> = Vec::with_capacity(if plan.any_negative { data.len() } else { 0 });
+    let mut scratch = [0f64; CHUNK];
+    for (src, out) in data.chunks(CHUNK).zip(mapped.chunks_mut(CHUNK)) {
+        plan.map_chunk(src, out, &mut scratch, &mut signs);
     }
 
-    // Pass 1: map magnitudes, track the sign bitmap and max |log|.
-    let mut mapped: Vec<F> = Vec::with_capacity(data.len());
-    let mut signs: Vec<bool> = Vec::with_capacity(data.len());
-    let mut any_negative = false;
-    let mut any_zero = false;
-    let mut max_abs_log = 0f64;
-    for &x in data {
-        if !x.is_finite() {
-            return Err(CodecError::InvalidArgument(
-                "log transform requires finite input",
-            ));
-        }
-        let v = x.to_f64();
-        let neg = v < 0.0;
-        any_negative |= neg;
-        signs.push(neg);
-        if v == 0.0 {
-            any_zero = true;
-            mapped.push(F::zero()); // placeholder, patched below
-        } else {
-            let d = base.log(v.abs());
-            max_abs_log = max_abs_log.max(d.abs());
-            mapped.push(F::from_f64(d));
-        }
-    }
-
-    // Lemma 2: shrink the bound for mapping round-off. The paper's term is
-    // max|log x|·ε0 (forward-map rounding); the +1 adds a constant margin
-    // for the inverse map's own output rounding, which matters when the
-    // data sits near 1 and max|log x| ≈ 0.
-    let eps0 = F::EPSILON.to_f64();
-    let abs_bound =
-        theory::corrected_abs_bound(base, rel_bound, max_abs_log + 1.0, eps0, roundoff_guard);
-    if !(abs_bound > 0.0) {
-        return Err(CodecError::InvalidArgument(
-            "bound vanishes after round-off correction (dynamic range too large)",
-        ));
-    }
-
-    // Pass 2: patch zero sentinels (needs abs_bound, hence two passes).
-    let zero_log = LogBase::zero_exp2::<F>() * std::f64::consts::LN_2 / base.ln_base();
-    let sentinel = F::from_f64(zero_log - 2.0 * abs_bound);
-    let zero_threshold = zero_log - abs_bound;
-    if any_zero {
-        for (m, &x) in mapped.iter_mut().zip(data) {
-            if x.to_f64() == 0.0 {
-                *m = sentinel;
-            }
-        }
-    }
-
-    // Algorithm 1, lines 15–17: compress signs only when present.
-    let sign_section = if any_negative {
-        Some(lz::compress(&rle::compress_bits(&signs)))
-    } else {
-        None
-    };
-
+    let sign_section = plan.any_negative.then(|| compress_signs(&signs));
     Ok(TransformedField {
         mapped,
-        abs_bound,
+        abs_bound: plan.abs_bound,
         sign_section,
-        zero_threshold,
+        zero_threshold: plan.zero_threshold,
     })
 }
 
-/// Inverse transform: log-domain reconstructions back to the value domain.
+/// Inverse transform: log-domain reconstructions back to the value domain,
+/// kernel chosen by `PWREL_KERNEL`.
 pub fn inverse<F: Float>(
     mapped: &[F],
     base: LogBase,
     zero_threshold: f64,
     sign_section: Option<&[u8]>,
 ) -> Result<Vec<F>, CodecError> {
-    let signs: Option<Vec<bool>> = match sign_section {
-        Some(buf) => {
-            let unpacked = lz::decompress(buf)?;
-            let mut pos = 0;
-            let bits = rle::decompress_bits(&unpacked, &mut pos)?;
-            if bits.len() != mapped.len() {
-                return Err(CodecError::Corrupt("sign bitmap length mismatch"));
-            }
-            Some(bits)
-        }
-        None => None,
+    inverse_with_kernel(mapped, base, zero_threshold, sign_section, Kernel::from_env())
+}
+
+/// [`inverse`] with an explicit kernel choice.
+pub fn inverse_with_kernel<F: Float>(
+    mapped: &[F],
+    base: LogBase,
+    zero_threshold: f64,
+    sign_section: Option<&[u8]>,
+    kernel: Kernel,
+) -> Result<Vec<F>, CodecError> {
+    let signs: Vec<bool> = match sign_section {
+        Some(buf) => decompress_signs(buf, mapped.len())?,
+        None => Vec::new(),
     };
 
-    let mut out = Vec::with_capacity(mapped.len());
-    for (i, &d) in mapped.iter().enumerate() {
-        let dv = d.to_f64();
-        let v = if dv <= zero_threshold {
-            0.0
+    let mut out: Vec<F> = vec![F::zero(); mapped.len()];
+    let mut scratch = [0f64; CHUNK];
+    let mut offset = 0;
+    for (src, dst) in mapped.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+        let bits = if signs.is_empty() {
+            &[][..]
         } else {
-            let m = base.exp(dv);
-            if signs.as_ref().is_some_and(|s| s[i]) {
-                -m
-            } else {
-                m
-            }
+            &signs[offset..offset + src.len()]
         };
-        out.push(F::from_f64(v));
+        unmap_chunk(kernel, base, zero_threshold, src, dst, &mut scratch, bits);
+        offset += src.len();
     }
     Ok(out)
 }
@@ -237,22 +185,31 @@ mod tests {
     use super::*;
 
     const BASES: [LogBase; 3] = [LogBase::Two, LogBase::E, LogBase::Ten];
+    const KERNELS: [Kernel; 2] = [Kernel::Fast, Kernel::Libm];
 
     #[test]
     fn lossless_round_trip_without_inner_compression() {
         // forward → inverse with untouched mapped data must respect the
-        // bound on its own (pure mapping round-off).
-        for base in BASES {
-            let data: Vec<f32> = vec![1.0, -2.5, 0.0, 3.75e-6, -1.2e8, 42.0, 0.0];
-            let t = forward(&data, base, 1e-3, 2.0).unwrap();
-            let back = inverse(&t.mapped, base, t.zero_threshold, t.sign_section.as_deref())
+        // bound on its own (pure mapping round-off), under both kernels.
+        for kernel in KERNELS {
+            for base in BASES {
+                let data: Vec<f32> = vec![1.0, -2.5, 0.0, 3.75e-6, -1.2e8, 42.0, 0.0];
+                let t = forward_with_kernel(&data, base, 1e-3, 2.0, kernel).unwrap();
+                let back = inverse_with_kernel(
+                    &t.mapped,
+                    base,
+                    t.zero_threshold,
+                    t.sign_section.as_deref(),
+                    kernel,
+                )
                 .unwrap();
-            for (&a, &b) in data.iter().zip(&back) {
-                if a == 0.0 {
-                    assert_eq!(b, 0.0, "{base:?}");
-                } else {
-                    let rel = ((a - b) / a).abs();
-                    assert!(rel <= 1e-3, "{base:?}: {a} vs {b}");
+                for (&a, &b) in data.iter().zip(&back) {
+                    if a == 0.0 {
+                        assert_eq!(b, 0.0, "{base:?}");
+                    } else {
+                        let rel = ((a - b) / a).abs();
+                        assert!(rel <= 1e-3, "{kernel:?} {base:?}: {a} vs {b}");
+                    }
                 }
             }
         }
@@ -261,29 +218,37 @@ mod tests {
     #[test]
     fn bound_survives_worst_case_perturbation() {
         // Perturb every mapped value by ±b'_a (what an inner compressor is
-        // allowed to do) and check the relative bound still holds.
-        for base in BASES {
-            let data: Vec<f32> = (1..2000)
-                .map(|i| (i as f32 * 0.731).sin() * 10f32.powi((i % 60) - 30))
-                .filter(|v| *v != 0.0)
-                .collect();
-            let br = 1e-2;
-            let t = forward(&data, base, br, 2.0).unwrap();
-            for sign in [1.0, -1.0] {
-                let perturbed: Vec<f32> = t
-                    .mapped
-                    .iter()
-                    .map(|&d| F32Ext::add_f64(d, sign * t.abs_bound))
+        // allowed to do) and check the relative bound still holds — with
+        // the fast kernel too, whose error the widened correction absorbs.
+        for kernel in KERNELS {
+            for base in BASES {
+                let data: Vec<f32> = (1..2000)
+                    .map(|i| (i as f32 * 0.731).sin() * 10f32.powi((i % 60) - 30))
+                    .filter(|v| *v != 0.0)
                     .collect();
-                let back =
-                    inverse(&perturbed, base, t.zero_threshold, t.sign_section.as_deref())
-                        .unwrap();
-                for (idx, (&a, &b)) in data.iter().zip(&back).enumerate() {
-                    let rel = ((a as f64 - b as f64) / a as f64).abs();
-                    assert!(
-                        rel <= br,
-                        "{base:?} sign {sign} idx {idx}: {a} vs {b} rel {rel}"
-                    );
+                let br = 1e-2;
+                let t = forward_with_kernel(&data, base, br, 2.0, kernel).unwrap();
+                for sign in [1.0, -1.0] {
+                    let perturbed: Vec<f32> = t
+                        .mapped
+                        .iter()
+                        .map(|&d| F32Ext::add_f64(d, sign * t.abs_bound))
+                        .collect();
+                    let back = inverse_with_kernel(
+                        &perturbed,
+                        base,
+                        t.zero_threshold,
+                        t.sign_section.as_deref(),
+                        kernel,
+                    )
+                    .unwrap();
+                    for (idx, (&a, &b)) in data.iter().zip(&back).enumerate() {
+                        let rel = ((a as f64 - b as f64) / a as f64).abs();
+                        assert!(
+                            rel <= br,
+                            "{kernel:?} {base:?} sign {sign} idx {idx}: {a} vs {b} rel {rel}"
+                        );
+                    }
                 }
             }
         }
@@ -343,25 +308,45 @@ mod tests {
 
     #[test]
     fn denormals_survive() {
-        let data = vec![1e-42f32, -1e-44, 2e-38, 0.0];
-        let t = forward(&data, LogBase::Two, 1e-2, 2.0).unwrap();
-        let back = inverse(&t.mapped, LogBase::Two, t.zero_threshold, t.sign_section.as_deref())
+        for kernel in KERNELS {
+            let data = vec![1e-42f32, -1e-44, 2e-38, 0.0];
+            let t = forward_with_kernel(&data, LogBase::Two, 1e-2, 2.0, kernel).unwrap();
+            let back = inverse_with_kernel(
+                &t.mapped,
+                LogBase::Two,
+                t.zero_threshold,
+                t.sign_section.as_deref(),
+                kernel,
+            )
             .unwrap();
-        for (&a, &b) in data.iter().zip(&back) {
-            if a == 0.0 {
-                assert_eq!(b, 0.0);
-            } else {
-                assert!(((a as f64 - b as f64) / a as f64).abs() <= 1e-2 + 1e-5, "{a} vs {b}");
+            for (&a, &b) in data.iter().zip(&back) {
+                if a == 0.0 {
+                    assert_eq!(b, 0.0);
+                } else {
+                    assert!(
+                        ((a as f64 - b as f64) / a as f64).abs() <= 1e-2 + 1e-5,
+                        "{kernel:?}: {a} vs {b}"
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn abs_bound_matches_lemma2() {
+        // Exponent-field scan on {2^100, 2^−100}: hi = 101, lo = 100 →
+        // max_abs_log = 101, plus the constant +1 inverse-rounding margin.
         let data: Vec<f32> = vec![2.0f32.powi(100), 2.0f32.powi(-100)];
-        let t = forward(&data, LogBase::Two, 1e-3, 1.0).unwrap();
-        let expected = (1.0f64 + 1e-3).log2() - (100.0 + 1.0) * f32::EPSILON as f64;
+        let t = forward_with_kernel(&data, LogBase::Two, 1e-3, 1.0, Kernel::Libm).unwrap();
+        let expected = (1.0f64 + 1e-3).log2() - (101.0 + 1.0) * f32::EPSILON as f64;
         assert!((t.abs_bound - expected).abs() < 1e-15);
+        // The fast kernel widens the correction by its documented margins.
+        let tf = forward_with_kernel(&data, LogBase::Two, 1e-3, 1.0, Kernel::Fast).unwrap();
+        assert!(tf.abs_bound < t.abs_bound);
+        let widened = t.abs_bound
+            - Kernel::Fast.forward_abs_margin(LogBase::Two)
+            - Kernel::Fast.inverse_rel_margin() / LogBase::Two.ln_base();
+        assert!((tf.abs_bound - widened).abs() < 1e-15);
     }
 
     #[test]
@@ -382,16 +367,35 @@ mod tests {
 
     #[test]
     fn f64_transform_round_trip() {
-        let data: Vec<f64> = vec![1e-300, -1e300, 0.0, 7.7];
-        let t = forward(&data, LogBase::Two, 1e-4, 2.0).unwrap();
-        let back = inverse(&t.mapped, LogBase::Two, t.zero_threshold, t.sign_section.as_deref())
+        for kernel in KERNELS {
+            let data: Vec<f64> = vec![1e-300, -1e300, 0.0, 7.7];
+            let t = forward_with_kernel(&data, LogBase::Two, 1e-4, 2.0, kernel).unwrap();
+            let back = inverse_with_kernel(
+                &t.mapped,
+                LogBase::Two,
+                t.zero_threshold,
+                t.sign_section.as_deref(),
+                kernel,
+            )
             .unwrap();
-        for (&a, &b) in data.iter().zip(&back) {
-            if a == 0.0 {
-                assert_eq!(b, 0.0);
-            } else {
-                assert!(((a - b) / a).abs() <= 1e-4);
+            for (&a, &b) in data.iter().zip(&back) {
+                if a == 0.0 {
+                    assert_eq!(b, 0.0);
+                } else {
+                    assert!(((a - b) / a).abs() <= 1e-4, "{kernel:?}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn kernels_agree_on_the_container_metadata() {
+        // Fast and Libm must produce the same sign section and compatible
+        // thresholds so streams decode under either kernel.
+        let data: Vec<f32> = vec![3.0, -1.5, 0.0, 9.75];
+        let a = forward_with_kernel(&data, LogBase::Two, 1e-3, 2.0, Kernel::Fast).unwrap();
+        let b = forward_with_kernel(&data, LogBase::Two, 1e-3, 2.0, Kernel::Libm).unwrap();
+        assert_eq!(a.sign_section, b.sign_section);
+        assert!(a.abs_bound <= b.abs_bound);
     }
 }

@@ -33,6 +33,10 @@ pub trait Float:
     const EPSILON: Self;
     /// Smallest positive normal value.
     const MIN_POSITIVE: Self;
+    /// Largest finite magnitude, widened to f64 (the inverse transform
+    /// clamps reconstructions here so inputs near the top of the range
+    /// cannot round up to infinity).
+    const MAX_F64: f64;
     /// The exponent of the smallest representable magnitude used by the
     /// paper's zero sentinel: -127 for f32, -1024 for f64 ("the lower-bound
     /// exponent of the data value range", Sec. V).
@@ -63,6 +67,7 @@ impl Float for f32 {
     const EXP_BITS: u32 = 8;
     const EPSILON: Self = f32::EPSILON;
     const MIN_POSITIVE: Self = f32::MIN_POSITIVE;
+    const MAX_F64: f64 = f32::MAX as f64;
     const ZERO_EXP: i32 = -127;
 
     #[inline]
@@ -97,6 +102,7 @@ impl Float for f64 {
     const EXP_BITS: u32 = 11;
     const EPSILON: Self = f64::EPSILON;
     const MIN_POSITIVE: Self = f64::MIN_POSITIVE;
+    const MAX_F64: f64 = f64::MAX;
     const ZERO_EXP: i32 = -1024;
 
     #[inline]

@@ -1,0 +1,138 @@
+//! The logarithm base of the transform.
+
+use pwrel_data::Float;
+
+/// Logarithm base for the mapping. Sec. IV proves the choice cannot change
+/// compression quality; Table III shows it *does* change transform speed
+/// (base 10 has no fast `10^x` in libm), which is why base 2 is the paper's
+/// final pick. The fast kernels route every base through `log2`/`exp2`
+/// with a constant scale factor, which erases most of that gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogBase {
+    /// Base 2: `log2`/`exp2` fast paths. The paper's choice.
+    Two,
+    /// Natural base: `ln`/`exp` fast paths.
+    E,
+    /// Base 10: fast `log10` forward, but the inverse needs `powf` — the
+    /// slow postprocessing the paper measures in Table III.
+    Ten,
+}
+
+impl LogBase {
+    /// Numeric base value.
+    pub fn value(self) -> f64 {
+        match self {
+            LogBase::Two => 2.0,
+            LogBase::E => std::f64::consts::E,
+            LogBase::Ten => 10.0,
+        }
+    }
+
+    /// `ln(base)`.
+    pub fn ln_base(self) -> f64 {
+        match self {
+            LogBase::Two => std::f64::consts::LN_2,
+            LogBase::E => 1.0,
+            LogBase::Ten => std::f64::consts::LN_10,
+        }
+    }
+
+    /// `1 / log2(base)`: the multiplier taking `log2 x` to `log_base x`.
+    #[inline]
+    pub fn log2_scale(self) -> f64 {
+        match self {
+            LogBase::Two => 1.0,
+            LogBase::E => std::f64::consts::LN_2,
+            LogBase::Ten => std::f64::consts::LOG10_2,
+        }
+    }
+
+    /// `log2(base)`: the multiplier taking an exponent `d` to the `exp2`
+    /// argument that realizes `base^d`.
+    #[inline]
+    pub fn inv_log2_scale(self) -> f64 {
+        match self {
+            LogBase::Two => 1.0,
+            LogBase::E => std::f64::consts::LOG2_E,
+            LogBase::Ten => std::f64::consts::LOG2_10,
+        }
+    }
+
+    /// Stream tag.
+    pub fn id(self) -> u8 {
+        match self {
+            LogBase::Two => 0,
+            LogBase::E => 1,
+            LogBase::Ten => 2,
+        }
+    }
+
+    /// Inverse of [`LogBase::id`].
+    pub fn from_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(LogBase::Two),
+            1 => Some(LogBase::E),
+            2 => Some(LogBase::Ten),
+            _ => None,
+        }
+    }
+
+    /// `log_base(m)` using the per-base libm fast path.
+    #[inline]
+    pub fn log(self, m: f64) -> f64 {
+        match self {
+            LogBase::Two => m.log2(),
+            LogBase::E => m.ln(),
+            LogBase::Ten => m.log10(),
+        }
+    }
+
+    /// `base^d` using the per-base libm fast path (or `powf` for base 10).
+    #[inline]
+    pub fn exp(self, d: f64) -> f64 {
+        match self {
+            LogBase::Two => d.exp2(),
+            LogBase::E => d.exp(),
+            LogBase::Ten => 10f64.powf(d),
+        }
+    }
+
+    /// Exponent (base 2) of the smallest positive value of `F`, *including*
+    /// denormals — stricter than the paper's normal-range bound so that
+    /// denormal inputs also survive the zero threshold.
+    pub fn zero_exp2<F: Float>() -> f64 {
+        // One below the smallest denormal exponent: -150 (f32) / -1075 (f64).
+        (F::ZERO_EXP - F::MANT_BITS as i32 - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASES: [LogBase; 3] = [LogBase::Two, LogBase::E, LogBase::Ten];
+
+    #[test]
+    fn scales_are_reciprocal() {
+        for base in BASES {
+            assert!((base.log2_scale() * base.inv_log2_scale() - 1.0).abs() < 1e-15);
+            // log_base x = log2(x) · log2_scale
+            let x = 123.456f64;
+            assert!((x.log2() * base.log2_scale() - base.log(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn base_ids_round_trip() {
+        for base in BASES {
+            assert_eq!(LogBase::from_id(base.id()), Some(base));
+        }
+        assert_eq!(LogBase::from_id(9), None);
+    }
+
+    #[test]
+    fn zero_exp2_covers_denormals() {
+        assert_eq!(LogBase::zero_exp2::<f32>(), -151.0);
+        assert_eq!(LogBase::zero_exp2::<f64>(), -1077.0);
+    }
+}

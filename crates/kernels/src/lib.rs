@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Batched, allocation-free transform kernels for the log mapping.
+//!
+//! The paper's transform spends essentially all of its time in `log` and
+//! `exp` calls (Table III ranks bases by exactly that cost). This crate
+//! provides the hot-path primitives the rest of the workspace builds on:
+//!
+//! * [`fast`] — branchless `log2`/`exp2` approximations built from
+//!   exponent-field extraction plus a short polynomial on the mantissa.
+//!   Every operation in their bodies is a select or arithmetic op, so the
+//!   fixed-width batch entry points auto-vectorize. Their worst-case
+//!   errors are *documented constants* ([`fast::FAST_LOG2_ABS_ERR`],
+//!   [`fast::FAST_EXP2_REL_ERR`]) that the bound theory folds into the
+//!   Lemma 2 round-off correction — the point-wise relative bound still
+//!   provably holds with the fast kernels enabled.
+//! * [`scan`] — a single integer sweep over the raw bits of a field that
+//!   validates finiteness and yields the sign/zero flags plus an
+//!   exponent-field upper bound on `max |log2 x|`, replacing the exact
+//!   (and serializing) max-reduction over mapped values. Over-estimating
+//!   the max only *shrinks* the corrected bound, so the substitution is
+//!   always sound.
+//! * [`kernel::Kernel`] — the `Fast`/`Libm` selector. `Libm` reproduces
+//!   the scalar `log2()`/`exp2()` reference path bit-for-bit; `Fast` is
+//!   the default. All bases route through `log2`/`exp2` with a constant
+//!   scale, which also removes the base-10 `powf` penalty the paper
+//!   measures.
+//! * [`base::LogBase`] — the base enum (moved here from `pwrel-core` so
+//!   the codec crates can use it without a dependency cycle; `pwrel-core`
+//!   re-exports it from the old path).
+
+pub mod base;
+pub mod fast;
+pub mod kernel;
+pub mod plan;
+pub mod scan;
+
+pub use base::LogBase;
+pub use kernel::Kernel;
+pub use plan::{FusedOutput, LogFusedCodec, LogPlan, CHUNK};
+pub use scan::{scan, FieldScan};

@@ -18,22 +18,33 @@ const MAX_CODE_LEN: u32 = 48;
 /// Returns a vector of lengths, zero for unused symbols. Lengths are
 /// guaranteed ≤ `MAX_CODE_LEN` (48); a single used symbol gets length 1.
 pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
-    let mut scaled: Vec<u64> = freqs.to_vec();
+    let pairs: Vec<(u32, u64)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(s, &f)| (s as u32, f))
+        .collect();
+    code_lengths_sparse(&pairs, freqs.len())
+}
+
+/// [`code_lengths`] over sparse `(symbol, frequency)` pairs (ascending
+/// symbols, frequencies > 0) — the hot-path form: the work scales with the
+/// number of *distinct* symbols, not the nominal alphabet.
+pub fn code_lengths_sparse(pairs: &[(u32, u64)], alphabet: usize) -> Vec<u32> {
+    let mut scaled: Vec<(u32, u64)> = pairs.to_vec();
     loop {
-        let lens = tree_lengths(&scaled);
+        let lens = tree_lengths(&scaled, alphabet);
         if lens.iter().all(|&l| l <= MAX_CODE_LEN) {
             return lens;
         }
-        for f in scaled.iter_mut() {
-            if *f > 0 {
-                *f = (*f).div_ceil(2);
-            }
+        for (_, f) in scaled.iter_mut() {
+            *f = (*f).div_ceil(2);
         }
     }
 }
 
 /// One pass of plain Huffman tree construction returning per-symbol depths.
-fn tree_lengths(freqs: &[u64]) -> Vec<u32> {
+fn tree_lengths(pairs: &[(u32, u64)], alphabet: usize) -> Vec<u32> {
     #[derive(PartialEq, Eq)]
     struct Node {
         freq: u64,
@@ -58,18 +69,16 @@ fn tree_lengths(freqs: &[u64]) -> Vec<u32> {
         }
     }
 
-    let mut heap: BinaryHeap<Node> = freqs
+    let mut heap: BinaryHeap<Node> = pairs
         .iter()
-        .enumerate()
-        .filter(|(_, &f)| f > 0)
-        .map(|(s, &f)| Node {
+        .map(|&(s, f)| Node {
             freq: f,
-            id: s as u32,
-            kind: NodeKind::Leaf(s as u32),
+            id: s,
+            kind: NodeKind::Leaf(s),
         })
         .collect();
 
-    let mut lens = vec![0u32; freqs.len()];
+    let mut lens = vec![0u32; alphabet];
     match heap.len() {
         0 => return lens,
         1 => {
@@ -81,7 +90,7 @@ fn tree_lengths(freqs: &[u64]) -> Vec<u32> {
         _ => {}
     }
 
-    let mut next_id = freqs.len() as u32;
+    let mut next_id = alphabet as u32;
     while heap.len() > 1 {
         let a = heap.pop().unwrap();
         let b = heap.pop().unwrap();
@@ -284,14 +293,44 @@ impl CanonicalCode {
     }
 }
 
+std::thread_local! {
+    /// Frequency table reused across [`encode_symbols`] calls. The nominal
+    /// alphabet is 2^16 codes (512 KiB as `u64`) while a chunk typically
+    /// touches a few hundred distinct symbols, so allocating and zeroing a
+    /// dense histogram per chunk dominated the entropy stage; instead the
+    /// table persists per thread and only the touched slots are cleared.
+    static FREQS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Convenience: Huffman-encode a symbol slice into a self-contained buffer
 /// (table + count + payload).
 pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
-    let mut freqs = vec![0u64; alphabet];
-    for &s in symbols {
-        freqs[s as usize] += 1;
-    }
-    let code = CanonicalCode::from_lengths(&code_lengths(&freqs));
+    let pairs = FREQS.with(|cell| {
+        let mut freqs = cell.borrow_mut();
+        if freqs.len() < alphabet {
+            freqs.resize(alphabet, 0);
+        }
+        let mut touched: Vec<u32> = Vec::new();
+        for &s in symbols {
+            let f = &mut freqs[s as usize];
+            if *f == 0 {
+                touched.push(s);
+            }
+            *f = f.saturating_add(1);
+        }
+        // Sorting restores the ascending-symbol order the dense scan had,
+        // keeping the tree (and the stream) byte-identical to it.
+        touched.sort_unstable();
+        let pairs: Vec<(u32, u64)> = touched
+            .iter()
+            .map(|&s| (s, freqs[s as usize] as u64))
+            .collect();
+        for &s in &touched {
+            freqs[s as usize] = 0;
+        }
+        pairs
+    });
+    let code = CanonicalCode::from_lengths(&code_lengths_sparse(&pairs, alphabet));
     let mut out = Vec::new();
     code.serialize(&mut out);
     varint::write_uvarint(&mut out, symbols.len() as u64);

@@ -55,7 +55,7 @@ fn slice_len(dims: Dims) -> usize {
 }
 
 /// Chunked-parallel wrapper around any per-buffer codec.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChunkedCodec {
     /// Worker pool used for both directions.
     pub pool: WorkerPool,

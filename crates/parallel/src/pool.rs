@@ -1,25 +1,184 @@
-//! A small ordered-result worker pool on crossbeam channels.
+//! A persistent ordered-result worker pool on `std` primitives.
 //!
-//! Built from scratch (no rayon): scoped worker threads pull `(index, task)`
-//! pairs from a shared channel and push `(index, result)` back; the caller
-//! reassembles results in input order. Workers inherit panics: a panicking
-//! task poisons the pool and the call panics, rather than silently dropping
-//! a result.
+//! Built from scratch (no rayon, no channels): `new` spawns the worker
+//! threads once and every [`WorkerPool::map`] call reuses them, instead of
+//! paying a thread spawn/join plus two unbounded-channel round trips per
+//! call like the original scoped design. A `map` publishes one type-erased
+//! *job*: workers claim task indices from a shared atomic cursor and write
+//! results straight into a pre-sized slot vector, so task distribution and
+//! result reassembly are allocation-free and input order is preserved by
+//! construction. The submitting thread participates in execution, which
+//! keeps a 1-worker pool fully functional and lets small pools finish
+//! tail tasks without idling the caller.
+//!
+//! Workers inherit panics: a panicking task poisons the job and the `map`
+//! call panics, rather than silently dropping a result.
 
-use crossbeam::channel;
+use std::cell::UnsafeCell;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
-/// Fixed-size pool configuration (threads are spawned per call, scoped).
-#[derive(Debug, Clone, Copy)]
+/// Locks ignoring poison: a `map` that panics out (by design, when a task
+/// panics) must not brick the pool for later calls.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One published `map` call, type-erased so workers need no generics.
+///
+/// `run` executes task `i` against `ctx`, a pointer into the submitting
+/// call's stack frame. The frame is guaranteed live while `remaining > 0`
+/// because the submitter blocks until every claimed task has finished.
+struct Job {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+    n_tasks: usize,
+    /// Next task index to claim.
+    next: AtomicUsize,
+    /// Tasks claimed-or-unclaimed that have not finished yet.
+    remaining: AtomicUsize,
+    /// Set when any task panicked; checked by the submitter.
+    panicked: AtomicBool,
+}
+
+// Job is shared by raw pointer into a frame the submitter keeps alive; the
+// `run` thunk enforces Send/Sync bounds on the concrete task/result types.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs tasks until the cursor is exhausted. Returns after
+    /// contributing; completion is signalled by whoever finishes last.
+    fn work(&self, shared: &Shared) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.ctx, i) }));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task done: retire the job so idle workers stop
+                // seeing it, and wake the submitter.
+                let mut slot = lock(&shared.slot);
+                slot.job = None;
+                drop(slot);
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Current-job slot guarded by `Shared::slot`.
+#[derive(Default)]
+struct JobSlot {
+    job: Option<Arc<Job>>,
+    /// Bumped per submission so a worker never re-enters a job it already
+    /// drained (its cursor stays exhausted but the Arc may still be live).
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<JobSlot>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// Submitters park here until their job retires.
+    done: Condvar,
+}
+
+impl Shared {
+    fn worker_loop(&self) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut slot = lock(&self.slot);
+                loop {
+                    if slot.shutdown {
+                        return;
+                    }
+                    if slot.epoch != seen_epoch {
+                        if let Some(job) = &slot.job {
+                            seen_epoch = slot.epoch;
+                            break job.clone();
+                        }
+                        // Job already retired; skip to its epoch so we
+                        // don't spin on the stale slot.
+                        seen_epoch = slot.epoch;
+                    }
+                    slot = self.work.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            job.work(self);
+        }
+    }
+}
+
+/// Owns the threads; dropped when the last pool clone goes away.
+struct PoolInner {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes `map` calls: the job slot holds one job at a time.
+    submit: Mutex<()>,
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in lock(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Fixed-size pool whose threads persist across `map` calls. Cloning is
+/// cheap and shares the same threads.
+#[derive(Clone)]
 pub struct WorkerPool {
     workers: NonZeroUsize,
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.get())
+            .finish()
+    }
 }
 
 impl WorkerPool {
-    /// Creates a pool with `workers` threads (clamped to ≥ 1).
+    /// Creates a pool with `workers` threads (clamped to ≥ 1), spawned
+    /// immediately and reused by every `map` on this pool or its clones.
     pub fn new(workers: usize) -> Self {
+        let workers = NonZeroUsize::new(workers.max(1)).unwrap();
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(JobSlot::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers.get())
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
         Self {
-            workers: NonZeroUsize::new(workers.max(1)).unwrap(),
+            workers,
+            inner: Arc::new(PoolInner {
+                shared,
+                handles: Mutex::new(handles),
+                submit: Mutex::new(()),
+            }),
         }
     }
 
@@ -48,43 +207,61 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
-        let n_workers = self.workers.get().min(n);
-        if n_workers == 1 {
+        if self.workers.get() == 1 || n == 1 {
             return tasks.into_iter().map(f).collect();
         }
 
-        let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
-        let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-        for pair in tasks.into_iter().enumerate() {
-            task_tx.send(pair).expect("queue send");
+        struct MapCtx<T, R, F> {
+            tasks: Vec<UnsafeCell<Option<T>>>,
+            results: Vec<UnsafeCell<Option<R>>>,
+            f: F,
         }
-        drop(task_tx);
+        unsafe fn run_one<T, R, F: Fn(T) -> R>(ctx: *const (), i: usize) {
+            let ctx = &*(ctx as *const MapCtx<T, R, F>);
+            // Each index is claimed exactly once, so the cells at `i` are
+            // touched by exactly one thread.
+            let task = (*ctx.tasks[i].get()).take().expect("task claimed twice");
+            let result = (ctx.f)(task);
+            *ctx.results[i].get() = Some(result);
+        }
 
-        let results: Vec<Option<R>> = std::thread::scope(|s| {
-            for _ in 0..n_workers {
-                let task_rx = task_rx.clone();
-                let res_tx = res_tx.clone();
-                let f = &f;
-                s.spawn(move || {
-                    while let Ok((i, t)) = task_rx.recv() {
-                        let r = f(t);
-                        if res_tx.send((i, r)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(res_tx);
-            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-            while let Ok((i, r)) = res_rx.recv() {
-                out[i] = Some(r);
-            }
-            out
+        let ctx = MapCtx {
+            tasks: tasks.into_iter().map(|t| UnsafeCell::new(Some(t))).collect(),
+            results: (0..n).map(|_| UnsafeCell::new(None)).collect::<Vec<_>>(),
+            f,
+        };
+        let job = Arc::new(Job {
+            run: run_one::<T, R, F>,
+            ctx: &ctx as *const MapCtx<T, R, F> as *const (),
+            n_tasks: n,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n),
+            panicked: AtomicBool::new(false),
         });
 
-        results
+        let shared = &self.inner.shared;
+        let _submit = lock(&self.inner.submit);
+        {
+            let mut slot = lock(&shared.slot);
+            slot.job = Some(job.clone());
+            slot.epoch = slot.epoch.wrapping_add(1);
+        }
+        shared.work.notify_all();
+
+        // Participate, then wait for stragglers still running claimed tasks.
+        job.work(shared);
+        let mut slot = lock(&shared.slot);
+        while job.remaining.load(Ordering::Acquire) > 0 {
+            slot = shared.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(slot);
+
+        if job.panicked.load(Ordering::Acquire) {
+            panic!("worker task panicked");
+        }
+        ctx.results
             .into_iter()
-            .map(|r| r.expect("worker task panicked"))
+            .map(|cell| cell.into_inner().expect("worker task panicked"))
             .collect()
     }
 }
@@ -134,6 +311,56 @@ mod tests {
     fn workers_clamped_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn threads_persist_across_map_calls() {
+        let pool = WorkerPool::new(4);
+        // Run several maps back-to-back on the same pool; every call must
+        // produce complete, ordered results from the same worker threads.
+        for round in 0..20u64 {
+            let out = pool.map((0..64u64).collect::<Vec<_>>(), |t| t + round);
+            assert_eq!(out, (0..64u64).map(|t| t + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let pool = WorkerPool::new(3);
+        let cloned = pool.clone();
+        assert_eq!(cloned.workers(), 3);
+        let out = cloned.map(vec![5, 6], |t| t * 10);
+        assert_eq!(out, vec![50, 60]);
+        let out = pool.map(vec![7], |t| t * 10);
+        assert_eq!(out, vec![70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker task panicked")]
+    fn task_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(4);
+        pool.map((0..16).collect::<Vec<_>>(), |t| {
+            if t == 7 {
+                panic!("boom");
+            }
+            t
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_map() {
+        let pool = WorkerPool::new(4);
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0, 1, 2, 3], |t| {
+                if t == 2 {
+                    panic!("boom");
+                }
+                t
+            })
+        }));
+        assert!(poisoned.is_err());
+        let out = pool.map(vec![10, 20], |t| t + 1);
+        assert_eq!(out, vec![11, 21]);
     }
 
     #[test]

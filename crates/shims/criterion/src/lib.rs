@@ -1,0 +1,315 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — groups, throughput annotation, `bench_with_input` / `iter` — with
+//! plain wall-clock measurement and human-readable output. No statistics
+//! beyond a median-of-samples estimate, no HTML reports.
+//!
+//! Modes:
+//!
+//! * `cargo bench` — each benchmark warms up briefly, then runs
+//!   `sample_size` samples and reports the best sample's ns/iter plus
+//!   throughput when annotated.
+//! * `cargo test` (cargo passes `--test`) or `CRITERION_QUICK=1` — every
+//!   closure runs exactly once, as a smoke check.
+//!
+//! Results of a run are also collected in a process-global list; a harness
+//! binary can drain them with [`take_results`] to emit machine-readable
+//! output (the workspace's `BENCH_transform.json` emitter does its own
+//! timing instead, but the hook is here for other tooling).
+
+use std::fmt::Display;
+use std::hint;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/param` style id from just the parameter.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+
+    /// `name/param` id.
+    pub fn new<S: Into<String>, P: Display>(name: S, param: P) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/benchmark` label.
+    pub id: String,
+    /// Best-sample nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Throughput annotation the group carried, if any.
+    pub throughput: Option<ThroughputResult>,
+}
+
+/// Realized throughput for a [`BenchResult`].
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Unit label (`"B"` or `"elem"`).
+    pub unit: &'static str,
+    /// Units processed per second at the measured speed.
+    pub per_second: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every result recorded so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some()
+        || std::env::args().any(|a| a == "--test")
+}
+
+/// Measurement context passed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    /// Best observed ns/iter, filled by `iter`.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the fastest sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            self.best_ns = f64::NAN;
+            return;
+        }
+        // Warm-up & calibration: grow the iteration count until one batch
+        // takes ≥ ~20ms, so Instant overhead stays negligible.
+        let mut iters: u64 = 1;
+        let batch_ns;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(20) || iters >= 1 << 20 {
+                batch_ns = dt.as_nanos() as f64 / iters as f64;
+                break;
+            }
+            iters *= 2;
+        }
+        let mut best = batch_ns;
+        for _ in 0..self.sample_size.saturating_sub(1) {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.best_ns = best;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates the per-iteration work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark (criterion's meaning; here
+    /// each sample is one calibrated batch).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            quick: self.criterion.quick,
+            sample_size: self.sample_size,
+            best_ns: f64::NAN,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.best_ns);
+        self
+    }
+
+    /// Runs one benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            quick: self.criterion.quick,
+            sample_size: self.sample_size,
+            best_ns: f64::NAN,
+        };
+        f(&mut b);
+        self.report(name, b.best_ns);
+        self
+    }
+
+    fn report(&self, bench: &str, ns: f64) {
+        let id = format!("{}/{}", self.name, bench);
+        if ns.is_nan() {
+            println!("bench {id:<48} (quick: 1 iteration, untimed)");
+            return;
+        }
+        let throughput = self.throughput.map(|t| {
+            let (unit, units) = match t {
+                Throughput::Bytes(n) => ("B", n),
+                Throughput::Elements(n) => ("elem", n),
+            };
+            ThroughputResult {
+                unit,
+                per_second: units as f64 / (ns / 1e9),
+            }
+        });
+        match &throughput {
+            Some(tp) if tp.unit == "B" => println!(
+                "bench {id:<48} {ns:>14.1} ns/iter  {:>9.3} GiB/s",
+                tp.per_second / (1u64 << 30) as f64
+            ),
+            Some(tp) => println!(
+                "bench {id:<48} {ns:>14.1} ns/iter  {:>12.3e} {}/s",
+                tp.per_second, tp.unit
+            ),
+            None => println!("bench {id:<48} {ns:>14.1} ns/iter"),
+        }
+        RESULTS.lock().unwrap().push(BenchResult {
+            id,
+            ns_per_iter: ns,
+            throughput,
+        });
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry object.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            quick: quick_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Accepts criterion's builder call; configuration comes from the
+    /// environment here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_closure_once() {
+        let mut c = Criterion { quick: true };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(100)).sample_size(10);
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn timed_mode_records_a_result() {
+        let mut c = Criterion { quick: false };
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+            g.finish();
+        }
+        let rs = take_results();
+        let r = rs.iter().find(|r| r.id == "t/x").expect("result recorded");
+        assert!(r.ns_per_iter > 0.0);
+    }
+}

@@ -1,0 +1,639 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this path crate supplies
+//! the subset of the proptest 1.x API the workspace's property tests use:
+//! the [`Strategy`] trait (`prop_map`, ranges, tuples, `Just`, `any`,
+//! weighted `prop_oneof!`, `collection::vec`, `sample::Index`, and a tiny
+//! `[class]{m,n}` regex string generator), the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros, and a deterministic
+//! case runner.
+//!
+//! Differences from real proptest, deliberately accepted for offline use:
+//! no shrinking (failures report the original inputs), no persistence of
+//! regressions (seeds are a pure function of the test name and case
+//! index, so failures reproduce across runs), and strategies are sampled
+//! rather than explored.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test random source handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.0.gen_range(0..n)
+    }
+}
+
+/// A failed test case (returned by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+/// Runner configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// FNV-1a over the test name: the per-test seed base. Purely deterministic
+/// so failures reproduce without a persistence file.
+fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Executes `f` for each case; panics with the formatted inputs on the
+/// first failure. Used by the `proptest!` macro — not public API upstream,
+/// but harmless to expose here.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng(SmallRng::seed_from_u64(seed_for(name, case)));
+        let mut inputs = String::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(&mut rng, &mut inputs)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError(msg))) => panic!(
+                "proptest `{name}` failed at case {case}/{}: {msg}\n  inputs: {inputs}",
+                config.cases
+            ),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!(
+                    "proptest `{name}` panicked at case {case}/{}: {msg}\n  inputs: {inputs}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        strategy::Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use super::*;
+
+    /// Constant strategy (`Just(v)`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Weighted union of boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Self { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights cover the sampled range")
+        }
+    }
+
+    /// Boxes a strategy for storage in a [`Union`].
+    pub fn box_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+pub use strategy::Just;
+
+/// Numeric primitives sampled uniformly from ranges.
+mod ranges {
+    use super::*;
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = ((rng.next_u64() as u128) * span) >> 64;
+                    (self.start as i128 + hi as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let off = ((rng.next_u64() as u128) * span) >> 64;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.unit_f64() as $t;
+                    let v = self.start + (self.end - self.start) * u;
+                    if v >= self.end {
+                        <$t>::from_bits(self.end.to_bits() - 1)
+                    } else {
+                        v
+                    }
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::*;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub use arbitrary::any;
+
+/// `prop::collection` — sized containers of strategy-generated elements.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector of `element` values with length in `len` (exclusive end).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `prop::sample` — index selection helpers.
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use super::TestRng;
+
+    /// An abstract index into a collection of not-yet-known length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Concretizes against a collection of `len` elements (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Tuple strategies (up to 6 elements).
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.sample(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S1/v1);
+impl_tuple_strategy!(S1/v1, S2/v2);
+impl_tuple_strategy!(S1/v1, S2/v2, S3/v3);
+impl_tuple_strategy!(S1/v1, S2/v2, S3/v3, S4/v4);
+impl_tuple_strategy!(S1/v1, S2/v2, S3/v3, S4/v4, S5/v5);
+impl_tuple_strategy!(S1/v1, S2/v2, S3/v3, S4/v4, S5/v5, S6/v6);
+
+/// String strategies from a tiny regex subset: a literal, or one
+/// `[class]{m,n}` character-class repetition (what the workspace uses).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((chars, lo, hi)) => {
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..n)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[a-z_0-9]{m,n}` (also `{n}`, `*`, `+`, `?`); `None` means the
+/// pattern is treated as a literal.
+fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let quant = &rest[close + 1..];
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i], cs[i + 2]);
+            if a > b {
+                return None;
+            }
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let (lo, hi) = match quant {
+        "*" => (0, 16),
+        "+" => (1, 16),
+        "?" => (0, 1),
+        q => {
+            let body = q.strip_prefix('{')?.strip_suffix('}')?;
+            match body.split_once(',') {
+                Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+                None => {
+                    let n: usize = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        }
+    };
+    (lo <= hi).then_some((chars, lo, hi))
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Just;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            a,
+            b,
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{:?}` != `{:?}`",
+            a,
+            b
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies of a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::box_strategy($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::box_strategy($strat)) ),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the block form (with optional
+/// `#![proptest_config(..)]`) and the inline closure form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($cfg:expr, |($($arg:ident in $strat:expr),+ $(,)?)| $body:expr) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        let __strategies = ( $( $strat, )+ );
+        $crate::run_cases(&__config, "inline", |__rng, __inputs| {
+            let ( $( ref $arg, )+ ) = __strategies;
+            $( let $arg = $crate::Strategy::sample($arg, __rng); )+
+            *__inputs = format!(
+                concat!($( stringify!($arg), " = {:?}; " ),+),
+                $( $arg ),+
+            );
+            let mut __case = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                $body;
+                Ok(())
+            };
+            __case()
+        });
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion target of [`proptest!`]'s block form.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;
+     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategies = ( $( $strat, )+ );
+                $crate::run_cases(&__config, stringify!($name), |__rng, __inputs| {
+                    let ( $( ref $arg, )+ ) = __strategies;
+                    $( let $arg = $crate::Strategy::sample($arg, __rng); )+
+                    *__inputs = format!(
+                        concat!($( stringify!($arg), " = {:?}; " ),+),
+                        $( $arg ),+
+                    );
+                    let mut __case = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_within_bounds() {
+        proptest!(ProptestConfig::with_cases(64), |(
+            v in prop::collection::vec(0u32..=64, 0..20),
+            x in -10i32..10,
+            f in 0.5f64..2.0
+        )| {
+            prop_assert!(v.len() < 20);
+            for e in &v {
+                prop_assert!(*e <= 64);
+            }
+            prop_assert!((-10..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn block_form_runs(a in any::<u64>(), b in 1usize..5) {
+            prop_assert!(b >= 1 && b < 5);
+            let _ = a;
+        }
+
+        #[test]
+        fn oneof_and_map_work(op in prop_oneof![
+            2 => (0u32..10).prop_map(|v| v * 2),
+            1 => Just(99u32),
+        ]) {
+            prop_assert!(op == 99 || (op % 2 == 0 && op < 20));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        proptest!(ProptestConfig::with_cases(64), |(s in "[a-z_]{0,24}")| {
+            prop_assert!(s.len() <= 24);
+            prop_assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `inline` failed")]
+    fn failures_panic_with_inputs() {
+        proptest!(ProptestConfig::with_cases(8), |(x in 0u32..10)| {
+            prop_assert!(x > 100, "x was {}", x);
+        });
+    }
+
+    #[test]
+    fn index_concretizes() {
+        proptest!(ProptestConfig::with_cases(32), |(i in any::<prop::sample::Index>())| {
+            prop_assert!(i.index(7) < 7);
+        });
+    }
+}

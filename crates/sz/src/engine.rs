@@ -5,6 +5,7 @@ use crate::{lorenzo, unpred};
 use crate::SzCompressor;
 use pwrel_bitstream::{BitReader, BitWriter};
 use pwrel_data::{CodecError, Dims, Float};
+use pwrel_kernels::{LogPlan, CHUNK};
 use pwrel_lossless::huffman;
 
 /// Default quantization interval count (SZ 1.4's default scale).
@@ -121,6 +122,41 @@ pub fn quantization_codes<F: Float>(
     codes
 }
 
+/// One prediction + quantization step: pushes the code for `x` (or the
+/// unpredictable escape) and returns the value the decoder will see.
+/// Shared by the buffered and fused compression loops so they stay
+/// bit-identical by construction.
+#[inline]
+fn quantize_one<F: Float>(
+    x: F,
+    eb: f64,
+    radius: i64,
+    pred: f64,
+    codes: &mut Vec<u32>,
+    unpred_w: &mut BitWriter,
+    n_unpred: &mut u64,
+) -> F {
+    if x.is_finite() {
+        let diff = x.to_f64() - pred;
+        let qf = (diff / (2.0 * eb)).round();
+        if qf.is_finite() && qf.abs() < radius as f64 {
+            let q = qf as i64;
+            let val = F::from_f64(pred + 2.0 * eb * q as f64);
+            // Verify on the *rounded* reconstruction so the bound holds
+            // for the stored element type, not just in f64.
+            if val.is_finite() && (val.to_f64() - x.to_f64()).abs() <= eb {
+                codes.push((radius + q) as u32);
+                return val;
+            }
+        }
+    }
+    codes.push(0);
+    // SZ's binary-representation analysis: keep only the leading bits the
+    // (per-point) bound requires; predict from the value the decoder sees.
+    *n_unpred += 1;
+    unpred::write(unpred_w, x, eb)
+}
+
 /// Core compressor shared by both modes.
 pub(crate) fn compress<F: Float>(
     data: &[F],
@@ -171,33 +207,16 @@ pub(crate) fn compress<F: Float>(
         for j in 0..dims.ny {
             for i in 0..dims.nx {
                 let idx = dims.index(i, j, k);
-                let x = data[idx];
-                let eb = ebs.at(idx);
-                let mut done = false;
-                if x.is_finite() {
-                    let pred = lorenzo::predict(&dec, dims, i, j, k);
-                    let diff = x.to_f64() - pred;
-                    let qf = (diff / (2.0 * eb)).round();
-                    if qf.is_finite() && qf.abs() < radius as f64 {
-                        let q = qf as i64;
-                        let val = F::from_f64(pred + 2.0 * eb * q as f64);
-                        // Verify on the *rounded* reconstruction so the bound
-                        // holds for the stored element type, not just in f64.
-                        if val.is_finite() && (val.to_f64() - x.to_f64()).abs() <= eb {
-                            codes.push((radius + q) as u32);
-                            dec[idx] = val;
-                            done = true;
-                        }
-                    }
-                }
-                if !done {
-                    codes.push(0);
-                    // SZ's binary-representation analysis: keep only the
-                    // leading bits the (per-point) bound requires; predict
-                    // from the value the decoder will see.
-                    dec[idx] = unpred::write(&mut unpred_w, x, eb);
-                    n_unpred += 1;
-                }
+                let pred = lorenzo::predict(&dec, dims, i, j, k);
+                dec[idx] = quantize_one(
+                    data[idx],
+                    ebs.at(idx),
+                    radius,
+                    pred,
+                    &mut codes,
+                    &mut unpred_w,
+                    &mut n_unpred,
+                );
             }
         }
     }
@@ -213,6 +232,79 @@ pub(crate) fn compress<F: Float>(
         unpred_bytes: unpred_w.into_bytes(),
     };
     Ok(stream.serialize(cfg.lossless_pass))
+}
+
+/// Fused transform + compression: maps `data` through `plan` in
+/// [`CHUNK`]-sized runs of a stack window while the Lorenzo + quantization
+/// sweep consumes them, collecting the sign bitmap in the same pass. No
+/// intermediate mapped vector is ever materialized. The raster loop visits
+/// `dims.index(i, j, k)` contiguously, which is what lets the window
+/// follow a simple linear cursor.
+///
+/// Produces exactly the stream [`compress`] would on the buffered mapped
+/// data with `EbSpec::Abs(plan.abs_bound)`.
+pub(crate) fn compress_fused<F: Float>(
+    data: &[F],
+    dims: Dims,
+    plan: &LogPlan,
+    cfg: &SzCompressor,
+) -> Result<(Vec<u8>, Option<Vec<bool>>), CodecError> {
+    let capacity = cfg.capacity;
+    let radius = (capacity / 2) as i64;
+    let eb = plan.abs_bound;
+
+    let n = data.len();
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut unpred_w = BitWriter::new();
+    let mut n_unpred = 0u64;
+    let mut dec: Vec<F> = vec![F::zero(); n];
+    let mut window = [F::default(); CHUNK];
+    let mut scratch = [0f64; CHUNK];
+    let mut signs: Vec<bool> = Vec::with_capacity(if plan.any_negative { n } else { 0 });
+
+    let mut idx = 0usize;
+    for k in 0..dims.nz {
+        for j in 0..dims.ny {
+            for i in 0..dims.nx {
+                debug_assert_eq!(idx, dims.index(i, j, k));
+                if idx.is_multiple_of(CHUNK) {
+                    let end = (idx + CHUNK).min(n);
+                    plan.map_chunk(
+                        &data[idx..end],
+                        &mut window[..end - idx],
+                        &mut scratch,
+                        &mut signs,
+                    );
+                }
+                let pred = lorenzo::predict(&dec, dims, i, j, k);
+                dec[idx] = quantize_one(
+                    window[idx % CHUNK],
+                    eb,
+                    radius,
+                    pred,
+                    &mut codes,
+                    &mut unpred_w,
+                    &mut n_unpred,
+                );
+                idx += 1;
+            }
+        }
+    }
+
+    let codes_buf = huffman::encode_symbols(&codes, capacity as usize);
+    let stream = SzStream {
+        float_bits: F::BITS as u8,
+        dims,
+        capacity,
+        mode: SzMode::Abs { eb },
+        codes_buf,
+        n_unpred,
+        unpred_bytes: unpred_w.into_bytes(),
+    };
+    Ok((
+        stream.serialize(cfg.lossless_pass),
+        plan.any_negative.then_some(signs),
+    ))
 }
 
 /// Decompresses any mode.

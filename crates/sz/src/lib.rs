@@ -40,6 +40,7 @@ pub use engine::{quantization_codes, EbSpec, DEFAULT_CAPACITY};
 pub use format::{SzMode, SzStream};
 
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
+use pwrel_kernels::{FusedOutput, LogFusedCodec, LogPlan};
 
 /// Configuration + entry points for the SZ-like codec.
 ///
@@ -202,5 +203,46 @@ impl<F: Float> AbsErrorCodec<F> for SzCompressor {
 
     fn decompress_abs(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
         self.decompress(bytes)
+    }
+}
+
+impl<F: Float> LogFusedCodec<F> for SzCompressor {
+    /// Single streaming pass: log transform, Lorenzo prediction, and
+    /// quantization fused per [`pwrel_kernels::CHUNK`]-sized window, sign
+    /// bitmap collected in the same sweep. The hybrid-predictor
+    /// configuration has block-structured access that defeats the linear
+    /// window, so it maps into a buffer first (still batched) and reuses
+    /// the hybrid coder — the stream contract holds either way.
+    fn compress_fused(
+        &self,
+        data: &[F],
+        dims: Dims,
+        plan: &LogPlan,
+    ) -> Result<FusedOutput, CodecError> {
+        self.check_config()?;
+        if !(plan.abs_bound > 0.0) || !plan.abs_bound.is_finite() {
+            return Err(CodecError::InvalidArgument("bound must be finite and > 0"));
+        }
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
+        }
+        if self.hybrid_predictor {
+            let mut mapped: Vec<F> = vec![F::zero(); data.len()];
+            let mut scratch = [0f64; pwrel_kernels::CHUNK];
+            let mut signs = Vec::with_capacity(if plan.any_negative { data.len() } else { 0 });
+            for (src, out) in data
+                .chunks(pwrel_kernels::CHUNK)
+                .zip(mapped.chunks_mut(pwrel_kernels::CHUNK))
+            {
+                plan.map_chunk(src, out, &mut scratch, &mut signs);
+            }
+            let stream = self.compress_abs_hybrid(&mapped, dims, plan.abs_bound)?;
+            return Ok(FusedOutput {
+                stream,
+                signs: plan.any_negative.then_some(signs),
+            });
+        }
+        let (stream, signs) = engine::compress_fused(data, dims, plan, self)?;
+        Ok(FusedOutput { stream, signs })
     }
 }

@@ -22,6 +22,7 @@ use crate::lift;
 use crate::nb;
 use pwrel_bitstream::{bytesio, varint, BitReader, BitWriter};
 use pwrel_data::{CodecError, Dims, Float};
+use pwrel_kernels::LogPlan;
 
 const MAGIC: &[u8; 4] = b"ZFR1";
 const EMAX_BIAS: i32 = 8192;
@@ -194,6 +195,91 @@ fn decode_one_block(
     Ok(())
 }
 
+/// Encodes one gathered block (`fblock`, length 4^rank) into `w`:
+/// raw-escape / all-zero / transform-coded tagging, block-floating-point
+/// scaling, lifting, and plane coding. `iblock`/`coeffs` are caller-owned
+/// scratch. Shared by the buffered and fused compression loops so the two
+/// stay bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn encode_one_block<F: Float>(
+    w: &mut BitWriter,
+    fblock: &[f64],
+    mode: Mode,
+    rank: u8,
+    ip: u32,
+    g: i32,
+    order: &[usize],
+    iblock: &mut [i64],
+    coeffs: &mut [u64],
+) -> Result<(), CodecError> {
+    let bs = fblock.len();
+
+    // Accuracy mode has a per-block resolution floor: the float→fixed
+    // cast and the lifting's truncating shifts cost up to ~2^(rank+3)
+    // integer units, i.e. 2^(emax - (ip-g) + rank + 3) in value space. A
+    // block whose tolerance sits below that floor cannot be
+    // transform-coded within bound — store it verbatim (real ZFP simply
+    // misses such tolerances).
+    let nonfinite = fblock.iter().any(|v| !v.is_finite());
+    let needs_raw = nonfinite
+        || if let Mode::Accuracy(tol) = mode {
+            let max_mag = fblock.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            max_mag > 0.0 && {
+                let emax = frexp_exp(max_mag);
+                let floor_exp = emax - (ip as i32 - g) + rank as i32 + 4;
+                tol < (floor_exp as f64).exp2()
+            }
+        } else {
+            false
+        };
+
+    if needs_raw {
+        if matches!(mode, Mode::FixedRate(_)) {
+            return Err(CodecError::InvalidArgument(
+                "fixed-rate mode requires finite input",
+            ));
+        }
+        // Raw escape block: tag 11, then verbatim IEEE bits.
+        w.write_bits(0b11, 2);
+        for &v in fblock.iter() {
+            w.write_bits(F::from_f64(v).to_bits_u64(), F::BITS);
+        }
+        return Ok(());
+    }
+    let block_start = w.bit_len();
+    let max_mag = fblock.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max_mag == 0.0 {
+        w.write_bit(false); // tag 0 = all-zero block
+        if let Mode::FixedRate(rate) = mode {
+            pad_to(w, block_start, rate_budget(rate, bs));
+        }
+        return Ok(());
+    }
+    w.write_bits(0b10, 2); // tag 10 = transform-coded block
+    let emax = frexp_exp(max_mag);
+    w.write_bits((emax + EMAX_BIAS) as u64, 16);
+
+    // Block-floating-point: scale so |q| < 2^(ip - guard).
+    let s = (ip as i32 - g) - emax;
+    let scale = exp2_clamped(s);
+    for (i, &v) in fblock.iter().enumerate() {
+        iblock[i] = (v * scale) as i64;
+    }
+    lift::fwd_xform(iblock, rank);
+    for (slot, &src) in order.iter().enumerate() {
+        coeffs[slot] = nb::nb_encode(iblock[src], ip);
+    }
+    let kmin = kmin_for(mode, emax, rank, ip, g);
+    if let Mode::FixedRate(rate) = mode {
+        let budget = rate_budget(rate, bs) - 18; // tag + exponent
+        nb::encode_planes_budget(w, coeffs, ip, kmin, budget);
+        pad_to(w, block_start, rate_budget(rate, bs));
+    } else {
+        nb::encode_planes(w, coeffs, ip, kmin);
+    }
+    Ok(())
+}
+
 /// Compresses `data` into a self-contained ZFP stream.
 pub(crate) fn compress<F: Float>(
     data: &[F],
@@ -216,78 +302,93 @@ pub(crate) fn compress<F: Float>(
             for by in 0..gy {
                 for bx in 0..gx {
                     blocks::gather(data, dims, bx, by, bz, &mut fblock);
-
-                    // Accuracy mode has a per-block resolution floor: the
-                    // float→fixed cast and the lifting's truncating shifts
-                    // cost up to ~2^(rank+3) integer units, i.e.
-                    // 2^(emax - (ip-g) + rank + 3) in value space. A block
-                    // whose tolerance sits below that floor cannot be
-                    // transform-coded within bound — store it verbatim
-                    // (real ZFP simply misses such tolerances).
-                    let nonfinite = fblock.iter().any(|v| !v.is_finite());
-                    let needs_raw = nonfinite
-                        || if let Mode::Accuracy(tol) = mode {
-                            let max_mag =
-                                fblock.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-                            max_mag > 0.0 && {
-                                let emax = frexp_exp(max_mag);
-                                let floor_exp = emax - (ip as i32 - g) + rank as i32 + 4;
-                                tol < (floor_exp as f64).exp2()
-                            }
-                        } else {
-                            false
-                        };
-
-                    if needs_raw {
-                        if matches!(mode, Mode::FixedRate(_)) {
-                            return Err(CodecError::InvalidArgument(
-                                "fixed-rate mode requires finite input",
-                            ));
-                        }
-                        // Raw escape block: tag 11, then verbatim IEEE bits.
-                        w.write_bits(0b11, 2);
-                        for &v in fblock.iter() {
-                            w.write_bits(F::from_f64(v).to_bits_u64(), F::BITS);
-                        }
-                        continue;
-                    }
-                    let block_start = w.bit_len();
-                    let max_mag = fblock.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-                    if max_mag == 0.0 {
-                        w.write_bit(false); // tag 0 = all-zero block
-                        if let Mode::FixedRate(rate) = mode {
-                            pad_to(&mut w, block_start, rate_budget(rate, bs));
-                        }
-                        continue;
-                    }
-                    w.write_bits(0b10, 2); // tag 10 = transform-coded block
-                    let emax = frexp_exp(max_mag);
-                    w.write_bits((emax + EMAX_BIAS) as u64, 16);
-
-                    // Block-floating-point: scale so |q| < 2^(ip - guard).
-                    let s = (ip as i32 - g) - emax;
-                    let scale = exp2_clamped(s);
-                    for (i, &v) in fblock.iter().enumerate() {
-                        iblock[i] = (v * scale) as i64;
-                    }
-                    lift::fwd_xform(&mut iblock, rank);
-                    for (slot, &src) in order.iter().enumerate() {
-                        coeffs[slot] = nb::nb_encode(iblock[src], ip);
-                    }
-                    let kmin = kmin_for(mode, emax, rank, ip, g);
-                    if let Mode::FixedRate(rate) = mode {
-                        let budget = rate_budget(rate, bs) - 18; // tag + exponent
-                        nb::encode_planes_budget(&mut w, &coeffs, ip, kmin, budget);
-                        pad_to(&mut w, block_start, rate_budget(rate, bs));
-                    } else {
-                        nb::encode_planes(&mut w, &coeffs, ip, kmin);
-                    }
+                    encode_one_block::<F>(
+                        &mut w,
+                        &fblock,
+                        mode,
+                        rank,
+                        ip,
+                        g,
+                        &order,
+                        &mut iblock,
+                        &mut coeffs,
+                    )?;
                 }
             }
         }
     }
-    let payload = w.into_bytes();
+    Ok(finish::<F>(w.into_bytes(), dims, mode))
+}
 
+/// Fused transform + compression: gathers each 4^d block from the
+/// *original* data, maps it through `plan` on a stack-sized scratch, and
+/// encodes it — the full mapped field is never materialized. The sign
+/// bitmap (raster order, aligned with `data`) comes from a dedicated
+/// integer sweep: block traversal revisits replicated edge samples, so
+/// collecting signs during the gather would double-count them.
+///
+/// Produces exactly the stream [`compress`] would on the buffered mapped
+/// data.
+pub(crate) fn compress_fused<F: Float>(
+    data: &[F],
+    dims: Dims,
+    plan: &LogPlan,
+    mode: Mode,
+) -> Result<(Vec<u8>, Option<Vec<bool>>), CodecError> {
+    let rank = dims.rank();
+    let bs = lift::block_size(rank);
+    let order = lift::sequency_order(rank);
+    let ip = intprec::<F>();
+    let g = guard::<F>();
+
+    // Sign collection is the plan's job only in linear sweeps; block
+    // gathers replicate elements, so disable it and sweep separately.
+    let block_plan = LogPlan {
+        any_negative: false,
+        ..*plan
+    };
+    let signs = plan
+        .any_negative
+        .then(|| data.iter().map(|x| x.to_f64() < 0.0).collect::<Vec<bool>>());
+
+    let mut w = BitWriter::with_capacity(data.len());
+    if !dims.is_empty() {
+        let (gx, gy, gz) = blocks::block_grid(dims);
+        let mut raw = vec![F::zero(); bs];
+        let mut mapped = vec![F::zero(); bs];
+        let mut scratch = vec![0.0f64; bs];
+        let mut fblock = vec![0.0f64; bs];
+        let mut iblock = vec![0i64; bs];
+        let mut coeffs = vec![0u64; bs];
+        let mut no_signs = Vec::new();
+        for bz in 0..gz {
+            for by in 0..gy {
+                for bx in 0..gx {
+                    blocks::gather_raw(data, dims, bx, by, bz, &mut raw);
+                    block_plan.map_chunk(&raw, &mut mapped, &mut scratch, &mut no_signs);
+                    for (f, m) in fblock.iter_mut().zip(&mapped) {
+                        *f = m.to_f64();
+                    }
+                    encode_one_block::<F>(
+                        &mut w,
+                        &fblock,
+                        mode,
+                        rank,
+                        ip,
+                        g,
+                        &order,
+                        &mut iblock,
+                        &mut coeffs,
+                    )?;
+                }
+            }
+        }
+    }
+    Ok((finish::<F>(w.into_bytes(), dims, mode), signs))
+}
+
+/// Wraps an encoded payload in the self-describing container header.
+fn finish<F: Float>(payload: Vec<u8>, dims: Dims, mode: Mode) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 48);
     out.extend_from_slice(MAGIC);
     out.push(F::BITS as u8);
@@ -320,7 +421,7 @@ pub(crate) fn compress<F: Float>(
     }
     varint::write_uvarint(&mut out, payload.len() as u64);
     out.extend_from_slice(&payload);
-    Ok(out)
+    out
 }
 
 /// Decompresses a stream produced by [`compress`].

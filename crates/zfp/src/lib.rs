@@ -40,6 +40,7 @@ mod nb;
 pub use codec::{precision_for_rel_bound, BlockSamples};
 
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
+use pwrel_kernels::{FusedOutput, LogFusedCodec, LogPlan};
 
 /// Configuration + entry points for the ZFP-like codec.
 ///
@@ -129,6 +130,29 @@ impl ZfpCompressor {
         bz: usize,
     ) -> Result<BlockSamples<F>, CodecError> {
         codec::decompress_block(bytes, bx, by, bz)
+    }
+}
+
+impl<F: Float> LogFusedCodec<F> for ZfpCompressor {
+    /// Fused accuracy-mode compression: each 4^d block is gathered from
+    /// the original data and log-mapped on a stack scratch right before
+    /// encoding — no intermediate mapped field. The sign bitmap comes
+    /// from a dedicated integer sweep in the same call.
+    fn compress_fused(
+        &self,
+        data: &[F],
+        dims: Dims,
+        plan: &LogPlan,
+    ) -> Result<FusedOutput, CodecError> {
+        if !(plan.abs_bound > 0.0) || !plan.abs_bound.is_finite() {
+            return Err(CodecError::InvalidArgument("tolerance must be finite and > 0"));
+        }
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
+        }
+        let (stream, signs) =
+            codec::compress_fused(data, dims, plan, codec::Mode::Accuracy(plan.abs_bound))?;
+        Ok(FusedOutput { stream, signs })
     }
 }
 
