@@ -15,7 +15,9 @@ fn bench_pool(c: &mut Criterion) {
     let mut group = c.benchmark_group("shard_compress");
     group.throughput(Throughput::Bytes(total));
     group.sample_size(10);
-    let max_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut counts = vec![1usize, 2, 4, 8];
     counts.retain(|&w| w <= max_workers.max(1));
     if counts.is_empty() {

@@ -34,13 +34,8 @@ fn bench_transform(c: &mut Criterion) {
             &base,
             |b, &base| {
                 b.iter(|| {
-                    transform::inverse(
-                        &t.mapped,
-                        base,
-                        t.zero_threshold,
-                        t.sign_section.as_deref(),
-                    )
-                    .unwrap()
+                    transform::inverse(&t.mapped, base, t.zero_threshold, t.sign_section.as_deref())
+                        .unwrap()
                 });
             },
         );

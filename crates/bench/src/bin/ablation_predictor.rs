@@ -14,7 +14,12 @@ fn main() {
     let scale = scale_from_env();
     println!("Ablation: SZ_T predictor (Lorenzo vs hybrid +regression)\n");
     let mut table = Table::new(&[
-        "dataset", "bound", "lorenzo CR", "hybrid CR", "lorenzo ms", "hybrid ms",
+        "dataset",
+        "bound",
+        "lorenzo CR",
+        "hybrid CR",
+        "lorenzo ms",
+        "hybrid ms",
     ]);
     for ds in all_datasets(scale) {
         for &br in &[1e-3, 1e-1] {
@@ -42,7 +47,8 @@ fn main() {
                 for (&a, &b) in field.data.iter().zip(&dec) {
                     assert!(
                         a == 0.0 || ((a as f64 - b as f64) / a as f64).abs() <= br,
-                        "{}", field.name
+                        "{}",
+                        field.name
                     );
                 }
             }

@@ -21,7 +21,10 @@ fn main() {
     type SignPattern = Box<dyn Fn(usize) -> bool>;
     let patterns: Vec<(&str, SignPattern)> = vec![
         ("all positive", Box::new(|_| false)),
-        ("one negative region", Box::new(move |i| (n / 4..n / 2).contains(&i))),
+        (
+            "one negative region",
+            Box::new(move |i| (n / 4..n / 2).contains(&i)),
+        ),
         ("banded (runs of 1000)", Box::new(|i| (i / 1000) % 2 == 1)),
         ("checkerboard", Box::new(|i| i % 2 == 1)),
         (
@@ -37,7 +40,12 @@ fn main() {
     ];
 
     println!("Ablation: sign-section cost in the log transform (n = {n})\n");
-    let mut table = Table::new(&["sign pattern", "sign bytes", "bits/value", "vs packed (n/8)"]);
+    let mut table = Table::new(&[
+        "sign pattern",
+        "sign bytes",
+        "bits/value",
+        "vs packed (n/8)",
+    ]);
     for (name, neg) in &patterns {
         let data: Vec<f32> = base_mag
             .iter()

@@ -18,7 +18,10 @@ fn main() {
     println!("Figure 1: rate distortion of different bases for ZFP_T on 2 fields in NYX\n");
     for field in [nyx::dark_matter_density(scale), nyx::velocity_x(scale)] {
         println!("--- {} ({}) ---", field.name, field.dims);
-        println!("{:>10} {:>8} {:>14} {:>14}", "base", "br", "bit-rate", "rel-PSNR (dB)");
+        println!(
+            "{:>10} {:>8} {:>14} {:>14}",
+            "base", "br", "bit-rate", "rel-PSNR (dB)"
+        );
         let mut curves = Vec::new();
         for &base in &bases {
             let codec = PwRelCompressor::new(ZfpCompressor, base);
@@ -28,7 +31,13 @@ fn main() {
                 let dec: Vec<f32> = codec.decompress(&bytes).unwrap();
                 let rate = bit_rate(bytes.len(), field.data.len());
                 let psnr = rel_psnr(&field.data, &dec);
-                println!("{:>10} {:>8} {:>14.3} {:>14.2}", format!("{base:?}"), br, rate, psnr);
+                println!(
+                    "{:>10} {:>8} {:>14.3} {:>14.2}",
+                    format!("{base:?}"),
+                    br,
+                    rate,
+                    psnr
+                );
                 curve.push(rate, psnr);
             }
             curves.push(curve);

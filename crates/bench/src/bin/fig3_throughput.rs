@@ -15,7 +15,11 @@ fn main() {
 
     println!("Figure 3: compression/decompression rate in MB/s (scale {scale:?})\n");
     for ds in all_datasets(scale) {
-        println!("--- {} ({:.1} MB raw) ---", ds.name, ds.total_bytes() as f64 / 1e6);
+        println!(
+            "--- {} ({:.1} MB raw) ---",
+            ds.name,
+            ds.total_bytes() as f64 / 1e6
+        );
         let mut comp_table = Table::new(&["codec", "1e-4", "1e-3", "1e-2", "1e-1"]);
         let mut dec_table = Table::new(&["codec", "1e-4", "1e-3", "1e-2", "1e-1"]);
         for codec in FIG2_ROSTER {

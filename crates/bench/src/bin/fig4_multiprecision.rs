@@ -40,7 +40,9 @@ fn main() {
         .map(|p| {
             (
                 p,
-                FpzipCompressor::new(p).compress(&field.data, field.dims).unwrap(),
+                FpzipCompressor::new(p)
+                    .compress(&field.data, field.dims)
+                    .unwrap(),
             )
         })
         .min_by_key(|(_, s)| {
@@ -94,7 +96,15 @@ fn main() {
     )
     .unwrap();
 
-    let mut table = Table::new(&["codec", "setting", "CR", "max rel E", "avg abs E", "PSNR", "SSIM [0,1]"]);
+    let mut table = Table::new(&[
+        "codec",
+        "setting",
+        "CR",
+        "max rel E",
+        "avg abs E",
+        "PSNR",
+        "SSIM [0,1]",
+    ]);
     for ((name, setting, dec), bytes) in runs.iter().zip(streams) {
         let start = plane * w * h;
         let slice: Vec<f32> = dec[start..start + w * h].to_vec();

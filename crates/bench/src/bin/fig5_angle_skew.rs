@@ -53,7 +53,8 @@ fn main() {
 
     // Calibrate each codec's parameter on the x component, reuse for y/z.
     let (abs_eb, _) = calibrate_to_ratio(raw_one, target_cr, 1e-3, 1e5, |eb| {
-        sz.compress_abs(&fields[0].data, fields[0].dims, eb).unwrap()
+        sz.compress_abs(&fields[0].data, fields[0].dims, eb)
+            .unwrap()
     });
     let fpz_p = (10u32..=30)
         .min_by_key(|&p| {
@@ -122,7 +123,13 @@ fn main() {
     let low_speed_cut = sorted_speeds[n / 50]; // slowest 2% of particles
 
     let mut table = Table::new(&[
-        "codec", "setting", "CR", "mean skew", "low-|v| mean", "p99 skew", "max skew",
+        "codec",
+        "setting",
+        "CR",
+        "mean skew",
+        "low-|v| mean",
+        "p99 skew",
+        "max skew",
     ]);
     let mut low_means = Vec::new();
     for (name, setting, dec, bytes) in &runs {

@@ -42,8 +42,21 @@ fn main() {
         ..PfsModel::default()
     };
 
-    let mut dump_table = Table::new(&["ranks", "codec", "CR", "compress (s)", "write (s)", "dump total (s)"]);
-    let mut load_table = Table::new(&["ranks", "codec", "read (s)", "decompress (s)", "load total (s)"]);
+    let mut dump_table = Table::new(&[
+        "ranks",
+        "codec",
+        "CR",
+        "compress (s)",
+        "write (s)",
+        "dump total (s)",
+    ]);
+    let mut load_table = Table::new(&[
+        "ranks",
+        "codec",
+        "read (s)",
+        "decompress (s)",
+        "load total (s)",
+    ]);
     let mut totals: Vec<(String, f64, f64)> = Vec::new();
 
     for codec in codecs {

@@ -19,7 +19,12 @@ fn main() {
     println!("(dims {} per field, scale {scale:?})\n", fields[0].dims);
 
     let mut table = Table::new(&[
-        "pwr bound", "dm: base2", "dm: base e", "dm: base10", "vx: base2", "vx: base e",
+        "pwr bound",
+        "dm: base2",
+        "dm: base e",
+        "dm: base10",
+        "vx: base2",
+        "vx: base e",
         "vx: base10",
     ]);
     let mut max_spread = 0f64;

@@ -30,13 +30,8 @@ fn main() {
                 let (t, dt) = timed(|| transform::forward(&field.data, base, br, 2.0).unwrap());
                 t_pre += dt;
                 let (back, dt2) = timed(|| {
-                    transform::inverse(
-                        &t.mapped,
-                        base,
-                        t.zero_threshold,
-                        t.sign_section.as_deref(),
-                    )
-                    .unwrap()
+                    transform::inverse(&t.mapped, base, t.zero_threshold, t.sign_section.as_deref())
+                        .unwrap()
                 });
                 t_post += dt2;
                 sink += back.len();

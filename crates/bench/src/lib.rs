@@ -10,12 +10,9 @@
 //! Binaries honour the `PWREL_SCALE` environment variable
 //! (`small|medium|large`, default `medium`).
 
-use pwrel_core::{LogBase, PwRelCompressor};
+use pwrel_core::LogBase;
 use pwrel_data::{Dims, Field, Scale};
-use pwrel_fpzip::FpzipCompressor;
-use pwrel_isabela::IsabelaCompressor;
-use pwrel_sz::SzCompressor;
-use pwrel_zfp::ZfpCompressor;
+use pwrel_pipeline::{global, CompressOpts};
 use std::time::Instant;
 
 /// The compressor roster of the paper's evaluation.
@@ -59,49 +56,49 @@ impl PwrCodec {
         }
     }
 
-    /// Compresses `field` under the point-wise relative bound `br`.
-    pub fn compress(&self, field: &Field<f32>, br: f64) -> Vec<u8> {
+    /// The registered codec name backing this roster entry.
+    pub fn registry_name(&self) -> &'static str {
         match self {
-            PwrCodec::Isabela => IsabelaCompressor::default()
-                .compress_rel(&field.data, field.dims, br)
-                .expect("isabela compress"),
-            PwrCodec::Fpzip => FpzipCompressor::for_rel_bound::<f32>(br)
-                .compress(&field.data, field.dims)
-                .expect("fpzip compress"),
-            PwrCodec::SzPwr => SzCompressor::default()
-                .compress_pwr(&field.data, field.dims, br)
-                .expect("sz_pwr compress"),
-            // Fused single-pass path; byte-identical to the buffered route.
-            PwrCodec::SzT(base) => PwRelCompressor::new(SzCompressor::default(), *base)
-                .compress_fused(&field.data, field.dims, br)
-                .expect("sz_t compress"),
-            PwrCodec::ZfpT(base) => PwRelCompressor::new(ZfpCompressor, *base)
-                .compress_fused(&field.data, field.dims, br)
-                .expect("zfp_t compress"),
-            PwrCodec::ZfpP => ZfpCompressor
-                .compress_precision(
-                    &field.data,
-                    field.dims,
-                    pwrel_zfp::precision_for_rel_bound(br),
-                )
-                .expect("zfp_p compress"),
+            PwrCodec::Isabela => "isabela",
+            PwrCodec::Fpzip => "fpzip",
+            PwrCodec::SzPwr => "sz_pwr",
+            PwrCodec::SzT(_) => "sz_t",
+            PwrCodec::ZfpT(_) => "zfp_t",
+            PwrCodec::ZfpP => "zfp_p",
         }
     }
 
-    /// Decompresses a stream produced by [`PwrCodec::compress`].
+    /// Registry options for the bound `br` (the transform codecs carry
+    /// their log base; the rest ignore it).
+    fn opts(&self, br: f64) -> CompressOpts {
+        let base = match self {
+            PwrCodec::SzT(b) | PwrCodec::ZfpT(b) => *b,
+            _ => LogBase::Two,
+        };
+        CompressOpts { bound: br, base }
+    }
+
+    /// Compresses `field` under the point-wise relative bound `br`
+    /// through the codec registry (the `_T` codecs take the fused
+    /// single-pass path inside their registry adapters).
+    pub fn compress(&self, field: &Field<f32>, br: f64) -> Vec<u8> {
+        global()
+            .compress(
+                self.registry_name(),
+                &field.data,
+                field.dims,
+                &self.opts(br),
+            )
+            .unwrap_or_else(|e| panic!("{} compress: {e:?}", self.label()))
+    }
+
+    /// Decompresses a stream produced by [`PwrCodec::compress`]. The
+    /// container header carries the codec id, so no per-codec dispatch
+    /// happens here.
     pub fn decompress(&self, bytes: &[u8]) -> (Vec<f32>, Dims) {
-        match self {
-            PwrCodec::Isabela => pwrel_isabela::decompress::<f32>(bytes).expect("isabela"),
-            PwrCodec::Fpzip => pwrel_fpzip::decompress::<f32>(bytes).expect("fpzip"),
-            PwrCodec::SzPwr => SzCompressor::default().decompress::<f32>(bytes).expect("sz"),
-            PwrCodec::SzT(base) => PwRelCompressor::new(SzCompressor::default(), *base)
-                .decompress_full::<f32>(bytes)
-                .expect("sz_t"),
-            PwrCodec::ZfpT(base) => PwRelCompressor::new(ZfpCompressor, *base)
-                .decompress_full::<f32>(bytes)
-                .expect("zfp_t"),
-            PwrCodec::ZfpP => ZfpCompressor.decompress::<f32>(bytes).expect("zfp_p"),
-        }
+        global()
+            .decompress::<f32>(bytes)
+            .unwrap_or_else(|e| panic!("{} decompress: {e:?}", self.label()))
     }
 }
 
@@ -197,7 +194,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }

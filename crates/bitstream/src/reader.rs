@@ -129,7 +129,10 @@ impl<'a> BitReader<'a> {
 
     /// Reads `n` whole bytes; the reader must be byte-aligned.
     pub fn read_aligned_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
-        assert_eq!(self.bit_pos, 0, "read_aligned_bytes requires byte alignment");
+        assert_eq!(
+            self.bit_pos, 0,
+            "read_aligned_bytes requires byte alignment"
+        );
         let end = self.pos.checked_add(n).ok_or(Error::UnexpectedEof)?;
         if end > self.bytes.len() {
             return Err(Error::UnexpectedEof);

@@ -56,7 +56,11 @@ impl BitWriter {
         if n == 0 {
             return;
         }
-        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
         let mut remaining = n;
         // Fill the current partial byte, then emit whole bytes.
         while remaining > 0 {

@@ -36,8 +36,21 @@ pub struct Entry {
 }
 
 /// Serializes entries into an archive.
-pub fn pack(entries: &[Entry]) -> Vec<u8> {
-    let total: usize = entries.iter().map(|e| e.stream.len() + e.name.len() + 32).sum();
+///
+/// Rejects field names longer than the cap `unpack` enforces — an
+/// over-long name would produce an archive this tool itself refuses to
+/// read.
+pub fn pack(entries: &[Entry]) -> Result<Vec<u8>, CliError> {
+    if let Some(e) = entries.iter().find(|e| e.name.len() > MAX_NAME) {
+        return Err(CliError::Usage(format!(
+            "field name of {} bytes exceeds the {MAX_NAME}-byte cap",
+            e.name.len()
+        )));
+    }
+    let total: usize = entries
+        .iter()
+        .map(|e| e.stream.len() + e.name.len() + 32)
+        .sum();
     let mut out = Vec::with_capacity(total + 16);
     out.extend_from_slice(MAGIC);
     varint::write_uvarint(&mut out, entries.len() as u64);
@@ -53,7 +66,7 @@ pub fn pack(entries: &[Entry]) -> Vec<u8> {
         varint::write_uvarint(&mut out, e.stream.len() as u64);
         out.extend_from_slice(&e.stream);
     }
-    out
+    Ok(out)
 }
 
 /// Parses an archive back into entries.
@@ -131,15 +144,22 @@ mod tests {
     #[test]
     fn pack_unpack_round_trip() {
         let entries = sample_entries();
-        let archive = pack(&entries);
+        let archive = pack(&entries).unwrap();
         let back = unpack(&archive).unwrap();
         assert_eq!(back, entries);
     }
 
     #[test]
+    fn overlong_name_rejected_at_pack_time() {
+        let mut entries = sample_entries();
+        entries[0].name = "x".repeat(4097);
+        assert!(matches!(pack(&entries), Err(CliError::Usage(_))));
+    }
+
+    #[test]
     fn streams_decode_after_round_trip() {
         let codec = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
-        let archive = pack(&sample_entries());
+        let archive = pack(&sample_entries()).unwrap();
         let back = unpack(&archive).unwrap();
         for e in &back {
             let dec: Vec<f32> = codec.decompress(&e.stream).unwrap();
@@ -149,13 +169,13 @@ mod tests {
 
     #[test]
     fn empty_archive() {
-        let archive = pack(&[]);
+        let archive = pack(&[]).unwrap();
         assert!(unpack(&archive).unwrap().is_empty());
     }
 
     #[test]
     fn corrupt_archives_error_not_panic() {
-        let archive = pack(&sample_entries());
+        let archive = pack(&sample_entries()).unwrap();
         assert!(unpack(&archive[..3]).is_err());
         assert!(unpack(b"XXXX").is_err());
         for cut in [5usize, 10, 20, archive.len() - 3] {
@@ -182,7 +202,7 @@ mod tests {
                 stream,
             });
         proptest!(ProptestConfig::with_cases(64), |(entries in prop::collection::vec(entry, 0..12))| {
-            let back = unpack(&pack(&entries)).unwrap();
+            let back = unpack(&pack(&entries).unwrap()).unwrap();
             prop_assert_eq!(back, entries);
         });
     }
@@ -191,7 +211,7 @@ mod tests {
     fn unicode_names_survive() {
         let mut entries = sample_entries();
         entries[0].name = "密度_ρ".into();
-        let back = unpack(&pack(&entries)).unwrap();
+        let back = unpack(&pack(&entries).unwrap()).unwrap();
         assert_eq!(back[0].name, "密度_ρ");
     }
 }

@@ -10,18 +10,19 @@ pwrel — point-wise relative-error-bounded lossy compression
 
 USAGE:
   pwrel compress   -i <raw> -o <stream> --dims <NX|NYxNX|NZxNYxNX> --bound <b>
-                   [--codec sz_t|zfp_t|sz_abs|sz_pwr|fpzip|isabela|sz_hybrid_t]
-                   [--type f32|f64] [--base 2|e|10]
+                   [--codec <name>] [--type f32|f64] [--base 2|e|10]
   pwrel decompress -i <stream> -o <raw>
   pwrel info       -i <stream>
+  pwrel codecs
   pwrel verify     -i <raw> -c <stream> --dims <...> --bound <b> [--type f32|f64]
-  pwrel pack       -o <archive> --bound <b> [--codec ...] <raw>:<dims> ...
+  pwrel pack       -o <archive> --bound <b> [--codec <name>] <raw>:<dims> ...
   pwrel unpack     -i <archive> -o <dir>
   pwrel list       -i <archive>
 
   compress   raw little-endian floats -> compressed stream (default codec sz_t)
   decompress compressed stream -> raw little-endian floats (codec auto-detected)
   info       print stream kind and sizes
+  codecs     list every registered codec
   verify     decompress and report error statistics against the original
   pack       bundle several fields into one snapshot archive
   unpack     extract every field of an archive into a directory
@@ -30,25 +31,6 @@ USAGE:
 EXAMPLE:
   pwrel compress -i snap.f32 -o snap.pwr --dims 512x512x512 --bound 1e-3
 ";
-
-/// Which compressor to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CodecChoice {
-    /// SZ wrapped in the log transform (point-wise relative bound).
-    SzT,
-    /// ZFP wrapped in the log transform (point-wise relative bound).
-    ZfpT,
-    /// SZ absolute-error mode (`--bound` is an absolute bound).
-    SzAbs,
-    /// SZ_T with the hybrid Lorenzo/regression predictor.
-    SzHybridT,
-    /// SZ blockwise point-wise-relative mode.
-    SzPwr,
-    /// FPZIP at the loosest precision respecting the bound.
-    Fpzip,
-    /// ISABELA.
-    Isabela,
-}
 
 /// Element type of the raw file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,8 +54,8 @@ pub enum Command {
         dims: Dims,
         /// Error bound (interpretation depends on the codec).
         bound: f64,
-        /// Compressor.
-        codec: CodecChoice,
+        /// Registered codec name.
+        codec: String,
         /// Element type.
         elem: ElemType,
         /// Log base for the transform codecs.
@@ -93,14 +75,16 @@ pub enum Command {
         /// Stream path.
         input: String,
     },
+    /// `pwrel codecs`.
+    Codecs,
     /// `pwrel pack`.
     Pack {
         /// Archive output path.
         output: String,
         /// Error bound for every field.
         bound: f64,
-        /// Compressor.
-        codec: CodecChoice,
+        /// Registered codec name.
+        codec: String,
         /// Element type.
         elem: ElemType,
         /// Log base.
@@ -160,17 +144,17 @@ pub fn parse_dims(s: &str) -> Result<Dims, CliError> {
     }
 }
 
-fn parse_codec(s: &str) -> Result<CodecChoice, CliError> {
-    match s {
-        "sz_t" => Ok(CodecChoice::SzT),
-        "sz_hybrid_t" => Ok(CodecChoice::SzHybridT),
-        "zfp_t" => Ok(CodecChoice::ZfpT),
-        "sz_abs" => Ok(CodecChoice::SzAbs),
-        "sz_pwr" => Ok(CodecChoice::SzPwr),
-        "fpzip" => Ok(CodecChoice::Fpzip),
-        "isabela" => Ok(CodecChoice::Isabela),
-        _ => Err(usage_err(format!("unknown --codec '{s}'"))),
+/// Validates a `--codec` name against the registry at parse time, so the
+/// error arrives before any file is read.
+fn parse_codec(s: &str) -> Result<String, CliError> {
+    if pwrel_pipeline::global().by_name(s).is_none() {
+        let known: Vec<&str> = pwrel_pipeline::global().iter().map(|c| c.name()).collect();
+        return Err(usage_err(format!(
+            "unknown --codec '{s}' (known: {})",
+            known.join(", ")
+        )));
     }
+    Ok(s.to_string())
 }
 
 fn parse_base(s: &str) -> Result<LogBase, CliError> {
@@ -237,61 +221,82 @@ impl Cli {
             return Err(CliError::Usage(USAGE.to_string()));
         }
         let flags = Flags::parse(rest)?;
-        let elem = flags.get(&["--type"]).map_or(Ok(ElemType::F32), parse_elem)?;
+        let elem = flags
+            .get(&["--type"])
+            .map_or(Ok(ElemType::F32), parse_elem)?;
         let command = match cmd.as_str() {
             "compress" => Command::Compress {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
-                output: flags.require(&["-o", "--output"], "output path")?.to_string(),
+                output: flags
+                    .require(&["-o", "--output"], "output path")?
+                    .to_string(),
                 dims: parse_dims(flags.require(&["--dims"], "--dims")?)?,
                 bound: flags
                     .require(&["--bound", "-b"], "--bound")?
                     .parse::<f64>()
                     .map_err(|_| usage_err("bad --bound value"))?,
-                codec: flags.get(&["--codec"]).map_or(Ok(CodecChoice::SzT), parse_codec)?,
+                codec: flags
+                    .get(&["--codec"])
+                    .map_or(Ok("sz_t".to_string()), parse_codec)?,
                 elem,
-                base: flags.get(&["--base"]).map_or(Ok(LogBase::Two), parse_base)?,
+                base: flags
+                    .get(&["--base"])
+                    .map_or(Ok(LogBase::Two), parse_base)?,
             },
             "decompress" => Command::Decompress {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
-                output: flags.require(&["-o", "--output"], "output path")?.to_string(),
+                output: flags
+                    .require(&["-o", "--output"], "output path")?
+                    .to_string(),
                 elem,
             },
             "info" => Command::Info {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
             },
+            "codecs" => Command::Codecs,
             "pack" => {
                 if flags.positionals.is_empty() {
                     return Err(usage_err("pack needs at least one <raw>:<dims> spec"));
                 }
                 let mut inputs = Vec::new();
                 for spec in &flags.positionals {
-                    let (path, dims_str) = spec
-                        .rsplit_once(':')
-                        .ok_or_else(|| usage_err(format!("bad field spec '{spec}' (want path:dims)")))?;
+                    let (path, dims_str) = spec.rsplit_once(':').ok_or_else(|| {
+                        usage_err(format!("bad field spec '{spec}' (want path:dims)"))
+                    })?;
                     inputs.push((path.to_string(), parse_dims(dims_str)?));
                 }
                 Command::Pack {
-                    output: flags.require(&["-o", "--output"], "output path")?.to_string(),
+                    output: flags
+                        .require(&["-o", "--output"], "output path")?
+                        .to_string(),
                     bound: flags
                         .require(&["--bound", "-b"], "--bound")?
                         .parse::<f64>()
                         .map_err(|_| usage_err("bad --bound value"))?,
-                    codec: flags.get(&["--codec"]).map_or(Ok(CodecChoice::SzT), parse_codec)?,
+                    codec: flags
+                        .get(&["--codec"])
+                        .map_or(Ok("sz_t".to_string()), parse_codec)?,
                     elem,
-                    base: flags.get(&["--base"]).map_or(Ok(LogBase::Two), parse_base)?,
+                    base: flags
+                        .get(&["--base"])
+                        .map_or(Ok(LogBase::Two), parse_base)?,
                     inputs,
                 }
             }
             "unpack" => Command::Unpack {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
-                output: flags.require(&["-o", "--output"], "output dir")?.to_string(),
+                output: flags
+                    .require(&["-o", "--output"], "output dir")?
+                    .to_string(),
             },
             "list" => Command::List {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
             },
             "verify" => Command::Verify {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
-                stream: flags.require(&["-c", "--stream"], "stream path")?.to_string(),
+                stream: flags
+                    .require(&["-c", "--stream"], "stream path")?
+                    .to_string(),
                 dims: parse_dims(flags.require(&["--dims"], "--dims")?)?,
                 bound: flags
                     .require(&["--bound", "-b"], "--bound")?
@@ -340,7 +345,7 @@ mod tests {
             } => {
                 assert_eq!(dims, Dims::d3(4, 5, 6));
                 assert_eq!(bound, 1e-3);
-                assert_eq!(codec, CodecChoice::ZfpT);
+                assert_eq!(codec, "zfp_t");
                 assert_eq!(elem, ElemType::F64);
                 assert_eq!(base, LogBase::E);
             }
@@ -352,8 +357,10 @@ mod tests {
     fn compress_defaults() {
         let cli = Cli::parse(&argv("compress -i a -o b --dims 10 --bound 0.01")).unwrap();
         match cli.command {
-            Command::Compress { codec, elem, base, .. } => {
-                assert_eq!(codec, CodecChoice::SzT);
+            Command::Compress {
+                codec, elem, base, ..
+            } => {
+                assert_eq!(codec, "sz_t");
                 assert_eq!(elem, ElemType::F32);
                 assert_eq!(base, LogBase::Two);
             }
@@ -383,6 +390,26 @@ mod tests {
         assert_eq!(
             Cli::parse(&argv("info -i s")).unwrap().command,
             Command::Info { input: "s".into() }
+        );
+    }
+
+    #[test]
+    fn unknown_codec_rejected_with_listing() {
+        match Cli::parse(&argv(
+            "compress -i a -o b --dims 10 --bound 0.01 --codec nope",
+        )) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("known:") && msg.contains("zfp_p"), "{msg}")
+            }
+            other => panic!("expected usage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn codecs_command_parses() {
+        assert_eq!(
+            Cli::parse(&argv("codecs")).unwrap().command,
+            Command::Codecs
         );
     }
 

@@ -1,4 +1,7 @@
-//! Raw little-endian float file I/O and stream identification.
+//! Raw little-endian float file I/O.
+//!
+//! Stream identification lives in `pwrel_pipeline::legacy` now — the
+//! registry owns both the unified container and the legacy magic sniff.
 
 use crate::CliError;
 use std::fs;
@@ -8,7 +11,9 @@ use std::path::Path;
 pub fn read_f32(path: impl AsRef<Path>) -> Result<Vec<f32>, CliError> {
     let bytes = fs::read(path)?;
     if bytes.len() % 4 != 0 {
-        return Err(CliError::Usage("f32 file length is not a multiple of 4".into()));
+        return Err(CliError::Usage(
+            "f32 file length is not a multiple of 4".into(),
+        ));
     }
     Ok(bytes
         .chunks_exact(4)
@@ -20,7 +25,9 @@ pub fn read_f32(path: impl AsRef<Path>) -> Result<Vec<f32>, CliError> {
 pub fn read_f64(path: impl AsRef<Path>) -> Result<Vec<f64>, CliError> {
     let bytes = fs::read(path)?;
     if bytes.len() % 8 != 0 {
-        return Err(CliError::Usage("f64 file length is not a multiple of 8".into()));
+        return Err(CliError::Usage(
+            "f64 file length is not a multiple of 8".into(),
+        ));
     }
     Ok(bytes
         .chunks_exact(8)
@@ -46,58 +53,6 @@ pub fn write_f64(path: impl AsRef<Path>, data: &[f64]) -> Result<(), CliError> {
     }
     fs::write(path, out)?;
     Ok(())
-}
-
-/// Stream kinds recognisable from magic bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StreamKind {
-    /// Log-transform container (SZ_T / ZFP_T).
-    PwRel,
-    /// Bare SZ container (possibly inside an LZ wrapper).
-    Sz,
-    /// ZFP container.
-    Zfp,
-    /// FPZIP container.
-    Fpzip,
-    /// ISABELA container.
-    Isabela,
-}
-
-/// Identifies a compressed stream from its leading bytes.
-pub fn identify(bytes: &[u8]) -> Option<StreamKind> {
-    if bytes.len() >= 4 {
-        match &bytes[..4] {
-            b"PWT1" => return Some(StreamKind::PwRel),
-            b"ZFR1" => return Some(StreamKind::Zfp),
-            b"FPZ1" => return Some(StreamKind::Fpzip),
-            b"ISB1" => return Some(StreamKind::Isabela),
-            _ => {}
-        }
-    }
-    // SZ streams carry a 1-byte LZ wrapper flag before the magic.
-    if bytes.len() >= 5 && (bytes[0] == 0 || bytes[0] == 1) {
-        // Raw wrapper exposes the magic directly; the LZ wrapper does not,
-        // so try decoding its header.
-        if bytes[0] == 0 && &bytes[1..5] == b"SZR1" {
-            return Some(StreamKind::Sz);
-        }
-        if bytes[0] == 1 {
-            if let Ok(unpacked) = pwrel_lossless_decompress_prefix(&bytes[1..]) {
-                if unpacked.len() >= 4 && &unpacked[..4] == b"SZR1" {
-                    return Some(StreamKind::Sz);
-                }
-            }
-        }
-    }
-    None
-}
-
-/// Decompresses an LZ-wrapped prefix to sniff the magic. `identify` is
-/// only called on files the user explicitly passed in, so a full decode is
-/// acceptable.
-fn pwrel_lossless_decompress_prefix(bytes: &[u8]) -> Result<Vec<u8>, CliError> {
-    pwrel_lossless::lz::decompress(bytes)
-        .map_err(|e| CliError::Codec(pwrel_data::CodecError::from(e)))
 }
 
 #[cfg(test)]
@@ -131,30 +86,5 @@ mod tests {
         let p = dir.join("bad.f32");
         std::fs::write(&p, [0u8; 6]).unwrap();
         assert!(read_f32(&p).is_err());
-    }
-
-    #[test]
-    fn identify_lz_wrapped_sz_stream() {
-        // A highly compressible field makes SZ choose the LZ wrapper
-        // (leading byte 1), which hides the magic until unwrapped.
-        use pwrel_data::Dims;
-        use pwrel_sz::SzCompressor;
-        let data = vec![1.0f32; 65536];
-        let stream = SzCompressor::default()
-            .compress_abs(&data, Dims::d1(65536), 0.1)
-            .unwrap();
-        assert_eq!(stream[0], 1, "expected the LZ wrapper on constant data");
-        assert_eq!(identify(&stream), Some(StreamKind::Sz));
-    }
-
-    #[test]
-    fn identify_kinds() {
-        assert_eq!(identify(b"PWT1rest"), Some(StreamKind::PwRel));
-        assert_eq!(identify(b"ZFR1rest"), Some(StreamKind::Zfp));
-        assert_eq!(identify(b"FPZ1rest"), Some(StreamKind::Fpzip));
-        assert_eq!(identify(b"ISB1rest"), Some(StreamKind::Isabela));
-        assert_eq!(identify(b"\x00SZR1rest"), Some(StreamKind::Sz));
-        assert_eq!(identify(b"garbage!"), None);
-        assert_eq!(identify(b""), None);
     }
 }

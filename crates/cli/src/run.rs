@@ -1,16 +1,17 @@
 //! Command execution.
+//!
+//! Every compress/decompress path goes through the unified
+//! [`pwrel_pipeline::CodecRegistry`]: there are no per-codec match arms
+//! here. New streams are unified containers; legacy per-codec streams
+//! keep decoding via the registry's sniff fallback.
 
 use crate::archive::{self, Entry};
-use crate::args::{Cli, CodecChoice, Command, ElemType};
-use crate::io::{self, StreamKind};
+use crate::args::{Cli, Command, ElemType};
+use crate::io;
 use crate::CliError;
-use pwrel_core::PwRelCompressor;
 use pwrel_data::{CodecError, Dims, Float};
-use pwrel_fpzip::FpzipCompressor;
-use pwrel_isabela::IsabelaCompressor;
 use pwrel_metrics::RelErrorStats;
-use pwrel_sz::SzCompressor;
-use pwrel_zfp::ZfpCompressor;
+use pwrel_pipeline::{global, CompressOpts, PipelineElem, StreamInfo};
 
 /// Runs a parsed command, writing human-readable progress to `out`.
 pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
@@ -24,24 +25,22 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
             elem,
             base,
         } => {
-            let (n_points, raw_bytes, stream) = match elem {
+            let opts = CompressOpts { bound, base };
+            // Validate the shape before spending time compressing.
+            let (raw_bytes, stream) = match elem {
                 ElemType::F32 => {
                     let data = io::read_f32(&input)?;
-                    let s = compress_one(&data, dims, bound, codec, base)?;
-                    (data.len(), data.len() * 4, s)
+                    check_dims(data.len(), dims)?;
+                    let s = compress_one(&data, dims, &codec, &opts)?;
+                    (data.len() * 4, s)
                 }
                 ElemType::F64 => {
                     let data = io::read_f64(&input)?;
-                    let s = compress_one(&data, dims, bound, codec, base)?;
-                    (data.len(), data.len() * 8, s)
+                    check_dims(data.len(), dims)?;
+                    let s = compress_one(&data, dims, &codec, &opts)?;
+                    (data.len() * 8, s)
                 }
             };
-            if n_points != dims.len() {
-                return Err(CliError::Usage(format!(
-                    "file holds {n_points} values but --dims {dims} needs {}",
-                    dims.len()
-                )));
-            }
             std::fs::write(&output, &stream)?;
             writeln!(
                 out,
@@ -50,7 +49,11 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 raw_bytes as f64 / stream.len() as f64
             )?;
         }
-        Command::Decompress { input, output, elem } => {
+        Command::Decompress {
+            input,
+            output,
+            elem,
+        } => {
             let stream = std::fs::read(&input)?;
             match elem {
                 ElemType::F32 => {
@@ -67,20 +70,35 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
         }
         Command::Info { input } => {
             let stream = std::fs::read(&input)?;
-            let kind = io::identify(&stream);
-            writeln!(
-                out,
-                "{input}: {} bytes, kind: {}",
-                stream.len(),
-                match kind {
-                    Some(StreamKind::PwRel) => "pwrel log-transform container (SZ_T/ZFP_T)",
-                    Some(StreamKind::Sz) => "SZ container",
-                    Some(StreamKind::Zfp) => "ZFP container",
-                    Some(StreamKind::Fpzip) => "FPZIP container",
-                    Some(StreamKind::Isabela) => "ISABELA container",
-                    None => "unrecognized",
+            match pwrel_pipeline::identify(&stream) {
+                Some(StreamInfo::Unified(h)) => {
+                    let name = global()
+                        .get(h.codec_id)
+                        .map_or("<unknown codec id>", |c| c.name());
+                    writeln!(
+                        out,
+                        "{input}: {} bytes, unified container: codec {name} (id {}), \
+                         f{}, dims {}, bound {:e}",
+                        stream.len(),
+                        h.codec_id,
+                        h.elem_bits,
+                        h.dims,
+                        h.bound
+                    )?;
                 }
-            )?;
+                Some(StreamInfo::Legacy(kind)) => {
+                    writeln!(out, "{input}: {} bytes, {}", stream.len(), kind.describe())?;
+                }
+                None => {
+                    writeln!(out, "{input}: {} bytes, unrecognized", stream.len())?;
+                }
+            }
+        }
+        Command::Codecs => {
+            writeln!(out, "registered codecs:")?;
+            for c in global().iter() {
+                writeln!(out, "  {:<2} {:<12} {}", c.id(), c.name(), c.describe())?;
+            }
         }
         Command::Pack {
             output,
@@ -90,6 +108,7 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
             base,
             inputs,
         } => {
+            let opts = CompressOpts { bound, base };
             // Fields are independent: compress them on a worker pool.
             let pool = pwrel_parallel::WorkerPool::per_cpu();
             let results = pool.map(inputs.clone(), |(path, dims)| {
@@ -100,10 +119,12 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     .to_string();
                 let packed = match elem {
                     ElemType::F32 => io::read_f32(&path).and_then(|data| {
-                        Ok((compress_one(&data, dims, bound, codec, base)?, data.len() * 4))
+                        check_dims(data.len(), dims)?;
+                        Ok((compress_one(&data, dims, &codec, &opts)?, data.len() * 4))
                     }),
                     ElemType::F64 => io::read_f64(&path).and_then(|data| {
-                        Ok((compress_one(&data, dims, bound, codec, base)?, data.len() * 8))
+                        check_dims(data.len(), dims)?;
+                        Ok((compress_one(&data, dims, &codec, &opts)?, data.len() * 8))
                     }),
                 };
                 packed.map(|(stream, raw)| {
@@ -125,7 +146,7 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 raw_total += raw;
                 entries.push(entry);
             }
-            let bytes = archive::pack(&entries);
+            let bytes = archive::pack(&entries)?;
             std::fs::write(&output, &bytes)?;
             writeln!(
                 out,
@@ -194,6 +215,18 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Rejects a raw file whose length disagrees with `--dims` (checked
+/// before compression starts).
+fn check_dims(n_points: usize, dims: Dims) -> Result<(), CliError> {
+    if n_points != dims.len() {
+        return Err(CliError::Usage(format!(
+            "file holds {n_points} values but --dims {dims} needs {}",
+            dims.len()
+        )));
+    }
+    Ok(())
+}
+
 /// Rejects archives whose stream dims disagree with their header.
 fn check_entry_dims(e: &Entry, dims: Dims) -> Result<(), CliError> {
     if dims != e.dims {
@@ -204,72 +237,24 @@ fn check_entry_dims(e: &Entry, dims: Dims) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Compresses with the chosen codec (generic over element type).
-fn compress_one<F: Float>(
+/// Compresses with the named registered codec.
+fn compress_one<F: Float + PipelineElem>(
     data: &[F],
     dims: Dims,
-    bound: f64,
-    codec: CodecChoice,
-    base: pwrel_core::LogBase,
+    codec: &str,
+    opts: &CompressOpts,
 ) -> Result<Vec<u8>, CliError> {
-    if data.len() != dims.len() {
-        return Err(CliError::Usage(format!(
-            "file holds {} values but --dims needs {}",
-            data.len(),
-            dims.len()
-        )));
-    }
-    // The `_T` codecs use the fused single-pass entry point (transform +
-    // predict + quantize in one sweep); its stream is byte-identical to the
-    // buffered `compress` route.
-    let stream = match codec {
-        CodecChoice::SzT => PwRelCompressor::new(SzCompressor::default(), base)
-            .compress_fused(data, dims, bound)?,
-        CodecChoice::SzHybridT => {
-            let sz = SzCompressor {
-                hybrid_predictor: true,
-                ..SzCompressor::default()
-            };
-            PwRelCompressor::new(sz, base).compress_fused(data, dims, bound)?
-        }
-        CodecChoice::ZfpT => {
-            PwRelCompressor::new(ZfpCompressor, base).compress_fused(data, dims, bound)?
-        }
-        CodecChoice::SzAbs => SzCompressor::default().compress_abs(data, dims, bound)?,
-        CodecChoice::SzPwr => SzCompressor::default().compress_pwr(data, dims, bound)?,
-        CodecChoice::Fpzip => FpzipCompressor::for_rel_bound::<F>(bound).compress(data, dims)?,
-        CodecChoice::Isabela => {
-            IsabelaCompressor::default().compress_rel(data, dims, bound)?
-        }
-    };
-    Ok(stream)
+    Ok(global().compress(codec, data, dims, opts)?)
 }
 
-/// Decompresses any stream by sniffing its magic.
-fn decompress_any<F: Float>(stream: &[u8]) -> Result<(Vec<F>, Dims), CliError> {
-    match io::identify(stream) {
-        Some(StreamKind::PwRel) => {
-            // The wrapper needs an inner codec; the inner stream is
-            // self-identifying, so try SZ first and fall back to ZFP.
-            let sz = PwRelCompressor::new(SzCompressor::default(), pwrel_core::LogBase::Two);
-            match sz.decompress_full::<F>(stream) {
-                Ok(r) => Ok(r),
-                Err(_) => {
-                    let zfp = PwRelCompressor::new(ZfpCompressor, pwrel_core::LogBase::Two);
-                    Ok(zfp.decompress_full::<F>(stream)?)
-                }
-            }
-        }
-        Some(StreamKind::Sz) => Ok(SzCompressor::default().decompress::<F>(stream)?),
-        Some(StreamKind::Zfp) => Ok(ZfpCompressor.decompress::<F>(stream)?),
-        Some(StreamKind::Fpzip) => Ok(pwrel_fpzip::decompress::<F>(stream)?),
-        Some(StreamKind::Isabela) => Ok(pwrel_isabela::decompress::<F>(stream)?),
-        None => Err(CliError::Codec(CodecError::Mismatch("unrecognized stream"))),
-    }
+/// Decompresses any stream: unified containers dispatch on their codec
+/// id, legacy streams fall back to the per-codec magic sniff.
+fn decompress_any<F: Float + PipelineElem>(stream: &[u8]) -> Result<(Vec<F>, Dims), CliError> {
+    Ok(global().decompress(stream)?)
 }
 
 /// Decompresses and prints error statistics against the original.
-fn verify_one<F: Float>(
+fn verify_one<F: Float + PipelineElem>(
     original: &[F],
     dims: Dims,
     bound: f64,
@@ -373,11 +358,11 @@ mod tests {
     }
 
     #[test]
-    fn every_codec_choice_cycles() {
+    fn every_registered_codec_cycles() {
         let data = sample_data();
         let raw = tmp("all.f32");
         io::write_f32(&raw, &data).unwrap();
-        for codec in ["sz_t", "zfp_t", "sz_abs", "sz_pwr", "fpzip", "isabela", "sz_hybrid_t"] {
+        for codec in global().iter().map(|c| c.name()) {
             let stream = tmp(&format!("all_{codec}.pwr"));
             let restored = tmp(&format!("all_{codec}_out.f32"));
             run_str(&format!(
@@ -386,7 +371,11 @@ mod tests {
             .unwrap_or_else(|e| panic!("{codec}: {e}"));
             run_str(&format!("decompress -i {stream} -o {restored}"))
                 .unwrap_or_else(|e| panic!("{codec}: {e}"));
-            assert_eq!(io::read_f32(&restored).unwrap().len(), data.len(), "{codec}");
+            assert_eq!(
+                io::read_f32(&restored).unwrap().len(),
+                data.len(),
+                "{codec}"
+            );
         }
     }
 
@@ -400,18 +389,71 @@ mod tests {
         ))
         .unwrap();
         let msg = run_str(&format!("info -i {stream}")).unwrap();
-        assert!(msg.contains("log-transform container"), "{msg}");
+        assert!(msg.contains("unified container: codec sz_t"), "{msg}");
+        assert!(msg.contains("dims 2048"), "{msg}");
+    }
+
+    #[test]
+    fn info_identifies_legacy_streams() {
+        use pwrel_core::{LogBase, PwRelCompressor};
+        use pwrel_sz::SzCompressor;
+        let stream = tmp("legacy_info.pwt");
+        let data = sample_data();
+        let bytes = PwRelCompressor::new(SzCompressor::default(), LogBase::Two)
+            .compress_fused(&data, Dims::d1(data.len()), 1e-2)
+            .unwrap();
+        std::fs::write(&stream, &bytes).unwrap();
+        let msg = run_str(&format!("info -i {stream}")).unwrap();
+        assert!(
+            msg.contains("legacy pwrel log-transform container"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn legacy_stream_decompresses() {
+        use pwrel_core::{LogBase, PwRelCompressor};
+        use pwrel_sz::SzCompressor;
+        let stream = tmp("legacy.pwt");
+        let restored = tmp("legacy_out.f32");
+        let data = sample_data();
+        let bytes = PwRelCompressor::new(SzCompressor::default(), LogBase::Two)
+            .compress_fused(&data, Dims::d1(data.len()), 1e-3)
+            .unwrap();
+        std::fs::write(&stream, &bytes).unwrap();
+        run_str(&format!("decompress -i {stream} -o {restored}")).unwrap();
+        assert_eq!(io::read_f32(&restored).unwrap().len(), data.len());
+    }
+
+    #[test]
+    fn codecs_lists_registry() {
+        let msg = run_str("codecs").unwrap();
+        for name in [
+            "sz_t",
+            "sz_hybrid_t",
+            "zfp_t",
+            "sz_abs",
+            "sz_pwr",
+            "fpzip",
+            "isabela",
+            "zfp_p",
+        ] {
+            assert!(msg.contains(name), "missing {name} in {msg}");
+        }
     }
 
     #[test]
     fn dims_mismatch_is_usage_error() {
         let raw = tmp("mm.f32");
         let stream = tmp("mm.pwr");
+        let _ = std::fs::remove_file(&stream);
         io::write_f32(&raw, &sample_data()).unwrap();
         let err = run_str(&format!(
             "compress -i {raw} -o {stream} --dims 1000 --bound 1e-2"
         ));
         assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+        // The bad stream must not have been written.
+        assert!(!std::path::Path::new(&stream).exists());
     }
 
     #[test]
@@ -442,10 +484,7 @@ mod tests {
         let small: Vec<f32> = (0..512).map(|i| (i as f32 + 1.0).sqrt()).collect();
         io::write_f32(&b, &small).unwrap();
 
-        let msg = run_str(&format!(
-            "pack -o {arch} --bound 1e-2 {a}:2048 {b}:16x32"
-        ))
-        .unwrap();
+        let msg = run_str(&format!("pack -o {arch} --bound 1e-2 {a}:2048 {b}:16x32")).unwrap();
         assert!(msg.contains("2 fields"), "{msg}");
 
         let msg = run_str(&format!("list -i {arch}")).unwrap();

@@ -358,15 +358,17 @@ mod tests {
         let (data, dims) = fused_test_field();
         for kernel in [pwrel_kernels::Kernel::Fast, pwrel_kernels::Kernel::Libm] {
             let codec = sz_t(LogBase::Two);
-            let t = transform::forward_with_kernel(&data, LogBase::Two, 1e-3, 2.0, kernel)
-                .unwrap();
+            let t = transform::forward_with_kernel(&data, LogBase::Two, 1e-3, 2.0, kernel).unwrap();
             let buffered = container(
                 32,
                 LogBase::Two,
                 1e-3,
                 t.zero_threshold,
                 t.sign_section.as_deref(),
-                &codec.inner.compress_abs(&t.mapped, dims, t.abs_bound).unwrap(),
+                &codec
+                    .inner
+                    .compress_abs(&t.mapped, dims, t.abs_bound)
+                    .unwrap(),
             );
             let fused = codec
                 .compress_fused_with_kernel(&data, dims, 1e-3, kernel)
@@ -382,8 +384,7 @@ mod tests {
         let (data, dims) = fused_test_field();
         for kernel in [pwrel_kernels::Kernel::Fast, pwrel_kernels::Kernel::Libm] {
             let codec = zfp_t(LogBase::Two);
-            let t = transform::forward_with_kernel(&data, LogBase::Two, 1e-2, 2.0, kernel)
-                .unwrap();
+            let t = transform::forward_with_kernel(&data, LogBase::Two, 1e-2, 2.0, kernel).unwrap();
             let buffered = container(
                 32,
                 LogBase::Two,

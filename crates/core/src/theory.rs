@@ -159,11 +159,23 @@ mod tests {
     fn kernel_widening_reduces_to_lemma2_for_libm() {
         for base in BASES {
             let plain = corrected_abs_bound(base, 1e-3, 40.0, f32::EPSILON as f64, 2.0);
-            let libm =
-                kernel_corrected_abs_bound(base, 1e-3, 40.0, f32::EPSILON as f64, 2.0, Kernel::Libm);
+            let libm = kernel_corrected_abs_bound(
+                base,
+                1e-3,
+                40.0,
+                f32::EPSILON as f64,
+                2.0,
+                Kernel::Libm,
+            );
             assert_eq!(plain, libm);
-            let fast =
-                kernel_corrected_abs_bound(base, 1e-3, 40.0, f32::EPSILON as f64, 2.0, Kernel::Fast);
+            let fast = kernel_corrected_abs_bound(
+                base,
+                1e-3,
+                40.0,
+                f32::EPSILON as f64,
+                2.0,
+                Kernel::Fast,
+            );
             assert!(fast < libm);
             // The widening is tiny next to the bound itself.
             assert!(libm - fast < 1e-9);

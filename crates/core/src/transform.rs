@@ -21,8 +21,8 @@
 //! the Lemma 2 correction so the point-wise guarantee still holds.
 
 use crate::theory;
-use pwrel_data::{CodecError, Float};
-use pwrel_kernels::{plan::unmap_chunk, scan};
+use pwrel_data::{CodecError, Float, Transform};
+use pwrel_kernels::scan;
 use pwrel_lossless::{lz, rle};
 
 pub use pwrel_kernels::{Kernel, LogBase, LogPlan, CHUNK};
@@ -127,10 +127,7 @@ pub fn forward_with_kernel<F: Float>(
 
     let mut mapped: Vec<F> = vec![F::zero(); data.len()];
     let mut signs: Vec<bool> = Vec::with_capacity(if plan.any_negative { data.len() } else { 0 });
-    let mut scratch = [0f64; CHUNK];
-    for (src, out) in data.chunks(CHUNK).zip(mapped.chunks_mut(CHUNK)) {
-        plan.map_chunk(src, out, &mut scratch, &mut signs);
-    }
+    Transform::forward(&plan, data, &mut mapped, &mut signs);
 
     let sign_section = plan.any_negative.then(|| compress_signs(&signs));
     Ok(TransformedField {
@@ -149,7 +146,13 @@ pub fn inverse<F: Float>(
     zero_threshold: f64,
     sign_section: Option<&[u8]>,
 ) -> Result<Vec<F>, CodecError> {
-    inverse_with_kernel(mapped, base, zero_threshold, sign_section, Kernel::from_env())
+    inverse_with_kernel(
+        mapped,
+        base,
+        zero_threshold,
+        sign_section,
+        Kernel::from_env(),
+    )
 }
 
 /// [`inverse`] with an explicit kernel choice.
@@ -165,18 +168,18 @@ pub fn inverse_with_kernel<F: Float>(
         None => Vec::new(),
     };
 
+    // Decoders reconstruct from stream metadata without the encoder's
+    // bound fields, so a partial plan carries exactly the inverse state.
+    let plan = LogPlan {
+        base,
+        kernel,
+        abs_bound: 0.0,
+        sentinel: 0.0,
+        zero_threshold,
+        any_negative: !signs.is_empty(),
+    };
     let mut out: Vec<F> = vec![F::zero(); mapped.len()];
-    let mut scratch = [0f64; CHUNK];
-    let mut offset = 0;
-    for (src, dst) in mapped.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
-        let bits = if signs.is_empty() {
-            &[][..]
-        } else {
-            &signs[offset..offset + src.len()]
-        };
-        unmap_chunk(kernel, base, zero_threshold, src, dst, &mut scratch, bits);
-        offset += src.len();
-    }
+    Transform::inverse(&plan, mapped, &mut out, &signs);
     Ok(out)
 }
 
@@ -273,8 +276,13 @@ mod tests {
             .iter()
             .map(|&d| (d as f64 + t.abs_bound) as f32)
             .collect();
-        let back = inverse(&perturbed, LogBase::Two, t.zero_threshold, t.sign_section.as_deref())
-            .unwrap();
+        let back = inverse(
+            &perturbed,
+            LogBase::Two,
+            t.zero_threshold,
+            t.sign_section.as_deref(),
+        )
+        .unwrap();
         assert_eq!(back[0], 0.0);
         assert_eq!(back[2], 0.0);
         assert_eq!(back[4], 0.0);
@@ -297,8 +305,13 @@ mod tests {
             .map(|i| if (i / 100) % 2 == 0 { 1.5 } else { -1.5 })
             .collect();
         let t = forward(&data, LogBase::E, 1e-2, 2.0).unwrap();
-        let back = inverse(&t.mapped, LogBase::E, t.zero_threshold, t.sign_section.as_deref())
-            .unwrap();
+        let back = inverse(
+            &t.mapped,
+            LogBase::E,
+            t.zero_threshold,
+            t.sign_section.as_deref(),
+        )
+        .unwrap();
         for (&a, &b) in data.iter().zip(&back) {
             assert_eq!(a.signum(), b.signum());
         }

@@ -40,7 +40,12 @@ impl Dims {
 
     /// A 3D `nz × ny × nx` grid (`nx` fastest).
     pub fn d3(nz: usize, ny: usize, nx: usize) -> Self {
-        Self { rank: 3, nx, ny, nz }
+        Self {
+            rank: 3,
+            nx,
+            ny,
+            nz,
+        }
     }
 
     /// Dimensionality (1, 2 or 3).

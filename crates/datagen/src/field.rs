@@ -51,11 +51,7 @@ impl<F: Float> Field<F> {
         if self.data.is_empty() {
             return 0.0;
         }
-        let zeros = self
-            .data
-            .iter()
-            .filter(|v| v.to_f64() == 0.0)
-            .count();
+        let zeros = self.data.iter().filter(|v| v.to_f64() == 0.0).count();
         zeros as f64 / self.data.len() as f64
     }
 

@@ -147,7 +147,10 @@ mod tests {
         let raw = white_noise(dims.len(), 3);
         let smoothed = gaussian_field(dims, 3, 2, 3);
         let rough = |d: &[f32]| -> f64 {
-            d.windows(2).map(|w| ((w[1] - w[0]) as f64).abs()).sum::<f64>() / (d.len() - 1) as f64
+            d.windows(2)
+                .map(|w| ((w[1] - w[0]) as f64).abs())
+                .sum::<f64>()
+                / (d.len() - 1) as f64
         };
         // Both are unit variance; the smoothed field must be far less rough.
         let mut std_raw = raw.clone();

@@ -80,7 +80,10 @@ mod tests {
         let neg = f.negative_fraction();
         assert!((0.3..=0.7).contains(&neg), "neg = {neg}");
         let (min, max) = f.min_max().unwrap();
-        assert!(max > 2000.0 && min < -2000.0, "spikes missing: [{min}, {max}]");
+        assert!(
+            max > 2000.0 && min < -2000.0,
+            "spikes missing: [{min}, {max}]"
+        );
         // Ratio of max |v| to median |v| must be large (sharply varying).
         let mut mags: Vec<f32> = f.data.iter().map(|v| v.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).unwrap());

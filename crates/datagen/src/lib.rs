@@ -21,6 +21,7 @@ pub mod dims;
 pub mod field;
 pub mod float;
 pub mod grf;
+pub mod stage;
 
 pub mod cesm;
 pub mod hacc;
@@ -31,6 +32,9 @@ pub use codec::{AbsErrorCodec, CodecError};
 pub use dims::Dims;
 pub use field::Field;
 pub use float::Float;
+pub use stage::{
+    BlockTransform, Encoder, LosslessStage, PlaneCoder, Predictor, Quantizer, Transform,
+};
 
 /// Dataset size preset. `Small` keeps the whole suite (all four apps) under
 /// a second of generation time for tests; `Medium` matches the per-field

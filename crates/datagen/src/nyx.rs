@@ -42,12 +42,20 @@ fn velocity(dims: Dims, seed: u64) -> Vec<f32> {
 
 /// `dark_matter_density`: heavy-tailed positive field.
 pub fn dark_matter_density(scale: Scale) -> Field<f32> {
-    Field::new("dark_matter_density", dims(scale), lognormal(dims(scale), 0x4E59_0001, 2.2))
+    Field::new(
+        "dark_matter_density",
+        dims(scale),
+        lognormal(dims(scale), 0x4E59_0001, 2.2),
+    )
 }
 
 /// `velocity_x`: large signed values.
 pub fn velocity_x(scale: Scale) -> Field<f32> {
-    Field::new("velocity_x", dims(scale), velocity(dims(scale), 0x4E59_0002))
+    Field::new(
+        "velocity_x",
+        dims(scale),
+        velocity(dims(scale), 0x4E59_0002),
+    )
 }
 
 /// The full six-field NYX dataset.

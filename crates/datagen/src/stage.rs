@@ -1,0 +1,151 @@
+//! Composable pipeline stage traits.
+//!
+//! A point-wise-relative pipeline decomposes into stages, following the
+//! SZ3 modular-composition model: a value-domain [`Transform`] (the
+//! paper's log mapping), a [`Predictor`] + [`Quantizer`] pair that turns
+//! values into small integer codes, an entropy [`Encoder`] over those
+//! codes, and an optional [`LosslessStage`] over the packed bytes.
+//! Transform-domain codecs (ZFP-like) swap the predictor/quantizer pair
+//! for a [`BlockTransform`] + [`PlaneCoder`] pair operating on integer
+//! blocks.
+//!
+//! These traits live in `pwrel-data` — the one crate every codec already
+//! depends on — so `pwrel-sz` and `pwrel-zfp` can implement them without
+//! a dependency cycle, and `pwrel-pipeline` can assemble registered
+//! codecs from parts. Implementations are concrete types dispatched
+//! statically inside each codec's hot loop; the dynamic dispatch boundary
+//! is the whole-codec `Codec` trait in `pwrel-pipeline`, never the
+//! per-value stage calls.
+
+use crate::codec::CodecError;
+use crate::{Dims, Float};
+use pwrel_bitstream::{BitReader, BitWriter};
+
+/// A reversible value-domain mapping applied before prediction, e.g. the
+/// paper's logarithmic transform that turns a point-wise relative bound
+/// into an absolute one.
+///
+/// `forward` may emit per-value side-channel bits into `signs` (the log
+/// transform records the sign bitmap there); `inverse` consumes the same
+/// bits aligned with `src`.
+pub trait Transform<F: Float> {
+    /// Short stage identifier for reports and debug output.
+    fn name(&self) -> &'static str;
+
+    /// Maps `src` into `out` (same length), appending any side-channel
+    /// bits to `signs`.
+    fn forward(&self, src: &[F], out: &mut [F], signs: &mut Vec<bool>);
+
+    /// Inverse mapping; `signs` must be the bits `forward` emitted for
+    /// this run (empty when none were emitted).
+    fn inverse(&self, src: &[F], out: &mut [F], signs: &[bool]);
+}
+
+/// Predicts the value at one grid site from already-decoded neighbours.
+///
+/// `dec` is the reconstruction buffer in raster order; sites at or past
+/// the current one hold unspecified values. Predictions are made in `f64`
+/// regardless of the element type, matching the quantizer's arithmetic.
+pub trait Predictor<F: Float> {
+    /// Short stage identifier.
+    fn name(&self) -> &'static str;
+
+    /// Predicted value at `(i, j, k)` of the grid described by `dims`.
+    fn predict(&self, dec: &[F], dims: Dims, i: usize, j: usize, k: usize) -> f64;
+}
+
+/// Linear-scaling quantization of a prediction residual.
+///
+/// The quantizer owns the code alphabet: code `0` is reserved for
+/// "unpredictable" (the residual fell outside the quantization radius or
+/// the reconstruction failed the bound check), codes `1..alphabet()` are
+/// bin indices centred on the radius.
+pub trait Quantizer<F: Float> {
+    /// Short stage identifier.
+    fn name(&self) -> &'static str;
+
+    /// Number of distinct codes the quantizer can emit (the Huffman
+    /// capacity).
+    fn alphabet(&self) -> usize;
+
+    /// Quantizes `x` against prediction `pred` under absolute bound `eb`.
+    /// Returns the code and the reconstruction on success, or `None` when
+    /// the value must take the unpredictable path (code 0).
+    fn quantize(&self, x: F, pred: f64, eb: f64) -> Option<(u32, F)>;
+
+    /// Reconstructs the value for a non-zero `code` given the same
+    /// prediction and bound the encoder saw. Fails on codes outside the
+    /// alphabet.
+    fn reconstruct(&self, code: u32, pred: f64, eb: f64) -> Result<F, CodecError>;
+}
+
+/// Entropy coding of the quantizer's code stream.
+pub trait Encoder {
+    /// Short stage identifier.
+    fn name(&self) -> &'static str;
+
+    /// Encodes `codes` drawn from `0..alphabet` into a self-describing
+    /// byte block.
+    fn encode(&self, codes: &[u32], alphabet: usize) -> Vec<u8>;
+
+    /// Decodes a block produced by [`Encoder::encode`], advancing `pos`
+    /// past it.
+    fn decode(&self, bytes: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError>;
+}
+
+/// Optional byte-level lossless pass over the packed stream.
+pub trait LosslessStage {
+    /// Short stage identifier.
+    fn name(&self) -> &'static str;
+
+    /// Compresses `bytes`; the output is self-describing.
+    fn compress(&self, bytes: &[u8]) -> Vec<u8>;
+
+    /// Inverse of [`LosslessStage::compress`].
+    fn decompress(&self, bytes: &[u8]) -> Result<Vec<u8>, CodecError>;
+}
+
+/// An invertible integer transform over one fixed-size block (the ZFP
+/// lifting scheme). `rank` selects the 1D/2D/3D variant; the block length
+/// is `4^rank`.
+pub trait BlockTransform {
+    /// Short stage identifier.
+    fn name(&self) -> &'static str;
+
+    /// Decorrelating forward transform, in place.
+    fn forward(&self, block: &mut [i64], rank: u8);
+
+    /// Exact inverse of [`BlockTransform::forward`], in place.
+    fn inverse(&self, block: &mut [i64], rank: u8);
+}
+
+/// Bit-plane coding of one block of transform coefficients (negabinary
+/// domain), most-significant plane first, with an optional bit budget.
+pub trait PlaneCoder {
+    /// Short stage identifier.
+    fn name(&self) -> &'static str;
+
+    /// Encodes planes `intprec-1 .. kmin` of `coeffs` into `w`, stopping
+    /// once `maxbits` bits have been written when `maxbits` is `Some`.
+    /// Returns the number of bits written.
+    fn encode(
+        &self,
+        w: &mut BitWriter,
+        coeffs: &[u64],
+        intprec: u32,
+        kmin: u32,
+        maxbits: Option<u64>,
+    ) -> u64;
+
+    /// Decodes planes written by [`PlaneCoder::encode`] into `coeffs`
+    /// under the same `intprec`/`kmin`/`maxbits`. Returns the number of
+    /// bits read.
+    fn decode(
+        &self,
+        r: &mut BitReader<'_>,
+        coeffs: &mut [u64],
+        intprec: u32,
+        kmin: u32,
+        maxbits: Option<u64>,
+    ) -> Result<u64, CodecError>;
+}

@@ -200,7 +200,9 @@ pub fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> 
     let dims = Dims::from_header(rank, nx, ny, nz).ok_or(CodecError::Corrupt("bad dims"))?;
 
     let classes_len = varint::read_uvarint(bytes, &mut pos)? as usize;
-    let classes_end = pos.checked_add(classes_len).ok_or(CodecError::Corrupt("eof"))?;
+    let classes_end = pos
+        .checked_add(classes_len)
+        .ok_or(CodecError::Corrupt("eof"))?;
     if classes_end > bytes.len() {
         return Err(CodecError::Corrupt("truncated classes"));
     }
@@ -313,7 +315,8 @@ fn predict_int(ints: &[u64], dims: Dims, i: usize, j: usize, k: usize) -> u64 {
         1 => at(i - 1, 0, 0),
         2 => at(i - 1, j, 0) + at(i, j - 1, 0) - at(i - 1, j - 1, 0),
         _ => {
-            at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1) - at(i - 1, j - 1, k)
+            at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1)
+                - at(i - 1, j - 1, k)
                 - at(i - 1, j, k - 1)
                 - at(i, j - 1, k - 1)
                 + at(i - 1, j - 1, k - 1)
@@ -378,7 +381,9 @@ mod tests {
     #[test]
     fn f64_path() {
         let dims = Dims::d1(2000);
-        let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.11).cos() * 1e8 + 1e5).collect();
+        let data: Vec<f64> = (0..2000)
+            .map(|i| (i as f64 * 0.11).cos() * 1e8 + 1e5)
+            .collect();
         for p in [22u32, 32, 44] {
             check_rel(&data, dims, p);
         }
@@ -438,15 +443,23 @@ mod tests {
     #[test]
     fn invalid_args_rejected() {
         let data = [1.0f32; 4];
-        assert!(FpzipCompressor::new(5).compress(&data, Dims::d1(4)).is_err());
-        assert!(FpzipCompressor::new(40).compress(&data, Dims::d1(4)).is_err());
-        assert!(FpzipCompressor::new(16).compress(&data, Dims::d1(3)).is_err());
+        assert!(FpzipCompressor::new(5)
+            .compress(&data, Dims::d1(4))
+            .is_err());
+        assert!(FpzipCompressor::new(40)
+            .compress(&data, Dims::d1(4))
+            .is_err());
+        assert!(FpzipCompressor::new(16)
+            .compress(&data, Dims::d1(3))
+            .is_err());
     }
 
     #[test]
     fn corrupt_stream_rejected() {
         let data = [1.0f32; 64];
-        let bytes = FpzipCompressor::new(16).compress(&data, Dims::d1(64)).unwrap();
+        let bytes = FpzipCompressor::new(16)
+            .compress(&data, Dims::d1(64))
+            .unwrap();
         assert!(decompress::<f32>(&bytes[..bytes.len() / 2]).is_err());
         assert!(decompress::<f64>(&bytes).is_err());
         let mut bad = bytes.clone();

@@ -24,7 +24,11 @@ pub fn encode(r: i64) -> (u32, u64, u32) {
     }
     let class = 64 - u.leading_zeros();
     let nbits = class - 1;
-    let payload = if nbits == 0 { 0 } else { u & ((1u64 << nbits) - 1) };
+    let payload = if nbits == 0 {
+        0
+    } else {
+        u & ((1u64 << nbits) - 1)
+    };
     (class, payload, nbits)
 }
 
@@ -99,7 +103,9 @@ mod tests {
 
     #[test]
     fn stream_of_mixed_residuals() {
-        let rs: Vec<i64> = (0..1000).map(|i| (i * i) as i64 * if i % 2 == 0 { 1 } else { -1 }).collect();
+        let rs: Vec<i64> = (0..1000)
+            .map(|i| (i * i) as i64 * if i % 2 == 0 { 1 } else { -1 })
+            .collect();
         let mut w = BitWriter::new();
         let mut classes = Vec::new();
         for &r in &rs {

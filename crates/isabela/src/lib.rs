@@ -57,9 +57,7 @@ fn knot_positions(wlen: usize, knots: usize) -> Vec<usize> {
         return vec![0];
     }
     let nk = knots.clamp(2, wlen);
-    (0..nk)
-        .map(|t| (t * (wlen - 1)) / (nk - 1))
-        .collect()
+    (0..nk).map(|t| (t * (wlen - 1)) / (nk - 1)).collect()
 }
 
 /// Linear interpolation of the sorted curve through its knot samples.
@@ -114,7 +112,9 @@ impl IsabelaCompressor {
     ) -> Result<Vec<u8>, CodecError> {
         self.check()?;
         if !(rel_bound > 0.0) || !rel_bound.is_finite() {
-            return Err(CodecError::InvalidArgument("rel_bound must be finite and > 0"));
+            return Err(CodecError::InvalidArgument(
+                "rel_bound must be finite and > 0",
+            ));
         }
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
@@ -164,7 +164,11 @@ impl IsabelaCompressor {
                 let _ = s;
                 let orig = v;
                 let mut coded = false;
-                if orig.is_finite() && orig != 0.0 && a.is_finite() && a != 0.0 && (orig > 0.0) == (a > 0.0)
+                if orig.is_finite()
+                    && orig != 0.0
+                    && a.is_finite()
+                    && a != 0.0
+                    && (orig > 0.0) == (a > 0.0)
                 {
                     let c = ((orig / a).ln() / log_step).round();
                     if c.is_finite() && c.abs() <= CMAX as f64 {
@@ -323,12 +327,7 @@ mod tests {
         IsabelaCompressor::default()
     }
 
-    fn check_rel<F: Float>(
-        data: &[F],
-        dims: Dims,
-        br: f64,
-        cfg: &IsabelaCompressor,
-    ) -> Vec<u8> {
+    fn check_rel<F: Float>(data: &[F], dims: Dims, br: f64, cfg: &IsabelaCompressor) -> Vec<u8> {
         let bytes = cfg.compress_rel(data, dims, br).unwrap();
         let (dec, d2) = decompress::<F>(&bytes).unwrap();
         assert_eq!(d2, dims);
@@ -418,7 +417,9 @@ mod tests {
     #[test]
     fn f64_path() {
         let dims = Dims::d1(3000);
-        let data: Vec<f64> = (0..3000).map(|i| ((i as f64) * 0.1).cos() * 1e5 + 2e5).collect();
+        let data: Vec<f64> = (0..3000)
+            .map(|i| ((i as f64) * 0.1).cos() * 1e5 + 2e5)
+            .collect();
         check_rel(&data, dims, 1e-3, &isa());
     }
 
@@ -439,7 +440,10 @@ mod tests {
         let dims = Dims::d1(4);
         assert!(isa().compress_rel(&data, dims, 0.0).is_err());
         assert!(isa().compress_rel(&data, Dims::d1(3), 0.1).is_err());
-        let bad = IsabelaCompressor { window: 0, knots: 8 };
+        let bad = IsabelaCompressor {
+            window: 0,
+            knots: 8,
+        };
         assert!(bad.compress_rel(&data, dims, 0.1).is_err());
     }
 

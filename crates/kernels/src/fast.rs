@@ -191,10 +191,10 @@ mod tests {
     #[test]
     fn log2_handles_subnormals() {
         for x in [
-            f64::from_bits(1),         // smallest subnormal
-            f64::from_bits(0xfffff),   // mid subnormal
-            f64::MIN_POSITIVE / 2.0,   // large subnormal
-            f64::MIN_POSITIVE,         // smallest normal
+            f64::from_bits(1),       // smallest subnormal
+            f64::from_bits(0xfffff), // mid subnormal
+            f64::MIN_POSITIVE / 2.0, // large subnormal
+            f64::MIN_POSITIVE,       // smallest normal
             f32::MIN_POSITIVE as f64 / 4.0,
         ] {
             check_log2(x);

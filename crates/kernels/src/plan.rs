@@ -14,7 +14,7 @@
 
 use crate::base::LogBase;
 use crate::kernel::Kernel;
-use pwrel_data::{CodecError, Dims, Float};
+use pwrel_data::{CodecError, Dims, Float, Transform};
 
 /// Elements mapped per scratch refill; also the granularity of the batch
 /// kernels' inner loops. Fits two f64 cache pages.
@@ -82,6 +82,37 @@ impl LogPlan {
             scratch,
             signs,
         )
+    }
+}
+
+/// The log mapping is the value-domain [`Transform`] stage of the
+/// pipeline: forward/inverse sweep the data in [`CHUNK`]-sized runs over
+/// a stack scratch buffer, so the stage keeps the fused path's
+/// allocation profile.
+impl<F: Float> Transform<F> for LogPlan {
+    fn name(&self) -> &'static str {
+        "log"
+    }
+
+    fn forward(&self, src: &[F], out: &mut [F], signs: &mut Vec<bool>) {
+        let mut scratch = [0.0f64; CHUNK];
+        for (s, o) in src.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            self.map_chunk(s, o, &mut scratch, signs);
+        }
+    }
+
+    fn inverse(&self, src: &[F], out: &mut [F], signs: &[bool]) {
+        let mut scratch = [0.0f64; CHUNK];
+        let mut done = 0usize;
+        for (s, o) in src.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let bits = if signs.is_empty() {
+                &[][..]
+            } else {
+                &signs[done..done + s.len()]
+            };
+            self.unmap_chunk(s, o, &mut scratch, bits);
+            done += s.len();
+        }
     }
 }
 
@@ -184,7 +215,10 @@ mod tests {
             if a == 0.0 {
                 assert_eq!(b, 0.0);
             } else {
-                assert!(((a as f64 - b as f64) / a as f64).abs() < 1e-6, "{a} vs {b}");
+                assert!(
+                    ((a as f64 - b as f64) / a as f64).abs() < 1e-6,
+                    "{a} vs {b}"
+                );
             }
         }
     }

@@ -136,7 +136,8 @@ fn detokenize(tokens: &[u8], expected_len: usize) -> Result<Vec<u8>> {
 /// `input.len() + O(varint)` bytes thanks to the stored-mode fallback.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let tokens = tokenize(input);
-    let huffed = huffman::encode_symbols(&tokens.iter().map(|&b| b as u32).collect::<Vec<_>>(), 256);
+    let huffed =
+        huffman::encode_symbols(&tokens.iter().map(|&b| b as u32).collect::<Vec<_>>(), 256);
 
     let (mode, payload) = if huffed.len() < tokens.len() && huffed.len() < input.len() {
         (MODE_TOKENS_HUFF, huffed)

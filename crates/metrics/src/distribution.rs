@@ -118,7 +118,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect()
@@ -130,7 +132,11 @@ mod tests {
         let (o, d) = synth(&u);
         let dist = ErrorDistribution::compute(&o, &d, 20, Some(1.0));
         assert!(dist.mean.abs() < 0.01);
-        assert!((dist.excess_kurtosis + 1.2).abs() < 0.1, "{}", dist.excess_kurtosis);
+        assert!(
+            (dist.excess_kurtosis + 1.2).abs() < 0.1,
+            "{}",
+            dist.excess_kurtosis
+        );
         assert!(dist.uniformity_distance() < 0.02);
         assert!((dist.central_mass() - 0.5).abs() < 0.02);
     }

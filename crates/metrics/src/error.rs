@@ -39,7 +39,11 @@ impl ErrorStats {
             max_abs,
             avg_abs: sum_abs / n,
             rmse: (sum_sq / n).sqrt(),
-            value_range: if original.is_empty() { 0.0 } else { vmax - vmin },
+            value_range: if original.is_empty() {
+                0.0
+            } else {
+                vmax - vmin
+            },
         }
     }
 
@@ -108,7 +112,11 @@ impl RelErrorStats {
         let n = original.len().max(1) as f64;
         Self {
             max_rel,
-            avg_rel: if n_nonzero == 0 { 0.0 } else { sum_rel / n_nonzero as f64 },
+            avg_rel: if n_nonzero == 0 {
+                0.0
+            } else {
+                sum_rel / n_nonzero as f64
+            },
             bounded_fraction: n_bounded as f64 / n,
             broken_zeros,
         }

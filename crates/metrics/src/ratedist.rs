@@ -58,7 +58,11 @@ impl RateDistortionCurve {
     /// rate range, probed at `samples` points. `None` when ranges are
     /// disjoint. Used to verify "different bases give the same curve".
     pub fn max_gap(&self, other: &Self, samples: usize) -> Option<f64> {
-        let lo = self.points.first()?.bit_rate.max(other.points.first()?.bit_rate);
+        let lo = self
+            .points
+            .first()?
+            .bit_rate
+            .max(other.points.first()?.bit_rate);
         let hi = self
             .points
             .last()?

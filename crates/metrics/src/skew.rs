@@ -32,7 +32,9 @@ pub fn per_particle_skew<F: Float>(
 ) -> Vec<f64> {
     let n = vx.len();
     assert!(
-        [vy.len(), vz.len(), dx.len(), dy.len(), dz.len()].iter().all(|&l| l == n),
+        [vy.len(), vz.len(), dx.len(), dy.len(), dz.len()]
+            .iter()
+            .all(|&l| l == n),
         "component length mismatch"
     );
     (0..n)

@@ -94,7 +94,9 @@ mod tests {
     use super::*;
 
     fn ramp(w: usize, h: usize) -> Vec<f32> {
-        (0..w * h).map(|i| (i % w) as f32 + (i / w) as f32 * 0.5).collect()
+        (0..w * h)
+            .map(|i| (i % w) as f32 + (i / w) as f32 * 0.5)
+            .collect()
     }
 
     #[test]

@@ -98,9 +98,8 @@ impl ChunkedCodec {
             offset += len;
         }
 
-        let results: Vec<Result<Vec<u8>, CodecError>> = self
-            .pool
-            .map(tasks, |(d, slice)| compress_chunk(slice, d));
+        let results: Vec<Result<Vec<u8>, CodecError>> =
+            self.pool.map(tasks, |(d, slice)| compress_chunk(slice, d));
         let mut streams = Vec::with_capacity(results.len());
         for r in results {
             streams.push(r?);
@@ -123,6 +122,32 @@ impl ChunkedCodec {
             out.extend_from_slice(s);
         }
         Ok(out)
+    }
+
+    /// Compresses slab-by-slab through a registered codec: every slab
+    /// becomes its own unified container, so the archive stays
+    /// self-describing per chunk.
+    pub fn compress_with<F: pwrel_pipeline::PipelineElem>(
+        &self,
+        registry: &pwrel_pipeline::CodecRegistry,
+        codec: &str,
+        data: &[F],
+        dims: Dims,
+        opts: &pwrel_pipeline::CompressOpts,
+    ) -> Result<Vec<u8>, CodecError> {
+        self.compress(data, dims, |slice, d| {
+            registry.compress(codec, slice, d, opts)
+        })
+    }
+
+    /// Decompresses a chunked container whose slabs are unified (or
+    /// legacy) streams via the registry.
+    pub fn decompress_with<F: pwrel_pipeline::PipelineElem>(
+        &self,
+        registry: &pwrel_pipeline::CodecRegistry,
+        bytes: &[u8],
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        self.decompress(bytes, |s| registry.decompress(s))
     }
 
     /// Decompresses a chunked container with `decompress_chunk` in parallel.
@@ -180,9 +205,8 @@ impl ChunkedCodec {
             pos = end;
         }
 
-        let results: Vec<Result<(Vec<F>, Dims), CodecError>> = self
-            .pool
-            .map(tasks, |(extent, stream)| {
+        let results: Vec<Result<(Vec<F>, Dims), CodecError>> =
+            self.pool.map(tasks, |(extent, stream)| {
                 let (data, d) = decompress_chunk(stream)?;
                 if d != slab_dims(dims, extent) || data.len() != d.len() {
                     return Err(CodecError::Corrupt("chunk dims mismatch"));
@@ -282,6 +306,31 @@ mod tests {
     }
 
     #[test]
+    fn registry_round_trip_every_codec() {
+        use pwrel_pipeline::{global, CompressOpts};
+        let dims = Dims::d2(24, 32);
+        let data: Vec<f32> = grf::gaussian_field(dims, 11, 2, 2)
+            .iter()
+            .map(|v| v.abs() + 0.25)
+            .collect();
+        let chunked = ChunkedCodec {
+            pool: WorkerPool::new(3),
+            target_chunks: 4,
+        };
+        let opts = CompressOpts::rel(1e-2);
+        for codec in global().iter() {
+            let stream = chunked
+                .compress_with(global(), codec.name(), &data, dims, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            let (dec, d2) = chunked
+                .decompress_with::<f32>(global(), &stream)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            assert_eq!(d2, dims, "{}", codec.name());
+            assert_eq!(dec.len(), data.len(), "{}", codec.name());
+        }
+    }
+
+    #[test]
     fn corrupt_container_rejected() {
         let dims = Dims::d1(100);
         let data = vec![1.5f32; 100];
@@ -317,6 +366,11 @@ mod tests {
         let split = chunked
             .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
             .unwrap();
-        assert!(split.len() < whole.len() * 2, "{} vs {}", split.len(), whole.len());
+        assert!(
+            split.len() < whole.len() * 2,
+            "{} vs {}",
+            split.len(),
+            whole.len()
+        );
     }
 }

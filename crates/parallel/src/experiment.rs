@@ -83,8 +83,7 @@ impl<'a> ScalingExperiment<'a> {
         C: Fn(&Field<f32>) -> Vec<u8> + Sync,
     {
         let t0 = Instant::now();
-        let streams: Vec<Vec<u8>> =
-            self.pool.map(self.fields.iter().collect(), compress);
+        let streams: Vec<Vec<u8>> = self.pool.map(self.fields.iter().collect(), compress);
         let compress_seconds = t0.elapsed().as_secs_f64();
 
         let compressed: u64 = streams.iter().map(|s| s.len() as u64).sum();
@@ -145,9 +144,7 @@ mod tests {
         };
         let codec = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
         let ranks = [1024usize, 2048, 4096];
-        let (dumps, streams) = exp.dump(&ranks, |f| {
-            codec.compress(&f.data, f.dims, 1e-2).unwrap()
-        });
+        let (dumps, streams) = exp.dump(&ranks, |f| codec.compress(&f.data, f.dims, 1e-2).unwrap());
         assert_eq!(dumps.len(), 3);
         assert!(dumps[0].ratio() > 1.5, "ratio = {}", dumps[0].ratio());
         // Weak scaling: write time grows with ranks, compute does not.

@@ -226,7 +226,10 @@ impl WorkerPool {
         }
 
         let ctx = MapCtx {
-            tasks: tasks.into_iter().map(|t| UnsafeCell::new(Some(t))).collect(),
+            tasks: tasks
+                .into_iter()
+                .map(|t| UnsafeCell::new(Some(t)))
+                .collect(),
             results: (0..n).map(|_| UnsafeCell::new(None)).collect::<Vec<_>>(),
             f,
         };

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Codec registry and unified container for every pipeline in the
+//! workspace.
+//!
+//! The paper's transformation scheme is generic — it wraps *any*
+//! absolute-error-bounded compressor — and this crate is where that
+//! genericity becomes operational:
+//!
+//! * [`Codec`] is the object-safe whole-codec contract (monomorphic
+//!   `f32`/`f64` entry points so registries can hold `Box<dyn Codec>`),
+//! * [`CodecRegistry`] maps codec ids and names to implementations and
+//!   owns the compress/decompress dispatch,
+//! * [`container`] defines the one versioned self-describing outer
+//!   header (`magic | version | codec id | elem | dims | bound
+//!   metadata`) every registered codec's stream is wrapped in,
+//! * [`legacy`] keeps pre-registry streams decodable by sniffing the old
+//!   per-codec magics.
+//!
+//! The stage traits the codecs are assembled from (`Transform`,
+//! `Predictor`, `Quantizer`, `Encoder`, `LosslessStage`, …) live in
+//! `pwrel-data` so the codec crates can implement them without a
+//! dependency cycle; this crate sits above the codecs and only composes.
+
+pub mod codec;
+pub mod codecs;
+pub mod container;
+pub mod legacy;
+pub mod registry;
+
+pub use codec::{Codec, CompressOpts, PipelineElem};
+pub use container::{ContainerHeader, CONTAINER_MAGIC, CONTAINER_VERSION};
+pub use legacy::{identify, StreamInfo, StreamKind};
+pub use registry::{global, CodecRegistry};

@@ -1,0 +1,218 @@
+//! The codec registry: id/name lookup plus container-aware dispatch.
+
+use crate::codec::{Codec, CompressOpts, PipelineElem};
+use crate::codecs;
+use crate::container::{self, ContainerHeader, CONTAINER_VERSION};
+use crate::legacy;
+use pwrel_data::{CodecError, Dims};
+use std::sync::OnceLock;
+
+/// An ordered set of [`Codec`] implementations keyed by id and name.
+pub struct CodecRegistry {
+    entries: Vec<Box<dyn Codec>>,
+}
+
+impl CodecRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry holding every codec built into the workspace.
+    pub fn builtin() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(codecs::SzT { hybrid: false }));
+        r.register(Box::new(codecs::SzT { hybrid: true }));
+        r.register(Box::new(codecs::ZfpT));
+        r.register(Box::new(codecs::SzAbs));
+        r.register(Box::new(codecs::SzPwr));
+        r.register(Box::new(codecs::Fpzip));
+        r.register(Box::new(codecs::Isabela));
+        r.register(Box::new(codecs::ZfpP));
+        r
+    }
+
+    /// Adds a codec. Panics if its id or name collides with an existing
+    /// entry — registration is a startup-time act and a collision is a
+    /// programming error, not a runtime condition.
+    pub fn register(&mut self, codec: Box<dyn Codec>) {
+        assert!(
+            self.get(codec.id()).is_none(),
+            "codec id {} registered twice",
+            codec.id()
+        );
+        assert!(
+            self.by_name(codec.name()).is_none(),
+            "codec name {:?} registered twice",
+            codec.name()
+        );
+        self.entries.push(codec);
+    }
+
+    /// Looks a codec up by its stream id.
+    pub fn get(&self, id: u8) -> Option<&dyn Codec> {
+        self.entries
+            .iter()
+            .find(|c| c.id() == id)
+            .map(|c| c.as_ref())
+    }
+
+    /// Looks a codec up by its registry name.
+    pub fn by_name(&self, name: &str) -> Option<&dyn Codec> {
+        self.entries
+            .iter()
+            .find(|c| c.name() == name)
+            .map(|c| c.as_ref())
+    }
+
+    /// Iterates over the registered codecs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Codec> {
+        self.entries.iter().map(|c| c.as_ref())
+    }
+
+    /// Compresses `data` with the named codec and wraps the result in
+    /// the unified container.
+    pub fn compress<F: PipelineElem>(
+        &self,
+        name: &str,
+        data: &[F],
+        dims: Dims,
+        opts: &CompressOpts,
+    ) -> Result<Vec<u8>, CodecError> {
+        let codec = self
+            .by_name(name)
+            .ok_or(CodecError::InvalidArgument("unknown codec name"))?;
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims product"));
+        }
+        let payload = F::codec_compress(codec, data, dims, opts)?;
+        let header = ContainerHeader {
+            version: CONTAINER_VERSION,
+            codec_id: codec.id(),
+            elem_bits: F::BITS as u8,
+            dims,
+            bound: opts.bound,
+            base: opts.base,
+        };
+        Ok(container::wrap(&header, &payload))
+    }
+
+    /// Decompresses a unified container, or falls back to the legacy
+    /// per-codec magic sniff for pre-container streams.
+    pub fn decompress<F: PipelineElem>(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
+        if !container::is_unified(bytes) {
+            return legacy::decompress_legacy(bytes);
+        }
+        let (header, payload) = container::unwrap(bytes)?;
+        if header.elem_bits as u32 != F::BITS {
+            return Err(CodecError::Mismatch("element type does not match stream"));
+        }
+        let codec = self
+            .get(header.codec_id)
+            .ok_or(CodecError::InvalidArgument("unknown codec id in container"))?;
+        let (data, dims) = F::codec_decompress(codec, payload)?;
+        if dims != header.dims {
+            return Err(CodecError::Corrupt("payload dims disagree with container"));
+        }
+        Ok((data, dims))
+    }
+}
+
+impl Default for CodecRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+/// The process-wide builtin registry.
+pub fn global() -> &'static CodecRegistry {
+    static GLOBAL: OnceLock<CodecRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(CodecRegistry::builtin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_ids_and_names_are_unique_and_complete() {
+        let r = CodecRegistry::builtin();
+        let names: Vec<_> = r.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "sz_t",
+                "sz_hybrid_t",
+                "zfp_t",
+                "sz_abs",
+                "sz_pwr",
+                "fpzip",
+                "isabela",
+                "zfp_p"
+            ]
+        );
+        for (i, c) in r.iter().enumerate() {
+            assert_eq!(c.id() as usize, i + 1);
+            assert!(!c.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_name_and_id_error() {
+        let r = CodecRegistry::builtin();
+        let data = [1.0f32, 2.0];
+        assert!(matches!(
+            r.compress(&"nope", &data, Dims::d1(2), &CompressOpts::rel(1e-3)),
+            Err(CodecError::InvalidArgument(_))
+        ));
+        let mut stream = r
+            .compress("sz_t", &data, Dims::d1(2), &CompressOpts::rel(1e-3))
+            .unwrap();
+        stream[5] = 200; // codec id byte
+        assert!(matches!(
+            r.decompress::<f32>(&stream),
+            Err(CodecError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn elem_width_mismatch_is_detected() {
+        let r = CodecRegistry::builtin();
+        let data = [1.0f32, 2.0, 3.0];
+        let stream = r
+            .compress("sz_t", &data, Dims::d1(3), &CompressOpts::rel(1e-3))
+            .unwrap();
+        assert!(matches!(
+            r.decompress::<f64>(&stream),
+            Err(CodecError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn every_builtin_codec_round_trips_f32() {
+        let data: Vec<f32> = (1..1500)
+            .map(|i| (i as f32 * 0.01).cos() * 50.0 + 60.0)
+            .collect();
+        let dims = Dims::d1(data.len());
+        let r = CodecRegistry::builtin();
+        for codec in r.iter() {
+            let stream = r
+                .compress(codec.name(), &data, dims, &CompressOpts::rel(1e-2))
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            let (back, d) = r
+                .decompress::<f32>(&stream)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            assert_eq!(d, dims, "{}", codec.name());
+            assert_eq!(back.len(), data.len(), "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let a = global() as *const _;
+        let b = global() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -87,8 +87,7 @@ pub fn take_results() -> Vec<BenchResult> {
 }
 
 fn quick_mode() -> bool {
-    std::env::var_os("CRITERION_QUICK").is_some()
-        || std::env::args().any(|a| a == "--test")
+    std::env::var_os("CRITERION_QUICK").is_some() || std::env::args().any(|a| a == "--test")
 }
 
 /// Measurement context passed to benchmark closures.
@@ -161,7 +160,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark identified by `id` with a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

@@ -92,9 +92,8 @@ where
     for case in 0..config.cases {
         let mut rng = TestRng(SmallRng::seed_from_u64(seed_for(name, case)));
         let mut inputs = String::new();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            f(&mut rng, &mut inputs)
-        }));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng, &mut inputs)));
         match outcome {
             Ok(Ok(())) => {}
             Ok(Err(TestCaseError(msg))) => panic!(
@@ -374,12 +373,12 @@ macro_rules! impl_tuple_strategy {
         }
     };
 }
-impl_tuple_strategy!(S1/v1);
-impl_tuple_strategy!(S1/v1, S2/v2);
-impl_tuple_strategy!(S1/v1, S2/v2, S3/v3);
-impl_tuple_strategy!(S1/v1, S2/v2, S3/v3, S4/v4);
-impl_tuple_strategy!(S1/v1, S2/v2, S3/v3, S4/v4, S5/v5);
-impl_tuple_strategy!(S1/v1, S2/v2, S3/v3, S4/v4, S5/v5, S6/v6);
+impl_tuple_strategy!(S1 / v1);
+impl_tuple_strategy!(S1 / v1, S2 / v2);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
 
 /// String strategies from a tiny regex subset: a literal, or one
 /// `[class]{m,n}` character-class repetition (what the workspace uses).
@@ -493,12 +492,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (a, b) = (&$a, &$b);
-        $crate::prop_assert!(
-            a != b,
-            "assertion failed: `{:?}` != `{:?}`",
-            a,
-            b
-        );
+        $crate::prop_assert!(a != b, "assertion failed: `{:?}` != `{:?}`", a, b);
     }};
 }
 

@@ -120,7 +120,12 @@ mod tests {
         let fixed = SzCompressor::default();
         let a = adaptive.compress_abs(&data, dims, bound).unwrap();
         let f = fixed.compress_abs(&data, dims, bound).unwrap();
-        assert!(a.len() <= f.len() + 16, "adaptive {} vs fixed {}", a.len(), f.len());
+        assert!(
+            a.len() <= f.len() + 16,
+            "adaptive {} vs fixed {}",
+            a.len(),
+            f.len()
+        );
         // And the bound still holds.
         let (dec, _) = adaptive.decompress::<f32>(&a).unwrap();
         for (&x, &y) in data.iter().zip(&dec) {

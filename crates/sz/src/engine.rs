@@ -1,12 +1,12 @@
 //! Prediction + linear-scaling quantization engine (both SZ modes).
 
 use crate::format::{SzMode, SzStream};
-use crate::{lorenzo, unpred};
+use crate::stages::{HuffmanStage, LinearQuantizer, LorenzoPredictor};
+use crate::unpred;
 use crate::SzCompressor;
 use pwrel_bitstream::{BitReader, BitWriter};
-use pwrel_data::{CodecError, Dims, Float};
+use pwrel_data::{CodecError, Dims, Encoder, Float, Predictor, Quantizer};
 use pwrel_kernels::{LogPlan, CHUNK};
-use pwrel_lossless::huffman;
 
 /// Default quantization interval count (SZ 1.4's default scale).
 pub const DEFAULT_CAPACITY: u32 = 65536;
@@ -89,8 +89,9 @@ pub fn quantization_codes<F: Float>(
 ) -> Vec<u32> {
     assert_eq!(data.len(), dims.len());
     assert!(bound > 0.0 && bound.is_finite());
-    let capacity = cfg.capacity;
-    let radius = (capacity / 2) as i64;
+    let quant = LinearQuantizer {
+        capacity: cfg.capacity,
+    };
     let mut codes = Vec::with_capacity(data.len());
     let mut dec: Vec<F> = vec![F::zero(); data.len()];
     for k in 0..dims.nz {
@@ -98,23 +99,16 @@ pub fn quantization_codes<F: Float>(
             for i in 0..dims.nx {
                 let idx = dims.index(i, j, k);
                 let x = data[idx];
-                let mut done = false;
-                if x.is_finite() {
-                    let pred = lorenzo::predict(&dec, dims, i, j, k);
-                    let qf = ((x.to_f64() - pred) / (2.0 * bound)).round();
-                    if qf.is_finite() && qf.abs() < radius as f64 {
-                        let q = qf as i64;
-                        let val = F::from_f64(pred + 2.0 * bound * q as f64);
-                        if val.is_finite() && (val.to_f64() - x.to_f64()).abs() <= bound {
-                            codes.push((radius + q) as u32);
-                            dec[idx] = val;
-                            done = true;
-                        }
+                let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
+                match quant.quantize(x, pred, bound) {
+                    Some((code, val)) => {
+                        codes.push(code);
+                        dec[idx] = val;
                     }
-                }
-                if !done {
-                    codes.push(0);
-                    dec[idx] = x;
+                    None => {
+                        codes.push(0);
+                        dec[idx] = x;
+                    }
                 }
             }
         }
@@ -130,25 +124,15 @@ pub fn quantization_codes<F: Float>(
 fn quantize_one<F: Float>(
     x: F,
     eb: f64,
-    radius: i64,
+    quant: &LinearQuantizer,
     pred: f64,
     codes: &mut Vec<u32>,
     unpred_w: &mut BitWriter,
     n_unpred: &mut u64,
 ) -> F {
-    if x.is_finite() {
-        let diff = x.to_f64() - pred;
-        let qf = (diff / (2.0 * eb)).round();
-        if qf.is_finite() && qf.abs() < radius as f64 {
-            let q = qf as i64;
-            let val = F::from_f64(pred + 2.0 * eb * q as f64);
-            // Verify on the *rounded* reconstruction so the bound holds
-            // for the stored element type, not just in f64.
-            if val.is_finite() && (val.to_f64() - x.to_f64()).abs() <= eb {
-                codes.push((radius + q) as u32);
-                return val;
-            }
-        }
+    if let Some((code, val)) = quant.quantize(x, pred, eb) {
+        codes.push(code);
+        return val;
     }
     codes.push(0);
     // SZ's binary-representation analysis: keep only the leading bits the
@@ -165,7 +149,7 @@ pub(crate) fn compress<F: Float>(
     cfg: &SzCompressor,
 ) -> Result<Vec<u8>, CodecError> {
     let capacity = cfg.capacity;
-    let radius = (capacity / 2) as i64;
+    let quant = LinearQuantizer { capacity };
 
     let (mode, ebs) = match spec {
         EbSpec::Abs(eb) => (
@@ -207,11 +191,11 @@ pub(crate) fn compress<F: Float>(
         for j in 0..dims.ny {
             for i in 0..dims.nx {
                 let idx = dims.index(i, j, k);
-                let pred = lorenzo::predict(&dec, dims, i, j, k);
+                let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
                 dec[idx] = quantize_one(
                     data[idx],
                     ebs.at(idx),
-                    radius,
+                    &quant,
                     pred,
                     &mut codes,
                     &mut unpred_w,
@@ -221,7 +205,7 @@ pub(crate) fn compress<F: Float>(
         }
     }
 
-    let codes_buf = huffman::encode_symbols(&codes, capacity as usize);
+    let codes_buf = HuffmanStage.encode(&codes, Quantizer::<F>::alphabet(&quant));
     let stream = SzStream {
         float_bits: F::BITS as u8,
         dims,
@@ -250,7 +234,7 @@ pub(crate) fn compress_fused<F: Float>(
     cfg: &SzCompressor,
 ) -> Result<(Vec<u8>, Option<Vec<bool>>), CodecError> {
     let capacity = cfg.capacity;
-    let radius = (capacity / 2) as i64;
+    let quant = LinearQuantizer { capacity };
     let eb = plan.abs_bound;
 
     let n = data.len();
@@ -276,11 +260,11 @@ pub(crate) fn compress_fused<F: Float>(
                         &mut signs,
                     );
                 }
-                let pred = lorenzo::predict(&dec, dims, i, j, k);
+                let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
                 dec[idx] = quantize_one(
                     window[idx % CHUNK],
                     eb,
-                    radius,
+                    &quant,
                     pred,
                     &mut codes,
                     &mut unpred_w,
@@ -291,7 +275,7 @@ pub(crate) fn compress_fused<F: Float>(
         }
     }
 
-    let codes_buf = huffman::encode_symbols(&codes, capacity as usize);
+    let codes_buf = HuffmanStage.encode(&codes, Quantizer::<F>::alphabet(&quant));
     let stream = SzStream {
         float_bits: F::BITS as u8,
         dims,
@@ -321,7 +305,9 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
     }
     let dims = stream.dims;
     let n = dims.len();
-    let radius = (stream.capacity / 2) as i64;
+    let quant = LinearQuantizer {
+        capacity: stream.capacity,
+    };
 
     let ebs = match &stream.mode {
         SzMode::Abs { eb } => Ebs {
@@ -344,7 +330,7 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
     };
 
     let mut pos = 0usize;
-    let codes = huffman::decode_symbols(&stream.codes_buf, &mut pos)?;
+    let codes = HuffmanStage.decode(&stream.codes_buf, &mut pos)?;
     if codes.len() != n {
         return Err(CodecError::Corrupt("code count != point count"));
     }
@@ -360,13 +346,8 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
                 let val = if code == 0 {
                     unpred::read::<F>(&mut unpred_r, ebs.at(idx))?
                 } else {
-                    if code as i64 >= stream.capacity as i64 {
-                        return Err(CodecError::Corrupt("quantization code out of range"));
-                    }
-                    let q = code as i64 - radius;
-                    let eb = ebs.at(idx);
-                    let pred = lorenzo::predict(&dec, dims, i, j, k);
-                    F::from_f64(pred + 2.0 * eb * q as f64)
+                    let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
+                    quant.reconstruct(code, pred, ebs.at(idx))?
                 };
                 dec[idx] = val;
             }
@@ -399,7 +380,9 @@ mod tests {
     #[test]
     fn abs_bound_holds_1d_smooth() {
         let dims = Dims::d1(10_000);
-        let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.01).sin() * 100.0).collect();
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| (i as f32 * 0.01).sin() * 100.0)
+            .collect();
         for eb in [1.0, 0.1, 1e-3] {
             check_abs(&data, dims, eb, &sz());
         }
@@ -445,7 +428,14 @@ mod tests {
     #[test]
     fn nonfinite_values_survive_exactly() {
         let dims = Dims::d1(6);
-        let data = vec![1.0f32, f32::NAN, 2.0, f32::INFINITY, -3.0, f32::NEG_INFINITY];
+        let data = vec![
+            1.0f32,
+            f32::NAN,
+            2.0,
+            f32::INFINITY,
+            -3.0,
+            f32::NEG_INFINITY,
+        ];
         let bytes = sz().compress_abs(&data, dims, 0.1).unwrap();
         let (dec, _) = sz().decompress::<f32>(&bytes).unwrap();
         assert!(dec[1].is_nan());
@@ -500,7 +490,9 @@ mod tests {
         // exploits. Verify the bound still *holds* (correctness), and that
         // the spiky stream is larger than a smooth one (behaviour).
         let dims = Dims::d1(4096);
-        let smooth: Vec<f32> = (0..4096).map(|i| 1000.0 + (i as f32 * 0.01).sin()).collect();
+        let smooth: Vec<f32> = (0..4096)
+            .map(|i| 1000.0 + (i as f32 * 0.01).sin())
+            .collect();
         let mut spiky = smooth.clone();
         for b in 0..(4096 / 256) {
             spiky[b * 256 + 7] = 1e-6;
@@ -512,7 +504,12 @@ mod tests {
         for (&a, &b) in spiky.iter().zip(&dec) {
             assert!(((a - b) / a).abs() <= 1e-2);
         }
-        assert!(s2.len() > s1.len() * 2, "spiky {} vs smooth {}", s2.len(), s1.len());
+        assert!(
+            s2.len() > s1.len() * 2,
+            "spiky {} vs smooth {}",
+            s2.len(),
+            s1.len()
+        );
     }
 
     #[test]

@@ -16,23 +16,38 @@
 //! `[1u8] ++ lz(payload)`, whichever is smaller when the LZ pass is enabled
 //! (SZ's optional gzip stage).
 
+use crate::stages::LzStage;
 use pwrel_bitstream::{bytesio, varint};
-use pwrel_data::{CodecError, Dims};
-use pwrel_lossless::lz;
+use pwrel_data::{CodecError, Dims, LosslessStage};
 
 const MAGIC: &[u8; 4] = b"SZR1";
 
-/// Decides whether the full LZ pass is likely to pay off by compressing a
-/// 64 KiB prefix sample: small payloads are always tried (cheap), large
-/// ones only when the sample shrinks by more than ~3%.
+/// Decides whether the full LZ pass is likely to pay off by compressing
+/// three 21 KiB samples spread across the payload (head, middle, tail):
+/// small payloads are always tried (cheap), large ones only when the
+/// combined samples shrink by more than ~3%. Sampling all three regions
+/// matters for heterogeneous payloads — the Huffman block at the front
+/// and the raw unpredictable store at the back compress very differently,
+/// and a prefix-only sample mispredicts whichever section it missed.
 fn worth_lz_pass(payload: &[u8]) -> bool {
     const SAMPLE: usize = 64 * 1024;
     if payload.len() <= 2 * SAMPLE {
         return true;
     }
-    let sample = &payload[..SAMPLE];
-    let packed = lz::compress(sample);
-    packed.len() * 100 < sample.len() * 97
+    let part = SAMPLE / 3;
+    let mid = payload.len() / 2 - part / 2;
+    let regions = [
+        &payload[..part],
+        &payload[mid..mid + part],
+        &payload[payload.len() - part..],
+    ];
+    let mut sampled = 0usize;
+    let mut packed = 0usize;
+    for region in regions {
+        sampled += region.len();
+        packed += LzStage.compress(region).len();
+    }
+    packed * 100 < sampled * 97
 }
 
 /// Error-bound mode recorded in the stream.
@@ -179,7 +194,7 @@ impl SzStream {
         // redundant streams, wasted time on already-dense Huffman output.
         // Decide from a prefix sample before paying for the full pass.
         if lossless_pass && worth_lz_pass(&p) {
-            let packed = lz::compress(&p);
+            let packed = LzStage.compress(&p);
             if packed.len() + 1 < p.len() + 1 {
                 let mut out = Vec::with_capacity(packed.len() + 1);
                 out.push(1u8);
@@ -202,7 +217,7 @@ impl SzStream {
         let p: &[u8] = match wrapper {
             0 => rest,
             1 => {
-                unpacked = lz::decompress(rest)?;
+                unpacked = LzStage.decompress(rest)?;
                 &unpacked
             }
             _ => return Err(CodecError::Corrupt("unknown wrapper byte")),
@@ -224,8 +239,8 @@ impl SzStream {
         let nx = varint::read_uvarint(p, &mut pos)?;
         let ny = varint::read_uvarint(p, &mut pos)?;
         let nz = varint::read_uvarint(p, &mut pos)?;
-        let dims = Dims::from_header(rank, nx, ny, nz)
-            .ok_or(CodecError::Corrupt("bad dims header"))?;
+        let dims =
+            Dims::from_header(rank, nx, ny, nz).ok_or(CodecError::Corrupt("bad dims header"))?;
         let capacity = varint::read_uvarint(p, &mut pos)? as u32;
         if capacity < 4 || !capacity.is_multiple_of(2) {
             return Err(CodecError::Corrupt("bad capacity"));
@@ -297,7 +312,9 @@ impl SzStream {
                     return Err(CodecError::Corrupt("hybrid block count mismatch"));
                 }
                 if n_blocks.div_ceil(8) > p.len() as u64 {
-                    return Err(CodecError::Corrupt("hybrid selector bitmap exceeds payload"));
+                    return Err(CodecError::Corrupt(
+                        "hybrid selector bitmap exceeds payload",
+                    ));
                 }
                 let sel_bytes = (n_blocks as usize).div_ceil(8);
                 let selectors = bytesio::get_bytes(p, &mut pos, sel_bytes)?.to_vec();

@@ -209,7 +209,9 @@ mod tests {
     #[test]
     fn hybrid_bound_holds_1d_2d_3d() {
         check(
-            &(0..5000).map(|i| (i as f32 * 0.02).sin() * 9.0).collect::<Vec<_>>(),
+            &(0..5000)
+                .map(|i| (i as f32 * 0.02).sin() * 9.0)
+                .collect::<Vec<_>>(),
             Dims::d1(5000),
             1e-3,
         );

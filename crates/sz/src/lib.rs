@@ -30,14 +30,16 @@ pub mod adaptive;
 mod engine;
 mod format;
 mod hybrid;
-mod pwr_spatial;
-mod unpred;
 mod lorenzo;
+mod pwr_spatial;
 pub mod regression;
+pub mod stages;
+mod unpred;
 
 pub use adaptive::estimate_capacity;
 pub use engine::{quantization_codes, EbSpec, DEFAULT_CAPACITY};
 pub use format::{SzMode, SzStream};
+pub use stages::{HuffmanStage, LinearQuantizer, LorenzoPredictor, LzStage};
 
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
 use pwrel_kernels::{FusedOutput, LogFusedCodec, LogPlan};
@@ -98,7 +100,9 @@ impl SzCompressor {
     /// Validates configuration invariants.
     fn check_config(&self) -> Result<(), CodecError> {
         if self.capacity < 4 || !self.capacity.is_multiple_of(2) {
-            return Err(CodecError::InvalidArgument("capacity must be even and >= 4"));
+            return Err(CodecError::InvalidArgument(
+                "capacity must be even and >= 4",
+            ));
         }
         if self.pwr_block_len == 0 {
             return Err(CodecError::InvalidArgument("pwr_block_len must be > 0"));
@@ -141,7 +145,9 @@ impl SzCompressor {
     ) -> Result<Vec<u8>, CodecError> {
         self.check_config()?;
         if !(rel_bound > 0.0) || !rel_bound.is_finite() {
-            return Err(CodecError::InvalidArgument("rel_bound must be finite and > 0"));
+            return Err(CodecError::InvalidArgument(
+                "rel_bound must be finite and > 0",
+            ));
         }
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));

@@ -259,9 +259,7 @@ mod tests {
     #[test]
     fn f64_spatial_path() {
         let dims = Dims::d3(8, 9, 10);
-        let data: Vec<f64> = (0..dims.len())
-            .map(|i| 1e6 + (i as f64) * 3.7)
-            .collect();
+        let data: Vec<f64> = (0..dims.len()).map(|i| 1e6 + (i as f64) * 3.7).collect();
         let bytes = sz().compress_pwr(&data, dims, 1e-3).unwrap();
         let (dec, _) = sz().decompress::<f64>(&bytes).unwrap();
         for (&a, &b) in data.iter().zip(&dec) {

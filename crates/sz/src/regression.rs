@@ -33,7 +33,9 @@ impl LinearModel {
     /// Predicted value at local coordinates `(i, j, k)`.
     #[inline]
     pub fn predict(&self, i: usize, j: usize, k: usize) -> f64 {
-        self.b0 as f64 + self.b1 as f64 * i as f64 + self.b2 as f64 * j as f64
+        self.b0 as f64
+            + self.b1 as f64 * i as f64
+            + self.b2 as f64 * j as f64
             + self.b3 as f64 * k as f64
     }
 
@@ -245,7 +247,8 @@ mod tests {
         for k in 0..6 {
             for j in 0..6 {
                 for i in 0..6 {
-                    data[dims.index(i, j, k)] = 2.0 + 0.5 * i as f32 - 1.5 * j as f32 + 3.0 * k as f32;
+                    data[dims.index(i, j, k)] =
+                        2.0 + 0.5 * i as f32 - 1.5 * j as f32 + 3.0 * k as f32;
                 }
             }
         }

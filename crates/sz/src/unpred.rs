@@ -122,7 +122,9 @@ mod tests {
         }
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
-        vals.iter().map(|_| read::<f32>(&mut r, eb).unwrap()).collect()
+        vals.iter()
+            .map(|_| read::<f32>(&mut r, eb).unwrap())
+            .collect()
     }
 
     #[test]
@@ -133,17 +135,21 @@ mod tests {
         for eb in [1e-6, 1e-3, 1.0, 1e3] {
             let dec = round_trip_f32(&vals, eb);
             for (&a, &b) in vals.iter().zip(&dec) {
-                assert!(
-                    (a as f64 - b as f64).abs() <= eb,
-                    "{a} vs {b} at eb {eb}"
-                );
+                assert!((a as f64 - b as f64).abs() <= eb, "{a} vs {b} at eb {eb}");
             }
         }
     }
 
     #[test]
     fn specials_are_exact() {
-        let vals = [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e-42];
+        let vals = [
+            0.0f32,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1e-42,
+        ];
         let dec = round_trip_f32(&vals, 0.1);
         assert_eq!(dec[0].to_bits(), vals[0].to_bits());
         assert_eq!(dec[1].to_bits(), vals[1].to_bits());

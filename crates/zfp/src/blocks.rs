@@ -6,8 +6,16 @@ use pwrel_data::{Dims, Float};
 pub fn block_grid(dims: Dims) -> (usize, usize, usize) {
     (
         dims.nx.div_ceil(4).max(if dims.nx == 0 { 0 } else { 1 }),
-        if dims.rank() >= 2 { dims.ny.div_ceil(4) } else { 1 },
-        if dims.rank() >= 3 { dims.nz.div_ceil(4) } else { 1 },
+        if dims.rank() >= 2 {
+            dims.ny.div_ceil(4)
+        } else {
+            1
+        },
+        if dims.rank() >= 3 {
+            dims.nz.div_ceil(4)
+        } else {
+            1
+        },
     )
 }
 
@@ -167,7 +175,14 @@ mod tests {
 /// Like [`gather`], but keeps the native element type instead of widening
 /// to f64 — the fused transform path maps the block *after* gathering so
 /// the mapped values match the buffered route bit-for-bit.
-pub fn gather_raw<F: Float>(data: &[F], dims: Dims, bx: usize, by: usize, bz: usize, out: &mut [F]) {
+pub fn gather_raw<F: Float>(
+    data: &[F],
+    dims: Dims,
+    bx: usize,
+    by: usize,
+    bz: usize,
+    out: &mut [F],
+) {
     let rank = dims.rank();
     let ext = |n: usize, b: usize, o: usize| -> usize { (4 * b + o).min(n - 1) };
     match rank {

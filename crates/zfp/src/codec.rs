@@ -18,10 +18,10 @@
 //! which real ZFP does not support).
 
 use crate::blocks;
-use crate::lift;
-use crate::nb;
+use crate::lift::{self, Lift};
+use crate::nb::{self, GroupTestCoder};
 use pwrel_bitstream::{bytesio, varint, BitReader, BitWriter};
-use pwrel_data::{CodecError, Dims, Float};
+use pwrel_data::{BlockTransform, CodecError, Dims, Float, PlaneCoder};
 use pwrel_kernels::LogPlan;
 
 const MAGIC: &[u8; 4] = b"ZFR1";
@@ -178,15 +178,15 @@ fn decode_one_block(
     coeffs.iter_mut().for_each(|c| *c = 0);
     if let Mode::FixedRate(rate) = mode {
         let budget = rate_budget(rate, bs) - 18;
-        nb::decode_planes_budget(r, coeffs, ip, kmin, budget)?;
+        GroupTestCoder.decode(r, coeffs, ip, kmin, Some(budget))?;
         skip_to(r, block_start, rate_budget(rate, bs))?;
     } else {
-        nb::decode_planes(r, coeffs, ip, kmin)?;
+        GroupTestCoder.decode(r, coeffs, ip, kmin, None)?;
     }
     for (slot, &dst) in order.iter().enumerate() {
         iblock[dst] = nb::nb_decode(coeffs[slot], ip);
     }
-    lift::inv_xform(iblock, rank);
+    Lift.inverse(iblock, rank);
     let s = (ip as i32 - g) - emax;
     let inv_scale = exp2_clamped(-s);
     for (i, &q) in iblock.iter().enumerate() {
@@ -265,17 +265,17 @@ fn encode_one_block<F: Float>(
     for (i, &v) in fblock.iter().enumerate() {
         iblock[i] = (v * scale) as i64;
     }
-    lift::fwd_xform(iblock, rank);
+    Lift.forward(iblock, rank);
     for (slot, &src) in order.iter().enumerate() {
         coeffs[slot] = nb::nb_encode(iblock[src], ip);
     }
     let kmin = kmin_for(mode, emax, rank, ip, g);
     if let Mode::FixedRate(rate) = mode {
         let budget = rate_budget(rate, bs) - 18; // tag + exponent
-        nb::encode_planes_budget(w, coeffs, ip, kmin, budget);
+        GroupTestCoder.encode(w, coeffs, ip, kmin, Some(budget));
         pad_to(w, block_start, rate_budget(rate, bs));
     } else {
-        nb::encode_planes(w, coeffs, ip, kmin);
+        GroupTestCoder.encode(w, coeffs, ip, kmin, None);
     }
     Ok(())
 }
@@ -574,8 +574,16 @@ pub(crate) fn decompress_block<F: Float>(
     )?;
     let extent = (
         (dims.nx - 4 * bx).min(4),
-        if rank >= 2 { (dims.ny - 4 * by).min(4) } else { 1 },
-        if rank >= 3 { (dims.nz - 4 * bz).min(4) } else { 1 },
+        if rank >= 2 {
+            (dims.ny - 4 * by).min(4)
+        } else {
+            1
+        },
+        if rank >= 3 {
+            (dims.nz - 4 * bz).min(4)
+        } else {
+            1
+        },
     );
     Ok((fblock.into_iter().map(F::from_f64).collect(), extent))
 }
@@ -700,7 +708,10 @@ mod tests {
             .zip(&dec)
             .map(|(&a, &b)| ((a - b) / a).abs() as f64)
             .fold(0.0f64, f64::max);
-        assert!(max_rel > 1.0, "expected blown relative error, got {max_rel}");
+        assert!(
+            max_rel > 1.0,
+            "expected blown relative error, got {max_rel}"
+        );
     }
 
     #[test]
@@ -723,7 +734,9 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let bytes = zfp().compress_accuracy::<f32>(&[], Dims::d1(0), 0.1).unwrap();
+        let bytes = zfp()
+            .compress_accuracy::<f32>(&[], Dims::d1(0), 0.1)
+            .unwrap();
         let (dec, _) = zfp().decompress::<f32>(&bytes).unwrap();
         assert!(dec.is_empty());
     }
@@ -815,8 +828,7 @@ mod tests {
                         for dj in 0..ey {
                             for di in 0..ex {
                                 let got = block[16 * dk + 4 * dj + di];
-                                let want =
-                                    full[dims.index(4 * bx + di, 4 * by + dj, 4 * bz + dk)];
+                                let want = full[dims.index(4 * bx + di, 4 * by + dj, 4 * bz + dk)];
                                 assert_eq!(
                                     got.to_bits(),
                                     want.to_bits(),
@@ -845,7 +857,9 @@ mod tests {
     #[test]
     fn fixed_rate_rejects_nonfinite_and_bad_rate() {
         let dims = Dims::d1(4);
-        assert!(zfp().compress_rate(&[1.0f32, f32::NAN, 0.0, 0.0], dims, 8).is_err());
+        assert!(zfp()
+            .compress_rate(&[1.0f32, f32::NAN, 0.0, 0.0], dims, 8)
+            .is_err());
         assert!(zfp().compress_rate(&[1.0f32; 4], dims, 0).is_err());
         assert!(zfp().compress_rate(&[1.0f32; 4], dims, 99).is_err());
     }

@@ -38,6 +38,8 @@ mod lift;
 mod nb;
 
 pub use codec::{precision_for_rel_bound, BlockSamples};
+pub use lift::Lift;
+pub use nb::GroupTestCoder;
 
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
 use pwrel_kernels::{FusedOutput, LogFusedCodec, LogPlan};
@@ -69,7 +71,9 @@ impl ZfpCompressor {
         tolerance: f64,
     ) -> Result<Vec<u8>, CodecError> {
         if !(tolerance > 0.0) || !tolerance.is_finite() {
-            return Err(CodecError::InvalidArgument("tolerance must be finite and > 0"));
+            return Err(CodecError::InvalidArgument(
+                "tolerance must be finite and > 0",
+            ));
         }
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
@@ -145,7 +149,9 @@ impl<F: Float> LogFusedCodec<F> for ZfpCompressor {
         plan: &LogPlan,
     ) -> Result<FusedOutput, CodecError> {
         if !(plan.abs_bound > 0.0) || !plan.abs_bound.is_finite() {
-            return Err(CodecError::InvalidArgument("tolerance must be finite and > 0"));
+            return Err(CodecError::InvalidArgument(
+                "tolerance must be finite and > 0",
+            ));
         }
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));

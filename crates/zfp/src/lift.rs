@@ -142,6 +142,26 @@ pub fn block_size(rank: u8) -> usize {
     }
 }
 
+/// The lifting scheme as the pipeline's [`BlockTransform`] stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lift;
+
+impl pwrel_data::BlockTransform for Lift {
+    fn name(&self) -> &'static str {
+        "lift"
+    }
+
+    #[inline]
+    fn forward(&self, block: &mut [i64], rank: u8) {
+        fwd_xform(block, rank)
+    }
+
+    #[inline]
+    fn inverse(&self, block: &mut [i64], rank: u8) {
+        inv_xform(block, rank)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,7 +191,9 @@ mod tests {
     fn xform_round_trips_within_truncation_2d_3d() {
         let v2: Vec<i64> = (0..16).map(|i| (i * i - 40) as i64).collect();
         round_trip_within(&v2, 2, 8);
-        let v3: Vec<i64> = (0..64).map(|i| ((i * 37) % 101 - 50) as i64 * 1_000_003).collect();
+        let v3: Vec<i64> = (0..64)
+            .map(|i| ((i * 37) % 101 - 50) as i64 * 1_000_003)
+            .collect();
         round_trip_within(&v3, 3, 32);
     }
 

@@ -158,6 +158,54 @@ pub fn decode_planes_budget(
     Ok(maxbits - bits)
 }
 
+/// The group-testing embedded coder as the pipeline's [`PlaneCoder`]
+/// stage. `maxbits: None` selects the unbudgeted accuracy/precision path,
+/// `Some(budget)` the fixed-rate path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupTestCoder;
+
+impl pwrel_data::PlaneCoder for GroupTestCoder {
+    fn name(&self) -> &'static str {
+        "group-test"
+    }
+
+    fn encode(
+        &self,
+        w: &mut BitWriter,
+        coeffs: &[u64],
+        intprec: u32,
+        kmin: u32,
+        maxbits: Option<u64>,
+    ) -> u64 {
+        match maxbits {
+            Some(budget) => encode_planes_budget(w, coeffs, intprec, kmin, budget),
+            None => {
+                let before = w.bit_len();
+                encode_planes(w, coeffs, intprec, kmin);
+                w.bit_len() - before
+            }
+        }
+    }
+
+    fn decode(
+        &self,
+        r: &mut BitReader<'_>,
+        coeffs: &mut [u64],
+        intprec: u32,
+        kmin: u32,
+        maxbits: Option<u64>,
+    ) -> std::result::Result<u64, pwrel_data::CodecError> {
+        match maxbits {
+            Some(budget) => Ok(decode_planes_budget(r, coeffs, intprec, kmin, budget)?),
+            None => {
+                let before = r.bits_read();
+                decode_planes(r, coeffs, intprec, kmin)?;
+                Ok(r.bits_read() - before)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,7 +312,9 @@ mod tests {
 
     #[test]
     fn budgeted_round_trip_consumes_exactly_written_bits() {
-        let vals: Vec<i64> = (0..64).map(|i| ((i * 2654435761u64 as usize) as i64 % 100001) - 50000).collect();
+        let vals: Vec<i64> = (0..64)
+            .map(|i| ((i * 2654435761u64 as usize) as i64 % 100001) - 50000)
+            .collect();
         let coeffs: Vec<u64> = vals.iter().map(|&v| nb_encode(v, 64)).collect();
         for budget in [1u64, 7, 16, 33, 100, 500, 1000, 2500] {
             let mut w = BitWriter::new();

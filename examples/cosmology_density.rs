@@ -19,7 +19,12 @@ use pwrel::sz::SzCompressor;
 fn main() {
     let field = nyx::dark_matter_density(Scale::Medium);
     let raw = field.nbytes();
-    println!("field {} ({}), {:.1} MB", field.name, field.dims, raw as f64 / 1e6);
+    println!(
+        "field {} ({}), {:.1} MB",
+        field.name,
+        field.dims,
+        raw as f64 / 1e6
+    );
 
     let below_one = field.data.iter().filter(|&&v| v <= 1.0).count();
     println!(
@@ -41,7 +46,9 @@ fn main() {
     let mut abs_stream = Vec::new();
     for _ in 0..24 {
         let eb = (lo * hi).sqrt();
-        abs_stream = sz.compress_abs(&field.data, field.dims, eb).expect("sz abs");
+        abs_stream = sz
+            .compress_abs(&field.data, field.dims, eb)
+            .expect("sz abs");
         if (raw as f64 / abs_stream.len() as f64) < target_cr {
             lo = eb;
         } else {
@@ -79,5 +86,8 @@ fn main() {
 
     let stats = RelErrorStats::compute(&field.data, &rel_dec, 1e-2);
     assert!(stats.max_rel <= 1e-2, "bound must hold");
-    assert!(max_abs > 10.0 * max_rel, "abs mode should distort small values");
+    assert!(
+        max_abs > 10.0 * max_rel,
+        "abs mode should distort small values"
+    );
 }

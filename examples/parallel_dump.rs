@@ -39,10 +39,15 @@ fn main() {
         dumps[0].compress_seconds,
         exp.pool.workers()
     );
-    println!("{:>8} {:>12} {:>12} {:>12}", "ranks", "write (s)", "dump (s)", "raw-dump (s)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "ranks", "write (s)", "dump (s)", "raw-dump (s)"
+    );
     for d in &dumps {
         // What writing *uncompressed* data would cost at the same scale.
-        let raw_write = exp.pfs.write_time(d.raw_bytes_per_rank * d.ranks as u64, d.ranks);
+        let raw_write = exp
+            .pfs
+            .write_time(d.raw_bytes_per_rank * d.ranks as u64, d.ranks);
         println!(
             "{:>8} {:>12.3} {:>12.3} {:>12.3}",
             d.ranks,
@@ -57,6 +62,11 @@ fn main() {
     });
     println!("\n{:>8} {:>12} {:>12}", "ranks", "read (s)", "load (s)");
     for l in &loads {
-        println!("{:>8} {:>12.3} {:>12.3}", l.ranks, l.read_seconds, l.total());
+        println!(
+            "{:>8} {:>12.3} {:>12.3}",
+            l.ranks,
+            l.read_seconds,
+            l.total()
+        );
     }
 }

@@ -35,9 +35,15 @@ fn main() {
     let stats = RelErrorStats::compute(&data, &restored, rel_bound);
     println!("points:              {}", data.len());
     println!("requested bound:     {rel_bound:e}");
-    println!("compression ratio:   {:.2}x", compression_ratio(data.len() * 4, compressed.len()));
+    println!(
+        "compression ratio:   {:.2}x",
+        compression_ratio(data.len() * 4, compressed.len())
+    );
     println!("max relative error:  {:.3e}", stats.max_rel);
-    println!("within bound:        {:.2}%", stats.bounded_fraction * 100.0);
+    println!(
+        "within bound:        {:.2}%",
+        stats.bounded_fraction * 100.0
+    );
     println!("zeros kept exact:    {}", stats.broken_zeros == 0);
 
     assert!(stats.max_rel <= rel_bound);

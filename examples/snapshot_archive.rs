@@ -6,18 +6,17 @@
 //! cargo run --release --example snapshot_archive
 //! ```
 
-use pwrel::core::{LogBase, PwRelCompressor};
 use pwrel::data::{nyx, Scale};
 use pwrel::metrics::RelErrorStats;
-use pwrel::sz::SzCompressor;
+use pwrel::pipeline::{global, CompressOpts};
 use pwrel_cli::archive::{pack, unpack, Entry};
 
 fn main() {
     let ds = nyx::dataset(Scale::Medium);
-    let codec = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
     let bound = 1e-3;
+    let opts = CompressOpts::rel(bound);
 
-    // Dump: every field into one archive.
+    // Dump: every field into one archive of unified-container streams.
     let entries: Vec<Entry> = ds
         .fields
         .iter()
@@ -25,10 +24,12 @@ fn main() {
             name: f.name.clone(),
             dims: f.dims,
             elem_bits: 32,
-            stream: codec.compress(&f.data, f.dims, bound).expect("compress"),
+            stream: global()
+                .compress("sz_t", &f.data, f.dims, &opts)
+                .expect("compress"),
         })
         .collect();
-    let archive = pack(&entries);
+    let archive = pack(&entries).expect("pack");
     println!(
         "snapshot: {} fields, {:.1} MB raw -> {:.2} MB archived ({:.2}x)",
         ds.fields.len(),
@@ -37,13 +38,16 @@ fn main() {
         ds.total_bytes() as f64 / archive.len() as f64
     );
 
-    // Load: pull out just the temperature field.
+    // Load: pull out just the temperature field. The container header
+    // names the codec, so decoding needs no per-codec knowledge.
     let loaded = unpack(&archive).expect("unpack");
     let entry = loaded
         .iter()
         .find(|e| e.name == "temperature")
         .expect("temperature in archive");
-    let restored: Vec<f32> = codec.decompress(&entry.stream).expect("decompress");
+    let (restored, _) = global()
+        .decompress::<f32>(&entry.stream)
+        .expect("decompress");
     let original = ds.field("temperature").unwrap();
     let stats = RelErrorStats::compute(&original.data, &restored, bound);
     println!(

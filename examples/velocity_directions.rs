@@ -63,7 +63,10 @@ fn main() {
         })
         .collect();
 
-    for (label, dec) in [("SZ_T (pw rel 1e-2)", &szt_dec), ("SZ_ABS (same size)", &abs_dec)] {
+    for (label, dec) in [
+        ("SZ_T (pw rel 1e-2)", &szt_dec),
+        ("SZ_ABS (same size)", &abs_dec),
+    ] {
         let skews = skew::per_particle_skew(
             &fields[0].data,
             &fields[1].data,

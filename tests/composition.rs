@@ -36,7 +36,11 @@ fn adaptive_capacity_inside_the_wrapper_is_strictly_bounded() {
     let br = 1e-2;
     // Estimate capacity in the transformed domain, as a user tuning the
     // wrapped codec would: on the log magnitudes.
-    let mags: Vec<f32> = field.data.iter().map(|v| v.abs().max(1e-30).log2()).collect();
+    let mags: Vec<f32> = field
+        .data
+        .iter()
+        .map(|v| v.abs().max(1e-30).log2())
+        .collect();
     let abs_guess = pwrel::core::theory::abs_bound_for(LogBase::Two, br);
     let sz = SzCompressor::adaptive(&mags, field.dims, abs_guess);
     let codec = PwRelCompressor::new(sz, LogBase::Two);

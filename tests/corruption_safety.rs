@@ -24,11 +24,15 @@ fn streams() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         (
             "sz_abs",
-            SzCompressor::default().compress_abs(&data, dims, 0.01).unwrap(),
+            SzCompressor::default()
+                .compress_abs(&data, dims, 0.01)
+                .unwrap(),
         ),
         (
             "sz_pwr",
-            SzCompressor::default().compress_pwr(&data, dims, 0.01).unwrap(),
+            SzCompressor::default()
+                .compress_pwr(&data, dims, 0.01)
+                .unwrap(),
         ),
         (
             "zfp",
@@ -40,7 +44,9 @@ fn streams() -> Vec<(&'static str, Vec<u8>)> {
         ),
         (
             "isabela",
-            IsabelaCompressor::default().compress_rel(&data, dims, 0.01).unwrap(),
+            IsabelaCompressor::default()
+                .compress_rel(&data, dims, 0.01)
+                .unwrap(),
         ),
         (
             "sz_t",

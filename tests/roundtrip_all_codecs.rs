@@ -89,11 +89,7 @@ fn sz_pwr_bounded_on_nonzero_data() {
             for (idx, (&a, &b)) in field.data.iter().zip(&dec).enumerate() {
                 if a != 0.0 {
                     let rel = ((a as f64 - b as f64) / a as f64).abs();
-                    assert!(
-                        rel <= br,
-                        "SZ_PWR on {} idx {idx}: rel {rel}",
-                        field.name
-                    );
+                    assert!(rel <= br, "SZ_PWR on {} idx {idx}: rel {rel}", field.name);
                 }
             }
         }
@@ -153,7 +149,9 @@ fn streams_are_self_identifying() {
         .unwrap();
 
     assert!(sz_t.decompress::<f32>(&sz_stream).is_err());
-    assert!(SzCompressor::default().decompress::<f32>(&zfp_stream).is_err());
+    assert!(SzCompressor::default()
+        .decompress::<f32>(&zfp_stream)
+        .is_err());
     assert!(ZfpCompressor.decompress::<f32>(&pwt_stream).is_err());
     assert!(pwrel::fpzip::decompress::<f32>(&sz_stream).is_err());
     assert!(pwrel::isabela::decompress::<f32>(&pwt_stream).is_err());

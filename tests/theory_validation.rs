@@ -79,7 +79,10 @@ fn alternative_sqrt_mapping_violates_relative_bound() {
         let rec = (x.log2() + ba_log).exp2();
         worst_log = worst_log.max((rec - x).abs() / x);
     }
-    assert!(worst_log <= br * (1.0 + 1e-9), "log mapping worst {worst_log}");
+    assert!(
+        worst_log <= br * (1.0 + 1e-9),
+        "log mapping worst {worst_log}"
+    );
 }
 
 /// Lemma 3/4 at the pipeline level: compressed sizes across bases agree to
