@@ -1,0 +1,229 @@
+//! Emits `BENCH_entropy.json`: entropy-stage hot-path throughput for the
+//! word-based bitstream engine vs the frozen seed byte-at-a-time engine
+//! (`pwrel_bench::baseline`).
+//!
+//! Two measurements, both on SZ-shaped inputs derived from the Nyx
+//! dark-matter-density field:
+//!
+//! * **Huffman decode** — one serialized `encode_symbols` buffer of
+//!   prediction-residual quantization codes, decoded by the live bulk
+//!   `decode_symbols` (refill + LUT inner loop) and by the seed per-symbol
+//!   `bits_remaining`/`peek_bits`/`skip_bits` decoder. Target ≥ 1.5×.
+//! * **ZFP bit-plane encode+decode** — the group-testing plane coder over
+//!   negabinary 4×4×4 blocks, through the live `write_bits_lsb`/
+//!   `read_bits_lsb` bulk paths and the seed bit-by-bit loops. Both
+//!   engines must produce byte-identical streams. Target ≥ 2×.
+//!
+//! Honours `PWREL_SCALE` (`small|medium|large`, default `medium`) and a
+//! `--reps N` flag (default 15; CI smoke passes `--reps 1`).
+
+use pwrel_bench::baseline::{
+    seed_decode_planes, seed_decode_symbols, seed_encode_planes, SeedBitReader, SeedBitWriter,
+};
+use pwrel_bench::{scale_from_env, timed};
+use pwrel_bitstream::{BitReader, BitWriter};
+use pwrel_data::nyx;
+use pwrel_lossless::huffman;
+use pwrel_zfp::nb;
+
+/// Plane-coder parameters matching the transform pipeline's f64 blocks.
+const INTPREC: u32 = 64;
+/// Low planes dropped, as a lossy bound would.
+const KMIN: u32 = 16;
+
+/// SZ-shaped symbol stream: quantized log-domain prediction residuals over
+/// the 2^16-code alphabet the SZ stage uses.
+fn quantize_residuals(data: &[f32]) -> Vec<u32> {
+    let mut prev = 0f32;
+    data.iter()
+        .map(|&x| {
+            let lx = (x.abs() + 1e-6).ln();
+            let q = ((lx - prev) * 64.0).round() as i64;
+            prev = lx;
+            (q + 32768).clamp(0, 65535) as u32
+        })
+        .collect()
+}
+
+/// Negabinary 64-coefficient blocks scaled to ~40 significant planes.
+fn negabinary_blocks(data: &[f32]) -> Vec<[u64; 64]> {
+    data.chunks_exact(64)
+        .map(|c| {
+            let mut b = [0u64; 64];
+            for (i, &x) in c.iter().enumerate() {
+                b[i] = nb::nb_encode((x as f64 * 1048576.0) as i64, INTPREC);
+            }
+            b
+        })
+        .collect()
+}
+
+struct HuffTimes {
+    live_s: f64,
+    seed_s: f64,
+}
+
+/// Best-of-`reps` Huffman decode timings, live/seed interleaved per rep.
+fn bench_huffman(buf: &[u8], expect: &[u32], reps: usize) -> HuffTimes {
+    let mut t = HuffTimes {
+        live_s: f64::INFINITY,
+        seed_s: f64::INFINITY,
+    };
+    for _ in 0..reps {
+        let (live, live_s) = timed(|| {
+            let mut pos = 0;
+            huffman::decode_symbols(buf, &mut pos).expect("live decode")
+        });
+        let (seed, seed_s) = timed(|| {
+            let mut pos = 0;
+            seed_decode_symbols(buf, &mut pos).expect("seed decode")
+        });
+        assert_eq!(live, expect, "live decode diverged");
+        assert_eq!(seed, expect, "seed decode diverged");
+        t.live_s = t.live_s.min(live_s);
+        t.seed_s = t.seed_s.min(seed_s);
+    }
+    t
+}
+
+struct PlaneTimes {
+    live_enc_s: f64,
+    live_dec_s: f64,
+    seed_enc_s: f64,
+    seed_dec_s: f64,
+    stream_bytes: usize,
+}
+
+/// Best-of-`reps` plane encode+decode timings, live/seed interleaved.
+fn bench_planes(blocks: &[[u64; 64]], reps: usize) -> PlaneTimes {
+    let mut t = PlaneTimes {
+        live_enc_s: f64::INFINITY,
+        live_dec_s: f64::INFINITY,
+        seed_enc_s: f64::INFINITY,
+        seed_dec_s: f64::INFINITY,
+        stream_bytes: 0,
+    };
+    for _ in 0..reps {
+        let (live_bytes, live_enc_s) = timed(|| {
+            let mut w = BitWriter::new();
+            for b in blocks {
+                nb::encode_planes(&mut w, b, INTPREC, KMIN);
+            }
+            w.into_bytes()
+        });
+        let (seed_bytes, seed_enc_s) = timed(|| {
+            let mut w = SeedBitWriter::new();
+            for b in blocks {
+                seed_encode_planes(&mut w, b, INTPREC, KMIN);
+            }
+            w.into_bytes()
+        });
+        assert_eq!(live_bytes, seed_bytes, "engines must be bit-identical");
+
+        let (live_out, live_dec_s) = timed(|| {
+            let mut r = BitReader::new(&live_bytes);
+            let mut out = vec![[0u64; 64]; blocks.len()];
+            for b in out.iter_mut() {
+                nb::decode_planes(&mut r, b, INTPREC, KMIN).expect("live decode");
+            }
+            out
+        });
+        let (seed_out, seed_dec_s) = timed(|| {
+            let mut r = SeedBitReader::new(&seed_bytes);
+            let mut out = vec![[0u64; 64]; blocks.len()];
+            for b in out.iter_mut() {
+                seed_decode_planes(&mut r, b, INTPREC, KMIN).expect("seed decode");
+            }
+            out
+        });
+        assert_eq!(live_out, seed_out, "decoders diverged");
+
+        t.live_enc_s = t.live_enc_s.min(live_enc_s);
+        t.live_dec_s = t.live_dec_s.min(live_dec_s);
+        t.seed_enc_s = t.seed_enc_s.min(seed_enc_s);
+        t.seed_dec_s = t.seed_dec_s.min(seed_dec_s);
+        t.stream_bytes = live_bytes.len();
+    }
+    t
+}
+
+fn main() {
+    let mut reps = 15usize;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--reps") {
+        reps = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--reps N");
+    }
+
+    let scale = scale_from_env();
+    let field = nyx::dark_matter_density(scale);
+
+    // Huffman: build the stream once (the encode side is shared format),
+    // then race the two decoders over it.
+    let syms = quantize_residuals(&field.data);
+    let buf = huffman::encode_symbols(&syms, 1 << 16);
+    // Warm-up pass pages everything in before timing.
+    let _ = bench_huffman(&buf, &syms, 1);
+    let h = bench_huffman(&buf, &syms, reps);
+
+    let blocks = negabinary_blocks(&field.data);
+    let _ = bench_planes(&blocks[..blocks.len().min(64)], 1);
+    let p = bench_planes(&blocks, reps);
+
+    let msym = |s: f64| syms.len() as f64 / s / 1e6;
+    let huff_speedup = h.seed_s / h.live_s;
+    let plane_speedup = (p.seed_enc_s + p.seed_dec_s) / (p.live_enc_s + p.live_dec_s);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"entropy_hot_paths\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": \"{:?}\",\n",
+            "  \"elements\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"huffman\": {{\"symbols\": {}, \"stream_bytes\": {}, ",
+            "\"seed_decode_s\": {:.6}, \"live_decode_s\": {:.6}, ",
+            "\"seed_msym_s\": {:.1}, \"live_msym_s\": {:.1}, ",
+            "\"speedup_decode\": {:.3}}},\n",
+            "  \"zfp_planes\": {{\"blocks\": {}, \"stream_bytes\": {}, ",
+            "\"intprec\": {}, \"kmin\": {}, ",
+            "\"seed_encode_s\": {:.6}, \"seed_decode_s\": {:.6}, ",
+            "\"live_encode_s\": {:.6}, \"live_decode_s\": {:.6}, ",
+            "\"speedup_encode\": {:.3}, \"speedup_decode\": {:.3}, ",
+            "\"speedup_encode_plus_decode\": {:.3}}},\n",
+            "  \"target_huffman_decode\": 1.5,\n",
+            "  \"target_zfp_encode_plus_decode\": 2.0\n",
+            "}}\n",
+        ),
+        field.name,
+        scale,
+        field.data.len(),
+        reps,
+        syms.len(),
+        buf.len(),
+        h.seed_s,
+        h.live_s,
+        msym(h.seed_s),
+        msym(h.live_s),
+        huff_speedup,
+        blocks.len(),
+        p.stream_bytes,
+        INTPREC,
+        KMIN,
+        p.seed_enc_s,
+        p.seed_dec_s,
+        p.live_enc_s,
+        p.live_dec_s,
+        p.seed_enc_s / p.live_enc_s,
+        p.seed_dec_s / p.live_dec_s,
+        plane_speedup,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_entropy.json", &json).expect("write BENCH_entropy.json");
+    eprintln!(
+        "wrote BENCH_entropy.json (huffman decode {huff_speedup:.2}x, zfp planes {plane_speedup:.2}x)"
+    );
+}

@@ -10,6 +10,8 @@
 //! Binaries honour the `PWREL_SCALE` environment variable
 //! (`small|medium|large`, default `medium`).
 
+pub mod baseline;
+
 use pwrel_core::LogBase;
 use pwrel_data::{Dims, Field, Scale};
 use pwrel_pipeline::{global, CompressOpts};

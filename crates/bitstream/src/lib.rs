@@ -6,8 +6,12 @@
 //! and the lossless stages) all serialize into dense bit streams. This crate
 //! provides:
 //!
-//! * [`BitWriter`] / [`BitReader`] — MSB-first bit streams with bulk
-//!   `write_bits`/`read_bits` (up to 64 bits per call),
+//! * [`BitWriter`] / [`BitReader`] — MSB-first bit streams built on 64-bit
+//!   accumulators with unaligned 8-byte refills/flushes: bulk
+//!   `write_bits`/`read_bits` (up to 64 bits per call), O(1) LSB-first
+//!   variants for ZFP bit-plane payloads, and a
+//!   `refill`/`peek_word`/`consume` protocol for check-free bulk entropy
+//!   decoding (see DESIGN.md Sec. 9),
 //! * [`varint`] — LEB128 and zigzag integer codecs for headers,
 //! * [`bytesio`] — little-endian scalar put/get helpers for byte-aligned
 //!   container headers.

@@ -1,4 +1,4 @@
-//! MSB-first bit stream writer.
+//! MSB-first bit stream writer over a 64-bit accumulator.
 
 /// Accumulates bits most-significant-bit first into a byte vector.
 ///
@@ -6,12 +6,21 @@
 /// ZFP-like codec, where truncating a stream at any bit position must keep
 /// the highest-value information. `write_bits` accepts up to 64 bits at a
 /// time; values are masked to the requested width.
+///
+/// Internally the writer stages bits left-aligned in a 64-bit accumulator
+/// (first-written bit at bit 63) and flushes whole bytes in bulk — up to
+/// eight per flush via one big-endian store — instead of the seed engine's
+/// byte-at-a-time loop. The invariants the hot paths rely on:
+///
+/// * outside a call, `nbits < 8` (every full byte has been flushed),
+/// * bits of `acc` below the top `nbits` are always zero, so a flush or
+///   final alignment can store the top bytes directly.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bit accumulator; bits are staged from the MSB side of `acc`.
+    /// Bit accumulator; staged bits are left-aligned (oldest at bit 63).
     acc: u64,
-    /// Number of valid bits currently staged in `acc` (< 8 after flush).
+    /// Number of valid bits currently staged in `acc` (< 8 between calls).
     nbits: u32,
 }
 
@@ -35,14 +44,27 @@ impl BitWriter {
         self.bytes.len() as u64 * 8 + self.nbits as u64
     }
 
+    /// Stores every whole byte staged in the accumulator (≤ 8 per call,
+    /// one `to_be_bytes` store) and re-establishes `nbits < 8`.
+    #[inline]
+    fn flush_bytes(&mut self) {
+        let k = (self.nbits / 8) as usize;
+        if k > 0 {
+            let be = self.acc.to_be_bytes();
+            self.bytes.extend_from_slice(&be[..k]);
+            self.acc = if k == 8 { 0 } else { self.acc << (8 * k) };
+            self.nbits -= 8 * k as u32;
+        }
+    }
+
     /// Appends a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.acc = (self.acc << 1) | bit as u64;
+        self.acc |= (bit as u64) << (63 - self.nbits);
         self.nbits += 1;
         if self.nbits == 8 {
-            self.bytes.push(self.acc as u8);
-            self.acc = 0;
+            self.bytes.push((self.acc >> 56) as u8);
+            self.acc <<= 8;
             self.nbits = 0;
         }
     }
@@ -61,41 +83,43 @@ impl BitWriter {
         } else {
             value & ((1u64 << n) - 1)
         };
-        let mut remaining = n;
-        // Fill the current partial byte, then emit whole bytes.
-        while remaining > 0 {
-            let take = (8 - self.nbits).min(remaining);
-            let shift = remaining - take;
-            let chunk = (value >> shift) & ((1u64 << take) - 1);
-            self.acc = (self.acc << take) | chunk;
-            self.nbits += take;
-            remaining -= take;
-            if self.nbits == 8 {
-                self.bytes.push(self.acc as u8);
-                self.acc = 0;
-                self.nbits = 0;
-            }
+        if self.nbits + n <= 64 {
+            self.acc |= value << (64 - self.nbits - n);
+            self.nbits += n;
+        } else {
+            // Split: top part fills the accumulator exactly (nbits < 8, so
+            // this only happens for n ≥ 58), the rest restarts it.
+            let hi = 64 - self.nbits;
+            self.acc |= value >> (n - hi);
+            self.bytes.extend_from_slice(&self.acc.to_be_bytes());
+            let rem = n - hi; // 1..=7
+            self.acc = value << (64 - rem);
+            self.nbits = rem;
         }
+        self.flush_bytes();
     }
 
     /// Appends `n` bits taken LSB-first from `value` (bit 0 first).
     ///
     /// This matches ZFP's stream convention for bit-plane payloads where the
-    /// coefficient-index order maps to ascending bit positions.
+    /// coefficient-index order maps to ascending bit positions. A single
+    /// bit-reversal turns this into one MSB-first bulk write — the seed
+    /// engine's per-bit loop is gone.
     #[inline]
     pub fn write_bits_lsb(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 64);
-        for i in 0..n {
-            self.write_bit((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
         }
+        self.write_bits(value.reverse_bits() >> (64 - n), n);
     }
 
     /// Pads with zero bits to the next byte boundary.
     pub fn align_byte(&mut self) {
+        // nbits < 8 between calls; the low accumulator bits are already
+        // zero, so the top byte is the padded partial byte.
         if self.nbits > 0 {
-            let pad = 8 - self.nbits;
-            self.acc <<= pad;
-            self.bytes.push(self.acc as u8);
+            self.bytes.push((self.acc >> 56) as u8);
             self.acc = 0;
             self.nbits = 0;
         }
@@ -147,6 +171,22 @@ mod tests {
     }
 
     #[test]
+    fn split_write_across_accumulator_boundary() {
+        // 7 staged bits + 64 more forces the split path.
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010101, 7);
+        w.write_bits(0xDEAD_BEEF_CAFE_F00D, 64);
+        let mut v = BitWriter::new();
+        for i in (0..7).rev() {
+            v.write_bit((0b1010101 >> i) & 1 == 1);
+        }
+        for i in (0..64).rev() {
+            v.write_bit((0xDEAD_BEEF_CAFE_F00Du64 >> i) & 1 == 1);
+        }
+        assert_eq!(w.into_bytes(), v.into_bytes());
+    }
+
+    #[test]
     fn align_pads_with_zeros() {
         let mut w = BitWriter::new();
         w.write_bits(0b101, 3);
@@ -167,5 +207,19 @@ mod tests {
         let mut w = BitWriter::new();
         w.write_bits_lsb(0b0000_0001, 8); // bit 0 first -> MSB of output byte
         assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn lsb_bulk_matches_per_bit() {
+        for n in 0..=64u32 {
+            let v = 0x9E37_79B9_7F4A_7C15u64.rotate_left(n);
+            let mut a = BitWriter::new();
+            a.write_bits_lsb(v, n);
+            let mut b = BitWriter::new();
+            for i in 0..n {
+                b.write_bit((v >> i) & 1 == 1);
+            }
+            assert_eq!(a.into_bytes(), b.into_bytes(), "n={n}");
+        }
     }
 }

@@ -213,12 +213,36 @@ impl CanonicalCode {
             .sum()
     }
 
+    /// Length of the longest code in use (0 for an empty code).
+    #[inline]
+    fn max_code_len(&self) -> u32 {
+        (self.counts.len() as u32).saturating_sub(1)
+    }
+
+    /// Length of the shortest code in use, if any symbol is coded. Every
+    /// decoded symbol consumes at least this many bits — the bound
+    /// [`decode_symbols`] uses to reject hostile symbol counts before
+    /// allocating.
+    pub fn min_code_len(&self) -> Option<u32> {
+        (1..self.counts.len() as u32).find(|&l| self.counts[l as usize] > 0)
+    }
+
     /// Writes one symbol.
     #[inline]
     pub fn encode(&self, w: &mut BitWriter, symbol: u32) {
         let (code, len) = self.encode_table[symbol as usize];
         debug_assert!(len > 0, "encoding symbol absent from the code");
         w.write_bits(code, len);
+    }
+
+    /// Writes a whole symbol slice — the bulk counterpart of
+    /// [`CanonicalCode::encode`], used by every entropy stage hot path.
+    pub fn encode_all(&self, w: &mut BitWriter, symbols: &[u32]) {
+        for &s in symbols {
+            let (code, len) = self.encode_table[s as usize];
+            debug_assert!(len > 0, "encoding symbol absent from the code");
+            w.write_bits(code, len);
+        }
     }
 
     /// Reads one symbol.
@@ -234,6 +258,68 @@ impl CanonicalCode {
             }
         }
         self.decode_slow(r)
+    }
+
+    /// Decodes a left-aligned bit window (next stream bit at bit 63) that
+    /// is known to hold at least one whole code. Returns the symbol and
+    /// its length in bits; `None` if no code matches.
+    #[inline]
+    fn decode_from_word(&self, word: u64) -> Option<(u32, u32)> {
+        let prefix = (word >> (64 - LUT_BITS)) as usize;
+        let (sym, len) = self.lut[prefix];
+        if len > 0 {
+            return Some((sym, len as u32));
+        }
+        // Long code: canonical walk on the window, no per-bit reads.
+        for l in 1..self.counts.len() {
+            let n = self.counts[l] as u64;
+            if n > 0 {
+                let code = word >> (64 - l as u32);
+                let first = self.first_code[l];
+                if code < first + n {
+                    let idx = self.offsets[l] as u64 + (code - first);
+                    return Some((self.sorted_symbols[idx as usize], l as u32));
+                }
+            }
+        }
+        None
+    }
+
+    /// Appends `n` decoded symbols to `out` — the bulk counterpart of
+    /// [`CanonicalCode::decode`].
+    ///
+    /// The hot loop hoists every per-symbol check out: one
+    /// [`BitReader::refill`] buffers ≥ 57 bits (≥ one whole code, since
+    /// `MAX_CODE_LEN` is 48), then symbols decode straight off the
+    /// buffered word with a LUT hit or a canonical walk until the window
+    /// runs low. Near the stream tail — fewer buffered bits than the
+    /// longest code — it falls back to the checked per-symbol path, so a
+    /// truncated payload still surfaces as [`Error::UnexpectedEof`], never
+    /// an over-consume.
+    pub fn decode_all(&self, r: &mut BitReader, n: usize, out: &mut Vec<u32>) -> Result<()> {
+        let max_len = self.max_code_len().max(1);
+        out.reserve(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            r.refill();
+            let mut buffered = r.buffered_bits();
+            if buffered < max_len {
+                break; // tail: per-symbol checked path below
+            }
+            while remaining > 0 && buffered >= max_len {
+                let (sym, len) = self
+                    .decode_from_word(r.peek_word())
+                    .ok_or(Error::InvalidValue("huffman code not in table"))?;
+                r.consume(len);
+                buffered -= len;
+                out.push(sym);
+                remaining -= 1;
+            }
+        }
+        for _ in 0..remaining {
+            out.push(self.decode(r)?);
+        }
+        Ok(())
     }
 
     /// Bit-by-bit canonical decode (long codes and stream tails).
@@ -335,9 +421,7 @@ pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
     code.serialize(&mut out);
     varint::write_uvarint(&mut out, symbols.len() as u64);
     let mut w = BitWriter::with_capacity(symbols.len() / 2);
-    for &s in symbols {
-        code.encode(&mut w, s);
-    }
+    code.encode_all(&mut w, symbols);
     let payload = w.into_bytes();
     varint::write_uvarint(&mut out, payload.len() as u64);
     out.extend_from_slice(&payload);
@@ -353,16 +437,20 @@ pub fn decode_symbols(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
     if end > data.len() {
         return Err(Error::UnexpectedEof);
     }
-    // `n` is untrusted: a symbol costs ≥1 bit, so bound it by the payload
-    // before reserving, and let the EOF check stop oversized claims.
-    if (n as u64) > payload_len as u64 * 8 {
+    // `n` is untrusted: bound it by the bits the payload can actually hold
+    // before reserving output. Every symbol costs at least the shortest
+    // code length, so a hostile count that could not possibly fit is
+    // rejected here instead of driving a huge allocation into EOF errors.
+    let fits = match code.min_code_len() {
+        Some(min_len) => (n as u64).saturating_mul(min_len as u64) <= payload_len as u64 * 8,
+        None => n == 0,
+    };
+    if !fits {
         return Err(Error::InvalidValue("symbol count exceeds payload bits"));
     }
     let mut r = BitReader::new(&data[*pos..end]);
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(code.decode(&mut r)?);
-    }
+    let mut out = Vec::new();
+    code.decode_all(&mut r, n, &mut out)?;
     *pos = end;
     Ok(out)
 }
@@ -458,6 +546,53 @@ mod tests {
         let buf = encode_symbols(&syms, 8);
         let mut pos = 0;
         assert!(decode_symbols(&buf[..buf.len() - 5], &mut pos).is_err());
+    }
+
+    #[test]
+    fn bulk_decode_matches_per_symbol_decode() {
+        // Mixed short/long codes: quadratic frequencies over 300 symbols
+        // produce a wide spread of code lengths, exercising both the LUT
+        // hit and the canonical-walk branch of the bulk loop.
+        let freqs: Vec<u64> = (1..=300).map(|i| i * i).collect();
+        let code = CanonicalCode::from_lengths(&code_lengths(&freqs));
+        let syms: Vec<u32> = (0..20_000u32).map(|i| (i * i + 7 * i) % 300).collect();
+        let mut w = BitWriter::new();
+        code.encode_all(&mut w, &syms);
+        let bytes = w.into_bytes();
+
+        let mut bulk = Vec::new();
+        code.decode_all(&mut BitReader::new(&bytes), syms.len(), &mut bulk)
+            .unwrap();
+        assert_eq!(bulk, syms);
+
+        let mut r = BitReader::new(&bytes);
+        let one: Vec<u32> = (0..syms.len())
+            .map(|_| code.decode(&mut r).unwrap())
+            .collect();
+        assert_eq!(one, syms);
+    }
+
+    #[test]
+    fn hostile_symbol_count_is_rejected_before_allocation() {
+        let syms: Vec<u32> = (0..64).map(|i| i % 16).collect();
+        let buf = encode_symbols(&syms, 16);
+        // Re-serialize with an absurd declared count: table, then count,
+        // then the original (now far too short) payload.
+        let mut pos = 0;
+        let code = CanonicalCode::deserialize(&buf, &mut pos).unwrap();
+        let _n = varint::read_uvarint(&buf, &mut pos).unwrap();
+        let payload_len = varint::read_uvarint(&buf, &mut pos).unwrap() as usize;
+        let payload = &buf[pos..pos + payload_len];
+        let mut forged = Vec::new();
+        code.serialize(&mut forged);
+        varint::write_uvarint(&mut forged, u32::MAX as u64);
+        varint::write_uvarint(&mut forged, payload_len as u64);
+        forged.extend_from_slice(payload);
+        let mut pos = 0;
+        assert_eq!(
+            decode_symbols(&forged, &mut pos),
+            Err(Error::InvalidValue("symbol count exceeds payload bits"))
+        );
     }
 
     #[test]

@@ -40,8 +40,15 @@ pub fn compress_bits(bits: &[bool]) -> Vec<u8> {
     let mut out = vec![MODE_PACKED];
     varint::write_uvarint(&mut out, bits.len() as u64);
     let mut w = BitWriter::with_capacity(packed_len);
-    for &b in bits {
-        w.write_bit(b);
+    // Bulk-pack 64 bits per write: bit i of the word is the i-th bit of the
+    // chunk, and the LSB-first write emits bit 0 first — the same stream
+    // order as the per-bit loop this replaces.
+    for chunk in bits.chunks(64) {
+        let mut word = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            word |= (b as u64) << i;
+        }
+        w.write_bits_lsb(word, chunk.len() as u32);
     }
     out.extend_from_slice(&w.into_bytes());
     out
@@ -83,8 +90,14 @@ pub fn decompress_bits(data: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
             }
             let mut r = BitReader::new(&data[*pos..end]);
             let mut out = Vec::with_capacity(n);
-            for _ in 0..n {
-                out.push(r.read_bit()?);
+            let mut left = n;
+            while left > 0 {
+                let take = left.min(64) as u32;
+                let word = r.read_bits_lsb(take)?;
+                for i in 0..take {
+                    out.push((word >> i) & 1 == 1);
+                }
+                left -= take as usize;
             }
             *pos = end;
             Ok(out)

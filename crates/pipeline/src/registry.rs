@@ -164,7 +164,7 @@ mod tests {
         let r = CodecRegistry::builtin();
         let data = [1.0f32, 2.0];
         assert!(matches!(
-            r.compress(&"nope", &data, Dims::d1(2), &CompressOpts::rel(1e-3)),
+            r.compress("nope", &data, Dims::d1(2), &CompressOpts::rel(1e-3)),
             Err(CodecError::InvalidArgument(_))
         ));
         let mut stream = r

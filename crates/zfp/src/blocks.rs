@@ -116,6 +116,47 @@ pub fn scatter<F: Float>(
     }
 }
 
+/// Like [`gather`], but keeps the native element type instead of widening
+/// to f64 — the fused transform path maps the block *after* gathering so
+/// the mapped values match the buffered route bit-for-bit.
+pub fn gather_raw<F: Float>(
+    data: &[F],
+    dims: Dims,
+    bx: usize,
+    by: usize,
+    bz: usize,
+    out: &mut [F],
+) {
+    let rank = dims.rank();
+    let ext = |n: usize, b: usize, o: usize| -> usize { (4 * b + o).min(n - 1) };
+    match rank {
+        1 => {
+            for (i, o) in out.iter_mut().enumerate().take(4) {
+                *o = data[ext(dims.nx, bx, i)];
+            }
+        }
+        2 => {
+            for j in 0..4 {
+                let jj = ext(dims.ny, by, j);
+                for i in 0..4 {
+                    out[4 * j + i] = data[dims.index(ext(dims.nx, bx, i), jj, 0)];
+                }
+            }
+        }
+        _ => {
+            for k in 0..4 {
+                let kk = ext(dims.nz, bz, k);
+                for j in 0..4 {
+                    let jj = ext(dims.ny, by, j);
+                    for i in 0..4 {
+                        out[16 * k + 4 * j + i] = data[dims.index(ext(dims.nx, bx, i), jj, kk)];
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,46 +210,5 @@ mod tests {
             }
         }
         assert_eq!(out, data);
-    }
-}
-
-/// Like [`gather`], but keeps the native element type instead of widening
-/// to f64 — the fused transform path maps the block *after* gathering so
-/// the mapped values match the buffered route bit-for-bit.
-pub fn gather_raw<F: Float>(
-    data: &[F],
-    dims: Dims,
-    bx: usize,
-    by: usize,
-    bz: usize,
-    out: &mut [F],
-) {
-    let rank = dims.rank();
-    let ext = |n: usize, b: usize, o: usize| -> usize { (4 * b + o).min(n - 1) };
-    match rank {
-        1 => {
-            for (i, o) in out.iter_mut().enumerate().take(4) {
-                *o = data[ext(dims.nx, bx, i)];
-            }
-        }
-        2 => {
-            for j in 0..4 {
-                let jj = ext(dims.ny, by, j);
-                for i in 0..4 {
-                    out[4 * j + i] = data[dims.index(ext(dims.nx, bx, i), jj, 0)];
-                }
-            }
-        }
-        _ => {
-            for k in 0..4 {
-                let kk = ext(dims.nz, bz, k);
-                for j in 0..4 {
-                    let jj = ext(dims.ny, by, j);
-                    for i in 0..4 {
-                        out[16 * k + 4 * j + i] = data[dims.index(ext(dims.nx, bx, i), jj, kk)];
-                    }
-                }
-            }
-        }
     }
 }

@@ -117,8 +117,11 @@ fn rate_budget(rate: u32, bs: usize) -> u64 {
 fn pad_to(w: &mut BitWriter, block_start: u64, budget: u64) {
     let used = w.bit_len() - block_start;
     debug_assert!(used <= budget, "block overran its rate budget");
-    for _ in used..budget {
-        w.write_bit(false);
+    let mut pad = budget - used;
+    while pad > 0 {
+        let chunk = pad.min(64) as u32;
+        w.write_bits(0, chunk);
+        pad -= chunk as u64;
     }
 }
 
@@ -128,10 +131,12 @@ fn skip_to(r: &mut BitReader, block_start: u64, budget: u64) -> Result<(), Codec
     if used > budget {
         return Err(CodecError::Corrupt("block overran its rate budget"));
     }
+    // Whole-byte jump via skip_bits, chunked only because block offsets
+    // (random access) can exceed u32 bits.
     let mut remaining = budget - used;
     while remaining > 0 {
-        let chunk = remaining.min(64) as u32;
-        r.read_bits(chunk)?;
+        let chunk = remaining.min(u32::MAX as u64) as u32;
+        r.skip_bits(chunk)?;
         remaining -= chunk as u64;
     }
     Ok(())

@@ -40,6 +40,29 @@ pub fn nb_decode(u: u64, n: u32) -> i64 {
     }
 }
 
+/// In-place 64×64 bit-matrix transpose, LSB-first convention: afterwards
+/// bit `i` of `a[k]` is what bit `k` of `a[i]` was. One butterfly network
+/// (6 rounds of masked swaps) replaces the per-plane extraction loop in the
+/// coder below — gathering all 64 planes costs ~6 ops per row instead of
+/// one 64-iteration loop per plane. The transpose is an involution, so the
+/// decoder reuses it to scatter planes back into coefficients.
+#[inline]
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32u32;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j as usize]) & m;
+            a[k] ^= t << j;
+            a[k | j as usize] ^= t;
+            k = (k + j as usize + 1) & !(j as usize);
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 /// Encodes bit planes `intprec-1 .. kmin` of `coeffs` (negabinary, one u64
 /// per coefficient, `coeffs.len() <= 64`).
 pub fn encode_planes(w: &mut BitWriter, coeffs: &[u64], intprec: u32, kmin: u32) {
@@ -57,17 +80,31 @@ pub fn encode_planes_budget(
 ) -> u64 {
     let size = coeffs.len();
     debug_assert!(size <= 64);
+    // Full 3D blocks: gather every plane up front with one bit transpose.
+    // Smaller blocks (4, 16 coefficients) keep the short extraction loop —
+    // padding them to 64 rows would cost more than it saves.
+    let mut planes = [0u64; 64];
+    let transposed = size == 64;
+    if transposed {
+        planes.copy_from_slice(coeffs);
+        transpose64(&mut planes);
+    }
     let mut bits = maxbits;
     let mut n: usize = 0;
     for k in (kmin..intprec).rev() {
         if bits == 0 {
             break;
         }
-        // Extract plane k (bit i = coefficient i's bit k).
-        let mut x: u64 = 0;
-        for (i, &c) in coeffs.iter().enumerate() {
-            x |= ((c >> k) & 1) << i;
-        }
+        // Plane k (bit i = coefficient i's bit k).
+        let mut x: u64 = if transposed {
+            planes[k as usize]
+        } else {
+            let mut x = 0;
+            for (i, &c) in coeffs.iter().enumerate() {
+                x |= ((c >> k) & 1) << i;
+            }
+            x
+        };
         // First n coefficients are already significant: verbatim bits
         // (truncated to the remaining budget).
         let m = (n as u64).min(bits) as u32;
@@ -77,32 +114,93 @@ pub fn encode_planes_budget(
         // Group-test the rest. If the budget died mid-verbatim (m < n) the
         // plane is over and the outer loop exits on bits == 0.
         let mut n_cur = if (m as usize) < n { size } else { n };
-        while n_cur < size && bits > 0 {
-            bits -= 1;
-            let more = x != 0;
-            w.write_bit(more);
-            if !more {
-                break;
-            }
-            while n_cur < size - 1 && bits > 0 {
+        if bits >= 192 {
+            // A plane's group test emits at most 129 bits, so the budget
+            // cannot expire mid-plane: emit whole unary runs in bulk.
+            // `z` is the next significant coefficient's offset; `z == d`
+            // means it sits in the final slot and its 1 is implicit.
+            while n_cur < size {
+                let more = x != 0;
+                w.write_bit(more);
                 bits -= 1;
-                let bit = x & 1 == 1;
-                w.write_bit(bit);
-                if bit {
+                if !more {
+                    break;
+                }
+                let d = size - 1 - n_cur;
+                let z = x.trailing_zeros() as usize;
+                if z < d {
+                    // z zeros then the explicit 1, in one MSB-first write.
+                    w.write_bits(1, z as u32 + 1);
+                    bits -= z as u64 + 1;
+                    x >>= z + 1;
+                    n_cur += z + 1;
+                } else {
+                    w.write_bits(0, d as u32);
+                    bits -= d as u64;
+                    n_cur = size;
+                }
+            }
+        } else {
+            while n_cur < size && bits > 0 {
+                bits -= 1;
+                let more = x != 0;
+                w.write_bit(more);
+                if !more {
+                    break;
+                }
+                while n_cur < size - 1 && bits > 0 {
+                    bits -= 1;
+                    let bit = x & 1 == 1;
+                    w.write_bit(bit);
+                    if bit {
+                        break;
+                    }
+                    x >>= 1;
+                    n_cur += 1;
+                }
+                if bits == 0 && n_cur < size - 1 {
                     break;
                 }
                 x >>= 1;
                 n_cur += 1;
             }
-            if bits == 0 && n_cur < size - 1 {
-                break;
-            }
-            x >>= 1;
-            n_cur += 1;
         }
         n = if (m as usize) < n { n } else { n_cur };
     }
     maxbits - bits
+}
+
+/// Reads one group-test unary run: up to `d` zeros terminated by an
+/// explicit 1, or exactly `d` zeros with the terminator implicit (the
+/// significant coefficient is the block's last slot). Returns the zero
+/// count and whether the explicit 1 was consumed.
+///
+/// Runs are scanned a buffered word at a time — `refill` + `peek_word` +
+/// `leading_zeros` — instead of bit-by-bit; a run of `z` zeros costs
+/// ~`z/57` refills rather than `z` reader calls.
+#[inline]
+fn read_unary_capped(r: &mut BitReader, d: usize) -> Result<(usize, bool)> {
+    let mut zeros = 0usize;
+    loop {
+        r.refill();
+        let avail = r.buffered_bits();
+        if avail == 0 {
+            return Err(pwrel_bitstream::Error::UnexpectedEof);
+        }
+        // Bits below the top `avail` of the window are zero and must not
+        // count toward the run, hence the cap.
+        let lz = (r.peek_word().leading_zeros().min(avail)) as usize;
+        if zeros + lz >= d {
+            r.consume((d - zeros) as u32);
+            return Ok((d, false));
+        }
+        if lz < avail as usize {
+            r.consume(lz as u32 + 1);
+            return Ok((zeros + lz, true));
+        }
+        r.consume(avail);
+        zeros += lz;
+    }
 }
 
 /// Decodes bit planes written by [`encode_planes`] into `coeffs`
@@ -122,6 +220,10 @@ pub fn decode_planes_budget(
 ) -> Result<u64> {
     let size = coeffs.len();
     debug_assert!(size <= 64);
+    // Mirror of the encoder's gather: full blocks collect plane words and
+    // scatter them into coefficients with one transpose at the end.
+    let mut planes = [0u64; 64];
+    let transposed = size == 64;
     let mut bits = maxbits;
     let mut n: usize = 0;
     for k in (kmin..intprec).rev() {
@@ -132,28 +234,55 @@ pub fn decode_planes_budget(
         bits -= m as u64;
         let mut x: u64 = r.read_bits_lsb(m)?;
         let mut n_cur = if (m as usize) < n { size } else { n };
-        while n_cur < size && bits > 0 {
-            bits -= 1;
-            if !r.read_bit()? {
-                break;
-            }
-            while n_cur < size - 1 && bits > 0 {
+        if bits >= 192 {
+            // Mirror of the encoder's bulk path: the budget cannot expire
+            // mid-plane, so whole unary runs are scanned per buffered word.
+            while n_cur < size {
                 bits -= 1;
-                if r.read_bit()? {
+                if !r.read_bit()? {
                     break;
                 }
+                let d = size - 1 - n_cur;
+                let (z, explicit) = read_unary_capped(r, d)?;
+                bits -= z as u64 + explicit as u64;
+                n_cur += z;
+                x += 1u64 << n_cur;
                 n_cur += 1;
             }
-            if bits == 0 && n_cur < size - 1 {
-                break;
+        } else {
+            while n_cur < size && bits > 0 {
+                bits -= 1;
+                if !r.read_bit()? {
+                    break;
+                }
+                while n_cur < size - 1 && bits > 0 {
+                    bits -= 1;
+                    if r.read_bit()? {
+                        break;
+                    }
+                    n_cur += 1;
+                }
+                if bits == 0 && n_cur < size - 1 {
+                    break;
+                }
+                x += 1u64 << n_cur;
+                n_cur += 1;
             }
-            x += 1u64 << n_cur;
-            n_cur += 1;
         }
-        for (i, c) in coeffs.iter_mut().enumerate() {
-            *c |= ((x >> i) & 1) << k;
+        if transposed {
+            planes[k as usize] = x;
+        } else {
+            for (i, c) in coeffs.iter_mut().enumerate() {
+                *c |= ((x >> i) & 1) << k;
+            }
         }
         n = if (m as usize) < n { n } else { n_cur };
+    }
+    if transposed {
+        transpose64(&mut planes);
+        for (c, p) in coeffs.iter_mut().zip(&planes) {
+            *c |= p;
+        }
     }
     Ok(maxbits - bits)
 }
@@ -209,6 +338,28 @@ impl pwrel_data::PlaneCoder for GroupTestCoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transpose_matches_naive_extraction() {
+        let mut a = [0u64; 64];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(i as u32);
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (k, &plane) in a.iter().enumerate() {
+            let mut naive = 0u64;
+            for (i, &c) in orig.iter().enumerate() {
+                naive |= ((c >> k) & 1) << i;
+            }
+            assert_eq!(plane, naive, "plane {k}");
+        }
+        // Involution: a second transpose restores the input.
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
 
     #[test]
     fn negabinary_round_trip_64() {

@@ -1,0 +1,127 @@
+//! Golden-stream compatibility: committed fixtures produced by the seed
+//! byte-at-a-time bitstream engine must keep decoding — and re-encoding
+//! byte-identically — as the engine underneath evolves.
+//!
+//! Every registered codec is covered for f32/f64 × 1D/2D/3D. The input
+//! field is derived from a closed-form expression (no RNG, no dataset
+//! files), so a fixture mismatch always means the *stream format* moved,
+//! never the test harness.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```text
+//! PWREL_REGEN_FIXTURES=1 cargo test --test golden_streams
+//! ```
+
+use pwrel::data::Dims;
+use pwrel::pipeline::{global, CompressOpts};
+use std::path::PathBuf;
+
+/// Strictly positive, smoothly varying field all roster codecs accept
+/// (zfp_p included), with enough structure to exercise Huffman tables,
+/// RLE runs, LZ matches and multi-plane ZFP blocks.
+fn fixture_data(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            60.0 + 45.0 * (t * 0.37).sin() * (t * 0.011).cos() + 4.0 * (t * 3.1).sin()
+        })
+        .collect()
+}
+
+/// The fixture shapes: one per rank, equal element count.
+fn shapes() -> [Dims; 3] {
+    [Dims::d1(240), Dims::d2(16, 15), Dims::d3(6, 8, 5)]
+}
+
+fn fixture_path(codec: &str, elem: &str, rank: u8) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{codec}_{elem}_{rank}d.bin"))
+}
+
+const REL_BOUND: f64 = 1e-3;
+
+/// Compresses the fixture field for one (codec, elem, shape) cell.
+fn encode_cell(codec: &str, elem: &str, dims: Dims) -> Vec<u8> {
+    let data = fixture_data(dims.len());
+    let opts = CompressOpts::rel(REL_BOUND);
+    match elem {
+        "f32" => {
+            let d: Vec<f32> = data.iter().map(|&x| x as f32).collect();
+            global().compress(codec, &d, dims, &opts)
+        }
+        "f64" => global().compress(codec, &data, dims, &opts),
+        _ => unreachable!(),
+    }
+    .unwrap_or_else(|e| panic!("{codec}/{elem}/{dims:?} compress: {e:?}"))
+}
+
+/// Decodes a fixture and checks the point-wise relative bound (skipped
+/// for zfp_p, whose fixed-precision mode has no per-point guarantee).
+fn check_decode(codec: &str, elem: &str, dims: Dims, stream: &[u8]) {
+    let reference = fixture_data(dims.len());
+    let decoded: Vec<f64> = match elem {
+        "f32" => {
+            let (d, got) = global()
+                .decompress::<f32>(stream)
+                .unwrap_or_else(|e| panic!("{codec}/{elem} decode: {e:?}"));
+            assert_eq!(got, dims, "{codec}/{elem}");
+            d.into_iter().map(|x| x as f64).collect()
+        }
+        "f64" => {
+            let (d, got) = global()
+                .decompress::<f64>(stream)
+                .unwrap_or_else(|e| panic!("{codec}/{elem} decode: {e:?}"));
+            assert_eq!(got, dims, "{codec}/{elem}");
+            d
+        }
+        _ => unreachable!(),
+    };
+    assert_eq!(decoded.len(), dims.len(), "{codec}/{elem}");
+    if codec != "zfp_p" {
+        // f32 cells check against the f32-rounded reference; the codecs
+        // guarantee the bound on the values they were handed.
+        for (i, (&a, &b)) in reference.iter().zip(&decoded).enumerate() {
+            let a = if elem == "f32" { a as f32 as f64 } else { a };
+            let rel = ((a - b) / a).abs();
+            assert!(
+                rel <= REL_BOUND * 1.0000001,
+                "{codec}/{elem} idx {i}: rel err {rel:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_streams_decode_and_reencode_byte_identically() {
+    let regen = std::env::var("PWREL_REGEN_FIXTURES").is_ok();
+    let codecs: Vec<&str> = global().iter().map(|c| c.name()).collect();
+    for codec in codecs {
+        for elem in ["f32", "f64"] {
+            for dims in shapes() {
+                let path = fixture_path(codec, elem, dims.rank());
+                let stream = encode_cell(codec, elem, dims);
+                if regen {
+                    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                    std::fs::write(&path, &stream).unwrap();
+                    continue;
+                }
+                let golden = std::fs::read(&path).unwrap_or_else(|e| {
+                    panic!(
+                        "missing fixture {path:?} ({e}); run with \
+                         PWREL_REGEN_FIXTURES=1 to create it"
+                    )
+                });
+                assert_eq!(
+                    stream,
+                    golden,
+                    "{codec}/{elem}/{}d re-encode differs from the committed \
+                     golden stream",
+                    dims.rank()
+                );
+                check_decode(codec, elem, dims, &golden);
+            }
+        }
+    }
+}
