@@ -180,6 +180,13 @@ pub fn encode_planes_budget(
 /// ~`z/57` refills rather than `z` reader calls.
 #[inline]
 fn read_unary_capped(r: &mut BitReader, d: usize) -> Result<(usize, bool)> {
+    // Cap of zero: the significant coefficient is already known to sit in
+    // the final slot, its 1 is implicit and no bits are consumed. This must
+    // be answered before probing the stream — the run may be the very last
+    // thing in the payload, with nothing left to refill.
+    if d == 0 {
+        return Ok((0, false));
+    }
     let mut zeros = 0usize;
     loop {
         r.refill();
@@ -501,6 +508,25 @@ mod tests {
             last_err = err;
         }
         assert_eq!(last_err, 0, "full budget must be lossless");
+    }
+
+    #[test]
+    fn implicit_final_slot_one_at_byte_boundary_round_trips() {
+        // Regression: the last significant coefficient sits in the block's
+        // final slot, so its terminating 1 is implicit (zero run bits), and
+        // the payload ends exactly on a byte boundary. The decoder must not
+        // report EOF for the zero-bit run. These coefficients encode to
+        // exactly 8 bits: three empty planes (3 bits) + plane 0's group
+        // test (1 + "001" + 1 = 5 bits).
+        let coeffs = [0u64, 0, 1, 1];
+        let mut w = BitWriter::new();
+        encode_planes(&mut w, &coeffs, 4, 0);
+        assert_eq!(w.bit_len(), 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0u64; 4];
+        decode_planes(&mut r, &mut out, 4, 0).unwrap();
+        assert_eq!(out, coeffs);
     }
 
     #[test]
