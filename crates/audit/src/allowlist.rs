@@ -1,0 +1,138 @@
+//! The committed allowlist of grandfathered findings.
+//!
+//! Format: one key per line — `<lint> <path> <function> <kind>` — with
+//! `#` comments. Keys are line-number-free so routine edits don't churn
+//! the file; a finding is identified by where it lives (file + fn) and
+//! what it is. Policy: the file only shrinks. New code must be clean or
+//! carry an inline `audit:allow(Ln): reason` waiver that survives review.
+
+use crate::lints::Finding;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Parsed allowlist: the set of grandfathered finding keys.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    keys: BTreeSet<String>,
+}
+
+impl Allowlist {
+    /// Loads the allowlist, tolerating a missing file (empty list).
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Ok(Self { keys })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Marks findings whose key is grandfathered.
+    pub fn apply(&self, findings: &mut [Finding]) {
+        for f in findings.iter_mut() {
+            if self.keys.contains(&f.key()) {
+                f.allowed = true;
+            }
+        }
+    }
+
+    /// Entries that no longer match any current finding — these must be
+    /// deleted (the allowlist only shrinks).
+    pub fn stale<'a>(&'a self, findings: &[Finding]) -> Vec<&'a str> {
+        let live: BTreeSet<String> = findings.iter().map(Finding::key).collect();
+        self.keys
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Serializes the current unwaived findings as a fresh allowlist.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# pwrel-audit allowlist — grandfathered findings, one key per line:\n\
+             #   <lint> <path> <function> <kind>\n\
+             # Policy: this file only shrinks. Fix the site or add an inline\n\
+             # `audit:allow(Ln): reason` waiver instead of growing it.\n",
+        );
+        let keys: BTreeSet<String> = findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(Finding::key)
+            .collect();
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, path: &str, func: &str, kind: &str) -> Finding {
+        Finding {
+            lint,
+            path: path.into(),
+            line: 1,
+            func: func.into(),
+            kind: kind.into(),
+            msg: String::new(),
+            note: None,
+            allowed: false,
+            waived: false,
+        }
+    }
+
+    #[test]
+    fn apply_marks_only_matching_keys() {
+        let mut al = Allowlist::default();
+        al.keys
+            .insert("L1 crates/sz/src/x.rs helper unwrap".to_string());
+        let mut fs = vec![
+            finding("L1", "crates/sz/src/x.rs", "helper", "unwrap"),
+            finding("L1", "crates/sz/src/x.rs", "helper", "index"),
+        ];
+        al.apply(&mut fs);
+        assert!(fs[0].allowed);
+        assert!(!fs[1].allowed);
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let mut al = Allowlist::default();
+        al.keys.insert("L1 gone.rs dead unwrap".to_string());
+        let fs = vec![finding("L1", "live.rs", "f", "unwrap")];
+        assert_eq!(al.stale(&fs), vec!["L1 gone.rs dead unwrap"]);
+    }
+
+    #[test]
+    fn render_dedups_and_skips_waived() {
+        let mut a = finding("L1", "a.rs", "f", "index");
+        let b = finding("L1", "a.rs", "f", "index");
+        let mut c = finding("L2", "b.rs", "g", "cast-f32");
+        c.waived = true;
+        a.line = 9;
+        let text = Allowlist::render(&[a, b, c]);
+        let body: Vec<_> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body, vec!["L1 a.rs f index"]);
+    }
+}

@@ -1,0 +1,134 @@
+//! `pwrel-audit`: workspace-specific static analysis.
+//!
+//! Four lints clippy cannot express (see `DESIGN.md` §10):
+//!
+//! - **L1** — no `panic!`-family macro, `.unwrap()`, `.expect(..)`, or
+//!   unchecked `[..]` indexing reachable from a decode/decompress entry
+//!   point. Hostile-input paths must return `CodecError`.
+//! - **L2** — no bare numeric `as` cast in the bound-arithmetic modules
+//!   (`core::transform`, `core::pwrel`, `core::theory`, the quantizers);
+//!   conversions go through the documented `pwrel_core::cast` helpers so
+//!   the Lemma 2 correction cannot be silently bypassed.
+//! - **L3** — `unsafe` is confined to `pwrel-parallel`, and every site
+//!   there carries a `// SAFETY:` comment.
+//! - **L4** — every codec registered in `CodecRegistry::builtin` has all
+//!   six golden-stream fixtures under `tests/fixtures`.
+//!
+//! The analysis is a purpose-built lexer + token-level model rather than
+//! a full parser: the build environment vendors no `syn`, and two of the
+//! lints (L3, inline waivers) need comment text a parser drops anyway.
+//! Reachability (L1) is a syntactic over-approximation by function name
+//! and `Type::` qualifier, with ubiquitous constructor-shaped names
+//! excluded; its misses are covered dynamically by the fuzz targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod report;
+
+use allowlist::Allowlist;
+use lints::{classify, Finding};
+use std::path::{Path, PathBuf};
+
+/// Audit configuration.
+pub struct Config {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Allowlist file (repo-relative to `root`).
+    pub allowlist: PathBuf,
+    /// Where to write the JSON report, if anywhere.
+    pub json: Option<PathBuf>,
+    /// Rewrite the allowlist from the current findings.
+    pub update_allowlist: bool,
+    /// Itemize allowed/waived findings too.
+    pub verbose: bool,
+}
+
+impl Config {
+    /// Default configuration rooted at the cargo workspace.
+    pub fn new(root: PathBuf) -> Self {
+        let allowlist = root.join("audit.allow");
+        Self {
+            root,
+            allowlist,
+            json: None,
+            update_allowlist: false,
+            verbose: false,
+        }
+    }
+}
+
+/// Collects every `.rs` file the audit covers, as repo-relative paths.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect())
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `target` dirs can nest under crates when building in-tree.
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full audit; returns all findings (allow/waive flags applied)
+/// plus the number of stale allowlist entries.
+pub fn run(cfg: &Config, registered_codecs: &[String]) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    for rel in collect_files(&cfg.root)? {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let class = classify(&rel_str);
+        let src = std::fs::read_to_string(cfg.root.join(&rel))?;
+        let force_test = class == lints::FileClass::TestOnly;
+        files.push((model::analyze_source(&rel_str, &src, force_test), class));
+    }
+
+    let mut findings = Vec::new();
+    findings.extend(lints::lint_l1(&files));
+    findings.extend(lints::lint_l2(&files));
+    findings.extend(lints::lint_l3(&files));
+    findings.extend(lints::lint_l4(
+        registered_codecs,
+        &cfg.root.join("tests/fixtures"),
+    ));
+
+    lints::apply_waivers(&files, &mut findings);
+
+    let allow = Allowlist::load(&cfg.allowlist)?;
+    allow.apply(&mut findings);
+    let stale = allow.stale(&findings).len();
+
+    if cfg.update_allowlist {
+        std::fs::write(&cfg.allowlist, Allowlist::render(&findings))?;
+    }
+    if let Some(json) = &cfg.json {
+        std::fs::write(json, report::render_json(&findings))?;
+    }
+    Ok((findings, stale))
+}

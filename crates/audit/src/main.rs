@@ -1,0 +1,85 @@
+//! CLI driver for the workspace audit. Exit code 1 on any active
+//! (non-allowlisted, non-waived) finding or stale allowlist entry.
+
+#![forbid(unsafe_code)]
+
+use pwrel_audit::{report, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo run -p pwrel-audit [--] [options]\n\
+         \n\
+         options:\n\
+           --root <dir>          workspace root (default: auto-detected)\n\
+           --json <file>         write the machine-readable report\n\
+           --update-allowlist    rewrite audit.allow from current findings\n\
+           --verbose             itemize allowlisted/waived findings too"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    // `cargo run -p pwrel-audit` sets CARGO_MANIFEST_DIR to crates/audit;
+    // the workspace root is two levels up.
+    let default_root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            PathBuf::from(d)
+                .join("../..")
+                .canonicalize()
+                .unwrap_or_else(|_| PathBuf::from("."))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut cfg = Config::new(default_root);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(r) => {
+                    cfg.root = PathBuf::from(r);
+                    cfg.allowlist = cfg.root.join("audit.allow");
+                }
+                None => usage(),
+            },
+            "--json" => match args.next() {
+                Some(j) => cfg.json = Some(PathBuf::from(j)),
+                None => usage(),
+            },
+            "--update-allowlist" => cfg.update_allowlist = true,
+            "--verbose" => cfg.verbose = true,
+            _ => usage(),
+        }
+    }
+
+    // L4 enumerates the live registry, so the lint tracks
+    // `CodecRegistry::builtin` with zero parsing drift.
+    let codecs: Vec<String> = pwrel_pipeline::registry::global()
+        .iter()
+        .map(|c| c.name().to_string())
+        .collect();
+
+    let (findings, stale) = match pwrel_audit::run(&cfg, &codecs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report::render_text(&findings, cfg.verbose));
+    let (active, _, _) = report::counts(&findings);
+    if stale > 0 {
+        eprintln!(
+            "audit: {stale} stale allowlist entr{} — the allowlist only \
+             shrinks; delete them (or run with --update-allowlist)",
+            if stale == 1 { "y" } else { "ies" }
+        );
+    }
+    if active > 0 || stale > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,476 @@
+//! Structural view of one lexed file: function spans, impl contexts,
+//! test-code spans, and the lint-relevant sites inside them.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Keywords that can precede `[` without the bracket being an index
+/// expression (patterns, types, array literals).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "in", "if", "else", "match", "return", "move", "ref", "as", "impl", "dyn", "for",
+    "while", "loop", "where", "use", "pub", "unsafe", "break", "continue", "const", "static",
+    "type", "enum", "struct", "trait", "mod", "fn",
+];
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "loop", "move", "in", "let", "as", "where",
+    "impl", "dyn", "pub", "unsafe", "use", "mod", "break", "continue",
+];
+
+/// Primitive numeric types for the cast lint.
+pub const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "i8", "i16", "i32", "i64", "i128", "u8", "u16", "u32", "u64", "u128", "usize",
+    "isize",
+];
+
+/// A function definition found in the file.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type name, when inside an impl block.
+    pub qualifier: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace.
+    pub end_line: u32,
+    /// Token-index range of the body, inclusive of both braces.
+    pub body: (usize, usize),
+    /// True when the fn is test-only code (`#[test]`, `#[cfg(test)]`
+    /// item or module, or a file under `tests/` / `benches/`).
+    pub is_test: bool,
+}
+
+/// What a lint-relevant site is.
+#[derive(Debug, PartialEq)]
+pub enum SiteKind {
+    /// A call `name(..)`, `qual::name(..)` or `.name(..)`.
+    Call {
+        /// Last path segment before the parenthesis.
+        name: String,
+        /// `Type::` qualifier when syntactically present.
+        qual: Option<String>,
+        /// True for `.name(..)` method-call syntax.
+        method: bool,
+    },
+    /// A macro invocation `name!`.
+    Macro(String),
+    /// An index expression `expr[..]`.
+    Index,
+    /// `as` cast to a primitive numeric type.
+    Cast(String),
+    /// An `unsafe` keyword (block, fn, impl, or fn-pointer type).
+    Unsafe,
+}
+
+/// One occurrence of a [`SiteKind`] with its position.
+#[derive(Debug)]
+pub struct Site {
+    /// Site kind.
+    pub kind: SiteKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Index into [`FileModel::fns`] of the innermost enclosing fn.
+    pub fn_idx: Option<usize>,
+}
+
+/// Parsed model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Repo-relative path, used in diagnostics and allowlist keys.
+    pub path: String,
+    /// Functions defined in the file.
+    pub fns: Vec<FnDef>,
+    /// Lint-relevant sites.
+    pub sites: Vec<Site>,
+    /// All comments (for `SAFETY:` and `audit:allow` scanning).
+    pub comments: Vec<Comment>,
+}
+
+impl FileModel {
+    /// The innermost function containing token index `tok_idx`, if any.
+    fn innermost_fn(fns: &[FnDef], tok_idx: usize) -> Option<usize> {
+        fns.iter()
+            .enumerate()
+            .filter(|(_, f)| f.body.0 <= tok_idx && tok_idx <= f.body.1)
+            .min_by_key(|(_, f)| f.body.1 - f.body.0)
+            .map(|(i, _)| i)
+    }
+
+    /// Name of the fn a site belongs to, or `"<file>"` for file scope.
+    pub fn fn_name(&self, site: &Site) -> &str {
+        site.fn_idx
+            .map(|i| self.fns[i].name.as_str())
+            .unwrap_or("<file>")
+    }
+
+    /// True when the site sits in test-only code.
+    pub fn site_in_test(&self, site: &Site) -> bool {
+        site.fn_idx.map(|i| self.fns[i].is_test).unwrap_or(false)
+    }
+}
+
+/// Span (token range) during scanning, for impl blocks and test mods.
+#[derive(Debug)]
+struct TokSpan {
+    start: usize,
+    end: usize,
+}
+
+fn contains(span: &TokSpan, idx: usize) -> bool {
+    span.start <= idx && idx <= span.end
+}
+
+/// Finds the token index of the brace that closes the block opened at the
+/// first `{` at or after `from`. Returns the last token when unbalanced.
+fn matching_brace(toks: &[Tok], from: usize) -> (usize, usize) {
+    let mut i = from;
+    while i < toks.len() && !toks[i].is_punct('{') {
+        // A `;` before any `{` means there is no block (trait method decl,
+        // `struct X;`, …).
+        if toks[i].is_punct(';') {
+            return (i, i);
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        let last = toks.len().saturating_sub(1);
+        return (last, last);
+    }
+    let open = i;
+    let mut depth = 0i64;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return (open, i);
+            }
+        }
+        i += 1;
+    }
+    (open, toks.len().saturating_sub(1))
+}
+
+/// Parses `src` into a [`FileModel`].
+///
+/// `force_test` marks the whole file as test code (integration tests,
+/// benches).
+pub fn analyze_source(path: &str, src: &str, force_test: bool) -> FileModel {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+
+    // Pass 1: spans — test mods/items and impl blocks.
+    let mut test_spans: Vec<TokSpan> = Vec::new();
+    let mut impl_spans: Vec<(TokSpan, String)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Attribute: find its item and, for test attrs, span it.
+            let mut j = i + 2;
+            let mut depth = 1i64;
+            let attr_start = j;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr_toks = &toks[attr_start..j.saturating_sub(1)];
+            let is_test_attr = attr_toks.iter().any(|t| t.is_ident("test"))
+                && attr_toks
+                    .iter()
+                    .all(|t| !t.is_ident("not") && !t.is_ident("miri"));
+            if is_test_attr {
+                let (_, close) = matching_brace(toks, j);
+                test_spans.push(TokSpan {
+                    start: i,
+                    end: close,
+                });
+            }
+            i = j;
+            continue;
+        }
+        if toks[i].is_ident("impl") {
+            // `impl<T> Type<..>` or `impl Trait for Type<..>`.
+            let mut j = i + 1;
+            // Skip generic params.
+            if j < toks.len() && toks[j].is_punct('<') {
+                let mut depth = 0i64;
+                while j < toks.len() {
+                    if toks[j].is_punct('<') {
+                        depth += 1;
+                    } else if toks[j].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // The self type is the last path segment before `{`/`for`; if a
+            // `for` appears, the type follows it.
+            let mut ty = String::new();
+            let mut k = j;
+            let mut after_for = false;
+            while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                if toks[k].is_ident("for") {
+                    after_for = true;
+                    ty.clear();
+                } else if toks[k].kind == TokKind::Ident && !toks[k].is_ident("where") {
+                    // Before `for` the last segment wins (trait path); after
+                    // `for` keep only the first segment (the self type).
+                    if ty.is_empty() || !after_for {
+                        ty = toks[k].text.clone();
+                    }
+                } else if toks[k].is_punct('<') {
+                    // stop updating inside generic args of the self type
+                    break;
+                }
+                k += 1;
+            }
+            let (open, close) = matching_brace(toks, i + 1);
+            if !ty.is_empty() && open != close {
+                impl_spans.push((
+                    TokSpan {
+                        start: open,
+                        end: close,
+                    },
+                    ty,
+                ));
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: function definitions.
+    let mut fns: Vec<FnDef> = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") || i + 1 >= toks.len() {
+            continue;
+        }
+        let name_tok = &toks[i + 1];
+        if name_tok.kind != TokKind::Ident {
+            continue; // `unsafe fn(..)` fn-pointer type
+        }
+        let (open, close) = matching_brace(toks, i + 2);
+        if open == close {
+            continue; // bodyless trait method
+        }
+        let qualifier = impl_spans
+            .iter()
+            .filter(|(s, _)| contains(s, i))
+            .min_by_key(|(s, _)| s.end - s.start)
+            .map(|(_, ty)| ty.clone());
+        let is_test = force_test || test_spans.iter().any(|s| contains(s, i));
+        fns.push(FnDef {
+            name: name_tok.text.clone(),
+            qualifier,
+            line: toks[i].line,
+            end_line: toks[close].line,
+            body: (open, close),
+            is_test,
+        });
+    }
+
+    // Pass 3: sites.
+    let mut sites: Vec<Site> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let next = toks.get(i + 1);
+        let prev = i.checked_sub(1).map(|p| &toks[p]);
+        match t.kind {
+            TokKind::Ident if t.text == "unsafe" => {
+                sites.push(Site {
+                    kind: SiteKind::Unsafe,
+                    line: t.line,
+                    fn_idx: FileModel::innermost_fn(&fns, i),
+                });
+            }
+            TokKind::Ident if t.text == "as" => {
+                if let Some(n) = next {
+                    if n.kind == TokKind::Ident && NUMERIC_TYPES.contains(&n.text.as_str()) {
+                        sites.push(Site {
+                            kind: SiteKind::Cast(n.text.clone()),
+                            line: t.line,
+                            fn_idx: FileModel::innermost_fn(&fns, i),
+                        });
+                    }
+                }
+            }
+            TokKind::Ident => {
+                // Macro invocation `name!` (not `!=`).
+                if next.is_some_and(|n| n.is_punct('!'))
+                    && toks.get(i + 2).is_none_or(|n| !n.is_punct('='))
+                {
+                    sites.push(Site {
+                        kind: SiteKind::Macro(t.text.clone()),
+                        line: t.line,
+                        fn_idx: FileModel::innermost_fn(&fns, i),
+                    });
+                    continue;
+                }
+                // Call `name(` — skip keywords and definitions `fn name(`.
+                if next.is_some_and(|n| n.is_punct('('))
+                    && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                    && prev.is_none_or(|p| !p.is_ident("fn"))
+                {
+                    let method = prev.is_some_and(|p| p.is_punct('.'));
+                    let qual = if !method
+                        && i >= 2
+                        && toks[i - 1].is_punct(':')
+                        && toks[i - 2].is_punct(':')
+                    {
+                        i.checked_sub(3)
+                            .map(|q| &toks[q])
+                            .filter(|q| q.kind == TokKind::Ident)
+                            .map(|q| q.text.clone())
+                    } else {
+                        None
+                    };
+                    sites.push(Site {
+                        kind: SiteKind::Call {
+                            name: t.text.clone(),
+                            qual,
+                            method,
+                        },
+                        line: t.line,
+                        fn_idx: FileModel::innermost_fn(&fns, i),
+                    });
+                }
+            }
+            TokKind::Punct if t.text == "[" => {
+                // Index expression: `ident[`, `)[`, `][` — but not slice
+                // types, array literals, attributes, or patterns.
+                let is_index = match prev {
+                    Some(p) if p.kind == TokKind::Ident => {
+                        !NON_INDEX_KEYWORDS.contains(&p.text.as_str())
+                    }
+                    Some(p) if p.is_punct(')') || p.is_punct(']') => true,
+                    _ => false,
+                };
+                if is_index {
+                    sites.push(Site {
+                        kind: SiteKind::Index,
+                        line: t.line,
+                        fn_idx: FileModel::innermost_fn(&fns, i),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    FileModel {
+        path: path.to_string(),
+        fns,
+        sites,
+        comments: lexed.comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_and_impl_qualifier() {
+        let m = analyze_source(
+            "x.rs",
+            "impl Foo { fn bar(&self) { baz(); } }\nfn free() {}",
+            false,
+        );
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "bar");
+        assert_eq!(m.fns[0].qualifier.as_deref(), Some("Foo"));
+        assert_eq!(m.fns[1].name, "free");
+        assert!(m.fns[1].qualifier.is_none());
+    }
+
+    #[test]
+    fn test_mod_marks_fns_as_test() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { #[test] fn t() { x.unwrap(); } }";
+        let m = analyze_source("x.rs", src, false);
+        assert!(!m.fns.iter().find(|f| f.name == "live").unwrap().is_test);
+        assert!(m.fns.iter().find(|f| f.name == "t").unwrap().is_test);
+    }
+
+    #[test]
+    fn cfg_not_miri_is_not_test() {
+        let src = "#[cfg(not(miri))] fn real() {}";
+        let m = analyze_source("x.rs", src, false);
+        assert!(!m.fns[0].is_test);
+    }
+
+    #[test]
+    fn sites_index_vs_types_and_macros() {
+        let src = "fn f(a: &[u8], b: [u8; 4]) { let v = vec![1]; let x = a[0]; g(&v)[1]; }";
+        let m = analyze_source("x.rs", src, false);
+        let n_index = m.sites.iter().filter(|s| s.kind == SiteKind::Index).count();
+        assert_eq!(n_index, 2, "{:?}", m.sites);
+    }
+
+    #[test]
+    fn calls_with_qualifiers_and_methods() {
+        let src = "fn f() { Foo::make(); helper(); x.decode(); }";
+        let m = analyze_source("x.rs", src, false);
+        let calls: Vec<_> = m
+            .sites
+            .iter()
+            .filter_map(|s| match &s.kind {
+                SiteKind::Call { name, qual, method } => {
+                    Some((name.clone(), qual.clone(), *method))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(calls.contains(&("make".into(), Some("Foo".into()), false)));
+        assert!(calls.contains(&("helper".into(), None, false)));
+        assert!(calls.contains(&("decode".into(), None, true)));
+    }
+
+    #[test]
+    fn casts_to_numeric_only() {
+        let src = "fn f(x: f64) -> usize { let b = x as f32; y as Foo; x as usize }";
+        let m = analyze_source("x.rs", src, false);
+        let casts: Vec<_> = m
+            .sites
+            .iter()
+            .filter_map(|s| match &s.kind {
+                SiteKind::Cast(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(casts, vec!["f32".to_string(), "usize".to_string()]);
+    }
+
+    #[test]
+    fn unsafe_sites_counted_everywhere() {
+        let src =
+            "unsafe impl Send for X {}\nfn f() { unsafe { g() } }\nstruct J { r: unsafe fn() }";
+        let m = analyze_source("x.rs", src, false);
+        let n = m
+            .sites
+            .iter()
+            .filter(|s| s.kind == SiteKind::Unsafe)
+            .count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn nested_fn_attribution_is_innermost() {
+        let src = "fn outer() { fn inner() { x.unwrap(); } inner(); }";
+        let m = analyze_source("x.rs", src, false);
+        let unwrap_site = m
+            .sites
+            .iter()
+            .find(|s| matches!(&s.kind, SiteKind::Call { name, .. } if name == "unwrap"))
+            .unwrap();
+        assert_eq!(m.fn_name(unwrap_site), "inner");
+    }
+}

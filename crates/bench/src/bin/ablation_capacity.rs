@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation: SZ's quantization-interval capacity.
 //!
 //! SZ quantizes prediction errors into `capacity` bins; errors that fall

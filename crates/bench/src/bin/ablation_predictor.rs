@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation: Lorenzo vs hybrid Lorenzo/regression predictor (SZ 2-style
 //! extension) inside SZ_T, across datasets and bounds.
 //!

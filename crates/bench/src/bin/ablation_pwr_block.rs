@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation: SZ_PWR's block length.
 //!
 //! The blockwise PWR mode sets each block's absolute bound from the block's

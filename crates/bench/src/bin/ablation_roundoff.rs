@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation: is Lemma 2's round-off correction necessary?
 //!
 //! Runs SZ_T with the ε0 guard scaled by 0 (no correction — using

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation: sign-bitmap handling in the log transform.
 //!
 //! Algorithm 1 compresses one sign bit per value when the field mixes

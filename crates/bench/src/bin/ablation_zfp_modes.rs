@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation: ZFP's three modes on the same field.
 //!
 //! Accuracy (absolute bound, conservative), precision (fixed planes per

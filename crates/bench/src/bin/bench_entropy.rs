@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Emits `BENCH_entropy.json`: entropy-stage hot-path throughput for the
 //! word-based bitstream engine vs the frozen seed byte-at-a-time engine
 //! (`pwrel_bench::baseline`).

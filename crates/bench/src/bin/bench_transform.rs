@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Emits `BENCH_transform.json`: f64 base-2 forward + inverse transform
 //! throughput for the fast batched kernels vs the scalar libm baseline.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 1: rate distortion (relative-error-based PSNR vs bit rate) of
 //! ZFP_T under logarithm bases 2, e and 10, on the two NYX fields.
 //!

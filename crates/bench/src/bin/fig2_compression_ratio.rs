@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 2: compression ratio vs point-wise relative error bound, for all
 //! four application datasets and five compressors.
 //!

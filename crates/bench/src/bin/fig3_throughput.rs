@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 3: compression and decompression rate (MB/s) for all datasets
 //! and compressors, across point-wise relative error bounds.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 4: multiprecision distortion of a dark-matter-density slice when
 //! every compressor is tuned to the *same* compression ratio (7 in the
 //! paper).

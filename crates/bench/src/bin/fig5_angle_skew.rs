@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 5: angle skew of reconstructed HACC velocities when every
 //! compressor is tuned to the same compression ratio (8 in the paper).
 //!

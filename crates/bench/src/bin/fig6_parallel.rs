@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 6: parallel data-dumping and data-loading time for NYX on
 //! 1,024–4,096 simulated ranks, with SZ_PWR, FPZIP and SZ_T at pw bound
 //! 1e-2.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Runs every table/figure reproduction in sequence (the full Sec. VI
 //! evaluation). Equivalent to invoking each `tableN_*`/`figN_*` binary.
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table II: compression ratio of different logarithm bases for SZ_T on
 //! the two representative NYX fields.
 //!

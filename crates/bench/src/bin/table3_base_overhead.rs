@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table III: pre-/post-processing time of the transform under different
 //! logarithm bases.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table IV: strict error-bound test on the two representative NYX fields.
 //!
 //! For each compressor and bound b_r ∈ {1e-3, 1e-2, 1e-1}: the fraction of

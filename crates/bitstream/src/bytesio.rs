@@ -29,37 +29,45 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
 
 fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
     let end = pos.checked_add(n).ok_or(Error::UnexpectedEof)?;
-    if end > data.len() {
-        return Err(Error::UnexpectedEof);
-    }
-    let out = &data[*pos..end];
+    let out = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
     *pos = end;
     Ok(out)
 }
 
+/// [`take`] for a compile-time width, returning an owned array so the
+/// `from_le_bytes` calls need no fallible slice→array conversion.
+fn take_n<const N: usize>(data: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+    let chunk = data
+        .get(*pos..)
+        .and_then(|tail| tail.first_chunk::<N>())
+        .ok_or(Error::UnexpectedEof)?;
+    *pos += N;
+    Ok(*chunk)
+}
+
 /// Reads a `u16` little-endian at `pos`, advancing it.
 pub fn get_u16(data: &[u8], pos: &mut usize) -> Result<u16> {
-    Ok(u16::from_le_bytes(take(data, pos, 2)?.try_into().unwrap()))
+    Ok(u16::from_le_bytes(take_n(data, pos)?))
 }
 
 /// Reads a `u32` little-endian at `pos`, advancing it.
 pub fn get_u32(data: &[u8], pos: &mut usize) -> Result<u32> {
-    Ok(u32::from_le_bytes(take(data, pos, 4)?.try_into().unwrap()))
+    Ok(u32::from_le_bytes(take_n(data, pos)?))
 }
 
 /// Reads a `u64` little-endian at `pos`, advancing it.
 pub fn get_u64(data: &[u8], pos: &mut usize) -> Result<u64> {
-    Ok(u64::from_le_bytes(take(data, pos, 8)?.try_into().unwrap()))
+    Ok(u64::from_le_bytes(take_n(data, pos)?))
 }
 
 /// Reads an `f32` little-endian at `pos`, advancing it.
 pub fn get_f32(data: &[u8], pos: &mut usize) -> Result<f32> {
-    Ok(f32::from_le_bytes(take(data, pos, 4)?.try_into().unwrap()))
+    Ok(f32::from_le_bytes(take_n(data, pos)?))
 }
 
 /// Reads an `f64` little-endian at `pos`, advancing it.
 pub fn get_f64(data: &[u8], pos: &mut usize) -> Result<f64> {
-    Ok(f64::from_le_bytes(take(data, pos, 8)?.try_into().unwrap()))
+    Ok(f64::from_le_bytes(take_n(data, pos)?))
 }
 
 /// Reads `n` raw bytes at `pos`, advancing it.

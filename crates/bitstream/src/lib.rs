@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Bit-level I/O primitives shared by every codec in the workspace.

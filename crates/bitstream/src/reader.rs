@@ -65,8 +65,14 @@ impl<'a> BitReader<'a> {
     /// and then run check-free on the buffered word).
     #[inline]
     pub fn refill(&mut self) {
-        if self.pos + 8 <= self.bytes.len() {
-            let w = u64::from_be_bytes(self.bytes[self.pos..self.pos + 8].try_into().unwrap());
+        // `first_chunk` compiles to the same unaligned word load as the
+        // slice-index form but is structurally panic-free (audit lint L1).
+        if let Some(chunk) = self
+            .bytes
+            .get(self.pos..)
+            .and_then(|tail| tail.first_chunk::<8>())
+        {
+            let w = u64::from_be_bytes(*chunk);
             let k = ((64 - self.navail) / 8) as usize;
             if k > 0 {
                 // Insert the top 8k bits of `w` directly below the
@@ -76,8 +82,11 @@ impl<'a> BitReader<'a> {
                 self.navail += 8 * k as u32;
             }
         } else {
-            while self.navail <= 56 && self.pos < self.bytes.len() {
-                self.acc |= (self.bytes[self.pos] as u64) << (56 - self.navail);
+            while self.navail <= 56 {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    break;
+                };
+                self.acc |= (b as u64) << (56 - self.navail);
                 self.pos += 1;
                 self.navail += 8;
             }

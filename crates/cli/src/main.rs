@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `pwrel` command-line entry point. All logic lives in the library so it
 //! can be unit-tested; this file only adapts process arguments and exit
 //! codes.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The paper's contribution: a logarithmic transformation scheme that turns
@@ -24,6 +25,7 @@
 //!   transform with any [`pwrel_data::AbsErrorCodec`] (SZ → "SZ_T",
 //!   ZFP → "ZFP_T").
 
+pub mod cast;
 pub mod pwrel;
 pub mod theory;
 pub mod transform;

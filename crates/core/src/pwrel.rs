@@ -8,6 +8,7 @@
 //! 2. inner `compress_abs` on the log-domain data,
 //! 3. container = sign section + inner stream.
 
+use crate::cast;
 use crate::transform::{self, LogBase};
 use pwrel_bitstream::{bytesio, varint};
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
@@ -27,16 +28,16 @@ fn container(
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(inner_stream.len() + 64);
     out.extend_from_slice(MAGIC);
-    out.push(float_bits as u8);
+    out.push(cast::width_byte(float_bits));
     out.push(base.id());
-    out.push(sign_section.is_some() as u8);
+    out.push(u8::from(sign_section.is_some()));
     bytesio::put_f64(&mut out, rel_bound);
     bytesio::put_f64(&mut out, zero_threshold);
     if let Some(signs) = sign_section {
-        varint::write_uvarint(&mut out, signs.len() as u64);
+        varint::write_uvarint(&mut out, cast::u64_from_len(signs.len()));
         out.extend_from_slice(signs);
     }
-    varint::write_uvarint(&mut out, inner_stream.len() as u64);
+    varint::write_uvarint(&mut out, cast::u64_from_len(inner_stream.len()));
     out.extend_from_slice(inner_stream);
     out
 }
@@ -154,18 +155,20 @@ impl<C> PwRelCompressor<C> {
     where
         C: AbsErrorCodec<F>,
     {
-        if bytes.len() < 23 || &bytes[..4] != MAGIC {
+        if !bytes.starts_with(MAGIC) {
             return Err(CodecError::Mismatch("bad PWT magic"));
         }
         let mut pos = 4usize;
-        let float_bits = bytes[pos];
+        let eof = || CodecError::Corrupt("eof in header");
+        let float_bits = *bytes.get(pos).ok_or_else(eof)?;
         pos += 1;
-        if float_bits as u32 != F::BITS {
+        if u32::from(float_bits) != F::BITS {
             return Err(CodecError::Mismatch("element type differs from stream"));
         }
-        let base = LogBase::from_id(bytes[pos]).ok_or(CodecError::Corrupt("bad base id"))?;
+        let base = LogBase::from_id(*bytes.get(pos).ok_or_else(eof)?)
+            .ok_or(CodecError::Corrupt("bad base id"))?;
         pos += 1;
-        let has_signs = match bytes[pos] {
+        let has_signs = match *bytes.get(pos).ok_or_else(eof)? {
             0 => false,
             1 => true,
             _ => return Err(CodecError::Corrupt("bad sign flag")),
@@ -173,13 +176,16 @@ impl<C> PwRelCompressor<C> {
         pos += 1;
         let _rel_bound = bytesio::get_f64(bytes, &mut pos)?;
         let zero_threshold = bytesio::get_f64(bytes, &mut pos)?;
+        let len_of = |v: u64| {
+            usize::try_from(v).map_err(|_| CodecError::Corrupt("section length overflows usize"))
+        };
         let sign_section = if has_signs {
-            let len = varint::read_uvarint(bytes, &mut pos)? as usize;
+            let len = len_of(varint::read_uvarint(bytes, &mut pos)?)?;
             Some(bytesio::get_bytes(bytes, &mut pos, len)?)
         } else {
             None
         };
-        let inner_len = varint::read_uvarint(bytes, &mut pos)? as usize;
+        let inner_len = len_of(varint::read_uvarint(bytes, &mut pos)?)?;
         let inner_stream = bytesio::get_bytes(bytes, &mut pos, inner_len)?;
 
         let (mapped, dims) = self.inner.decompress_abs(inner_stream)?;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // `!(x > 0.0)` deliberately treats NaN as invalid; clippy prefers
 // partial_cmp, which would hide that intent.

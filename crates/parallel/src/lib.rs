@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 //! Parallel execution and the simulated parallel-file-system experiment.

@@ -17,9 +17,22 @@
 use std::cell::UnsafeCell;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// Under `RUSTFLAGS="--cfg loom"` every sync primitive and thread handle
+// comes from loom, whose model tests (tests/loom_pool.rs) drive this pool
+// through schedule exploration; the source is otherwise identical.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+#[cfg(loom)]
+use loom::thread::{spawn, JoinHandle};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(loom))]
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+#[cfg(not(loom))]
+use std::thread::{spawn, JoinHandle};
 
 /// Locks ignoring poison: a `map` that panics out (by design, when a task
 /// panics) must not brick the pool for later calls.
@@ -33,6 +46,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// call's stack frame. The frame is guaranteed live while `remaining > 0`
 /// because the submitter blocks until every claimed task has finished.
 struct Job {
+    /// Type-erased task runner.
+    ///
+    // SAFETY: callers of `run` must pass the `ctx` pointer stored beside
+    // it (which the thunk casts back to its concrete `MapCtx`) and a task
+    // index claimed exactly once from `next`, while the submitting frame
+    // is still alive (`remaining > 0`).
     run: unsafe fn(*const (), usize),
     ctx: *const (),
     n_tasks: usize,
@@ -44,9 +63,16 @@ struct Job {
     panicked: AtomicBool,
 }
 
-// Job is shared by raw pointer into a frame the submitter keeps alive; the
-// `run` thunk enforces Send/Sync bounds on the concrete task/result types.
+// SAFETY: `Job` is only non-auto-Send because of `ctx`, a pointer into
+// the submitting `map` call's stack frame. That frame outlives the job:
+// the submitter blocks until `remaining == 0` before returning. The data
+// behind `ctx` is `MapCtx<T, R, F>` whose `T: Send`, `R: Send`, `F: Sync`
+// bounds are enforced by `WorkerPool::map` before the thunk is erased.
 unsafe impl Send for Job {}
+// SAFETY: concurrent `&Job` access is confined to the atomics (claim
+// cursor, remaining count, panic flag) and to `run`, which partitions the
+// `UnsafeCell` task/result slots by claimed index so no two threads touch
+// the same cell (see `run_one`).
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -58,6 +84,9 @@ impl Job {
             if i >= self.n_tasks {
                 return;
             }
+            // SAFETY: `i` was claimed from `next` exactly once, `ctx` is
+            // the pointer `run` was erased with, and the submitting frame
+            // is alive because it blocks until `remaining` hits zero.
             let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.ctx, i) }));
             if outcome.is_err() {
                 self.panicked.store(true, Ordering::Release);
@@ -169,7 +198,7 @@ impl WorkerPool {
         let handles = (0..workers.get())
             .map(|_| {
                 let shared = shared.clone();
-                std::thread::spawn(move || shared.worker_loop())
+                spawn(move || shared.worker_loop())
             })
             .collect();
         Self {
@@ -216,13 +245,19 @@ impl WorkerPool {
             results: Vec<UnsafeCell<Option<R>>>,
             f: F,
         }
+        // SAFETY contract: `ctx` must point at a live `MapCtx<T, R, F>`
+        // and `i` must be a task index claimed exactly once, so the cells
+        // at `i` are touched by exactly one thread.
         unsafe fn run_one<T, R, F: Fn(T) -> R>(ctx: *const (), i: usize) {
-            let ctx = &*(ctx as *const MapCtx<T, R, F>);
-            // Each index is claimed exactly once, so the cells at `i` are
-            // touched by exactly one thread.
-            let task = (*ctx.tasks[i].get()).take().expect("task claimed twice");
+            // SAFETY: per the contract, `ctx` is the submitter's live
+            // `MapCtx` erased in `map` below.
+            let ctx = unsafe { &*(ctx as *const MapCtx<T, R, F>) };
+            // SAFETY: index `i` is claimed exactly once, making this
+            // thread the sole accessor of the cells at `i`.
+            let task = unsafe { (*ctx.tasks[i].get()).take() }.expect("task claimed twice");
             let result = (ctx.f)(task);
-            *ctx.results[i].get() = Some(result);
+            // SAFETY: same exclusive claim on the result cell at `i`.
+            unsafe { *ctx.results[i].get() = Some(result) };
         }
 
         let ctx = MapCtx {

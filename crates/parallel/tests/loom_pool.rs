@@ -1,0 +1,64 @@
+#![cfg(loom)]
+#![forbid(unsafe_code)]
+
+//! Model-checked concurrency tests for [`pwrel_parallel::WorkerPool`].
+//!
+//! Built only under `RUSTFLAGS="--cfg loom"`, which also switches the
+//! pool's internals onto loom's sync primitives (see `pool.rs`). Against
+//! the real loom these explore every schedule; against the in-tree shim
+//! they degrade to stress iteration. Scenarios mirror the pool's three
+//! documented invariants: exactly-once job claiming, panic propagation
+//! through `catch_unwind`, and shutdown ordering on drop.
+
+use pwrel_parallel::WorkerPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Every task index is claimed exactly once and lands in its own slot.
+#[test]
+fn model_job_claiming_is_exactly_once() {
+    loom::model(|| {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2);
+        let counted = runs.clone();
+        let out = pool.map(vec![0usize, 1, 2, 3], move |t| {
+            counted.fetch_add(1, Ordering::Relaxed);
+            t * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+    });
+}
+
+/// A panicking task must poison exactly that `map` call — the panic
+/// crosses threads via the job's flag, and the pool survives for the
+/// next submission.
+#[test]
+fn model_panic_propagates_and_pool_survives() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0u32, 1, 2, 3], |t| {
+                if t == 2 {
+                    panic!("boom");
+                }
+                t
+            })
+        }));
+        assert!(poisoned.is_err());
+        assert_eq!(pool.map(vec![7u32], |t| t + 1), vec![8]);
+    });
+}
+
+/// Dropping the last pool handle mid-flight must still shut every worker
+/// down: shutdown is published under the slot lock before the wake, so no
+/// worker can park after missing it.
+#[test]
+fn model_shutdown_joins_all_workers() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let _ = pool.map(vec![1u64, 2, 3], |t| t * t);
+        drop(pool); // joins workers; loom fails the model on a leaked thread
+    });
+}

@@ -64,7 +64,7 @@ pub fn wrap(header: &ContainerHeader, payload: &[u8]) -> Vec<u8> {
 
 /// True when `bytes` starts with the unified magic.
 pub fn is_unified(bytes: &[u8]) -> bool {
-    bytes.len() >= 4 && &bytes[..4] == CONTAINER_MAGIC
+    bytes.starts_with(CONTAINER_MAGIC)
 }
 
 /// Parses a unified stream into its header and codec payload.

@@ -33,6 +33,9 @@ struct Ebs {
 }
 
 impl Ebs {
+    // audit:allow-fn(L1): `deserialize` validates block_len >= 1 and
+    // block_ebs.len() == div_ceil(n, block_len) before an `Ebs` is built,
+    // and every caller passes idx < n, so idx / block_len is in range.
     #[inline]
     fn at(&self, idx: usize) -> f64 {
         if self.block_ebs.is_empty() {
@@ -324,8 +327,11 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
             block_ebs: block_exps.iter().map(|&e| (e as f64).exp2()).collect(),
             block_len: *block_len as usize,
         },
+        // Routed to dedicated decoders above; a structured error instead
+        // of `unreachable!` keeps the decode path panic-free (lint L1)
+        // even if the routing ever regresses.
         SzMode::AbsHybrid { .. } | SzMode::PwrSpatial { .. } => {
-            unreachable!("routed to a dedicated decoder above")
+            return Err(CodecError::Corrupt("mode not routed to its decoder"))
         }
     };
 
@@ -338,6 +344,9 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
     let mut unpred_r = BitReader::new(&stream.unpred_bytes);
     let mut dec: Vec<F> = vec![F::zero(); n];
 
+    // audit:allow-fn(L1): `codes.len() == n` is checked above and `dec` is
+    // allocated with n elements; `dims.index` yields idx < n for in-grid
+    // (i, j, k), so the hot-loop indexing cannot go out of bounds.
     for k in 0..dims.nz {
         for j in 0..dims.ny {
             for i in 0..dims.nx {

@@ -223,7 +223,7 @@ impl SzStream {
             _ => return Err(CodecError::Corrupt("unknown wrapper byte")),
         };
 
-        if p.len() < 4 || &p[..4] != MAGIC {
+        if !p.starts_with(MAGIC) {
             return Err(CodecError::Mismatch("bad SZ magic"));
         }
         let mut pos = 4usize;

@@ -14,6 +14,9 @@ use pwrel_data::{CodecError, Dims, Float};
 use pwrel_lossless::huffman;
 
 /// Reads selector bit `i` (LSB-first within bytes).
+// audit:allow-fn(L1): `deserialize` rejects streams whose selector bitmap
+// is shorter than div_ceil(n_blocks, 8) and whose n_blocks differs from
+// `block_count(dims)`; both callers pass i < n_blocks.
 #[inline]
 fn selector(selectors: &[u8], i: usize) -> bool {
     (selectors[i / 8] >> (i % 8)) & 1 == 1
@@ -121,6 +124,10 @@ pub(crate) fn compress<F: Float>(
 
 /// Decompresses an `AbsHybrid` stream (called from the main decoder after
 /// the container is parsed).
+// audit:allow-fn(L1): in-range by construction — `codes.len() == n` is
+// checked, `dec` holds n elements and `dims.index` stays below n, and
+// `model_pos` only advances by NBYTES after `LinearModel::read` proved the
+// slice held that many bytes (so the range slice never starts past the end).
 pub(crate) fn decompress<F: Float>(stream: &SzStream) -> Result<(Vec<F>, Dims), CodecError> {
     let (eb, selectors, model_bytes) = match &stream.mode {
         SzMode::AbsHybrid {

@@ -12,6 +12,9 @@ use pwrel_data::{Dims, Float};
 ///
 /// `dec` must already contain reconstructed values for all causal
 /// predecessors in raster order.
+// audit:allow-fn(L1): every caller allocates `dec` with `dims.len()`
+// elements and passes in-grid (i, j, k); causal neighbours are either
+// in-grid (so `dims.index` < len) or clamped to the 0.0 branch.
 #[inline]
 pub fn predict<F: Float>(dec: &[F], dims: Dims, i: usize, j: usize, k: usize) -> f64 {
     let at = |ii: isize, jj: isize, kk: isize| -> f64 {

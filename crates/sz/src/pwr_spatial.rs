@@ -117,6 +117,10 @@ pub(crate) fn compress<F: Float>(
 }
 
 /// Decompresses a `PwrSpatial` stream.
+// audit:allow-fn(L1): `block_exps.len() == blist.len()` and
+// `codes.len() == n` are checked before the loop; `dec` holds n elements
+// and `dims.index` stays below n for in-grid points, so the per-block
+// indexing cannot go out of bounds.
 pub(crate) fn decompress<F: Float>(stream: &SzStream) -> Result<(Vec<F>, Dims), CodecError> {
     let block_exps = match &stream.mode {
         SzMode::PwrSpatial { block_exps, .. } => block_exps,

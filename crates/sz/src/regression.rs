@@ -49,17 +49,21 @@ impl LinearModel {
         }
     }
 
-    /// Reads a model written by [`LinearModel::write`].
+    /// Reads a model written by [`LinearModel::write`]. `None` on a
+    /// truncated buffer — forged streams reach here (lint L1), so the
+    /// reads are structurally panic-free.
     pub fn read(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < Self::NBYTES {
-            return None;
-        }
-        let f = |o: usize| f32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let f = |o: usize| {
+            bytes
+                .get(o..)
+                .and_then(|tail| tail.first_chunk::<4>())
+                .map(|chunk| f32::from_le_bytes(*chunk))
+        };
         Some(Self {
-            b0: f(0),
-            b1: f(4),
-            b2: f(8),
-            b3: f(12),
+            b0: f(0)?,
+            b1: f(4)?,
+            b2: f(8)?,
+            b3: f(12)?,
         })
     }
 }

@@ -9,6 +9,7 @@
 //! swap one stage instead of forking the loop.
 
 use crate::lorenzo;
+use pwrel_core::cast;
 use pwrel_data::{CodecError, Dims, Encoder, Float, LosslessStage, Predictor, Quantizer};
 use pwrel_lossless::{huffman, lz};
 
@@ -39,7 +40,7 @@ pub struct LinearQuantizer {
 impl LinearQuantizer {
     #[inline]
     fn radius(&self) -> i64 {
-        (self.capacity / 2) as i64
+        i64::from(self.capacity / 2)
     }
 }
 
@@ -49,7 +50,7 @@ impl<F: Float> Quantizer<F> for LinearQuantizer {
     }
 
     fn alphabet(&self) -> usize {
-        self.capacity as usize
+        cast::usize_from_u32(self.capacity)
     }
 
     #[inline]
@@ -58,13 +59,13 @@ impl<F: Float> Quantizer<F> for LinearQuantizer {
         if x.is_finite() {
             let diff = x.to_f64() - pred;
             let qf = (diff / (2.0 * eb)).round();
-            if qf.is_finite() && qf.abs() < radius as f64 {
-                let q = qf as i64;
-                let val = F::from_f64(pred + 2.0 * eb * q as f64);
+            if qf.is_finite() && qf.abs() < cast::f64_from_quant(radius) {
+                let q = cast::quant_code(qf);
+                let val = F::from_f64(pred + 2.0 * eb * cast::f64_from_quant(q));
                 // Verify on the *rounded* reconstruction so the bound
                 // holds for the stored element type, not just in f64.
                 if val.is_finite() && (val.to_f64() - x.to_f64()).abs() <= eb {
-                    return Some(((radius + q) as u32, val));
+                    return Some((cast::symbol_u32(radius + q), val));
                 }
             }
         }
@@ -73,11 +74,11 @@ impl<F: Float> Quantizer<F> for LinearQuantizer {
 
     #[inline]
     fn reconstruct(&self, code: u32, pred: f64, eb: f64) -> Result<F, CodecError> {
-        if code as i64 >= self.capacity as i64 {
+        if code >= self.capacity {
             return Err(CodecError::Corrupt("quantization code out of range"));
         }
-        let q = code as i64 - self.radius();
-        Ok(F::from_f64(pred + 2.0 * eb * q as f64))
+        let q = i64::from(code) - self.radius();
+        Ok(F::from_f64(pred + 2.0 * eb * cast::f64_from_quant(q)))
     }
 }
 

@@ -144,6 +144,10 @@ fn skip_to(r: &mut BitReader, block_start: u64, budget: u64) -> Result<(), Codec
 
 /// Decodes one block's samples from `r` into `fblock` (length 4^rank).
 /// `block_start` is the reader position at the block's first bit.
+// audit:allow-fn(L1): `fblock`, `iblock` and `coeffs` are the caller's
+// fixed 4^rank scratch buffers and `order` is the compile-time
+// coefficient permutation over 0..4^rank, so every index is in range
+// regardless of stream contents.
 #[allow(clippy::too_many_arguments)]
 fn decode_one_block(
     r: &mut BitReader,
@@ -431,18 +435,18 @@ fn finish<F: Float>(payload: Vec<u8>, dims: Dims, mode: Mode) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
-    if bytes.len() < 7 || &bytes[..4] != MAGIC {
+    if !bytes.starts_with(MAGIC) {
         return Err(CodecError::Mismatch("bad ZFP magic"));
     }
     let mut pos = 4usize;
-    let float_bits = bytes[pos];
+    let float_bits = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
     pos += 1;
     if float_bits as u32 != F::BITS {
         return Err(CodecError::Mismatch("element type differs from stream"));
     }
-    let mode_byte = bytes[pos];
+    let mode_byte = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
     pos += 1;
-    let rank = bytes[pos];
+    let rank = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
     pos += 1;
     let nx = varint::read_uvarint(bytes, &mut pos)?;
     let ny = varint::read_uvarint(bytes, &mut pos)?;
@@ -518,18 +522,18 @@ pub(crate) fn decompress_block<F: Float>(
     by: usize,
     bz: usize,
 ) -> Result<BlockSamples<F>, CodecError> {
-    if bytes.len() < 7 || &bytes[..4] != MAGIC {
+    if !bytes.starts_with(MAGIC) {
         return Err(CodecError::Mismatch("bad ZFP magic"));
     }
     let mut pos = 4usize;
-    let float_bits = bytes[pos];
+    let float_bits = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
     pos += 1;
     if float_bits as u32 != F::BITS {
         return Err(CodecError::Mismatch("element type differs from stream"));
     }
-    let mode_byte = bytes[pos];
+    let mode_byte = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
     pos += 1;
-    let rank_byte = bytes[pos];
+    let rank_byte = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
     pos += 1;
     let nx = varint::read_uvarint(bytes, &mut pos)?;
     let ny = varint::read_uvarint(bytes, &mut pos)?;

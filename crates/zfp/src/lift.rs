@@ -33,6 +33,10 @@ pub fn fwd_lift(p: &mut [i64], base: usize, s: usize) {
 }
 
 /// Inverse lifting on 4 strided elements (exact inverse of [`fwd_lift`]).
+// audit:allow-fn(L1): callers pass the fixed 4^rank block scratch with
+// (base, s) drawn from the separable-transform geometry, so
+// `base + 3*s < 4^rank` always holds; the access pattern is identical to
+// the encoder-side `fwd_lift`.
 #[inline]
 pub fn inv_lift(p: &mut [i64], base: usize, s: usize) {
     let (mut x, mut y, mut z, mut w) = (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);

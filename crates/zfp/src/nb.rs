@@ -218,6 +218,9 @@ pub fn decode_planes(r: &mut BitReader, coeffs: &mut [u64], intprec: u32, kmin: 
 
 /// Budgeted variant of [`decode_planes`] (mirror of
 /// [`encode_planes_budget`]). Returns the number of bits consumed.
+// audit:allow-fn(L1): `planes` is a fixed [u64; 64] and the plane index
+// `k` iterates downward from `intprec <= 64`, so `planes[k as usize]`
+// stays in range for any stream.
 pub fn decode_planes_budget(
     r: &mut BitReader,
     coeffs: &mut [u64],
