@@ -9,7 +9,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Crates whose decode paths L1 polices. `cli`/`bench`/`metrics` sit above
 /// the codec boundary (they may unwrap: errors there are app-level), and
-/// `parallel` is covered by L3/loom instead.
+/// `parallel` is covered by L3/loom instead. `trace` is policed through
+/// its exporter entry points rather than decoders (see
+/// [`is_decode_entry`]): exporters run at the end of long jobs, where a
+/// panic throws away the whole run's recording.
 const L1_CRATES: &[&str] = &[
     "bitstream",
     "lossless",
@@ -21,6 +24,7 @@ const L1_CRATES: &[&str] = &[
     "core",
     "datagen",
     "kernels",
+    "trace",
 ];
 
 /// Bound-arithmetic modules where bare numeric `as` casts are forbidden
@@ -154,6 +158,8 @@ fn is_decode_entry(path: &str, name: &str) -> bool {
         || name.contains("decode")
         || name.contains("deserialize")
         || (name == "unwrap" && path.ends_with("pipeline/src/container.rs"))
+        || (path.ends_with("trace/src/export.rs")
+            && matches!(name, "summary_table" | "chrome_trace_json" | "stage_rows"))
 }
 
 /// Global function id: (file index, fn index).

@@ -1,0 +1,99 @@
+#![forbid(unsafe_code)]
+//! Emits `BENCH_stages.json`: per-stage wall-clock breakdowns for the two
+//! transform codecs (`sz_t`, `zfp_t`), recorded through the `pwrel-trace`
+//! layer on a traced compress + decompress round trip.
+//!
+//! Complements `BENCH_transform.json` / `BENCH_entropy.json`, which time
+//! isolated kernels: this bench shows where a whole pipeline run spends
+//! its time, stage by stage, as the registry reports it. Honours
+//! `PWREL_SCALE` and writes the JSON next to the current directory so a
+//! repo-root invocation lands it at `/BENCH_stages.json`.
+
+use pwrel_bench::scale_from_env;
+use pwrel_pipeline::{global, CompressOpts};
+use pwrel_trace::{export, stage, TraceSink};
+
+/// One traced round trip; returns the sink plus the container size.
+fn traced_round_trip(codec: &str, data: &[f32], dims: pwrel_data::Dims) -> (TraceSink, usize) {
+    let sink = TraceSink::new();
+    let stream = global()
+        .compress_traced(codec, data, dims, &CompressOpts::rel(1e-3), &sink)
+        .unwrap_or_else(|e| panic!("{codec} compress: {e:?}"));
+    let (back, _) = global()
+        .decompress_traced::<f32>(&stream, &sink)
+        .unwrap_or_else(|e| panic!("{codec} decompress: {e:?}"));
+    assert_eq!(back.len(), data.len());
+    (sink, stream.len())
+}
+
+/// Renders one codec's stage rows as a JSON object, root spans first.
+fn stages_json(sink: &TraceSink) -> String {
+    let rows = export::stage_rows(sink);
+    let mut names: Vec<&str> = rows.keys().copied().collect();
+    // Roots first, then the per-stage spans in alphabetical order.
+    names.sort_by_key(|n| (*n != stage::COMPRESS, *n != stage::DECOMPRESS, *n));
+    let body: Vec<String> = names
+        .iter()
+        .map(|name| {
+            let row = &rows[name];
+            format!(
+                "      \"{}\": {{\"calls\": {}, \"total_ms\": {:.3}}}",
+                name,
+                row.calls,
+                row.total_ns as f64 / 1e6
+            )
+        })
+        .collect();
+    format!("{{\n{}\n    }}", body.join(",\n"))
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let field = pwrel_data::nyx::dark_matter_density(scale);
+    let nbytes = field.data.len() * 4;
+
+    let mut entries = Vec::new();
+    for codec in ["sz_t", "zfp_t"] {
+        // Warm-up pass pages the dataset in; the recorded pass follows.
+        traced_round_trip(codec, &field.data, field.dims);
+        let (sink, compressed) = traced_round_trip(codec, &field.data, field.dims);
+        let ratio = nbytes as f64 / compressed as f64;
+        entries.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"compressed_bytes\": {},\n",
+                "      \"ratio\": {:.3},\n",
+                "      \"stages\": {}\n",
+                "    }}",
+            ),
+            codec,
+            compressed,
+            ratio,
+            stages_json(&sink),
+        ));
+        eprintln!("{codec}: ratio {ratio:.2}");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipeline_stages\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": \"{:?}\",\n",
+            "  \"elements\": {},\n",
+            "  \"dtype\": \"f32\",\n",
+            "  \"rel_bound\": 1e-3,\n",
+            "  \"codecs\": {{\n",
+            "{}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        field.name,
+        scale,
+        field.data.len(),
+        entries.join(",\n"),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_stages.json", &json).expect("write BENCH_stages.json");
+    eprintln!("wrote BENCH_stages.json");
+}

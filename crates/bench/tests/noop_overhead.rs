@@ -1,0 +1,50 @@
+//! Guards the observability layer's zero-cost claim: compressing with the
+//! no-op recorder must stay within 2% of the untraced path on a
+//! Medium-scale dataset. Every span and counter site is gated on
+//! `Recorder::is_enabled`, so the traced entry points reduce to a handful
+//! of predictable branches when recording is off.
+//!
+//! Timing test: uses best-of-N with the two variants interleaved in every
+//! rep so frequency drift and scheduler noise land on both sides equally.
+
+use pwrel_data::{nyx, Scale};
+use pwrel_pipeline::{global, CompressOpts};
+use std::time::Instant;
+
+fn secs(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+#[test]
+fn noop_recorder_overhead_under_two_percent() {
+    let field = nyx::dark_matter_density(Scale::Medium);
+    let opts = CompressOpts::rel(1e-3);
+    let r = global();
+    let noop = pwrel_trace::noop();
+
+    // Warm-up: page the dataset in and fill the allocator caches.
+    r.compress("sz_t", &field.data, field.dims, &opts).unwrap();
+
+    let reps = 12;
+    let mut plain = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    for _ in 0..reps {
+        plain = plain.min(secs(|| {
+            r.compress("sz_t", &field.data, field.dims, &opts).unwrap();
+        }));
+        traced = traced.min(secs(|| {
+            r.compress_traced("sz_t", &field.data, field.dims, &opts, noop)
+                .unwrap();
+        }));
+    }
+
+    let ratio = traced / plain;
+    assert!(
+        ratio < 1.02,
+        "no-op traced compress is {:.1}% slower than plain \
+         (plain {plain:.6}s, traced {traced:.6}s)",
+        (ratio - 1.0) * 100.0
+    );
+}

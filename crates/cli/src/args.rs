@@ -18,6 +18,8 @@ USAGE:
   pwrel pack       -o <archive> --bound <b> [--codec <name>] <raw>:<dims> ...
   pwrel unpack     -i <archive> -o <dir>
   pwrel list       -i <archive>
+  pwrel run        -i <raw> --dims <...> --bound <b> [--codec <name>]
+                   [--type f32|f64] [--base 2|e|10] [--trace <out.json>] [--stats]
 
   compress   raw little-endian floats -> compressed stream (default codec sz_t)
   decompress compressed stream -> raw little-endian floats (codec auto-detected)
@@ -27,9 +29,13 @@ USAGE:
   pack       bundle several fields into one snapshot archive
   unpack     extract every field of an archive into a directory
   list       show an archive's contents
+  run        instrumented compress+decompress round trip; --trace writes
+             Chrome trace_event JSON (chrome://tracing / Perfetto) and
+             --stats prints the per-stage summary table
 
-EXAMPLE:
+EXAMPLES:
   pwrel compress -i snap.f32 -o snap.pwr --dims 512x512x512 --bound 1e-3
+  pwrel run -i snap.f32 --dims 512x512x512 --bound 1e-3 --trace snap.json --stats
 ";
 
 /// Element type of the raw file.
@@ -104,6 +110,25 @@ pub enum Command {
         /// Archive path.
         input: String,
     },
+    /// `pwrel run`.
+    Run {
+        /// Raw input path.
+        input: String,
+        /// Grid shape.
+        dims: Dims,
+        /// Error bound (interpretation depends on the codec).
+        bound: f64,
+        /// Registered codec name.
+        codec: String,
+        /// Element type.
+        elem: ElemType,
+        /// Log base for the transform codecs.
+        base: LogBase,
+        /// Chrome trace_event JSON output path, if requested.
+        trace: Option<String>,
+        /// Print the per-stage summary table.
+        stats: bool,
+    },
     /// `pwrel verify`.
     Verify {
         /// Raw original path.
@@ -174,15 +199,21 @@ fn parse_elem(s: &str) -> Result<ElemType, CliError> {
     }
 }
 
-/// Collects `--flag value` / `-f value` pairs plus positional arguments.
+/// Flags that take no value; everything else consumes the next token.
+const BOOLEAN_FLAGS: &[&str] = &["--stats"];
+
+/// Collects `--flag value` / `-f value` pairs, boolean flags, and
+/// positional arguments.
 struct Flags {
     pairs: Vec<(String, String)>,
+    switches: Vec<String>,
     positionals: Vec<String>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut pairs = Vec::new();
+        let mut switches = Vec::new();
         let mut positionals = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -190,12 +221,20 @@ impl Flags {
                 positionals.push(arg.clone());
                 continue;
             }
+            if BOOLEAN_FLAGS.contains(&arg.as_str()) {
+                switches.push(arg.clone());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| usage_err(format!("flag '{arg}' needs a value")))?;
             pairs.push((arg.clone(), value.clone()));
         }
-        Ok(Self { pairs, positionals })
+        Ok(Self {
+            pairs,
+            switches,
+            positionals,
+        })
     }
 
     fn get(&self, names: &[&str]) -> Option<&str> {
@@ -203,6 +242,10 @@ impl Flags {
             .iter()
             .find(|(f, _)| names.contains(&f.as_str()))
             .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     fn require(&self, names: &[&str], what: &str) -> Result<&str, CliError> {
@@ -291,6 +334,23 @@ impl Cli {
             },
             "list" => Command::List {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+            },
+            "run" => Command::Run {
+                input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                dims: parse_dims(flags.require(&["--dims"], "--dims")?)?,
+                bound: flags
+                    .require(&["--bound", "-b"], "--bound")?
+                    .parse::<f64>()
+                    .map_err(|_| usage_err("bad --bound value"))?,
+                codec: flags
+                    .get(&["--codec"])
+                    .map_or(Ok("sz_t".to_string()), parse_codec)?,
+                elem,
+                base: flags
+                    .get(&["--base"])
+                    .map_or(Ok(LogBase::Two), parse_base)?,
+                trace: flags.get(&["--trace"]).map(|s| s.to_string()),
+                stats: flags.has("--stats"),
             },
             "verify" => Command::Verify {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
@@ -402,6 +462,52 @@ mod tests {
                 assert!(msg.contains("known:") && msg.contains("zfp_p"), "{msg}")
             }
             other => panic!("expected usage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_command_with_trace_and_stats() {
+        let cli = Cli::parse(&argv(
+            "run -i in.f32 --dims 8x16 --bound 1e-2 --codec zfp_t --trace out.json --stats",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Run {
+                dims,
+                bound,
+                codec,
+                trace,
+                stats,
+                ..
+            } => {
+                assert_eq!(dims, Dims::d2(8, 16));
+                assert_eq!(bound, 1e-2);
+                assert_eq!(codec, "zfp_t");
+                assert_eq!(trace.as_deref(), Some("out.json"));
+                assert!(stats);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn run_command_defaults() {
+        // --stats is a boolean flag: it must not swallow the next token.
+        let cli = Cli::parse(&argv("run --stats -i a --dims 10 --bound 0.01")).unwrap();
+        match cli.command {
+            Command::Run {
+                input,
+                codec,
+                trace,
+                stats,
+                ..
+            } => {
+                assert_eq!(input, "a");
+                assert_eq!(codec, "sz_t");
+                assert_eq!(trace, None);
+                assert!(stats);
+            }
+            _ => panic!("wrong command"),
         }
     }
 

@@ -211,6 +211,92 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 }
             }
         }
+        Command::Run {
+            input,
+            dims,
+            bound,
+            codec,
+            elem,
+            base,
+            trace,
+            stats,
+        } => {
+            let opts = CompressOpts { bound, base };
+            match elem {
+                ElemType::F32 => {
+                    let data = io::read_f32(&input)?;
+                    check_dims(data.len(), dims)?;
+                    traced_run(&data, dims, &codec, &opts, trace.as_deref(), stats, out)?;
+                }
+                ElemType::F64 => {
+                    let data = io::read_f64(&input)?;
+                    check_dims(data.len(), dims)?;
+                    traced_run(&data, dims, &codec, &opts, trace.as_deref(), stats, out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Instrumented compress+decompress round trip: records every stage on a
+/// [`pwrel_trace::TraceSink`], optionally writes Chrome trace_event JSON
+/// and prints the per-stage summary, and always reports the ratio plus a
+/// root-span/wall-clock reconciliation line.
+fn traced_run<F: Float + PipelineElem>(
+    data: &[F],
+    dims: Dims,
+    codec: &str,
+    opts: &CompressOpts,
+    trace_path: Option<&str>,
+    stats: bool,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    use pwrel_trace::{export, stage, TraceSink};
+
+    // The sink's epoch starts here, so its wall clock covers exactly the
+    // round trip the root spans measure.
+    let sink = TraceSink::new();
+    let stream = global().compress_traced(codec, data, dims, opts, &sink)?;
+    let (back, _) = global().decompress_traced::<F>(&stream, &sink)?;
+    let wall_ns = sink.elapsed_ns().max(1);
+    if back.len() != data.len() {
+        return Err(CliError::Codec(CodecError::Corrupt(
+            "round trip changed the value count",
+        )));
+    }
+
+    let raw_bytes = data.len() * (F::BITS as usize / 8);
+    writeln!(
+        out,
+        "{codec}: {raw_bytes} -> {} bytes (ratio {:.2}x)",
+        stream.len(),
+        raw_bytes as f64 / stream.len() as f64
+    )?;
+
+    // Root spans (compress + decompress) against the sink's lifetime:
+    // anything far below 100% is time the trace cannot attribute.
+    let rows = export::stage_rows(&sink);
+    let root_ns: u64 = [stage::COMPRESS, stage::DECOMPRESS]
+        .iter()
+        .filter_map(|name| rows.get(name))
+        .map(|row| row.total_ns)
+        .sum();
+    writeln!(
+        out,
+        "traced: {:.3} ms of {:.3} ms wall ({:.1}%)",
+        root_ns as f64 / 1e6,
+        wall_ns as f64 / 1e6,
+        100.0 * root_ns as f64 / wall_ns as f64
+    )?;
+
+    if stats {
+        writeln!(out)?;
+        write!(out, "{}", export::summary_table(&sink))?;
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(path, export::chrome_trace_json(&sink))?;
+        writeln!(out, "trace written to {path}")?;
     }
     Ok(())
 }
@@ -507,6 +593,62 @@ mod tests {
         assert!(matches!(err, Err(CliError::Usage(_))));
         let err = run_str(&format!("pack -o {arch} --bound 1e-2 nodims"));
         assert!(matches!(err, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn run_emits_valid_trace_covering_declared_stages() {
+        let raw = tmp("trace.f32");
+        let trace = tmp("trace.json");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        for codec in global().iter() {
+            let msg = run_str(&format!(
+                "run -i {raw} --dims 2048 --bound 1e-2 --codec {} --trace {trace} --stats",
+                codec.name()
+            ))
+            .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            assert!(msg.contains("ratio"), "{msg}");
+            assert!(msg.contains("trace written to"), "{msg}");
+            // --stats table names the wall clock row.
+            assert!(msg.contains("wall clock"), "{msg}");
+
+            let json = std::fs::read_to_string(&trace).unwrap();
+            assert!(json.contains("\"traceEvents\""), "{}", codec.name());
+            // Every stage the registry declares for this codec appears
+            // as a span name in the exported trace.
+            for want in codec.stages() {
+                assert!(
+                    json.contains(&format!("\"name\":\"{want}\"")),
+                    "{}: stage {want:?} missing from trace JSON",
+                    codec.name()
+                );
+            }
+            for root in ["compress", "decompress"] {
+                assert!(
+                    json.contains(&format!("\"name\":\"{root}\"")),
+                    "{}: root {root:?} missing",
+                    codec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_stats_totals_reconcile_with_wall_clock() {
+        let raw = tmp("recon.f32");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        let msg = run_str(&format!("run -i {raw} --dims 2048 --bound 1e-3 --stats")).unwrap();
+        // "traced: X ms of Y ms wall (Z%)" — the root spans must account
+        // for at least 95% of the sink's wall clock.
+        let line = msg
+            .lines()
+            .find(|l| l.starts_with("traced:"))
+            .unwrap_or_else(|| panic!("no reconciliation line in {msg}"));
+        let pct: f64 = line
+            .rsplit_once('(')
+            .and_then(|(_, tail)| tail.strip_suffix("%)"))
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| panic!("bad reconciliation line {line}"));
+        assert!(pct >= 95.0, "root spans cover only {pct}% of wall: {msg}");
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub fn symbol_u32(v: i64) -> u32 {
     v as u32
 }
 
+/// Element/set-bit count → `f64` for recorded diagnostics (densities,
+/// rates). Exact for counts up to `2^53`; beyond that it rounds, which
+/// only perturbs an observability ratio, never a bound.
+#[inline]
+pub fn f64_from_count(n: usize) -> f64 {
+    n as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +67,7 @@ mod tests {
     #[test]
     fn round_trips_in_documented_ranges() {
         assert_eq!(u64_from_len(usize::MAX), usize::MAX as u64);
+        assert_eq!(f64_from_count(1 << 24), 16777216.0);
         assert_eq!(usize_from_u32(u32::MAX), u32::MAX as usize);
         assert_eq!(width_byte(32), 32);
         assert_eq!(width_byte(64), 64);

@@ -9,10 +9,12 @@
 //! 3. container = sign section + inner stream.
 
 use crate::cast;
+use crate::theory;
 use crate::transform::{self, LogBase};
 use pwrel_bitstream::{bytesio, varint};
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
 use pwrel_kernels::{Kernel, LogFusedCodec};
+use pwrel_trace::{stage, Recorder, Span};
 
 const MAGIC: &[u8; 4] = b"PWT1";
 
@@ -123,6 +125,21 @@ impl<C> PwRelCompressor<C> {
         self.compress_fused_with_kernel(data, dims, rel_bound, Kernel::from_env())
     }
 
+    /// [`PwRelCompressor::compress_fused`] with per-stage recording on
+    /// `rec` (kernel chosen by `PWREL_KERNEL`). Identical output bytes.
+    pub fn compress_fused_traced<F: Float>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        rel_bound: f64,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError>
+    where
+        C: LogFusedCodec<F>,
+    {
+        self.compress_fused_with_kernel_traced(data, dims, rel_bound, Kernel::from_env(), rec)
+    }
+
     /// [`PwRelCompressor::compress_fused`] with an explicit kernel choice.
     pub fn compress_fused_with_kernel<F: Float>(
         &self,
@@ -134,12 +151,61 @@ impl<C> PwRelCompressor<C> {
     where
         C: LogFusedCodec<F>,
     {
+        self.compress_fused_with_kernel_traced(data, dims, rel_bound, kernel, pwrel_trace::noop())
+    }
+
+    /// The fully-general fused entry point: explicit kernel plus a
+    /// recorder. The transform planning pass, the inner codec sweep, and
+    /// the sign-section coding are each attributed to their own stage;
+    /// the [`stage::SIGNS`] span is emitted even for all-positive fields
+    /// so per-codec stage coverage stays deterministic.
+    pub fn compress_fused_with_kernel_traced<F: Float>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        rel_bound: f64,
+        kernel: Kernel,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError>
+    where
+        C: LogFusedCodec<F>,
+    {
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
-        let plan = transform::plan(data, self.base, rel_bound, self.roundoff_guard, kernel)?;
-        let fused = self.inner.compress_fused(data, dims, &plan)?;
-        let sign_section = fused.signs.as_deref().map(transform::compress_signs);
+        let plan = {
+            let _transform = Span::enter(rec, stage::TRANSFORM);
+            transform::plan(data, self.base, rel_bound, self.roundoff_guard, kernel)?
+        };
+        if rec.is_enabled() {
+            // How much of the uncorrected log-domain budget Lemma 2 (plus
+            // the kernel's evaluation-error term) gives back to round-off.
+            let uncorrected = theory::abs_bound_for(self.base, rel_bound);
+            if uncorrected > 0.0 {
+                rec.observe(
+                    stage::O_LEMMA2_CORRECTION,
+                    1.0 - plan.abs_bound / uncorrected,
+                );
+            }
+        }
+        let fused = self.inner.compress_fused_traced(data, dims, &plan, rec)?;
+        let sign_section = {
+            let _signs = Span::enter(rec, stage::SIGNS);
+            if rec.is_enabled() {
+                if let Some(signs) = &fused.signs {
+                    if !signs.is_empty() {
+                        let neg = signs.iter().filter(|&&s| s).count();
+                        rec.observe(
+                            stage::O_SIGN_DENSITY,
+                            cast::f64_from_count(neg) / cast::f64_from_count(signs.len()),
+                        );
+                    }
+                } else {
+                    rec.observe(stage::O_SIGN_DENSITY, 0.0);
+                }
+            }
+            fused.signs.as_deref().map(transform::compress_signs)
+        };
         Ok(container(
             F::BITS,
             self.base,
@@ -152,6 +218,19 @@ impl<C> PwRelCompressor<C> {
 
     /// Decompresses, returning the data and its grid shape.
     pub fn decompress_full<F: Float>(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError>
+    where
+        C: AbsErrorCodec<F>,
+    {
+        self.decompress_full_traced(bytes, pwrel_trace::noop())
+    }
+
+    /// [`PwRelCompressor::decompress_full`] with per-stage recording:
+    /// the inner codec decode and the inverse transform each get a span.
+    pub fn decompress_full_traced<F: Float>(
+        &self,
+        bytes: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError>
     where
         C: AbsErrorCodec<F>,
     {
@@ -188,8 +267,11 @@ impl<C> PwRelCompressor<C> {
         let inner_len = len_of(varint::read_uvarint(bytes, &mut pos)?)?;
         let inner_stream = bytesio::get_bytes(bytes, &mut pos, inner_len)?;
 
-        let (mapped, dims) = self.inner.decompress_abs(inner_stream)?;
-        let data = transform::inverse(&mapped, base, zero_threshold, sign_section)?;
+        let (mapped, dims) = self.inner.decompress_abs_traced(inner_stream, rec)?;
+        let data = {
+            let _inv = Span::enter(rec, stage::TRANSFORM_INV);
+            transform::inverse(&mapped, base, zero_threshold, sign_section)?
+        };
         Ok((data, dims))
     }
 

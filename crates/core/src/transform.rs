@@ -13,7 +13,7 @@
 //! when the field actually mixes signs — Algorithm 1's `P` flag.
 //!
 //! The mapping itself is organized for throughput: one integer
-//! [`pwrel_kernels::scan`] pass learns everything the bound needs (validity,
+//! [`pwrel_kernels::scan()`] pass learns everything the bound needs (validity,
 //! signs, zeros, an exponent-field bound on `max |log x|`), then the data is
 //! mapped through [`Kernel::log_batch`] in fixed-size chunks through a
 //! stack scratch buffer — no intermediate `Vec<f64>`, no second sweep for

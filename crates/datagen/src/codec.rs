@@ -56,6 +56,33 @@ pub trait AbsErrorCodec<F: Float> {
 
     /// Decompresses a stream produced by [`AbsErrorCodec::compress_abs`].
     fn decompress_abs(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError>;
+
+    /// [`AbsErrorCodec::compress_abs`] with per-stage recording on `rec`.
+    /// The default ignores the recorder; codecs with internal stages
+    /// worth attributing override it. The stream bytes must be identical
+    /// either way.
+    fn compress_abs_traced(
+        &self,
+        data: &[F],
+        dims: Dims,
+        bound: f64,
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        let _ = rec;
+        self.compress_abs(data, dims, bound)
+    }
+
+    /// [`AbsErrorCodec::decompress_abs`] with per-stage recording on
+    /// `rec`. Same contract as the compress side: identical output, the
+    /// recorder only observes.
+    fn decompress_abs_traced(
+        &self,
+        bytes: &[u8],
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        let _ = rec;
+        self.decompress_abs(bytes)
+    }
 }
 
 #[cfg(test)]

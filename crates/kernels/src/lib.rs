@@ -15,7 +15,7 @@
 //!   [`fast::FAST_EXP2_REL_ERR`]) that the bound theory folds into the
 //!   Lemma 2 round-off correction — the point-wise relative bound still
 //!   provably holds with the fast kernels enabled.
-//! * [`scan`] — a single integer sweep over the raw bits of a field that
+//! * [`mod@scan`] — a single integer sweep over the raw bits of a field that
 //!   validates finiteness and yields the sign/zero flags plus an
 //!   exponent-field upper bound on `max |log2 x|`, replacing the exact
 //!   (and serializing) max-reduction over mapped values. Over-estimating

@@ -182,6 +182,21 @@ pub trait LogFusedCodec<F: Float> {
         dims: Dims,
         plan: &LogPlan,
     ) -> Result<FusedOutput, CodecError>;
+
+    /// [`LogFusedCodec::compress_fused`] with per-stage recording on
+    /// `rec`. The default ignores the recorder, so implementations only
+    /// override it when they have internal stages worth attributing;
+    /// the stream bytes must be identical either way.
+    fn compress_fused_traced(
+        &self,
+        data: &[F],
+        dims: Dims,
+        plan: &LogPlan,
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<FusedOutput, CodecError> {
+        let _ = rec;
+        self.compress_fused(data, dims, plan)
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,22 @@ impl ChunkedCodec {
         F: Float,
         C: Fn(&[F], Dims) -> Result<Vec<u8>, CodecError> + Sync,
     {
+        self.compress_traced(data, dims, compress_chunk, pwrel_trace::noop())
+    }
+
+    /// [`ChunkedCodec::compress`] with per-task queue-wait recording on
+    /// the worker pool. Emits the same bytes.
+    pub fn compress_traced<F, C>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        compress_chunk: C,
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<Vec<u8>, CodecError>
+    where
+        F: Float,
+        C: Fn(&[F], Dims) -> Result<Vec<u8>, CodecError> + Sync,
+    {
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
@@ -99,7 +115,8 @@ impl ChunkedCodec {
         }
 
         let results: Vec<Result<Vec<u8>, CodecError>> =
-            self.pool.map(tasks, |(d, slice)| compress_chunk(slice, d));
+            self.pool
+                .map_traced(tasks, |(d, slice)| compress_chunk(slice, d), rec);
         let mut streams = Vec::with_capacity(results.len());
         for r in results {
             streams.push(r?);
@@ -135,9 +152,29 @@ impl ChunkedCodec {
         dims: Dims,
         opts: &pwrel_pipeline::CompressOpts,
     ) -> Result<Vec<u8>, CodecError> {
-        self.compress(data, dims, |slice, d| {
-            registry.compress(codec, slice, d, opts)
-        })
+        self.compress_with_traced(registry, codec, data, dims, opts, pwrel_trace::noop())
+    }
+
+    /// [`ChunkedCodec::compress_with`] with per-stage recording: a
+    /// `chunks` span brackets the fan-out, each slab records its codec
+    /// stages from whichever worker thread runs it, and the pool adds
+    /// queue-wait observations. Emits the same bytes.
+    pub fn compress_with_traced<F: pwrel_pipeline::PipelineElem>(
+        &self,
+        registry: &pwrel_pipeline::CodecRegistry,
+        codec: &str,
+        data: &[F],
+        dims: Dims,
+        opts: &pwrel_pipeline::CompressOpts,
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        let _chunks = pwrel_trace::Span::enter(rec, pwrel_trace::stage::CHUNKS);
+        self.compress_traced(
+            data,
+            dims,
+            |slice, d| registry.compress_traced(codec, slice, d, opts, rec),
+            rec,
+        )
     }
 
     /// Decompresses a chunked container whose slabs are unified (or
@@ -147,7 +184,18 @@ impl ChunkedCodec {
         registry: &pwrel_pipeline::CodecRegistry,
         bytes: &[u8],
     ) -> Result<(Vec<F>, Dims), CodecError> {
-        self.decompress(bytes, |s| registry.decompress(s))
+        self.decompress_with_traced(registry, bytes, pwrel_trace::noop())
+    }
+
+    /// [`ChunkedCodec::decompress_with`] with per-stage recording.
+    pub fn decompress_with_traced<F: pwrel_pipeline::PipelineElem>(
+        &self,
+        registry: &pwrel_pipeline::CodecRegistry,
+        bytes: &[u8],
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        let _chunks = pwrel_trace::Span::enter(rec, pwrel_trace::stage::CHUNKS);
+        self.decompress_traced(bytes, |s| registry.decompress_traced(s, rec), rec)
     }
 
     /// Decompresses a chunked container with `decompress_chunk` in parallel.
@@ -155,6 +203,21 @@ impl ChunkedCodec {
         &self,
         bytes: &[u8],
         decompress_chunk: D,
+    ) -> Result<(Vec<F>, Dims), CodecError>
+    where
+        F: Float,
+        D: Fn(&[u8]) -> Result<(Vec<F>, Dims), CodecError> + Sync,
+    {
+        self.decompress_traced(bytes, decompress_chunk, pwrel_trace::noop())
+    }
+
+    /// [`ChunkedCodec::decompress`] with per-task queue-wait recording
+    /// on the worker pool.
+    pub fn decompress_traced<F, D>(
+        &self,
+        bytes: &[u8],
+        decompress_chunk: D,
+        rec: &dyn pwrel_trace::Recorder,
     ) -> Result<(Vec<F>, Dims), CodecError>
     where
         F: Float,
@@ -205,14 +268,17 @@ impl ChunkedCodec {
             pos = end;
         }
 
-        let results: Vec<Result<(Vec<F>, Dims), CodecError>> =
-            self.pool.map(tasks, |(extent, stream)| {
+        let results: Vec<Result<(Vec<F>, Dims), CodecError>> = self.pool.map_traced(
+            tasks,
+            |(extent, stream)| {
                 let (data, d) = decompress_chunk(stream)?;
                 if d != slab_dims(dims, extent) || data.len() != d.len() {
                     return Err(CodecError::Corrupt("chunk dims mismatch"));
                 }
                 Ok((data, d))
-            });
+            },
+            rec,
+        );
 
         let mut out = Vec::with_capacity(dims.len());
         for r in results {
@@ -328,6 +394,44 @@ mod tests {
             assert_eq!(d2, dims, "{}", codec.name());
             assert_eq!(dec.len(), data.len(), "{}", codec.name());
         }
+    }
+
+    #[test]
+    fn traced_chunked_round_trip_records_fanout() {
+        use pwrel_pipeline::{global, CompressOpts};
+        use pwrel_trace::{stage, TraceSink};
+        let dims = Dims::d2(40, 32);
+        let data: Vec<f32> = grf::gaussian_field(dims, 5, 2, 2)
+            .iter()
+            .map(|v| v.abs() + 0.25)
+            .collect();
+        let chunked = ChunkedCodec {
+            pool: WorkerPool::new(4),
+            target_chunks: 4,
+        };
+        let opts = CompressOpts::rel(1e-2);
+        let sink = TraceSink::new();
+        let stream = chunked
+            .compress_with_traced(global(), "sz_t", &data, dims, &opts, &sink)
+            .unwrap();
+        let plain = chunked
+            .compress_with(global(), "sz_t", &data, dims, &opts)
+            .unwrap();
+        assert_eq!(stream, plain, "tracing must not change the stream");
+        let (dec, d2) = chunked
+            .decompress_with_traced::<f32>(global(), &stream, &sink)
+            .unwrap();
+        assert_eq!(d2, dims);
+        assert_eq!(dec.len(), data.len());
+
+        let rows = pwrel_trace::export::stage_rows(&sink);
+        // Two chunks spans (one per direction), one compress/decompress
+        // root per slab, pool counters from both fan-outs.
+        assert_eq!(rows[stage::CHUNKS].calls, 2);
+        assert_eq!(rows[stage::COMPRESS].calls, 4);
+        assert_eq!(rows[stage::DECOMPRESS].calls, 4);
+        let counters = sink.counters();
+        assert!(counters.contains(&(stage::C_POOL_TASKS, 8)));
     }
 
     #[test]

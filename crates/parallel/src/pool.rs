@@ -302,6 +302,38 @@ impl WorkerPool {
             .map(|cell| cell.into_inner().expect("worker task panicked"))
             .collect()
     }
+
+    /// [`WorkerPool::map`] with per-task recording: each task observes
+    /// its queue wait (submission to claim, microseconds) and the task
+    /// count is added to the pool-task counter. With a disabled recorder
+    /// this is exactly `map` — no clock reads, no wrapper closure.
+    pub fn map_traced<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        f: F,
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if !rec.is_enabled() {
+            return self.map(tasks, f);
+        }
+        let n = tasks.len() as u64;
+        let submitted = std::time::Instant::now();
+        let out = self.map(tasks, |t| {
+            // Elapsed-at-claim covers the time the task sat behind
+            // earlier tasks — the queue wait an operator tunes
+            // `target_chunks` / worker count against.
+            let wait_us = submitted.elapsed().as_micros() as f64;
+            rec.observe(pwrel_trace::stage::O_QUEUE_WAIT_US, wait_us);
+            f(t)
+        });
+        rec.add(pwrel_trace::stage::C_POOL_TASKS, n);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +431,37 @@ mod tests {
         assert!(poisoned.is_err());
         let out = pool.map(vec![10, 20], |t| t + 1);
         assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn map_traced_records_queue_waits_from_worker_threads() {
+        use pwrel_trace::{stage, TraceSink};
+        let pool = WorkerPool::new(4);
+        let sink = TraceSink::new();
+        let out = pool.map_traced((0..200u64).collect::<Vec<_>>(), |t| t * 2, &sink);
+        assert_eq!(out.len(), 200);
+        assert_eq!(out[7], 14);
+        let counters = sink.counters();
+        assert!(counters.contains(&(stage::C_POOL_TASKS, 200)));
+        let obs = sink.observations();
+        let (_, wait) = obs
+            .iter()
+            .find(|(name, _)| *name == stage::O_QUEUE_WAIT_US)
+            .expect("queue-wait observations");
+        assert_eq!(wait.count, 200);
+        assert!(wait.min >= 0.0 && wait.max >= wait.min);
+    }
+
+    #[test]
+    fn map_traced_with_noop_matches_map() {
+        let pool = WorkerPool::new(4);
+        let traced = pool.map_traced(
+            (0..64u64).collect::<Vec<_>>(),
+            |t| t + 1,
+            pwrel_trace::noop(),
+        );
+        let plain = pool.map((0..64u64).collect::<Vec<_>>(), |t| t + 1);
+        assert_eq!(traced, plain);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use pwrel_core::LogBase;
 use pwrel_data::{CodecError, Dims, Float};
+use pwrel_trace::Recorder;
 
 /// Per-run compression options shared by every registered codec.
 ///
@@ -71,6 +72,62 @@ pub trait Codec: Send + Sync {
     /// Decompresses an `f64` payload produced by
     /// [`Codec::compress_f64`].
     fn decompress_f64(&self, payload: &[u8]) -> Result<(Vec<f64>, Dims), CodecError>;
+
+    /// The stage spans this codec emits when compressed through a live
+    /// recorder — the contract the trace exporters and the coverage
+    /// tests check against. Constants come from [`pwrel_trace::stage`].
+    /// The default (empty) declares "uninstrumented": the registry still
+    /// wraps the run in its root span, but no per-stage breakdown is
+    /// promised.
+    fn stages(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// [`Codec::compress_f32`] with per-stage recording. The default
+    /// ignores the recorder; instrumented codecs override it. Must emit
+    /// the same bytes as the plain method.
+    fn compress_f32_traced(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        let _ = rec;
+        self.compress_f32(data, dims, opts)
+    }
+
+    /// [`Codec::compress_f64`] with per-stage recording.
+    fn compress_f64_traced(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        let _ = rec;
+        self.compress_f64(data, dims, opts)
+    }
+
+    /// [`Codec::decompress_f32`] with per-stage recording.
+    fn decompress_f32_traced(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<f32>, Dims), CodecError> {
+        let _ = rec;
+        self.decompress_f32(payload)
+    }
+
+    /// [`Codec::decompress_f64`] with per-stage recording.
+    fn decompress_f64_traced(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<f64>, Dims), CodecError> {
+        let _ = rec;
+        self.decompress_f64(payload)
+    }
 }
 
 mod sealed {
@@ -93,6 +150,22 @@ pub trait PipelineElem: Float + sealed::Sealed {
     /// Calls the matching monomorphic decompress method.
     fn codec_decompress(codec: &dyn Codec, payload: &[u8])
         -> Result<(Vec<Self>, Dims), CodecError>;
+
+    /// Calls the matching monomorphic traced compress method.
+    fn codec_compress_traced(
+        codec: &dyn Codec,
+        data: &[Self],
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError>;
+
+    /// Calls the matching monomorphic traced decompress method.
+    fn codec_decompress_traced(
+        codec: &dyn Codec,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<Self>, Dims), CodecError>;
 }
 
 impl PipelineElem for f32 {
@@ -108,6 +181,24 @@ impl PipelineElem for f32 {
     fn codec_decompress(codec: &dyn Codec, payload: &[u8]) -> Result<(Vec<f32>, Dims), CodecError> {
         codec.decompress_f32(payload)
     }
+
+    fn codec_compress_traced(
+        codec: &dyn Codec,
+        data: &[f32],
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        codec.compress_f32_traced(data, dims, opts, rec)
+    }
+
+    fn codec_decompress_traced(
+        codec: &dyn Codec,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<f32>, Dims), CodecError> {
+        codec.decompress_f32_traced(payload, rec)
+    }
 }
 
 impl PipelineElem for f64 {
@@ -122,5 +213,23 @@ impl PipelineElem for f64 {
 
     fn codec_decompress(codec: &dyn Codec, payload: &[u8]) -> Result<(Vec<f64>, Dims), CodecError> {
         codec.decompress_f64(payload)
+    }
+
+    fn codec_compress_traced(
+        codec: &dyn Codec,
+        data: &[f64],
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        codec.compress_f64_traced(data, dims, opts, rec)
+    }
+
+    fn codec_decompress_traced(
+        codec: &dyn Codec,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<f64>, Dims), CodecError> {
+        codec.decompress_f64_traced(payload, rec)
     }
 }

@@ -13,10 +13,14 @@ use pwrel_data::{CodecError, Dims, Float};
 use pwrel_fpzip::FpzipCompressor;
 use pwrel_isabela::IsabelaCompressor;
 use pwrel_sz::SzCompressor;
+use pwrel_trace::{noop, stage, Recorder, Span};
 use pwrel_zfp::ZfpCompressor;
 
 /// Generates the boilerplate that bridges the monomorphic `Codec`
-/// methods onto one generic pair of functions.
+/// methods onto one generic pair of recorder-taking functions. The
+/// plain methods pass the no-op recorder; the `*_traced` variants
+/// thread the caller's recorder through — same code path either way,
+/// so the traced route cannot drift from the untraced one.
 macro_rules! dispatch_elem {
     () => {
         fn compress_f32(
@@ -25,7 +29,7 @@ macro_rules! dispatch_elem {
             dims: Dims,
             opts: &CompressOpts,
         ) -> Result<Vec<u8>, CodecError> {
-            self.compress_impl(data, dims, opts)
+            self.compress_impl(data, dims, opts, noop())
         }
 
         fn compress_f64(
@@ -34,15 +38,51 @@ macro_rules! dispatch_elem {
             dims: Dims,
             opts: &CompressOpts,
         ) -> Result<Vec<u8>, CodecError> {
-            self.compress_impl(data, dims, opts)
+            self.compress_impl(data, dims, opts, noop())
         }
 
         fn decompress_f32(&self, payload: &[u8]) -> Result<(Vec<f32>, Dims), CodecError> {
-            self.decompress_impl(payload)
+            self.decompress_impl(payload, noop())
         }
 
         fn decompress_f64(&self, payload: &[u8]) -> Result<(Vec<f64>, Dims), CodecError> {
-            self.decompress_impl(payload)
+            self.decompress_impl(payload, noop())
+        }
+
+        fn compress_f32_traced(
+            &self,
+            data: &[f32],
+            dims: Dims,
+            opts: &CompressOpts,
+            rec: &dyn Recorder,
+        ) -> Result<Vec<u8>, CodecError> {
+            self.compress_impl(data, dims, opts, rec)
+        }
+
+        fn compress_f64_traced(
+            &self,
+            data: &[f64],
+            dims: Dims,
+            opts: &CompressOpts,
+            rec: &dyn Recorder,
+        ) -> Result<Vec<u8>, CodecError> {
+            self.compress_impl(data, dims, opts, rec)
+        }
+
+        fn decompress_f32_traced(
+            &self,
+            payload: &[u8],
+            rec: &dyn Recorder,
+        ) -> Result<(Vec<f32>, Dims), CodecError> {
+            self.decompress_impl(payload, rec)
+        }
+
+        fn decompress_f64_traced(
+            &self,
+            payload: &[u8],
+            rec: &dyn Recorder,
+        ) -> Result<(Vec<f64>, Dims), CodecError> {
+            self.decompress_impl(payload, rec)
         }
     };
 }
@@ -68,14 +108,20 @@ impl SzT {
         data: &[F],
         dims: Dims,
         opts: &CompressOpts,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError> {
-        PwRelCompressor::new(self.config(), opts.base).compress_fused(data, dims, opts.bound)
+        PwRelCompressor::new(self.config(), opts.base)
+            .compress_fused_traced(data, dims, opts.bound, rec)
     }
 
-    fn decompress_impl<F: Float>(&self, payload: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
+    fn decompress_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
         // The base is read from the payload; the constructor's base is a
         // compile-side default.
-        PwRelCompressor::new(self.config(), LogBase::Two).decompress_full(payload)
+        PwRelCompressor::new(self.config(), LogBase::Two).decompress_full_traced(payload, rec)
     }
 }
 
@@ -104,6 +150,22 @@ impl Codec for SzT {
         }
     }
 
+    fn stages(&self) -> &'static [&'static str] {
+        if self.hybrid {
+            // The hybrid coder is block-structured and reports as one
+            // encode stage; the transform and sign stages still apply.
+            &[stage::TRANSFORM, stage::ENCODE, stage::SIGNS]
+        } else {
+            &[
+                stage::TRANSFORM,
+                stage::PREDICT_QUANTIZE,
+                stage::HUFFMAN,
+                stage::LZ,
+                stage::SIGNS,
+            ]
+        }
+    }
+
     dispatch_elem!();
 }
 
@@ -117,12 +179,18 @@ impl ZfpT {
         data: &[F],
         dims: Dims,
         opts: &CompressOpts,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError> {
-        PwRelCompressor::new(ZfpCompressor, opts.base).compress_fused(data, dims, opts.bound)
+        PwRelCompressor::new(ZfpCompressor, opts.base)
+            .compress_fused_traced(data, dims, opts.bound, rec)
     }
 
-    fn decompress_impl<F: Float>(&self, payload: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
-        PwRelCompressor::new(ZfpCompressor, LogBase::Two).decompress_full(payload)
+    fn decompress_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        PwRelCompressor::new(ZfpCompressor, LogBase::Two).decompress_full_traced(payload, rec)
     }
 }
 
@@ -139,6 +207,15 @@ impl Codec for ZfpT {
         "log transform + ZFP fixed-accuracy (the paper's ZFP_T)"
     }
 
+    fn stages(&self) -> &'static [&'static str] {
+        &[
+            stage::TRANSFORM,
+            stage::LIFT,
+            stage::PLANE_CODE,
+            stage::SIGNS,
+        ]
+    }
+
     dispatch_elem!();
 }
 
@@ -153,12 +230,18 @@ impl SzAbs {
         data: &[F],
         dims: Dims,
         opts: &CompressOpts,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError> {
-        SzCompressor::default().compress_abs(data, dims, opts.bound)
+        use pwrel_data::AbsErrorCodec;
+        SzCompressor::default().compress_abs_traced(data, dims, opts.bound, rec)
     }
 
-    fn decompress_impl<F: Float>(&self, payload: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
-        SzCompressor::default().decompress(payload)
+    fn decompress_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        SzCompressor::default().decompress_traced(payload, rec)
     }
 }
 
@@ -175,6 +258,10 @@ impl Codec for SzAbs {
         "SZ with an absolute error bound"
     }
 
+    fn stages(&self) -> &'static [&'static str] {
+        &[stage::PREDICT_QUANTIZE, stage::HUFFMAN, stage::LZ]
+    }
+
     dispatch_elem!();
 }
 
@@ -188,11 +275,20 @@ impl SzPwr {
         data: &[F],
         dims: Dims,
         opts: &CompressOpts,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError> {
+        // PWR routes per-block through internal engines; not internally
+        // instrumented, so it reports as one encode stage.
+        let _enc = Span::enter(rec, stage::ENCODE);
         SzCompressor::default().compress_pwr(data, dims, opts.bound)
     }
 
-    fn decompress_impl<F: Float>(&self, payload: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
+    fn decompress_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        let _enc = Span::enter(rec, stage::ENCODE);
         SzCompressor::default().decompress(payload)
     }
 }
@@ -210,6 +306,10 @@ impl Codec for SzPwr {
         "SZ blockwise point-wise-relative mode (SZ_PWR baseline)"
     }
 
+    fn stages(&self) -> &'static [&'static str] {
+        &[stage::ENCODE]
+    }
+
     dispatch_elem!();
 }
 
@@ -223,11 +323,18 @@ impl Fpzip {
         data: &[F],
         dims: Dims,
         opts: &CompressOpts,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError> {
+        let _enc = Span::enter(rec, stage::ENCODE);
         FpzipCompressor::for_rel_bound::<F>(opts.bound).compress(data, dims)
     }
 
-    fn decompress_impl<F: Float>(&self, payload: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
+    fn decompress_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        let _enc = Span::enter(rec, stage::ENCODE);
         pwrel_fpzip::decompress(payload)
     }
 }
@@ -245,6 +352,10 @@ impl Codec for Fpzip {
         "FPZIP truncated-precision predictive coder"
     }
 
+    fn stages(&self) -> &'static [&'static str] {
+        &[stage::ENCODE]
+    }
+
     dispatch_elem!();
 }
 
@@ -258,11 +369,18 @@ impl Isabela {
         data: &[F],
         dims: Dims,
         opts: &CompressOpts,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError> {
+        let _enc = Span::enter(rec, stage::ENCODE);
         IsabelaCompressor::default().compress_rel(data, dims, opts.bound)
     }
 
-    fn decompress_impl<F: Float>(&self, payload: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
+    fn decompress_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        let _enc = Span::enter(rec, stage::ENCODE);
         pwrel_isabela::decompress(payload)
     }
 }
@@ -280,6 +398,10 @@ impl Codec for Isabela {
         "ISABELA sort-and-spline compressor"
     }
 
+    fn stages(&self) -> &'static [&'static str] {
+        &[stage::ENCODE]
+    }
+
     dispatch_elem!();
 }
 
@@ -294,12 +416,22 @@ impl ZfpP {
         data: &[F],
         dims: Dims,
         opts: &CompressOpts,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError> {
-        ZfpCompressor.compress_precision(data, dims, pwrel_zfp::precision_for_rel_bound(opts.bound))
+        ZfpCompressor.compress_precision_traced(
+            data,
+            dims,
+            pwrel_zfp::precision_for_rel_bound(opts.bound),
+            rec,
+        )
     }
 
-    fn decompress_impl<F: Float>(&self, payload: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
-        ZfpCompressor.decompress(payload)
+    fn decompress_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        ZfpCompressor.decompress_traced(payload, rec)
     }
 }
 
@@ -314,6 +446,10 @@ impl Codec for ZfpP {
 
     fn describe(&self) -> &'static str {
         "ZFP fixed-precision mode (ZFP_P comparison point)"
+    }
+
+    fn stages(&self) -> &'static [&'static str] {
+        &[stage::LIFT, stage::PLANE_CODE]
     }
 
     dispatch_elem!();

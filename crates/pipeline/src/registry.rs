@@ -5,6 +5,7 @@ use crate::codecs;
 use crate::container::{self, ContainerHeader, CONTAINER_VERSION};
 use crate::legacy;
 use pwrel_data::{CodecError, Dims};
+use pwrel_trace::{noop, stage, Recorder, Span};
 use std::sync::OnceLock;
 
 /// An ordered set of [`Codec`] implementations keyed by id and name.
@@ -81,13 +82,35 @@ impl CodecRegistry {
         dims: Dims,
         opts: &CompressOpts,
     ) -> Result<Vec<u8>, CodecError> {
+        self.compress_traced(name, data, dims, opts, noop())
+    }
+
+    /// [`CodecRegistry::compress`] with per-stage recording: a root
+    /// `compress` span brackets the whole run (including container
+    /// wrapping) and the byte counters record the uncompressed input
+    /// and the final container size. Emits the same bytes.
+    pub fn compress_traced<F: PipelineElem>(
+        &self,
+        name: &str,
+        data: &[F],
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
         let codec = self
             .by_name(name)
             .ok_or(CodecError::InvalidArgument("unknown codec name"))?;
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims product"));
         }
-        let payload = F::codec_compress(codec, data, dims, opts)?;
+        let _root = Span::enter(rec, stage::COMPRESS);
+        if rec.is_enabled() {
+            rec.add(
+                stage::C_BYTES_IN,
+                (data.len() * (F::BITS as usize / 8)) as u64,
+            );
+        }
+        let payload = F::codec_compress_traced(codec, data, dims, opts, rec)?;
         let header = ContainerHeader {
             version: CONTAINER_VERSION,
             codec_id: codec.id(),
@@ -96,12 +119,32 @@ impl CodecRegistry {
             bound: opts.bound,
             base: opts.base,
         };
-        Ok(container::wrap(&header, &payload))
+        let stream = container::wrap(&header, &payload);
+        if rec.is_enabled() {
+            rec.add(stage::C_BYTES_OUT, stream.len() as u64);
+        }
+        Ok(stream)
     }
 
     /// Decompresses a unified container, or falls back to the legacy
     /// per-codec magic sniff for pre-container streams.
     pub fn decompress<F: PipelineElem>(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
+        self.decompress_traced(bytes, noop())
+    }
+
+    /// [`CodecRegistry::decompress`] with per-stage recording: a root
+    /// `decompress` span brackets the run. Byte counters use the
+    /// decompress-direction names so a round trip on one sink keeps the
+    /// directions separate.
+    pub fn decompress_traced<F: PipelineElem>(
+        &self,
+        bytes: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        let _root = Span::enter(rec, stage::DECOMPRESS);
+        if rec.is_enabled() {
+            rec.add(stage::C_DECOMP_BYTES_IN, bytes.len() as u64);
+        }
         if !container::is_unified(bytes) {
             return legacy::decompress_legacy(bytes);
         }
@@ -112,9 +155,15 @@ impl CodecRegistry {
         let codec = self
             .get(header.codec_id)
             .ok_or(CodecError::InvalidArgument("unknown codec id in container"))?;
-        let (data, dims) = F::codec_decompress(codec, payload)?;
+        let (data, dims) = F::codec_decompress_traced(codec, payload, rec)?;
         if dims != header.dims {
             return Err(CodecError::Corrupt("payload dims disagree with container"));
+        }
+        if rec.is_enabled() {
+            rec.add(
+                stage::C_DECOMP_BYTES_OUT,
+                (data.len() * (F::BITS as usize / 8)) as u64,
+            );
         }
         Ok((data, dims))
     }
@@ -214,5 +263,77 @@ mod tests {
         let a = global() as *const _;
         let b = global() as *const _;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_round_trip_covers_declared_stages() {
+        use pwrel_trace::TraceSink;
+        use std::collections::BTreeSet;
+
+        let data: Vec<f32> = (1..2000)
+            .map(|i| (i as f32 * 0.01).cos() * 50.0 + 60.0)
+            .collect();
+        let dims = Dims::d1(data.len());
+        let r = CodecRegistry::builtin();
+        for codec in r.iter() {
+            let sink = TraceSink::new();
+            let stream = r
+                .compress_traced(codec.name(), &data, dims, &CompressOpts::rel(1e-2), &sink)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            let (back, _) = r
+                .decompress_traced::<f32>(&stream, &sink)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            assert_eq!(back.len(), data.len(), "{}", codec.name());
+
+            let seen: BTreeSet<&str> = pwrel_trace::export::stage_rows(&sink).into_keys().collect();
+            for want in codec.stages() {
+                assert!(
+                    seen.contains(want),
+                    "{}: declared stage {want:?} missing from trace (saw {seen:?})",
+                    codec.name()
+                );
+            }
+            assert!(seen.contains(stage::COMPRESS), "{}", codec.name());
+            assert!(seen.contains(stage::DECOMPRESS), "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn traced_compress_is_byte_identical_to_plain() {
+        use pwrel_trace::TraceSink;
+
+        let data: Vec<f64> = (1..1200).map(|i| (i as f64 * 0.03).sin() + 2.0).collect();
+        let dims = Dims::d1(data.len());
+        let r = CodecRegistry::builtin();
+        for codec in r.iter() {
+            let plain = r
+                .compress(codec.name(), &data, dims, &CompressOpts::rel(1e-3))
+                .unwrap();
+            let sink = TraceSink::new();
+            let traced = r
+                .compress_traced(codec.name(), &data, dims, &CompressOpts::rel(1e-3), &sink)
+                .unwrap();
+            assert_eq!(plain, traced, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn traced_byte_counters_reconcile() {
+        use pwrel_trace::TraceSink;
+        use std::collections::BTreeMap;
+
+        let data: Vec<f32> = (0..512).map(|i| (i as f32 * 0.1).sin() + 3.0).collect();
+        let dims = Dims::d1(data.len());
+        let r = CodecRegistry::builtin();
+        let sink = TraceSink::new();
+        let stream = r
+            .compress_traced("sz_t", &data, dims, &CompressOpts::rel(1e-3), &sink)
+            .unwrap();
+        r.decompress_traced::<f32>(&stream, &sink).unwrap();
+        let counters: BTreeMap<_, _> = sink.counters().into_iter().collect();
+        assert_eq!(counters[stage::C_BYTES_IN], (data.len() * 4) as u64);
+        assert_eq!(counters[stage::C_BYTES_OUT], stream.len() as u64);
+        assert_eq!(counters[stage::C_DECOMP_BYTES_IN], stream.len() as u64);
+        assert_eq!(counters[stage::C_DECOMP_BYTES_OUT], (data.len() * 4) as u64);
     }
 }

@@ -7,6 +7,20 @@ use crate::SzCompressor;
 use pwrel_bitstream::{BitReader, BitWriter};
 use pwrel_data::{CodecError, Dims, Encoder, Float, Predictor, Quantizer};
 use pwrel_kernels::{LogPlan, CHUNK};
+use pwrel_trace::{stage, Recorder, Span, StageTimer};
+
+/// Publishes the quantization tallies for one compression sweep: total
+/// values, escaped outliers, and their ratio as an observation.
+fn record_quant_stats(rec: &dyn Recorder, n: usize, n_unpred: u64) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.add(stage::C_QUANT_VALUES, n as u64);
+    rec.add(stage::C_QUANT_OUTLIERS, n_unpred);
+    if n > 0 {
+        rec.observe(stage::O_OUTLIER_RATE, n_unpred as f64 / n as f64);
+    }
+}
 
 /// Default quantization interval count (SZ 1.4's default scale).
 pub const DEFAULT_CAPACITY: u32 = 65536;
@@ -144,12 +158,15 @@ fn quantize_one<F: Float>(
     unpred::write(unpred_w, x, eb)
 }
 
-/// Core compressor shared by both modes.
+/// Core compressor shared by both modes. The recorder attributes the
+/// prediction/quantization sweep, the Huffman stage, and (inside
+/// serialization) the LZ pass; it never changes the output bytes.
 pub(crate) fn compress<F: Float>(
     data: &[F],
     dims: Dims,
     spec: EbSpec,
     cfg: &SzCompressor,
+    rec: &dyn Recorder,
 ) -> Result<Vec<u8>, CodecError> {
     let capacity = cfg.capacity;
     let quant = LinearQuantizer { capacity };
@@ -190,25 +207,32 @@ pub(crate) fn compress<F: Float>(
     let mut n_unpred = 0u64;
     let mut dec: Vec<F> = vec![F::zero(); n];
 
-    for k in 0..dims.nz {
-        for j in 0..dims.ny {
-            for i in 0..dims.nx {
-                let idx = dims.index(i, j, k);
-                let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
-                dec[idx] = quantize_one(
-                    data[idx],
-                    ebs.at(idx),
-                    &quant,
-                    pred,
-                    &mut codes,
-                    &mut unpred_w,
-                    &mut n_unpred,
-                );
+    {
+        let _pq = Span::enter(rec, stage::PREDICT_QUANTIZE);
+        for k in 0..dims.nz {
+            for j in 0..dims.ny {
+                for i in 0..dims.nx {
+                    let idx = dims.index(i, j, k);
+                    let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
+                    dec[idx] = quantize_one(
+                        data[idx],
+                        ebs.at(idx),
+                        &quant,
+                        pred,
+                        &mut codes,
+                        &mut unpred_w,
+                        &mut n_unpred,
+                    );
+                }
             }
         }
     }
+    record_quant_stats(rec, n, n_unpred);
 
-    let codes_buf = HuffmanStage.encode(&codes, Quantizer::<F>::alphabet(&quant));
+    let codes_buf = {
+        let _huff = Span::enter(rec, stage::HUFFMAN);
+        HuffmanStage.encode(&codes, Quantizer::<F>::alphabet(&quant))
+    };
     let stream = SzStream {
         float_bits: F::BITS as u8,
         dims,
@@ -218,7 +242,7 @@ pub(crate) fn compress<F: Float>(
         n_unpred,
         unpred_bytes: unpred_w.into_bytes(),
     };
-    Ok(stream.serialize(cfg.lossless_pass))
+    Ok(stream.serialize_traced(cfg.lossless_pass, rec))
 }
 
 /// Fused transform + compression: maps `data` through `plan` in
@@ -230,11 +254,17 @@ pub(crate) fn compress<F: Float>(
 ///
 /// Produces exactly the stream [`compress`] would on the buffered mapped
 /// data with `EbSpec::Abs(plan.abs_bound)`.
+///
+/// The recorder attributes the chunked mapping to [`stage::TRANSFORM`]
+/// (as a [`StageTimer`] aggregate, since it interleaves with the sweep)
+/// and the surrounding sweep to [`stage::PREDICT_QUANTIZE`]; the
+/// predict/quantize span therefore *contains* the transform total.
 pub(crate) fn compress_fused<F: Float>(
     data: &[F],
     dims: Dims,
     plan: &LogPlan,
     cfg: &SzCompressor,
+    rec: &dyn Recorder,
 ) -> Result<(Vec<u8>, Option<Vec<bool>>), CodecError> {
     let capacity = cfg.capacity;
     let quant = LinearQuantizer { capacity };
@@ -250,35 +280,46 @@ pub(crate) fn compress_fused<F: Float>(
     let mut signs: Vec<bool> = Vec::with_capacity(if plan.any_negative { n } else { 0 });
 
     let mut idx = 0usize;
-    for k in 0..dims.nz {
-        for j in 0..dims.ny {
-            for i in 0..dims.nx {
-                debug_assert_eq!(idx, dims.index(i, j, k));
-                if idx.is_multiple_of(CHUNK) {
-                    let end = (idx + CHUNK).min(n);
-                    plan.map_chunk(
-                        &data[idx..end],
-                        &mut window[..end - idx],
-                        &mut scratch,
-                        &mut signs,
+    {
+        let _pq = Span::enter(rec, stage::PREDICT_QUANTIZE);
+        let mut map_timer = StageTimer::new(rec, stage::TRANSFORM);
+        for k in 0..dims.nz {
+            for j in 0..dims.ny {
+                for i in 0..dims.nx {
+                    debug_assert_eq!(idx, dims.index(i, j, k));
+                    if idx.is_multiple_of(CHUNK) {
+                        let end = (idx + CHUNK).min(n);
+                        map_timer.time(|| {
+                            plan.map_chunk(
+                                &data[idx..end],
+                                &mut window[..end - idx],
+                                &mut scratch,
+                                &mut signs,
+                            )
+                        });
+                    }
+                    let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
+                    dec[idx] = quantize_one(
+                        window[idx % CHUNK],
+                        eb,
+                        &quant,
+                        pred,
+                        &mut codes,
+                        &mut unpred_w,
+                        &mut n_unpred,
                     );
+                    idx += 1;
                 }
-                let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
-                dec[idx] = quantize_one(
-                    window[idx % CHUNK],
-                    eb,
-                    &quant,
-                    pred,
-                    &mut codes,
-                    &mut unpred_w,
-                    &mut n_unpred,
-                );
-                idx += 1;
             }
         }
+        map_timer.finish();
     }
+    record_quant_stats(rec, n, n_unpred);
 
-    let codes_buf = HuffmanStage.encode(&codes, Quantizer::<F>::alphabet(&quant));
+    let codes_buf = {
+        let _huff = Span::enter(rec, stage::HUFFMAN);
+        HuffmanStage.encode(&codes, Quantizer::<F>::alphabet(&quant))
+    };
     let stream = SzStream {
         float_bits: F::BITS as u8,
         dims,
@@ -289,14 +330,18 @@ pub(crate) fn compress_fused<F: Float>(
         unpred_bytes: unpred_w.into_bytes(),
     };
     Ok((
-        stream.serialize(cfg.lossless_pass),
+        stream.serialize_traced(cfg.lossless_pass, rec),
         plan.any_negative.then_some(signs),
     ))
 }
 
-/// Decompresses any mode.
-pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
-    let stream = SzStream::deserialize(bytes)?;
+/// Decompresses any mode. The recorder attributes the LZ unwrap (inside
+/// deserialization), the Huffman decode, and the reconstruction sweep.
+pub(crate) fn decompress<F: Float>(
+    bytes: &[u8],
+    rec: &dyn Recorder,
+) -> Result<(Vec<F>, Dims), CodecError> {
+    let stream = SzStream::deserialize_traced(bytes, rec)?;
     if stream.float_bits as u32 != F::BITS {
         return Err(CodecError::Mismatch("element type differs from stream"));
     }
@@ -336,7 +381,10 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
     };
 
     let mut pos = 0usize;
-    let codes = HuffmanStage.decode(&stream.codes_buf, &mut pos)?;
+    let codes = {
+        let _huff = Span::enter(rec, stage::HUFFMAN);
+        HuffmanStage.decode(&stream.codes_buf, &mut pos)?
+    };
     if codes.len() != n {
         return Err(CodecError::Corrupt("code count != point count"));
     }
@@ -344,6 +392,7 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
     let mut unpred_r = BitReader::new(&stream.unpred_bytes);
     let mut dec: Vec<F> = vec![F::zero(); n];
 
+    let _rebuild = Span::enter(rec, stage::RECONSTRUCT);
     // audit:allow-fn(L1): `codes.len() == n` is checked above and `dec` is
     // allocated with n elements; `dims.index` yields idx < n for in-grid
     // (i, j, k), so the hot-loop indexing cannot go out of bounds.

@@ -113,6 +113,18 @@ pub struct SzStream {
 impl SzStream {
     /// Serializes, optionally trying the LZ wrapper.
     pub fn serialize(&self, lossless_pass: bool) -> Vec<u8> {
+        self.serialize_traced(lossless_pass, pwrel_trace::noop())
+    }
+
+    /// [`SzStream::serialize`] with the wrapper decision and LZ pass
+    /// attributed to the [`pwrel_trace::stage::LZ`] span. The span is
+    /// emitted even when the pass is disabled or declined, so stage
+    /// coverage does not depend on the data.
+    pub fn serialize_traced(
+        &self,
+        lossless_pass: bool,
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Vec<u8> {
         let mut p = Vec::with_capacity(self.codes_buf.len() + self.unpred_bytes.len() + 64);
         p.extend_from_slice(MAGIC);
         p.push(self.float_bits);
@@ -193,6 +205,7 @@ impl SzStream {
         // The LZ pass mirrors SZ's optional gzip stage: worthwhile on
         // redundant streams, wasted time on already-dense Huffman output.
         // Decide from a prefix sample before paying for the full pass.
+        let _lz = pwrel_trace::Span::enter(rec, pwrel_trace::stage::LZ);
         if lossless_pass && worth_lz_pass(&p) {
             let packed = LzStage.compress(&p);
             if packed.len() + 1 < p.len() + 1 {
@@ -210,17 +223,29 @@ impl SzStream {
 
     /// Parses a stream produced by [`SzStream::serialize`].
     pub fn deserialize(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::deserialize_traced(bytes, pwrel_trace::noop())
+    }
+
+    /// [`SzStream::deserialize`] with the LZ unwrap attributed to the
+    /// [`pwrel_trace::stage::LZ`] span (emitted for both wrapper kinds).
+    pub fn deserialize_traced(
+        bytes: &[u8],
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<Self, CodecError> {
         let (&wrapper, rest) = bytes
             .split_first()
             .ok_or(CodecError::Corrupt("empty stream"))?;
         let unpacked;
-        let p: &[u8] = match wrapper {
-            0 => rest,
-            1 => {
-                unpacked = LzStage.decompress(rest)?;
-                &unpacked
+        let p: &[u8] = {
+            let _lz = pwrel_trace::Span::enter(rec, pwrel_trace::stage::LZ);
+            match wrapper {
+                0 => rest,
+                1 => {
+                    unpacked = LzStage.decompress(rest)?;
+                    &unpacked
+                }
+                _ => return Err(CodecError::Corrupt("unknown wrapper byte")),
             }
-            _ => return Err(CodecError::Corrupt("unknown wrapper byte")),
         };
 
         if !p.starts_with(MAGIC) {

@@ -44,6 +44,7 @@ pub use stages::{HuffmanStage, LinearQuantizer, LorenzoPredictor, LzStage};
 
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
 use pwrel_kernels::{FusedOutput, LogFusedCodec, LogPlan};
+use pwrel_trace::{noop, stage, Recorder, Span, StageTimer};
 
 /// Configuration + entry points for the SZ-like codec.
 ///
@@ -126,7 +127,7 @@ impl SzCompressor {
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
-        engine::compress(data, dims, EbSpec::Abs(bound), self)
+        engine::compress(data, dims, EbSpec::Abs(bound), self, noop())
     }
 
     /// Compresses with SZ's blockwise point-wise relative error bound:
@@ -166,6 +167,7 @@ impl SzCompressor {
                 block_len: self.pwr_block_len,
             },
             self,
+            noop(),
         )
     }
 
@@ -191,7 +193,17 @@ impl SzCompressor {
 
     /// Decompresses any SZ stream (any mode).
     pub fn decompress<F: Float>(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
-        engine::decompress(bytes)
+        engine::decompress(bytes, noop())
+    }
+
+    /// [`SzCompressor::decompress`] with per-stage recording (LZ unwrap,
+    /// Huffman decode, reconstruction sweep).
+    pub fn decompress_traced<F: Float>(
+        &self,
+        bytes: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        engine::decompress(bytes, rec)
     }
 }
 
@@ -201,15 +213,43 @@ impl<F: Float> AbsErrorCodec<F> for SzCompressor {
     }
 
     fn compress_abs(&self, data: &[F], dims: Dims, bound: f64) -> Result<Vec<u8>, CodecError> {
-        if self.hybrid_predictor {
-            self.compress_abs_hybrid(data, dims, bound)
-        } else {
-            SzCompressor::compress_abs(self, data, dims, bound)
-        }
+        self.compress_abs_traced(data, dims, bound, noop())
     }
 
     fn decompress_abs(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
         self.decompress(bytes)
+    }
+
+    fn compress_abs_traced(
+        &self,
+        data: &[F],
+        dims: Dims,
+        bound: f64,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        if self.hybrid_predictor {
+            // The hybrid coder is block-structured and not internally
+            // instrumented; it reports as one encode stage.
+            let _enc = Span::enter(rec, stage::ENCODE);
+            self.compress_abs_hybrid(data, dims, bound)
+        } else {
+            self.check_config()?;
+            if !(bound > 0.0) || !bound.is_finite() {
+                return Err(CodecError::InvalidArgument("bound must be finite and > 0"));
+            }
+            if data.len() != dims.len() {
+                return Err(CodecError::InvalidArgument("data length != dims"));
+            }
+            engine::compress(data, dims, EbSpec::Abs(bound), self, rec)
+        }
+    }
+
+    fn decompress_abs_traced(
+        &self,
+        bytes: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        self.decompress_traced(bytes, rec)
     }
 }
 
@@ -226,6 +266,16 @@ impl<F: Float> LogFusedCodec<F> for SzCompressor {
         dims: Dims,
         plan: &LogPlan,
     ) -> Result<FusedOutput, CodecError> {
+        self.compress_fused_traced(data, dims, plan, noop())
+    }
+
+    fn compress_fused_traced(
+        &self,
+        data: &[F],
+        dims: Dims,
+        plan: &LogPlan,
+        rec: &dyn Recorder,
+    ) -> Result<FusedOutput, CodecError> {
         self.check_config()?;
         if !(plan.abs_bound > 0.0) || !plan.abs_bound.is_finite() {
             return Err(CodecError::InvalidArgument("bound must be finite and > 0"));
@@ -237,19 +287,26 @@ impl<F: Float> LogFusedCodec<F> for SzCompressor {
             let mut mapped: Vec<F> = vec![F::zero(); data.len()];
             let mut scratch = [0f64; pwrel_kernels::CHUNK];
             let mut signs = Vec::with_capacity(if plan.any_negative { data.len() } else { 0 });
-            for (src, out) in data
-                .chunks(pwrel_kernels::CHUNK)
-                .zip(mapped.chunks_mut(pwrel_kernels::CHUNK))
             {
-                plan.map_chunk(src, out, &mut scratch, &mut signs);
+                let mut map_timer = StageTimer::new(rec, stage::TRANSFORM);
+                for (src, out) in data
+                    .chunks(pwrel_kernels::CHUNK)
+                    .zip(mapped.chunks_mut(pwrel_kernels::CHUNK))
+                {
+                    map_timer.time(|| plan.map_chunk(src, out, &mut scratch, &mut signs));
+                }
+                map_timer.finish();
             }
-            let stream = self.compress_abs_hybrid(&mapped, dims, plan.abs_bound)?;
+            let stream = {
+                let _enc = Span::enter(rec, stage::ENCODE);
+                self.compress_abs_hybrid(&mapped, dims, plan.abs_bound)?
+            };
             return Ok(FusedOutput {
                 stream,
                 signs: plan.any_negative.then_some(signs),
             });
         }
-        let (stream, signs) = engine::compress_fused(data, dims, plan, self)?;
+        let (stream, signs) = engine::compress_fused(data, dims, plan, self, rec)?;
         Ok(FusedOutput { stream, signs })
     }
 }

@@ -1,0 +1,283 @@
+//! Exporters over a [`TraceSink`] snapshot: a per-stage summary table
+//! for terminals and Chrome `trace_event` JSON for
+//! `chrome://tracing` / Perfetto.
+//!
+//! Both exporters are pure functions of the sink snapshot and are
+//! panic-free (they run inside operator tooling; see the workspace
+//! audit's L1 policy).
+
+use crate::sink::{SpanTotal, TraceSink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Merged per-stage accounting used by the summary table: discrete span
+/// events and [`crate::StageTimer`] aggregates reduce to the same shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageRow {
+    /// Number of span occurrences (or timed calls for aggregates).
+    pub calls: u64,
+    /// Total nanoseconds attributed to the stage.
+    pub total_ns: u64,
+}
+
+/// Folds discrete events and aggregated totals into one name → row map.
+/// Open (unclosed) spans contribute a call with zero duration.
+pub fn stage_rows(sink: &TraceSink) -> BTreeMap<&'static str, StageRow> {
+    let mut rows: BTreeMap<&'static str, StageRow> = BTreeMap::new();
+    for event in sink.events() {
+        let row = rows.entry(event.name).or_default();
+        row.calls += 1;
+        row.total_ns = row.total_ns.saturating_add(event.dur_ns.unwrap_or(0));
+    }
+    for (name, SpanTotal { total_ns, calls }) in sink.span_totals() {
+        let row = rows.entry(name).or_default();
+        row.calls = row.calls.saturating_add(calls);
+        row.total_ns = row.total_ns.saturating_add(total_ns);
+    }
+    rows
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Renders the human-readable per-stage summary: spans (with share of
+/// sink wall-clock), counters, and observation statistics.
+///
+/// The "% wall" column divides by the sink's lifetime, so nested spans
+/// legitimately sum past 100% — the roots (`compress` / `decompress`)
+/// are the rows to reconcile against wall-clock.
+pub fn summary_table(sink: &TraceSink) -> String {
+    let mut out = String::new();
+    let wall_ns = sink.elapsed_ns().max(1);
+    let rows = stage_rows(sink);
+
+    let _ = writeln!(out, "stage                     calls     total ms   % wall");
+    let _ = writeln!(out, "-----                     -----     --------   ------");
+    for (name, row) in &rows {
+        let pct = 100.0 * row.total_ns as f64 / wall_ns as f64;
+        let _ = writeln!(
+            out,
+            "{name:<24} {calls:>6} {total:>12} {pct:>8.1}",
+            calls = row.calls,
+            total = fmt_ms(row.total_ns),
+        );
+    }
+    let _ = writeln!(out, "wall clock               {:>19} ms", fmt_ms(wall_ns));
+
+    let counters = sink.counters();
+    if !counters.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "counter                              value");
+        let _ = writeln!(out, "-------                              -----");
+        for (name, value) in counters {
+            let _ = writeln!(out, "{name:<24} {value:>16}");
+        }
+    }
+
+    let observations = sink.observations();
+    if !observations.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "observation               count         mean          min          max"
+        );
+        let _ = writeln!(
+            out,
+            "-----------               -----         ----          ---          ---"
+        );
+        for (name, stat) in observations {
+            let _ = writeln!(
+                out,
+                "{name:<24} {count:>6} {mean:>12.6} {min:>12.6} {max:>12.6}",
+                count = stat.count,
+                mean = stat.mean(),
+                min = if stat.count == 0 { 0.0 } else { stat.min },
+                max = if stat.count == 0 { 0.0 } else { stat.max },
+            );
+        }
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal. Stage names are in-tree
+/// constants, but the exporter stays robust to arbitrary recorder input.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the sink as Chrome `trace_event` JSON (the "JSON object
+/// format": `{"traceEvents": [...]}`), loadable in `chrome://tracing`
+/// and Perfetto.
+///
+/// * Closed spans become `"ph":"X"` complete events (`ts`/`dur` in
+///   microseconds, fractional); open spans become `"ph":"B"` begins so
+///   they remain visible rather than silently dropped.
+/// * [`crate::StageTimer`] aggregates have no timeline position; they
+///   are synthesized as `"ph":"X"` events on the reserved thread id
+///   `9999` (named "aggregates") starting at `ts` 0, so per-block stage
+///   names still appear in the trace with their true totals.
+/// * Counters and observation means are emitted as `"ph":"C"` counter
+///   events at the end of the timeline.
+pub fn chrome_trace_json(sink: &TraceSink) -> String {
+    const AGG_TID: u32 = 9999;
+    let us = |ns: u64| ns as f64 / 1e3;
+    let end_ts = us(sink.elapsed_ns());
+    let mut parts: Vec<String> = Vec::new();
+
+    for event in sink.events() {
+        let name = json_escape(event.name);
+        match event.dur_ns {
+            Some(dur) => parts.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"pwrel\",\"ph\":\"X\",\"ts\":{ts:.3},\
+                 \"dur\":{dur:.3},\"pid\":1,\"tid\":{tid}}}",
+                ts = us(event.start_ns),
+                dur = us(dur),
+                tid = event.tid,
+            )),
+            None => parts.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"pwrel\",\"ph\":\"B\",\"ts\":{ts:.3},\
+                 \"pid\":1,\"tid\":{tid}}}",
+                ts = us(event.start_ns),
+                tid = event.tid,
+            )),
+        }
+    }
+
+    for (name, SpanTotal { total_ns, calls }) in sink.span_totals() {
+        parts.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"pwrel-aggregate\",\"ph\":\"X\",\"ts\":0.0,\
+             \"dur\":{dur:.3},\"pid\":1,\"tid\":{AGG_TID},\"args\":{{\"calls\":{calls}}}}}",
+            name = json_escape(name),
+            dur = us(total_ns),
+        ));
+    }
+    parts.push(format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{AGG_TID},\
+         \"args\":{{\"name\":\"aggregates\"}}}}"
+    ));
+
+    for (name, value) in sink.counters() {
+        parts.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"pwrel\",\"ph\":\"C\",\"ts\":{end_ts:.3},\
+             \"pid\":1,\"args\":{{\"value\":{value}}}}}",
+            name = json_escape(name),
+        ));
+    }
+    for (name, stat) in sink.observations() {
+        parts.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"pwrel\",\"ph\":\"C\",\"ts\":{end_ts:.3},\
+             \"pid\":1,\"args\":{{\"mean\":{mean}}}}}",
+            name = json_escape(name),
+            mean = stat.mean(),
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, Span};
+
+    fn populated_sink() -> TraceSink {
+        let sink = TraceSink::new();
+        {
+            let _root = Span::enter(&sink, "compress");
+            let _stage = Span::enter(&sink, "huffman");
+        }
+        sink.add_span_total("lift", 1_500_000, 64);
+        sink.add("bytes_in", 4096);
+        sink.observe("outlier_rate", 0.01);
+        sink
+    }
+
+    #[test]
+    fn summary_names_every_stage_and_counter() {
+        let sink = populated_sink();
+        let table = summary_table(&sink);
+        for needle in [
+            "compress",
+            "huffman",
+            "lift",
+            "bytes_in",
+            "outlier_rate",
+            "wall clock",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_structurally_valid() {
+        let sink = populated_sink();
+        let json = chrome_trace_json(&sink);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        // Balanced braces/brackets with no raw control chars — a cheap
+        // structural validity check without a JSON dependency.
+        let (mut depth_obj, mut depth_arr) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut escaped = false;
+        for ch in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if ch == '\\' {
+                    escaped = true;
+                } else if ch == '"' {
+                    in_str = false;
+                } else {
+                    assert!(ch as u32 >= 0x20, "raw control char in string");
+                }
+                continue;
+            }
+            match ch {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0);
+        }
+        assert_eq!((depth_obj, depth_arr), (0, 0));
+        assert!(!in_str);
+        for needle in ["\"ph\":\"X\"", "\"ph\":\"C\"", "\"lift\"", "\"compress\""] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn open_spans_survive_as_begin_events() {
+        let sink = TraceSink::new();
+        let _ = sink.begin_span("stuck");
+        let json = chrome_trace_json(&sink);
+        assert!(json.contains("\"ph\":\"B\""));
+    }
+
+    #[test]
+    fn escape_handles_hostile_names() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,256 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Zero-dependency observability substrate for the pwrel pipeline.
+//!
+//! The paper's performance claims (Sec. V.C, Table III) are *per-stage*
+//! claims — the log transform is cheap, the Lemma 2 correction is tiny,
+//! and the SZ/ZFP coding stages dominate — so the pipeline needs a way to
+//! attribute wall-clock and bytes to individual stages without perturbing
+//! the measurement. This crate provides that substrate:
+//!
+//! * [`Recorder`] — the trait threaded (as `&dyn Recorder`) through the
+//!   codec registry, the chunked codec, and the worker pool. Every method
+//!   has a no-op default, so the disabled path is a virtual call guarded
+//!   by [`Recorder::is_enabled`] and nothing else.
+//! * [`noop`] — the process-wide disabled recorder. Call sites that do
+//!   not care about tracing pass this; it never allocates, never takes a
+//!   clock reading, and never locks.
+//! * [`Span`] — an RAII guard pairing `begin_span`/`end_span` so exits
+//!   stay LIFO-ordered even across `?` returns.
+//! * [`StageTimer`] — an aggregating timer for per-block hot loops
+//!   (e.g. ZFP's lift/plane-code stages run once per 4^d block); it
+//!   accumulates locally and publishes one aggregate instead of millions
+//!   of events.
+//! * [`TraceSink`] — the concrete thread-safe recorder, with exporters
+//!   in [`export`]: a human-readable per-stage summary table and Chrome
+//!   `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
+//!
+//! Stage names are shared constants in [`stage`] so the span taxonomy,
+//! the codec registry's [`stages`](stage) declarations, and the exporters
+//! can never drift apart.
+
+pub mod export;
+pub mod sink;
+pub mod stage;
+
+pub use sink::{Event, ObservedStat, TraceSink};
+
+/// Opaque handle for an in-flight span, returned by
+/// [`Recorder::begin_span`] and consumed by [`Recorder::end_span`].
+///
+/// [`SpanId::NONE`] means "no event was recorded" (the recorder was
+/// disabled); [`Recorder::end_span`] ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The sentinel handle for "nothing was recorded".
+    pub const NONE: SpanId = SpanId(u64::MAX);
+
+    /// Wraps a raw recorder-defined value.
+    pub fn from_raw(raw: u64) -> Self {
+        SpanId(raw)
+    }
+
+    /// The raw recorder-defined value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A sink for spans, counters, and observations.
+///
+/// Implementations must be cheap when disabled: every default method is a
+/// no-op, and instrumented code gates its clock reads on
+/// [`Recorder::is_enabled`] (usually via [`Span`] / [`StageTimer`], which
+/// do the gating for you). The trait is object-safe and `Send + Sync` so
+/// a `&dyn Recorder` can cross into `pwrel-parallel` worker closures.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder stores anything at all. Instrumentation
+    /// skips clock reads and value computation when this is `false`.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a span named `name` at the current instant. Returns a
+    /// handle for [`Recorder::end_span`]; [`SpanId::NONE`] when nothing
+    /// was recorded.
+    fn begin_span(&self, name: &'static str) -> SpanId {
+        let _ = name;
+        SpanId::NONE
+    }
+
+    /// Closes the span `id` at the current instant. Ignores
+    /// [`SpanId::NONE`] and unknown handles.
+    fn end_span(&self, id: SpanId) {
+        let _ = id;
+    }
+
+    /// Adds `delta` to the monotonic counter `name` (bytes in/out,
+    /// outlier counts, task counts, …).
+    fn add(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records one observation of the distribution metric `name`
+    /// (queue-wait micros, correction magnitudes, densities, …).
+    fn observe(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Merges a pre-aggregated stage timing: `calls` invocations of
+    /// stage `name` totalling `total_ns`. Used by per-block hot loops
+    /// (see [`StageTimer`]) where one event per block would swamp the
+    /// sink and distort the measurement.
+    fn add_span_total(&self, name: &'static str, total_ns: u64, calls: u64) {
+        let _ = (name, total_ns, calls);
+    }
+}
+
+/// The always-disabled recorder backing [`noop`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// The process-wide no-op recorder: the default argument for every
+/// traced entry point. All methods are empty and [`Recorder::is_enabled`]
+/// is `false`, so instrumented code degenerates to one predictable
+/// branch per stage boundary.
+pub fn noop() -> &'static dyn Recorder {
+    static NOOP: NoopRecorder = NoopRecorder;
+    &NOOP
+}
+
+/// RAII span guard: opens the span on construction, closes it on drop.
+///
+/// Because drops run in reverse declaration order, nested guards always
+/// close inner-before-outer, which is what the Chrome trace viewer and
+/// the summary exporter assume.
+#[must_use = "the span closes when this guard drops"]
+pub struct Span<'a> {
+    rec: &'a dyn Recorder,
+    id: SpanId,
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span named `name` on `rec`. When the recorder is
+    /// disabled this takes no clock reading and records nothing.
+    pub fn enter(rec: &'a dyn Recorder, name: &'static str) -> Self {
+        let id = if rec.is_enabled() {
+            rec.begin_span(name)
+        } else {
+            SpanId::NONE
+        };
+        Span { rec, id }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.id != SpanId::NONE {
+            self.rec.end_span(self.id);
+        }
+    }
+}
+
+/// Aggregating timer for stages that run once per block.
+///
+/// A ZFP compress runs the lift and plane-code stages millions of times;
+/// recording an event per block would dominate the cost being measured.
+/// `StageTimer` accumulates a local nanosecond total (two `Instant`
+/// reads per call, only when the recorder is enabled) and publishes a
+/// single aggregate via [`Recorder::add_span_total`] on
+/// [`StageTimer::finish`].
+pub struct StageTimer<'a> {
+    rec: &'a dyn Recorder,
+    name: &'static str,
+    enabled: bool,
+    total_ns: u64,
+    calls: u64,
+}
+
+impl<'a> StageTimer<'a> {
+    /// A timer for stage `name` reporting to `rec`.
+    pub fn new(rec: &'a dyn Recorder, name: &'static str) -> Self {
+        StageTimer {
+            rec,
+            name,
+            enabled: rec.is_enabled(),
+            total_ns: 0,
+            calls: 0,
+        }
+    }
+
+    /// Runs `f`, attributing its duration to this stage. When the
+    /// recorder is disabled this is a bool test around the call.
+    #[inline]
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let t0 = std::time::Instant::now();
+        let out = f();
+        let ns = t0.elapsed().as_nanos();
+        self.total_ns = self
+            .total_ns
+            .saturating_add(u64::try_from(ns).unwrap_or(u64::MAX));
+        self.calls += 1;
+        out
+    }
+
+    /// Publishes the aggregate (if anything was timed) and consumes the
+    /// timer.
+    pub fn finish(self) {
+        if self.enabled && self.calls > 0 {
+            self.rec
+                .add_span_total(self.name, self.total_ns, self.calls);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_records_nothing() {
+        let rec = noop();
+        assert!(!rec.is_enabled());
+        let id = rec.begin_span("x");
+        assert_eq!(id, SpanId::NONE);
+        rec.end_span(id);
+        rec.add("c", 1);
+        rec.observe("o", 1.0);
+        rec.add_span_total("s", 10, 2);
+    }
+
+    #[test]
+    fn span_guard_on_noop_is_inert() {
+        let rec = noop();
+        let outer = Span::enter(rec, "outer");
+        let inner = Span::enter(rec, "inner");
+        drop(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn stage_timer_on_noop_runs_closure() {
+        let rec = noop();
+        let mut t = StageTimer::new(rec, "stage");
+        let mut hits = 0;
+        for _ in 0..3 {
+            t.time(|| hits += 1);
+        }
+        t.finish();
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn span_id_raw_round_trip() {
+        let id = SpanId::from_raw(42);
+        assert_eq!(id.raw(), 42);
+        assert_ne!(id, SpanId::NONE);
+    }
+}

@@ -1,0 +1,71 @@
+//! Canonical stage names: the span taxonomy shared by the instrumented
+//! crates, the codec registry's per-codec stage declarations, and the
+//! exporters.
+//!
+//! One constant per stage boundary named by the `pwrel-data` stage
+//! traits (`Transform`, `Predictor`/`Quantizer`, `Encoder`,
+//! `LosslessStage`, `BlockTransform`, `PlaneCoder`), plus the container
+//! and orchestration layers above them. Using these constants — never
+//! string literals — keeps the acceptance check "trace span names cover
+//! every stage the registry reports" structural rather than textual.
+
+/// Whole-codec root span opened by the registry around `compress`.
+pub const COMPRESS: &str = "compress";
+/// Whole-codec root span opened by the registry around `decompress`.
+pub const DECOMPRESS: &str = "decompress";
+
+/// Log-domain mapping: forward transform / plan + fused chunk mapping.
+pub const TRANSFORM: &str = "transform";
+/// Inverse log-domain mapping (exponentiation) on decompress.
+pub const TRANSFORM_INV: &str = "transform_inv";
+/// Sign-bitmap RLE+LZ coding (Algorithm 1's sign section).
+pub const SIGNS: &str = "signs";
+
+/// SZ prediction + error-bounded quantization raster sweep.
+pub const PREDICT_QUANTIZE: &str = "predict_quantize";
+/// Huffman coding of the quantization-factor stream (both directions).
+pub const HUFFMAN: &str = "huffman";
+/// The optional LZ pass over the serialized SZ stream (both directions).
+pub const LZ: &str = "lz";
+/// SZ reconstruction sweep (prediction replay) on decompress.
+pub const RECONSTRUCT: &str = "reconstruct";
+
+/// ZFP block-floating-point + decorrelating lifting transform
+/// (per-block, aggregated).
+pub const LIFT: &str = "lift";
+/// ZFP negabinary mapping + group-testing plane coder (per-block,
+/// aggregated).
+pub const PLANE_CODE: &str = "plane_code";
+
+/// Single-stage codecs without internal instrumentation (FPZIP,
+/// ISABELA): the whole native encode/decode.
+pub const ENCODE: &str = "encode";
+
+/// Chunked-container slab fan-out (compress or decompress of all slabs).
+pub const CHUNKS: &str = "chunks";
+
+/// Counter: uncompressed bytes entering a codec.
+pub const C_BYTES_IN: &str = "bytes_in";
+/// Counter: compressed bytes leaving a codec.
+pub const C_BYTES_OUT: &str = "bytes_out";
+/// Counter: compressed bytes entering decompression. Kept separate from
+/// [`C_BYTES_IN`] so a round trip on one sink doesn't mix directions.
+pub const C_DECOMP_BYTES_IN: &str = "decompress_bytes_in";
+/// Counter: reconstructed bytes leaving decompression.
+pub const C_DECOMP_BYTES_OUT: &str = "decompress_bytes_out";
+/// Counter: values quantized by the SZ stage.
+pub const C_QUANT_VALUES: &str = "quant_values";
+/// Counter: values outside the quantization capacity (escaped literals).
+pub const C_QUANT_OUTLIERS: &str = "quant_outliers";
+/// Counter: tasks executed through the worker pool.
+pub const C_POOL_TASKS: &str = "pool_tasks";
+
+/// Observation: SZ outlier rate (outliers / values) per compress.
+pub const O_OUTLIER_RATE: &str = "outlier_rate";
+/// Observation: fraction of negative samples in the sign bitmap.
+pub const O_SIGN_DENSITY: &str = "sign_density";
+/// Observation: Lemma 2 + kernel round-off correction as a fraction of
+/// the uncorrected log-domain bound (`1 - corrected/uncorrected`).
+pub const O_LEMMA2_CORRECTION: &str = "lemma2_correction";
+/// Observation: per-task queue wait in the worker pool, microseconds.
+pub const O_QUEUE_WAIT_US: &str = "queue_wait_us";

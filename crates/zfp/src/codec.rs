@@ -23,9 +23,33 @@ use crate::nb::{self, GroupTestCoder};
 use pwrel_bitstream::{bytesio, varint, BitReader, BitWriter};
 use pwrel_data::{BlockTransform, CodecError, Dims, Float, PlaneCoder};
 use pwrel_kernels::LogPlan;
+use pwrel_trace::{stage, Recorder, StageTimer};
 
 const MAGIC: &[u8; 4] = b"ZFR1";
 const EMAX_BIAS: i32 = 8192;
+
+/// Aggregating per-block timers for the two coded stages. The lift and
+/// plane-code stages run once per 4^d block, so they report one
+/// [`StageTimer`] aggregate per compression rather than per-block events
+/// (which would swamp the sink and distort the measurement).
+struct StageClocks<'a> {
+    lift: StageTimer<'a>,
+    plane: StageTimer<'a>,
+}
+
+impl<'a> StageClocks<'a> {
+    fn new(rec: &'a dyn Recorder) -> Self {
+        Self {
+            lift: StageTimer::new(rec, stage::LIFT),
+            plane: StageTimer::new(rec, stage::PLANE_CODE),
+        }
+    }
+
+    fn finish(self) {
+        self.lift.finish();
+        self.plane.finish();
+    }
+}
 
 /// Compression mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,6 +184,7 @@ fn decode_one_block(
     iblock: &mut [i64],
     coeffs: &mut [u64],
     fblock: &mut [f64],
+    clocks: &mut StageClocks<'_>,
 ) -> Result<(), CodecError> {
     let bs = fblock.len();
     if !r.read_bit()? {
@@ -187,20 +212,26 @@ fn decode_one_block(
     coeffs.iter_mut().for_each(|c| *c = 0);
     if let Mode::FixedRate(rate) = mode {
         let budget = rate_budget(rate, bs) - 18;
-        GroupTestCoder.decode(r, coeffs, ip, kmin, Some(budget))?;
+        clocks
+            .plane
+            .time(|| GroupTestCoder.decode(r, coeffs, ip, kmin, Some(budget)))?;
         skip_to(r, block_start, rate_budget(rate, bs))?;
     } else {
-        GroupTestCoder.decode(r, coeffs, ip, kmin, None)?;
+        clocks
+            .plane
+            .time(|| GroupTestCoder.decode(r, coeffs, ip, kmin, None))?;
     }
-    for (slot, &dst) in order.iter().enumerate() {
-        iblock[dst] = nb::nb_decode(coeffs[slot], ip);
-    }
-    Lift.inverse(iblock, rank);
-    let s = (ip as i32 - g) - emax;
-    let inv_scale = exp2_clamped(-s);
-    for (i, &q) in iblock.iter().enumerate() {
-        fblock[i] = q as f64 * inv_scale;
-    }
+    clocks.lift.time(|| {
+        for (slot, &dst) in order.iter().enumerate() {
+            iblock[dst] = nb::nb_decode(coeffs[slot], ip);
+        }
+        Lift.inverse(iblock, rank);
+        let s = (ip as i32 - g) - emax;
+        let inv_scale = exp2_clamped(-s);
+        for (i, &q) in iblock.iter().enumerate() {
+            fblock[i] = q as f64 * inv_scale;
+        }
+    });
     Ok(())
 }
 
@@ -220,6 +251,7 @@ fn encode_one_block<F: Float>(
     order: &[usize],
     iblock: &mut [i64],
     coeffs: &mut [u64],
+    clocks: &mut StageClocks<'_>,
 ) -> Result<(), CodecError> {
     let bs = fblock.len();
 
@@ -269,31 +301,39 @@ fn encode_one_block<F: Float>(
     w.write_bits((emax + EMAX_BIAS) as u64, 16);
 
     // Block-floating-point: scale so |q| < 2^(ip - guard).
-    let s = (ip as i32 - g) - emax;
-    let scale = exp2_clamped(s);
-    for (i, &v) in fblock.iter().enumerate() {
-        iblock[i] = (v * scale) as i64;
-    }
-    Lift.forward(iblock, rank);
-    for (slot, &src) in order.iter().enumerate() {
-        coeffs[slot] = nb::nb_encode(iblock[src], ip);
-    }
+    clocks.lift.time(|| {
+        let s = (ip as i32 - g) - emax;
+        let scale = exp2_clamped(s);
+        for (i, &v) in fblock.iter().enumerate() {
+            iblock[i] = (v * scale) as i64;
+        }
+        Lift.forward(iblock, rank);
+        for (slot, &src) in order.iter().enumerate() {
+            coeffs[slot] = nb::nb_encode(iblock[src], ip);
+        }
+    });
     let kmin = kmin_for(mode, emax, rank, ip, g);
     if let Mode::FixedRate(rate) = mode {
         let budget = rate_budget(rate, bs) - 18; // tag + exponent
-        GroupTestCoder.encode(w, coeffs, ip, kmin, Some(budget));
+        clocks
+            .plane
+            .time(|| GroupTestCoder.encode(w, coeffs, ip, kmin, Some(budget)));
         pad_to(w, block_start, rate_budget(rate, bs));
     } else {
-        GroupTestCoder.encode(w, coeffs, ip, kmin, None);
+        clocks
+            .plane
+            .time(|| GroupTestCoder.encode(w, coeffs, ip, kmin, None));
     }
     Ok(())
 }
 
-/// Compresses `data` into a self-contained ZFP stream.
+/// Compresses `data` into a self-contained ZFP stream. The recorder gets
+/// per-block lift and plane-code aggregates; output bytes are unchanged.
 pub(crate) fn compress<F: Float>(
     data: &[F],
     dims: Dims,
     mode: Mode,
+    rec: &dyn Recorder,
 ) -> Result<Vec<u8>, CodecError> {
     let rank = dims.rank();
     let bs = lift::block_size(rank);
@@ -302,6 +342,7 @@ pub(crate) fn compress<F: Float>(
     let g = guard::<F>();
 
     let mut w = BitWriter::with_capacity(data.len());
+    let mut clocks = StageClocks::new(rec);
     if !dims.is_empty() {
         let (gx, gy, gz) = blocks::block_grid(dims);
         let mut fblock = vec![0.0f64; bs];
@@ -321,11 +362,13 @@ pub(crate) fn compress<F: Float>(
                         &order,
                         &mut iblock,
                         &mut coeffs,
+                        &mut clocks,
                     )?;
                 }
             }
         }
     }
+    clocks.finish();
     Ok(finish::<F>(w.into_bytes(), dims, mode))
 }
 
@@ -343,6 +386,7 @@ pub(crate) fn compress_fused<F: Float>(
     dims: Dims,
     plan: &LogPlan,
     mode: Mode,
+    rec: &dyn Recorder,
 ) -> Result<(Vec<u8>, Option<Vec<bool>>), CodecError> {
     let rank = dims.rank();
     let bs = lift::block_size(rank);
@@ -361,6 +405,8 @@ pub(crate) fn compress_fused<F: Float>(
         .then(|| data.iter().map(|x| x.to_f64() < 0.0).collect::<Vec<bool>>());
 
     let mut w = BitWriter::with_capacity(data.len());
+    let mut clocks = StageClocks::new(rec);
+    let mut map_timer = StageTimer::new(rec, stage::TRANSFORM);
     if !dims.is_empty() {
         let (gx, gy, gz) = blocks::block_grid(dims);
         let mut raw = vec![F::zero(); bs];
@@ -374,7 +420,9 @@ pub(crate) fn compress_fused<F: Float>(
             for by in 0..gy {
                 for bx in 0..gx {
                     blocks::gather_raw(data, dims, bx, by, bz, &mut raw);
-                    block_plan.map_chunk(&raw, &mut mapped, &mut scratch, &mut no_signs);
+                    map_timer.time(|| {
+                        block_plan.map_chunk(&raw, &mut mapped, &mut scratch, &mut no_signs)
+                    });
                     for (f, m) in fblock.iter_mut().zip(&mapped) {
                         *f = m.to_f64();
                     }
@@ -388,11 +436,14 @@ pub(crate) fn compress_fused<F: Float>(
                         &order,
                         &mut iblock,
                         &mut coeffs,
+                        &mut clocks,
                     )?;
                 }
             }
         }
     }
+    map_timer.finish();
+    clocks.finish();
     Ok((finish::<F>(w.into_bytes(), dims, mode), signs))
 }
 
@@ -434,7 +485,10 @@ fn finish<F: Float>(payload: Vec<u8>, dims: Dims, mode: Mode) -> Vec<u8> {
 }
 
 /// Decompresses a stream produced by [`compress`].
-pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
+pub(crate) fn decompress<F: Float>(
+    bytes: &[u8],
+    rec: &dyn Recorder,
+) -> Result<(Vec<F>, Dims), CodecError> {
     if !bytes.starts_with(MAGIC) {
         return Err(CodecError::Mismatch("bad ZFP magic"));
     }
@@ -487,6 +541,7 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
     let mut fblock = vec![0.0f64; bs];
     let mut iblock = vec![0i64; bs];
     let mut coeffs = vec![0u64; bs];
+    let mut clocks = StageClocks::new(rec);
     for bz in 0..gz {
         for by in 0..gy {
             for bx in 0..gx {
@@ -502,11 +557,13 @@ pub(crate) fn decompress<F: Float>(bytes: &[u8]) -> Result<(Vec<F>, Dims), Codec
                     &mut iblock,
                     &mut coeffs,
                     &mut fblock,
+                    &mut clocks,
                 )?;
                 blocks::scatter(&mut out, dims, bx, by, bz, &fblock);
             }
         }
     }
+    clocks.finish();
     Ok((out, dims))
 }
 
@@ -569,6 +626,8 @@ pub(crate) fn decompress_block<F: Float>(
     let mut fblock = vec![0.0f64; bs];
     let mut iblock = vec![0i64; bs];
     let mut coeffs = vec![0u64; bs];
+    // Random access decodes a single block; not worth tracing.
+    let mut clocks = StageClocks::new(pwrel_trace::noop());
     decode_one_block(
         &mut r,
         block_start,
@@ -580,7 +639,9 @@ pub(crate) fn decompress_block<F: Float>(
         &mut iblock,
         &mut coeffs,
         &mut fblock,
+        &mut clocks,
     )?;
+    clocks.finish();
     let extent = (
         (dims.nx - 4 * bx).min(4),
         if rank >= 2 {

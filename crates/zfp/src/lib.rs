@@ -44,6 +44,7 @@ pub use nb::GroupTestCoder;
 
 use pwrel_data::{AbsErrorCodec, CodecError, Dims, Float};
 use pwrel_kernels::{FusedOutput, LogFusedCodec, LogPlan};
+use pwrel_trace::{noop, Recorder};
 
 /// Configuration + entry points for the ZFP-like codec.
 ///
@@ -79,7 +80,7 @@ impl ZfpCompressor {
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
-        codec::compress(data, dims, codec::Mode::Accuracy(tolerance))
+        codec::compress(data, dims, codec::Mode::Accuracy(tolerance), noop())
     }
 
     /// Fixed-precision compression: keep `precision` bit planes per block
@@ -96,7 +97,25 @@ impl ZfpCompressor {
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
-        codec::compress(data, dims, codec::Mode::Precision(precision))
+        codec::compress(data, dims, codec::Mode::Precision(precision), noop())
+    }
+
+    /// [`ZfpCompressor::compress_precision`] with per-stage recording
+    /// (lift and plane-coder aggregates). Emits the same bytes.
+    pub fn compress_precision_traced<F: Float>(
+        &self,
+        data: &[F],
+        dims: Dims,
+        precision: u32,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        if precision == 0 || precision > F::BITS + 2 {
+            return Err(CodecError::InvalidArgument("precision out of range"));
+        }
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
+        }
+        codec::compress(data, dims, codec::Mode::Precision(precision), rec)
     }
 
     /// Fixed-rate compression: every 4^d block spends exactly
@@ -115,12 +134,22 @@ impl ZfpCompressor {
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
-        codec::compress(data, dims, codec::Mode::FixedRate(rate))
+        codec::compress(data, dims, codec::Mode::FixedRate(rate), noop())
     }
 
     /// Decompresses any ZFP stream (any mode).
     pub fn decompress<F: Float>(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
-        codec::decompress(bytes)
+        codec::decompress(bytes, noop())
+    }
+
+    /// [`ZfpCompressor::decompress`] with per-stage recording (plane-coder
+    /// and inverse-lift aggregates).
+    pub fn decompress_traced<F: Float>(
+        &self,
+        bytes: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        codec::decompress(bytes, rec)
     }
 
     /// Randomly accesses one 4^d block of a **fixed-rate** stream — the
@@ -149,6 +178,16 @@ impl<F: Float> LogFusedCodec<F> for ZfpCompressor {
         dims: Dims,
         plan: &LogPlan,
     ) -> Result<FusedOutput, CodecError> {
+        self.compress_fused_traced(data, dims, plan, noop())
+    }
+
+    fn compress_fused_traced(
+        &self,
+        data: &[F],
+        dims: Dims,
+        plan: &LogPlan,
+        rec: &dyn Recorder,
+    ) -> Result<FusedOutput, CodecError> {
         if !(plan.abs_bound > 0.0) || !plan.abs_bound.is_finite() {
             return Err(CodecError::InvalidArgument(
                 "tolerance must be finite and > 0",
@@ -158,7 +197,7 @@ impl<F: Float> LogFusedCodec<F> for ZfpCompressor {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
         let (stream, signs) =
-            codec::compress_fused(data, dims, plan, codec::Mode::Accuracy(plan.abs_bound))?;
+            codec::compress_fused(data, dims, plan, codec::Mode::Accuracy(plan.abs_bound), rec)?;
         Ok(FusedOutput { stream, signs })
     }
 }
@@ -174,5 +213,31 @@ impl<F: Float> AbsErrorCodec<F> for ZfpCompressor {
 
     fn decompress_abs(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
         self.decompress(bytes)
+    }
+
+    fn compress_abs_traced(
+        &self,
+        data: &[F],
+        dims: Dims,
+        bound: f64,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        if !(bound > 0.0) || !bound.is_finite() {
+            return Err(CodecError::InvalidArgument(
+                "tolerance must be finite and > 0",
+            ));
+        }
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
+        }
+        codec::compress(data, dims, codec::Mode::Accuracy(bound), rec)
+    }
+
+    fn decompress_abs_traced(
+        &self,
+        bytes: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        codec::decompress(bytes, rec)
     }
 }

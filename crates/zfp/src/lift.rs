@@ -146,7 +146,7 @@ pub fn block_size(rank: u8) -> usize {
     }
 }
 
-/// The lifting scheme as the pipeline's [`BlockTransform`] stage.
+/// The lifting scheme as the pipeline's [`pwrel_data::BlockTransform`] stage.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Lift;
 

@@ -297,7 +297,7 @@ pub fn decode_planes_budget(
     Ok(maxbits - bits)
 }
 
-/// The group-testing embedded coder as the pipeline's [`PlaneCoder`]
+/// The group-testing embedded coder as the pipeline's [`pwrel_data::PlaneCoder`]
 /// stage. `maxbits: None` selects the unbudgeted accuracy/precision path,
 /// `Some(budget)` the fixed-rate path.
 #[derive(Debug, Clone, Copy, Default)]
