@@ -1,0 +1,358 @@
+//! Straight-line, lane-batched ZFP lifting over whole 4^d blocks.
+//!
+//! The reference transform applies a 4-sample butterfly per line, looping
+//! over axes and lines with strided gathers (`fwd_lift(block, base, s)`).
+//! That shape serializes on the per-line call overhead and hides the
+//! data parallelism: within one separable pass every line is independent.
+//!
+//! These kernels restructure each pass as structure-of-arrays lanes — the
+//! N lines' first samples in `x[0..N]`, second samples in `y[0..N]`, and
+//! so on — and run the *identical* butterfly op sequence elementwise over
+//! the lanes. Every operation is a wrapping add/sub or arithmetic shift on
+//! `i64`, so lane order cannot change any result: the output is
+//! bit-identical to the per-line reference by construction, and LLVM
+//! auto-vectorizes the lane loops on the baseline ISA (no intrinsics, no
+//! `unsafe`). Lane width per pass: 16 lines for 4³ blocks, 4 for 4²;
+//! 1D blocks have a single line and stay scalar.
+
+/// ZFP's forward lifting butterfly on one 4-sample line, lane-batched over
+/// `N` independent lines. The op sequence matches the reference
+/// `fwd_lift` exactly; `>>= 1` steps truncate like the reference.
+#[inline(always)]
+fn fwd_butterfly<const N: usize>(
+    x: &mut [i64; N],
+    y: &mut [i64; N],
+    z: &mut [i64; N],
+    w: &mut [i64; N],
+) {
+    for l in 0..N {
+        let (mut xv, mut yv, mut zv, mut wv) = (x[l], y[l], z[l], w[l]);
+        xv = xv.wrapping_add(wv);
+        xv >>= 1;
+        wv = wv.wrapping_sub(xv);
+        zv = zv.wrapping_add(yv);
+        zv >>= 1;
+        yv = yv.wrapping_sub(zv);
+        xv = xv.wrapping_add(zv);
+        xv >>= 1;
+        zv = zv.wrapping_sub(xv);
+        wv = wv.wrapping_add(yv);
+        wv >>= 1;
+        yv = yv.wrapping_sub(wv);
+        wv = wv.wrapping_add(yv >> 1);
+        yv = yv.wrapping_sub(wv >> 1);
+        x[l] = xv;
+        y[l] = yv;
+        z[l] = zv;
+        w[l] = wv;
+    }
+}
+
+/// Inverse butterfly (exact inverse of [`fwd_butterfly`]), lane-batched.
+#[inline(always)]
+fn inv_butterfly<const N: usize>(
+    x: &mut [i64; N],
+    y: &mut [i64; N],
+    z: &mut [i64; N],
+    w: &mut [i64; N],
+) {
+    for l in 0..N {
+        let (mut xv, mut yv, mut zv, mut wv) = (x[l], y[l], z[l], w[l]);
+        yv = yv.wrapping_add(wv >> 1);
+        wv = wv.wrapping_sub(yv >> 1);
+        yv = yv.wrapping_add(wv);
+        wv <<= 1;
+        wv = wv.wrapping_sub(yv);
+        zv = zv.wrapping_add(xv);
+        xv <<= 1;
+        xv = xv.wrapping_sub(zv);
+        yv = yv.wrapping_add(zv);
+        zv <<= 1;
+        zv = zv.wrapping_sub(yv);
+        wv = wv.wrapping_add(xv);
+        xv <<= 1;
+        xv = xv.wrapping_sub(wv);
+        x[l] = xv;
+        y[l] = yv;
+        z[l] = zv;
+        w[l] = wv;
+    }
+}
+
+/// Lane base offsets for one separable pass of a 4³ block: lane `l` is the
+/// line starting at `base(l)` with sample stride `s`; samples sit at
+/// `base + {0, s, 2s, 3s}`.
+#[inline(always)]
+fn pass16(block: &mut [i64; 64], s: usize, base: impl Fn(usize) -> usize, forward: bool) {
+    let (mut x, mut y, mut z, mut w) = ([0i64; 16], [0i64; 16], [0i64; 16], [0i64; 16]);
+    for l in 0..16 {
+        let b = base(l);
+        x[l] = block[b];
+        y[l] = block[b + s];
+        z[l] = block[b + 2 * s];
+        w[l] = block[b + 3 * s];
+    }
+    if forward {
+        fwd_butterfly(&mut x, &mut y, &mut z, &mut w);
+    } else {
+        inv_butterfly(&mut x, &mut y, &mut z, &mut w);
+    }
+    for l in 0..16 {
+        let b = base(l);
+        block[b] = x[l];
+        block[b + s] = y[l];
+        block[b + 2 * s] = z[l];
+        block[b + 3 * s] = w[l];
+    }
+}
+
+/// Like [`pass16`] for the 4 lines of a 4² block.
+#[inline(always)]
+fn pass4(block: &mut [i64; 16], s: usize, base: impl Fn(usize) -> usize, forward: bool) {
+    let (mut x, mut y, mut z, mut w) = ([0i64; 4], [0i64; 4], [0i64; 4], [0i64; 4]);
+    for l in 0..4 {
+        let b = base(l);
+        x[l] = block[b];
+        y[l] = block[b + s];
+        z[l] = block[b + 2 * s];
+        w[l] = block[b + 3 * s];
+    }
+    if forward {
+        fwd_butterfly(&mut x, &mut y, &mut z, &mut w);
+    } else {
+        inv_butterfly(&mut x, &mut y, &mut z, &mut w);
+    }
+    for l in 0..4 {
+        let b = base(l);
+        block[b] = x[l];
+        block[b + s] = y[l];
+        block[b + 2 * s] = z[l];
+        block[b + 3 * s] = w[l];
+    }
+}
+
+/// Fused forward transform over a 4¹ block.
+pub fn fwd_xform_1d(block: &mut [i64; 4]) {
+    let (mut x, mut y, mut z, mut w) = ([block[0]], [block[1]], [block[2]], [block[3]]);
+    fwd_butterfly(&mut x, &mut y, &mut z, &mut w);
+    *block = [x[0], y[0], z[0], w[0]];
+}
+
+/// Fused inverse transform over a 4¹ block.
+pub fn inv_xform_1d(block: &mut [i64; 4]) {
+    let (mut x, mut y, mut z, mut w) = ([block[0]], [block[1]], [block[2]], [block[3]]);
+    inv_butterfly(&mut x, &mut y, &mut z, &mut w);
+    *block = [x[0], y[0], z[0], w[0]];
+}
+
+/// Fused forward transform over a 4² block (rows then columns).
+pub fn fwd_xform_2d(block: &mut [i64; 16]) {
+    pass4(block, 1, |j| 4 * j, true); // rows (x)
+    pass4(block, 4, |i| i, true); // columns (y)
+}
+
+/// Fused inverse transform over a 4² block (columns then rows).
+pub fn inv_xform_2d(block: &mut [i64; 16]) {
+    pass4(block, 4, |i| i, false);
+    pass4(block, 1, |j| 4 * j, false);
+}
+
+/// Fused forward transform over a 4³ block (x, y, then z lines).
+pub fn fwd_xform_3d(block: &mut [i64; 64]) {
+    pass16(block, 1, |l| 4 * l, true); // x lines: base 16k + 4j
+    pass16(block, 4, |l| 16 * (l / 4) + (l % 4), true); // y lines: base 16k + i
+    pass16(block, 16, |l| l, true); // z lines: base 4j + i
+}
+
+/// Fused inverse transform over a 4³ block (z, y, then x lines).
+pub fn inv_xform_3d(block: &mut [i64; 64]) {
+    pass16(block, 16, |l| l, false);
+    pass16(block, 4, |l| 16 * (l / 4) + (l % 4), false);
+    pass16(block, 1, |l| 4 * l, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference per-line forward lift (transcribed from the separable
+    /// implementation in `pwrel-zfp`); the kernels must match it
+    /// bit-for-bit.
+    fn ref_fwd_lift(p: &mut [i64], base: usize, s: usize) {
+        let (mut x, mut y, mut z, mut w) = (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);
+        x = x.wrapping_add(w);
+        x >>= 1;
+        w = w.wrapping_sub(x);
+        z = z.wrapping_add(y);
+        z >>= 1;
+        y = y.wrapping_sub(z);
+        x = x.wrapping_add(z);
+        x >>= 1;
+        z = z.wrapping_sub(x);
+        w = w.wrapping_add(y);
+        w >>= 1;
+        y = y.wrapping_sub(w);
+        w = w.wrapping_add(y >> 1);
+        y = y.wrapping_sub(w >> 1);
+        p[base] = x;
+        p[base + s] = y;
+        p[base + 2 * s] = z;
+        p[base + 3 * s] = w;
+    }
+
+    fn ref_inv_lift(p: &mut [i64], base: usize, s: usize) {
+        let (mut x, mut y, mut z, mut w) = (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);
+        y = y.wrapping_add(w >> 1);
+        w = w.wrapping_sub(y >> 1);
+        y = y.wrapping_add(w);
+        w <<= 1;
+        w = w.wrapping_sub(y);
+        z = z.wrapping_add(x);
+        x <<= 1;
+        x = x.wrapping_sub(z);
+        y = y.wrapping_add(z);
+        z <<= 1;
+        z = z.wrapping_sub(y);
+        w = w.wrapping_add(x);
+        x <<= 1;
+        x = x.wrapping_sub(w);
+        p[base] = x;
+        p[base + s] = y;
+        p[base + 2 * s] = z;
+        p[base + 3 * s] = w;
+    }
+
+    fn ref_fwd_xform(block: &mut [i64], rank: u8) {
+        match rank {
+            1 => ref_fwd_lift(block, 0, 1),
+            2 => {
+                for j in 0..4 {
+                    ref_fwd_lift(block, 4 * j, 1);
+                }
+                for i in 0..4 {
+                    ref_fwd_lift(block, i, 4);
+                }
+            }
+            _ => {
+                for k in 0..4 {
+                    for j in 0..4 {
+                        ref_fwd_lift(block, 16 * k + 4 * j, 1);
+                    }
+                }
+                for k in 0..4 {
+                    for i in 0..4 {
+                        ref_fwd_lift(block, 16 * k + i, 4);
+                    }
+                }
+                for j in 0..4 {
+                    for i in 0..4 {
+                        ref_fwd_lift(block, 4 * j + i, 16);
+                    }
+                }
+            }
+        }
+    }
+
+    fn ref_inv_xform(block: &mut [i64], rank: u8) {
+        match rank {
+            1 => ref_inv_lift(block, 0, 1),
+            2 => {
+                for i in 0..4 {
+                    ref_inv_lift(block, i, 4);
+                }
+                for j in 0..4 {
+                    ref_inv_lift(block, 4 * j, 1);
+                }
+            }
+            _ => {
+                for j in 0..4 {
+                    for i in 0..4 {
+                        ref_inv_lift(block, 4 * j + i, 16);
+                    }
+                }
+                for k in 0..4 {
+                    for i in 0..4 {
+                        ref_inv_lift(block, 16 * k + i, 4);
+                    }
+                }
+                for k in 0..4 {
+                    for j in 0..4 {
+                        ref_inv_lift(block, 16 * k + 4 * j, 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pseudo(seed: u64, n: usize) -> Vec<i64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x as i64) >> 3
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_matches_reference_1d() {
+        for seed in 1..50u64 {
+            let v = pseudo(seed, 4);
+            let mut a: [i64; 4] = v.clone().try_into().unwrap();
+            let mut b = v;
+            fwd_xform_1d(&mut a);
+            ref_fwd_xform(&mut b, 1);
+            assert_eq!(a.as_slice(), b.as_slice(), "fwd seed {seed}");
+            inv_xform_1d(&mut a);
+            ref_inv_xform(&mut b, 1);
+            assert_eq!(a.as_slice(), b.as_slice(), "inv seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_2d() {
+        for seed in 1..50u64 {
+            let v = pseudo(seed, 16);
+            let mut a: [i64; 16] = v.clone().try_into().unwrap();
+            let mut b = v;
+            fwd_xform_2d(&mut a);
+            ref_fwd_xform(&mut b, 2);
+            assert_eq!(a.as_slice(), b.as_slice(), "fwd seed {seed}");
+            inv_xform_2d(&mut a);
+            ref_inv_xform(&mut b, 2);
+            assert_eq!(a.as_slice(), b.as_slice(), "inv seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_3d() {
+        for seed in 1..50u64 {
+            let v = pseudo(seed, 64);
+            let mut a: [i64; 64] = v.clone().try_into().unwrap();
+            let mut b = v;
+            fwd_xform_3d(&mut a);
+            ref_fwd_xform(&mut b, 3);
+            assert_eq!(a.as_slice(), b.as_slice(), "fwd seed {seed}");
+            inv_xform_3d(&mut a);
+            ref_inv_xform(&mut b, 3);
+            assert_eq!(a.as_slice(), b.as_slice(), "inv seed {seed}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_match_reference() {
+        let mixed: Vec<i64> = (0..64)
+            .map(|i| [i64::MAX, i64::MIN, 0, -1][i % 4])
+            .collect();
+        let patterns: [Vec<i64>; 4] = [vec![i64::MAX; 64], vec![i64::MIN; 64], mixed, vec![1; 64]];
+        for (pi, p) in patterns.iter().enumerate() {
+            let mut a: [i64; 64] = p.clone().try_into().unwrap();
+            let mut b = p.clone();
+            fwd_xform_3d(&mut a);
+            ref_fwd_xform(&mut b, 3);
+            assert_eq!(a.as_slice(), b.as_slice(), "pattern {pi}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Documented numeric casts for the lane-batched kernel hot loops.
+//!
+//! Audit lint L2 extends to this crate's kernels: a silent truncation in
+//! the predict/quantize sweep corrupts an error bound instead of a pixel.
+//! `pwrel-kernels` sits *below* `pwrel-core` in the dependency graph, so
+//! it cannot use `pwrel_core::cast`; this module is the kernels-local
+//! allowlisted home for the same conversions, with identical semantics
+//! (the quantizer parity suite pins the two implementations together).
+
+/// Rounded quantization offset → integer code. The caller must already
+/// have checked `v.is_finite() && v.abs() < radius` with
+/// `radius ≤ 2^31`, so the truncating cast is exact.
+#[inline]
+pub fn quant_code(v: f64) -> i64 {
+    v as i64
+}
+
+/// Integer quantization code → `f64` reconstruction arithmetic. Exact:
+/// codes are bounded by the interval capacity, `|q| < 2^32 ≪ 2^53`.
+#[inline]
+pub fn f64_from_quant(q: i64) -> f64 {
+    q as f64
+}
+
+/// Biased code `radius + q`, in `[0, capacity)` by the quantizer's range
+/// check, → `u32` symbol for the entropy stage.
+#[inline]
+pub fn symbol_u32(v: i64) -> u32 {
+    debug_assert!(u32::try_from(v).is_ok(), "code out of symbol range: {v}");
+    v as u32
+}
+
+/// Grid coordinate → signed neighbour arithmetic. Coordinates come from
+/// in-memory grids (`dims.len()` elements exist), so they are far below
+/// `isize::MAX` and the cast is lossless.
+#[inline]
+pub fn grid_isize(v: usize) -> isize {
+    debug_assert!(isize::try_from(v).is_ok(), "grid coordinate overflow");
+    v as isize
+}
+
+/// Signed neighbour coordinate back to an index; the caller has already
+/// taken the out-of-grid branch for negatives.
+#[inline]
+pub fn grid_usize(v: isize) -> usize {
+    debug_assert!(v >= 0, "negative coordinate reached an index cast");
+    v as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_in_documented_ranges() {
+        assert_eq!(quant_code(-3.0), -3);
+        assert_eq!(quant_code(2147483647.0), (1 << 31) - 1);
+        assert_eq!(f64_from_quant(-(1 << 32)), -4294967296.0);
+        assert_eq!(symbol_u32(65535), 65535);
+        assert_eq!(grid_isize(7), 7);
+        assert_eq!(grid_usize(7), 7);
+    }
+}

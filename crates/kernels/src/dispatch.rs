@@ -1,0 +1,81 @@
+//! Runtime selection between the batched hot-loop kernels and their
+//! scalar reference implementations.
+//!
+//! Mirrors the [`crate::Kernel`] (`Fast`/`Libm`) pattern: one enum, an
+//! environment override for A/B runs, and a cached process-wide default.
+//! Unlike `Fast`, the batched kernels here are *bit-identical* to their
+//! references by construction (every reordered operation is either an
+//! integer op or an FP op whose operand set and evaluation order are
+//! preserved), so the selector exists for verification and benchmarking
+//! rather than accuracy trade-offs.
+//!
+//! Both paths are portable safe Rust. The batched kernels are written so
+//! LLVM auto-vectorizes them on the baseline ISA (fixed-size lane arrays,
+//! no data-dependent branches in the lane loops); there is no
+//! `target_feature` specialization because this crate forbids `unsafe`
+//! and the autovectorized code already saturates the memory-bound loops.
+
+use std::sync::OnceLock;
+
+/// Which implementation runs a lane-batched hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchKernel {
+    /// Lane-batched kernels (default): structure-of-arrays fixed-width
+    /// loops, bit-identical to the reference.
+    #[default]
+    Batched,
+    /// The scalar per-point/per-line reference path, kept as the parity
+    /// oracle and for A/B measurement.
+    Reference,
+}
+
+impl BatchKernel {
+    /// Parses an environment value: `reference` | `scalar` selects
+    /// [`BatchKernel::Reference`]; anything else (or unset) the default.
+    fn parse(v: Result<String, std::env::VarError>) -> Self {
+        match v.as_deref().map(str::to_ascii_lowercase).as_deref() {
+            Ok("reference") | Ok("scalar") => BatchKernel::Reference,
+            _ => BatchKernel::Batched,
+        }
+    }
+}
+
+/// Kernel for the ZFP block lifting transform; override with
+/// `PWREL_LIFT=reference`. Read once per process (the transform runs
+/// thousands of times per block sweep).
+pub fn lift_kernel() -> BatchKernel {
+    static CACHE: OnceLock<BatchKernel> = OnceLock::new();
+    *CACHE.get_or_init(|| BatchKernel::parse(std::env::var("PWREL_LIFT")))
+}
+
+/// Kernel for the SZ Lorenzo predict/quantize sweep; override with
+/// `PWREL_SWEEP=reference`.
+pub fn sweep_kernel() -> BatchKernel {
+    static CACHE: OnceLock<BatchKernel> = OnceLock::new();
+    *CACHE.get_or_init(|| BatchKernel::parse(std::env::var("PWREL_SWEEP")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_to_batched() {
+        assert_eq!(
+            BatchKernel::parse(Err(std::env::VarError::NotPresent)),
+            BatchKernel::Batched
+        );
+        assert_eq!(
+            BatchKernel::parse(Ok("batched".into())),
+            BatchKernel::Batched
+        );
+        assert_eq!(
+            BatchKernel::parse(Ok("REFERENCE".into())),
+            BatchKernel::Reference
+        );
+        assert_eq!(
+            BatchKernel::parse(Ok("scalar".into())),
+            BatchKernel::Reference
+        );
+    }
+}

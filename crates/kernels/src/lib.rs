@@ -29,14 +29,32 @@
 //! * [`base::LogBase`] — the base enum (moved here from `pwrel-core` so
 //!   the codec crates can use it without a dependency cycle; `pwrel-core`
 //!   re-exports it from the old path).
+//! * [`predict`] — the row-specialized Lorenzo predict/quantize sweep:
+//!   neighbour addressing batched per raster row with boundary zeros
+//!   rows, bit-identical to the per-point reference, behind a per-point
+//!   sink so all four SZ engine loops share one driver.
+//! * [`blocklift`] — ZFP's 4^d lifting transform fused into straight-line
+//!   structure-of-arrays lane code (16 lines per pass in 3D), again
+//!   bit-identical: every reordered op is an integer wrapping add/sub
+//!   or shift.
+//! * [`dispatch::BatchKernel`] — the `Batched`/`Reference` selector for
+//!   the above, mirroring the `Fast`/`Libm` pattern
+//!   (`PWREL_SWEEP`/`PWREL_LIFT` environment overrides for A/B runs).
+//! * [`mod@cast`] — the kernels-local allowlisted home for the documented
+//!   numeric casts the lane code needs (audit lint L2 applies here).
 
 pub mod base;
+pub mod blocklift;
+pub mod cast;
+pub mod dispatch;
 pub mod fast;
 pub mod kernel;
 pub mod plan;
+pub mod predict;
 pub mod scan;
 
 pub use base::LogBase;
+pub use dispatch::BatchKernel;
 pub use kernel::Kernel;
 pub use plan::{FusedOutput, LogFusedCodec, LogPlan, CHUNK};
 pub use scan::{scan, FieldScan};

@@ -1,13 +1,41 @@
 //! Prediction + linear-scaling quantization engine (both SZ modes).
 
 use crate::format::{SzMode, SzStream};
-use crate::stages::{HuffmanStage, LinearQuantizer, LorenzoPredictor};
+use crate::stages::{HuffmanStage, LinearQuantizer};
 use crate::unpred;
 use crate::SzCompressor;
 use pwrel_bitstream::{BitReader, BitWriter};
-use pwrel_data::{CodecError, Dims, Encoder, Float, Predictor, Quantizer};
-use pwrel_kernels::{LogPlan, CHUNK};
+use pwrel_data::{CodecError, Dims, Encoder, Float, Quantizer};
+use pwrel_kernels::{dispatch, predict, BatchKernel, LogPlan, CHUNK};
 use pwrel_trace::{stage, Recorder, Span, StageTimer};
+use std::convert::Infallible;
+
+/// Runs the Lorenzo sweep through the runtime-dispatched kernel: the
+/// batched row kernels by default, the per-point reference under
+/// `PWREL_SWEEP=reference`. This is the single integration point for all
+/// four engine loops (code extraction, compress, fused compress,
+/// decompress) — each supplies only its per-point sink.
+#[inline]
+fn run_sweep<F, E, S>(dims: Dims, dec: &mut [F], sink: S) -> Result<(), E>
+where
+    F: Float,
+    S: FnMut(usize, f64) -> Result<F, E>,
+{
+    match dispatch::sweep_kernel() {
+        BatchKernel::Batched => predict::sweep(dims, dec, sink),
+        BatchKernel::Reference => predict::sweep_reference(dims, dec, sink),
+    }
+}
+
+/// Unwraps the compress-side sweeps' `Infallible` error without a panic
+/// path (the match on `E` is empty, so this compiles to nothing).
+#[inline]
+fn infallible(res: Result<(), Infallible>) {
+    match res {
+        Ok(()) => {}
+        Err(e) => match e {},
+    }
+}
 
 /// Publishes the quantization tallies for one compression sweep: total
 /// values, escaped outliers, and their ratio as an observation.
@@ -106,56 +134,89 @@ pub fn quantization_codes<F: Float>(
 ) -> Vec<u32> {
     assert_eq!(data.len(), dims.len());
     assert!(bound > 0.0 && bound.is_finite());
-    let quant = LinearQuantizer {
-        capacity: cfg.capacity,
-    };
-    let mut codes = Vec::with_capacity(data.len());
+    let quant = predict::QuantKernel::new(cfg.capacity);
+    // Index-addressed (0 = escape) so the wavefront's cross-row visit
+    // order lands every code in its raster slot.
+    let mut codes = vec![0u32; data.len()];
     let mut dec: Vec<F> = vec![F::zero(); data.len()];
-    for k in 0..dims.nz {
-        for j in 0..dims.ny {
-            for i in 0..dims.nx {
-                let idx = dims.index(i, j, k);
-                let x = data[idx];
-                let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
-                match quant.quantize(x, pred, bound) {
-                    Some((code, val)) => {
-                        codes.push(code);
-                        dec[idx] = val;
-                    }
-                    None => {
-                        codes.push(0);
-                        dec[idx] = x;
-                    }
-                }
+    infallible(run_sweep(dims, &mut dec, |idx, pred| {
+        let x = data[idx];
+        Ok(match quant.quantize(x, pred, bound) {
+            Some((code, val)) => {
+                codes[idx] = code;
+                val
             }
-        }
-    }
+            None => x,
+        })
+    }));
     codes
 }
 
-/// One prediction + quantization step: pushes the code for `x` (or the
-/// unpredictable escape) and returns the value the decoder will see.
-/// Shared by the buffered and fused compression loops so they stay
-/// bit-identical by construction.
+/// Escapes recorded during a (possibly wavefront-interleaved) sweep.
+///
+/// The unpredictable stream is strictly raster-ordered, but the wavefront
+/// sweep visits rows interleaved — so each escape's decoder-visible value
+/// is derived immediately (via a throwaway scratch writer, using the same
+/// [`unpred::write`] the stream format defines, so the two cannot drift)
+/// while the actual stream is written afterwards in index order by
+/// [`EscapeLog::into_stream`].
+struct EscapeLog<F> {
+    scratch: BitWriter,
+    entries: Vec<(usize, F)>,
+}
+
+impl<F: Float> EscapeLog<F> {
+    fn new() -> Self {
+        Self {
+            scratch: BitWriter::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one escaping point and returns the value the decoder will
+    /// reconstruct for it (the caller's prediction state must see this).
+    #[inline]
+    fn record(&mut self, idx: usize, x: F, eb: f64) -> F {
+        self.entries.push((idx, x));
+        unpred::write(&mut self.scratch, x, eb)
+    }
+
+    /// Writes the raster-ordered unpredictable stream: entries sorted by
+    /// index (the wavefront emits them nearly sorted), re-encoded with the
+    /// per-point bound. Returns the writer and the escape count.
+    fn into_stream(mut self, eb_at: impl Fn(usize) -> f64) -> (BitWriter, u64) {
+        self.entries.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut w = BitWriter::new();
+        for &(idx, x) in &self.entries {
+            unpred::write(&mut w, x, eb_at(idx));
+        }
+        (w, self.entries.len() as u64)
+    }
+}
+
+/// One prediction + quantization step: stores the code for `x` at its
+/// index (`0` = unpredictable escape) and returns the value the decoder
+/// will see. Shared by the buffered and fused compression loops so they
+/// stay bit-identical by construction; index-addressed so it tolerates
+/// the wavefront's cross-row visit order.
 #[inline]
 fn quantize_one<F: Float>(
     x: F,
     eb: f64,
-    quant: &LinearQuantizer,
+    quant: &predict::QuantKernel,
     pred: f64,
-    codes: &mut Vec<u32>,
-    unpred_w: &mut BitWriter,
-    n_unpred: &mut u64,
+    idx: usize,
+    codes: &mut [u32],
+    escapes: &mut EscapeLog<F>,
 ) -> F {
     if let Some((code, val)) = quant.quantize(x, pred, eb) {
-        codes.push(code);
+        codes[idx] = code;
         return val;
     }
-    codes.push(0);
     // SZ's binary-representation analysis: keep only the leading bits the
     // (per-point) bound requires; predict from the value the decoder sees.
-    *n_unpred += 1;
-    unpred::write(unpred_w, x, eb)
+    // `codes` was zero-initialized, so the escape code is already in place.
+    escapes.record(idx, x, eb)
 }
 
 /// Core compressor shared by both modes. The recorder attributes the
@@ -170,6 +231,9 @@ pub(crate) fn compress<F: Float>(
 ) -> Result<Vec<u8>, CodecError> {
     let capacity = cfg.capacity;
     let quant = LinearQuantizer { capacity };
+    // Hoisted once per sweep: rebuilding the kernel per point would put a
+    // (cheap but pointless) int->float conversion in the hot loop.
+    let qk = predict::QuantKernel::new(capacity);
 
     let (mode, ebs) = match spec {
         EbSpec::Abs(eb) => (
@@ -202,31 +266,25 @@ pub(crate) fn compress<F: Float>(
     };
 
     let n = data.len();
-    let mut codes: Vec<u32> = Vec::with_capacity(n);
-    let mut unpred_w = BitWriter::new();
-    let mut n_unpred = 0u64;
+    let mut codes: Vec<u32> = vec![0u32; n];
+    let mut escapes = EscapeLog::new();
     let mut dec: Vec<F> = vec![F::zero(); n];
 
     {
         let _pq = Span::enter(rec, stage::PREDICT_QUANTIZE);
-        for k in 0..dims.nz {
-            for j in 0..dims.ny {
-                for i in 0..dims.nx {
-                    let idx = dims.index(i, j, k);
-                    let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
-                    dec[idx] = quantize_one(
-                        data[idx],
-                        ebs.at(idx),
-                        &quant,
-                        pred,
-                        &mut codes,
-                        &mut unpred_w,
-                        &mut n_unpred,
-                    );
-                }
-            }
-        }
+        infallible(run_sweep(dims, &mut dec, |idx, pred| {
+            Ok(quantize_one(
+                data[idx],
+                ebs.at(idx),
+                &qk,
+                pred,
+                idx,
+                &mut codes,
+                &mut escapes,
+            ))
+        }));
     }
+    let (unpred_w, n_unpred) = escapes.into_stream(|idx| ebs.at(idx));
     record_quant_stats(rec, n, n_unpred);
 
     let codes_buf = {
@@ -268,52 +326,60 @@ pub(crate) fn compress_fused<F: Float>(
 ) -> Result<(Vec<u8>, Option<Vec<bool>>), CodecError> {
     let capacity = cfg.capacity;
     let quant = LinearQuantizer { capacity };
+    let qk = predict::QuantKernel::new(capacity);
     let eb = plan.abs_bound;
 
     let n = data.len();
-    let mut codes: Vec<u32> = Vec::with_capacity(n);
-    let mut unpred_w = BitWriter::new();
-    let mut n_unpred = 0u64;
+    let mut codes: Vec<u32> = vec![0u32; n];
+    let mut escapes = EscapeLog::new();
     let mut dec: Vec<F> = vec![F::zero(); n];
-    let mut window = [F::default(); CHUNK];
+    // Mapped-value ring: chunks are mapped on demand when the sweep first
+    // touches them (same CHUNK-aligned boundaries as a raster cursor, so
+    // mapped values and the sign bitmap are byte-identical). The wavefront
+    // keeps up to LANES rows in flight, so the live mapped span never
+    // exceeds LANES·nx + CHUNK; a power-of-two capacity above that keeps
+    // the ring index a mask and no live slot is ever overwritten.
+    let span = if dims.rank() == 1 {
+        2 * CHUNK
+    } else {
+        predict::LANES * dims.nx + 2 * CHUNK
+    };
+    let cap = span.next_power_of_two();
+    let mut window = vec![F::default(); cap];
     let mut scratch = [0f64; CHUNK];
     let mut signs: Vec<bool> = Vec::with_capacity(if plan.any_negative { n } else { 0 });
+    let mut mapped_end = 0usize;
 
-    let mut idx = 0usize;
     {
         let _pq = Span::enter(rec, stage::PREDICT_QUANTIZE);
         let mut map_timer = StageTimer::new(rec, stage::TRANSFORM);
-        for k in 0..dims.nz {
-            for j in 0..dims.ny {
-                for i in 0..dims.nx {
-                    debug_assert_eq!(idx, dims.index(i, j, k));
-                    if idx.is_multiple_of(CHUNK) {
-                        let end = (idx + CHUNK).min(n);
-                        map_timer.time(|| {
-                            plan.map_chunk(
-                                &data[idx..end],
-                                &mut window[..end - idx],
-                                &mut scratch,
-                                &mut signs,
-                            )
-                        });
-                    }
-                    let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
-                    dec[idx] = quantize_one(
-                        window[idx % CHUNK],
-                        eb,
-                        &quant,
-                        pred,
-                        &mut codes,
-                        &mut unpred_w,
-                        &mut n_unpred,
-                    );
-                    idx += 1;
-                }
+        infallible(run_sweep(dims, &mut dec, |idx, pred| {
+            while idx >= mapped_end {
+                let end = (mapped_end + CHUNK).min(n);
+                let slot = mapped_end & (cap - 1);
+                map_timer.time(|| {
+                    plan.map_chunk(
+                        &data[mapped_end..end],
+                        &mut window[slot..slot + (end - mapped_end)],
+                        &mut scratch,
+                        &mut signs,
+                    )
+                });
+                mapped_end = end;
             }
-        }
+            Ok(quantize_one(
+                window[idx & (cap - 1)],
+                eb,
+                &qk,
+                pred,
+                idx,
+                &mut codes,
+                &mut escapes,
+            ))
+        }));
         map_timer.finish();
     }
+    let (unpred_w, n_unpred) = escapes.into_stream(|_| eb);
     record_quant_stats(rec, n, n_unpred);
 
     let codes_buf = {
@@ -389,28 +455,40 @@ pub(crate) fn decompress<F: Float>(
         return Err(CodecError::Corrupt("code count != point count"));
     }
 
-    let mut unpred_r = BitReader::new(&stream.unpred_bytes);
     let mut dec: Vec<F> = vec![F::zero(); n];
 
     let _rebuild = Span::enter(rec, stage::RECONSTRUCT);
-    // audit:allow-fn(L1): `codes.len() == n` is checked above and `dec` is
-    // allocated with n elements; `dims.index` yields idx < n for in-grid
-    // (i, j, k), so the hot-loop indexing cannot go out of bounds.
-    for k in 0..dims.nz {
-        for j in 0..dims.ny {
-            for i in 0..dims.nx {
-                let idx = dims.index(i, j, k);
-                let code = codes[idx];
-                let val = if code == 0 {
-                    unpred::read::<F>(&mut unpred_r, ebs.at(idx))?
-                } else {
-                    let pred = LorenzoPredictor.predict(&dec, dims, i, j, k);
-                    quant.reconstruct(code, pred, ebs.at(idx))?
-                };
-                dec[idx] = val;
-            }
+    // The unpredictable stream is raster-ordered but the wavefront sweep
+    // visits rows interleaved, so escapes are decoded up front (in stream
+    // order, reading exactly the bits the encoder wrote) and looked up by
+    // index during the sweep.
+    let mut unpred_r = BitReader::new(&stream.unpred_bytes);
+    let mut esc_pos: Vec<usize> = Vec::new();
+    let mut esc_val: Vec<F> = Vec::new();
+    for (idx, &code) in codes.iter().enumerate() {
+        if code == 0 {
+            esc_pos.push(idx);
+            esc_val.push(unpred::read::<F>(&mut unpred_r, ebs.at(idx))?);
         }
     }
+
+    // audit:allow-fn(L1): `codes.len() == n` is checked above and `dec` is
+    // allocated with n elements; the sweep hands the sink idx < n only,
+    // so the hot-loop indexing cannot go out of bounds.
+    run_sweep(dims, &mut dec, |idx, pred| {
+        let code = codes[idx];
+        if code == 0 {
+            // `esc_pos` holds every zero-code index in ascending order, so
+            // the search can only miss if the sweep revisits an index —
+            // surface that as corruption rather than panicking.
+            match esc_pos.binary_search(&idx) {
+                Ok(r) => Ok(esc_val[r]),
+                Err(_) => Err(CodecError::Corrupt("escape index missing")),
+            }
+        } else {
+            quant.reconstruct(code, pred, ebs.at(idx))
+        }
+    })?;
     Ok((dec, dims))
 }
 

@@ -55,21 +55,9 @@ impl<F: Float> Quantizer<F> for LinearQuantizer {
 
     #[inline]
     fn quantize(&self, x: F, pred: f64, eb: f64) -> Option<(u32, F)> {
-        let radius = self.radius();
-        if x.is_finite() {
-            let diff = x.to_f64() - pred;
-            let qf = (diff / (2.0 * eb)).round();
-            if qf.is_finite() && qf.abs() < cast::f64_from_quant(radius) {
-                let q = cast::quant_code(qf);
-                let val = F::from_f64(pred + 2.0 * eb * cast::f64_from_quant(q));
-                // Verify on the *rounded* reconstruction so the bound
-                // holds for the stored element type, not just in f64.
-                if val.is_finite() && (val.to_f64() - x.to_f64()).abs() <= eb {
-                    return Some((cast::symbol_u32(radius + q), val));
-                }
-            }
-        }
-        None
+        // The arithmetic lives in `pwrel-kernels` so the sweep sinks and
+        // this trait impl share one implementation and cannot drift.
+        pwrel_kernels::predict::QuantKernel::new(self.capacity).quantize(x, pred, eb)
     }
 
     #[inline]

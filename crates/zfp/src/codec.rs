@@ -28,10 +28,10 @@ use pwrel_trace::{stage, Recorder, StageTimer};
 const MAGIC: &[u8; 4] = b"ZFR1";
 const EMAX_BIAS: i32 = 8192;
 
-/// Aggregating per-block timers for the two coded stages. The lift and
-/// plane-code stages run once per 4^d block, so they report one
-/// [`StageTimer`] aggregate per compression rather than per-block events
-/// (which would swamp the sink and distort the measurement).
+/// Aggregating timers for the two coded stages. The lift and plane-code
+/// stages are timed once per *chunk* of [`CHUNK_BLOCKS`] blocks (not per
+/// block: two `Instant::now` pairs per 4^d block measurably distorts the
+/// hot loop) and report one [`StageTimer`] aggregate per compression.
 struct StageClocks<'a> {
     lift: StageTimer<'a>,
     plane: StageTimer<'a>,
@@ -235,32 +235,42 @@ fn decode_one_block(
     Ok(())
 }
 
-/// Encodes one gathered block (`fblock`, length 4^rank) into `w`:
-/// raw-escape / all-zero / transform-coded tagging, block-floating-point
-/// scaling, lifting, and plane coding. `iblock`/`coeffs` are caller-owned
-/// scratch. Shared by the buffered and fused compression loops so the two
-/// stay bit-identical by construction.
-#[allow(clippy::too_many_arguments)]
-fn encode_one_block<F: Float>(
-    w: &mut BitWriter,
+/// Blocks per pipeline chunk: the bulk paths classify, lift, and
+/// plane-code [`CHUNK_BLOCKS`] blocks per phase, so each stage timer
+/// fires once per chunk and each kernel runs as a tight batched loop.
+const CHUNK_BLOCKS: usize = 32;
+
+/// What the per-block classification decided for one block of a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockClass {
+    /// All samples are exactly zero: tag `0`, no body.
+    Zero,
+    /// Raw escape: tag `11` + verbatim IEEE bits (non-finite samples or a
+    /// below-resolution-floor accuracy tolerance).
+    Raw,
+    /// Transform-coded: tag `10` + biased exponent + embedded planes.
+    Coded {
+        /// Block-floating-point exponent of the largest magnitude.
+        emax: i32,
+    },
+}
+
+/// Classifies one gathered block, replicating the reference branch order:
+/// raw escape first (non-finite, or an accuracy tolerance below the
+/// per-block resolution floor), then all-zero, then transform-coded.
+///
+/// Accuracy mode's resolution floor: the float→fixed cast and the
+/// lifting's truncating shifts cost up to ~2^(rank+3) integer units, i.e.
+/// 2^(emax - (ip-g) + rank + 3) in value space. A block whose tolerance
+/// sits below that floor cannot be transform-coded within bound — store
+/// it verbatim (real ZFP simply misses such tolerances).
+fn classify(
     fblock: &[f64],
     mode: Mode,
     rank: u8,
     ip: u32,
     g: i32,
-    order: &[usize],
-    iblock: &mut [i64],
-    coeffs: &mut [u64],
-    clocks: &mut StageClocks<'_>,
-) -> Result<(), CodecError> {
-    let bs = fblock.len();
-
-    // Accuracy mode has a per-block resolution floor: the float→fixed
-    // cast and the lifting's truncating shifts cost up to ~2^(rank+3)
-    // integer units, i.e. 2^(emax - (ip-g) + rank + 3) in value space. A
-    // block whose tolerance sits below that floor cannot be
-    // transform-coded within bound — store it verbatim (real ZFP simply
-    // misses such tolerances).
+) -> Result<BlockClass, CodecError> {
     let nonfinite = fblock.iter().any(|v| !v.is_finite());
     let needs_raw = nonfinite
         || if let Mode::Accuracy(tol) = mode {
@@ -273,58 +283,112 @@ fn encode_one_block<F: Float>(
         } else {
             false
         };
-
     if needs_raw {
         if matches!(mode, Mode::FixedRate(_)) {
             return Err(CodecError::InvalidArgument(
                 "fixed-rate mode requires finite input",
             ));
         }
-        // Raw escape block: tag 11, then verbatim IEEE bits.
-        w.write_bits(0b11, 2);
-        for &v in fblock.iter() {
-            w.write_bits(F::from_f64(v).to_bits_u64(), F::BITS);
-        }
-        return Ok(());
+        return Ok(BlockClass::Raw);
     }
-    let block_start = w.bit_len();
     let max_mag = fblock.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
     if max_mag == 0.0 {
-        w.write_bit(false); // tag 0 = all-zero block
-        if let Mode::FixedRate(rate) = mode {
-            pad_to(w, block_start, rate_budget(rate, bs));
-        }
-        return Ok(());
+        return Ok(BlockClass::Zero);
     }
-    w.write_bits(0b10, 2); // tag 10 = transform-coded block
-    let emax = frexp_exp(max_mag);
-    w.write_bits((emax + EMAX_BIAS) as u64, 16);
+    Ok(BlockClass::Coded {
+        emax: frexp_exp(max_mag),
+    })
+}
 
-    // Block-floating-point: scale so |q| < 2^(ip - guard).
-    clocks.lift.time(|| {
-        let s = (ip as i32 - g) - emax;
-        let scale = exp2_clamped(s);
-        for (i, &v) in fblock.iter().enumerate() {
-            iblock[i] = (v * scale) as i64;
+/// Lift phase over one chunk: block-floating-point scaling (so
+/// |q| < 2^(ip - guard)), forward lifting, and negabinary mapping for
+/// every transform-coded block. Runs under a single `lift` timer tick.
+// audit:allow-fn(L1): `fchunk`/`coeffs_chunk` hold `classes.len()` blocks
+// of `bs` samples by construction and `iblock`/`order` are the fixed
+// 4^rank scratch/permutation.
+#[allow(clippy::too_many_arguments)]
+fn lift_chunk(
+    classes: &[BlockClass],
+    fchunk: &[f64],
+    bs: usize,
+    rank: u8,
+    ip: u32,
+    g: i32,
+    order: &[usize],
+    iblock: &mut [i64],
+    coeffs_chunk: &mut [u64],
+) {
+    for (slot, class) in classes.iter().enumerate() {
+        if let BlockClass::Coded { emax } = *class {
+            let fblock = &fchunk[slot * bs..(slot + 1) * bs];
+            let s = (ip as i32 - g) - emax;
+            let scale = exp2_clamped(s);
+            for (i, &v) in fblock.iter().enumerate() {
+                iblock[i] = (v * scale) as i64;
+            }
+            Lift.forward(iblock, rank);
+            let coeffs = &mut coeffs_chunk[slot * bs..(slot + 1) * bs];
+            for (c, &src) in order.iter().enumerate() {
+                coeffs[c] = nb::nb_encode(iblock[src], ip);
+            }
         }
-        Lift.forward(iblock, rank);
-        for (slot, &src) in order.iter().enumerate() {
-            coeffs[slot] = nb::nb_encode(iblock[src], ip);
-        }
-    });
-    let kmin = kmin_for(mode, emax, rank, ip, g);
-    if let Mode::FixedRate(rate) = mode {
-        let budget = rate_budget(rate, bs) - 18; // tag + exponent
-        clocks
-            .plane
-            .time(|| GroupTestCoder.encode(w, coeffs, ip, kmin, Some(budget)));
-        pad_to(w, block_start, rate_budget(rate, bs));
-    } else {
-        clocks
-            .plane
-            .time(|| GroupTestCoder.encode(w, coeffs, ip, kmin, None));
     }
-    Ok(())
+}
+
+/// Write phase over one chunk: tags, exponents, embedded planes, raw
+/// bits, and fixed-rate padding, in block order — the emitted stream is
+/// bit-identical to the reference per-block loop because every write
+/// happens in the same sequence. Runs under a single `plane_code` timer
+/// tick.
+#[allow(clippy::too_many_arguments)]
+fn write_chunk<F: Float>(
+    w: &mut BitWriter,
+    classes: &[BlockClass],
+    fchunk: &[f64],
+    bs: usize,
+    mode: Mode,
+    rank: u8,
+    ip: u32,
+    g: i32,
+    coeffs_chunk: &[u64],
+) {
+    for (slot, class) in classes.iter().enumerate() {
+        let block_start = w.bit_len();
+        match *class {
+            BlockClass::Raw => {
+                w.write_bits(0b11, 2);
+                for &v in &fchunk[slot * bs..(slot + 1) * bs] {
+                    w.write_bits(F::from_f64(v).to_bits_u64(), F::BITS);
+                }
+            }
+            BlockClass::Zero => {
+                w.write_bit(false); // tag 0 = all-zero block
+                if let Mode::FixedRate(rate) = mode {
+                    pad_to(w, block_start, rate_budget(rate, bs));
+                }
+            }
+            BlockClass::Coded { emax } => {
+                w.write_bits(0b10, 2); // tag 10 = transform-coded block
+                w.write_bits((emax + EMAX_BIAS) as u64, 16);
+                let kmin = kmin_for(mode, emax, rank, ip, g);
+                let coeffs = &coeffs_chunk[slot * bs..(slot + 1) * bs];
+                if let Mode::FixedRate(rate) = mode {
+                    let budget = rate_budget(rate, bs) - 18; // tag + exponent
+                    GroupTestCoder.encode(w, coeffs, ip, kmin, Some(budget));
+                    pad_to(w, block_start, rate_budget(rate, bs));
+                } else {
+                    GroupTestCoder.encode(w, coeffs, ip, kmin, None);
+                }
+            }
+        }
+    }
+}
+
+/// Maps a chunk index range to block grid coordinates in the raster order
+/// the reference triple loop used: `bx` fastest, then `by`, then `bz`.
+#[inline]
+fn block_coords(t: usize, gx: usize, gy: usize) -> (usize, usize, usize) {
+    (t % gx, (t / gx) % gy, t / (gx * gy))
 }
 
 /// Compresses `data` into a self-contained ZFP stream. The recorder gets
@@ -345,27 +409,48 @@ pub(crate) fn compress<F: Float>(
     let mut clocks = StageClocks::new(rec);
     if !dims.is_empty() {
         let (gx, gy, gz) = blocks::block_grid(dims);
-        let mut fblock = vec![0.0f64; bs];
+        let total = gx * gy * gz;
+        let mut fchunk = vec![0.0f64; CHUNK_BLOCKS * bs];
+        let mut coeffs_chunk = vec![0u64; CHUNK_BLOCKS * bs];
         let mut iblock = vec![0i64; bs];
-        let mut coeffs = vec![0u64; bs];
-        for bz in 0..gz {
-            for by in 0..gy {
-                for bx in 0..gx {
-                    blocks::gather(data, dims, bx, by, bz, &mut fblock);
-                    encode_one_block::<F>(
-                        &mut w,
-                        &fblock,
-                        mode,
-                        rank,
-                        ip,
-                        g,
-                        &order,
-                        &mut iblock,
-                        &mut coeffs,
-                        &mut clocks,
-                    )?;
-                }
+        let mut classes = Vec::with_capacity(CHUNK_BLOCKS);
+        let mut start = 0;
+        while start < total {
+            let end = (start + CHUNK_BLOCKS).min(total);
+            classes.clear();
+            for (slot, t) in (start..end).enumerate() {
+                let (bx, by, bz) = block_coords(t, gx, gy);
+                let fblock = &mut fchunk[slot * bs..(slot + 1) * bs];
+                blocks::gather(data, dims, bx, by, bz, fblock);
+                classes.push(classify(fblock, mode, rank, ip, g)?);
             }
+            clocks.lift.time(|| {
+                lift_chunk(
+                    &classes,
+                    &fchunk,
+                    bs,
+                    rank,
+                    ip,
+                    g,
+                    &order,
+                    &mut iblock,
+                    &mut coeffs_chunk,
+                )
+            });
+            clocks.plane.time(|| {
+                write_chunk::<F>(
+                    &mut w,
+                    &classes,
+                    &fchunk,
+                    bs,
+                    mode,
+                    rank,
+                    ip,
+                    g,
+                    &coeffs_chunk,
+                )
+            });
+            start = end;
         }
     }
     clocks.finish();
@@ -409,37 +494,76 @@ pub(crate) fn compress_fused<F: Float>(
     let mut map_timer = StageTimer::new(rec, stage::TRANSFORM);
     if !dims.is_empty() {
         let (gx, gy, gz) = blocks::block_grid(dims);
-        let mut raw = vec![F::zero(); bs];
+        let total = gx * gy * gz;
+        let mut raw_chunk = vec![F::zero(); CHUNK_BLOCKS * bs];
         let mut mapped = vec![F::zero(); bs];
         let mut scratch = vec![0.0f64; bs];
-        let mut fblock = vec![0.0f64; bs];
+        let mut fchunk = vec![0.0f64; CHUNK_BLOCKS * bs];
+        let mut coeffs_chunk = vec![0u64; CHUNK_BLOCKS * bs];
         let mut iblock = vec![0i64; bs];
-        let mut coeffs = vec![0u64; bs];
+        let mut classes = Vec::with_capacity(CHUNK_BLOCKS);
         let mut no_signs = Vec::new();
-        for bz in 0..gz {
-            for by in 0..gy {
-                for bx in 0..gx {
-                    blocks::gather_raw(data, dims, bx, by, bz, &mut raw);
-                    map_timer.time(|| {
-                        block_plan.map_chunk(&raw, &mut mapped, &mut scratch, &mut no_signs)
-                    });
-                    for (f, m) in fblock.iter_mut().zip(&mapped) {
+        let mut start = 0;
+        while start < total {
+            let end = (start + CHUNK_BLOCKS).min(total);
+            let cn = end - start;
+            for (slot, t) in (start..end).enumerate() {
+                let (bx, by, bz) = block_coords(t, gx, gy);
+                blocks::gather_raw(
+                    data,
+                    dims,
+                    bx,
+                    by,
+                    bz,
+                    &mut raw_chunk[slot * bs..(slot + 1) * bs],
+                );
+            }
+            map_timer.time(|| {
+                for slot in 0..cn {
+                    let raw = &raw_chunk[slot * bs..(slot + 1) * bs];
+                    block_plan.map_chunk(raw, &mut mapped, &mut scratch, &mut no_signs);
+                    for (f, m) in fchunk[slot * bs..(slot + 1) * bs].iter_mut().zip(&mapped) {
                         *f = m.to_f64();
                     }
-                    encode_one_block::<F>(
-                        &mut w,
-                        &fblock,
-                        mode,
-                        rank,
-                        ip,
-                        g,
-                        &order,
-                        &mut iblock,
-                        &mut coeffs,
-                        &mut clocks,
-                    )?;
                 }
+            });
+            classes.clear();
+            for slot in 0..cn {
+                classes.push(classify(
+                    &fchunk[slot * bs..(slot + 1) * bs],
+                    mode,
+                    rank,
+                    ip,
+                    g,
+                )?);
             }
+            clocks.lift.time(|| {
+                lift_chunk(
+                    &classes,
+                    &fchunk,
+                    bs,
+                    rank,
+                    ip,
+                    g,
+                    &order,
+                    &mut iblock,
+                    &mut coeffs_chunk,
+                )
+            });
+            clocks.plane.time(|| {
+                write_chunk::<F>(
+                    &mut w,
+                    &classes,
+                    &fchunk,
+                    bs,
+                    mode,
+                    rank,
+                    ip,
+                    g,
+                    &coeffs_chunk,
+                )
+            });
+            start = end;
         }
     }
     map_timer.finish();
@@ -485,6 +609,11 @@ fn finish<F: Float>(payload: Vec<u8>, dims: Dims, mode: Mode) -> Vec<u8> {
 }
 
 /// Decompresses a stream produced by [`compress`].
+// audit:allow-fn(L1): the chunk scratch buffers (`fchunk`, `coeffs_chunk`)
+// are allocated with `CHUNK_BLOCKS * bs` elements and every slot index is
+// `< cn <= CHUNK_BLOCKS`; `iblock` holds `bs` elements and `order` is a
+// permutation of `0..bs`. All untrusted quantities (dims, tags, counts)
+// are validated before the chunk loop.
 pub(crate) fn decompress<F: Float>(
     bytes: &[u8],
     rec: &dyn Recorder,
@@ -538,30 +667,90 @@ pub(crate) fn decompress<F: Float>(
     }
     let mut out = vec![F::zero(); dims.len()];
     let mut r = BitReader::new(payload);
-    let mut fblock = vec![0.0f64; bs];
+    let total = gx * gy * gz;
+    let mut fchunk = vec![0.0f64; CHUNK_BLOCKS * bs];
+    let mut coeffs_chunk = vec![0u64; CHUNK_BLOCKS * bs];
     let mut iblock = vec![0i64; bs];
-    let mut coeffs = vec![0u64; bs];
+    let mut classes: Vec<BlockClass> = Vec::with_capacity(CHUNK_BLOCKS);
     let mut clocks = StageClocks::new(rec);
-    for bz in 0..gz {
-        for by in 0..gy {
-            for bx in 0..gx {
+    let mut start = 0;
+    while start < total {
+        let end = (start + CHUNK_BLOCKS).min(total);
+        let cn = end - start;
+        classes.clear();
+        // Read phase: tags, exponents, raw bits, and embedded planes for
+        // the whole chunk, in stream order (one plane_code timer tick).
+        clocks.plane.time(|| -> Result<(), CodecError> {
+            for slot in 0..cn {
                 let block_start = r.bits_read();
-                decode_one_block(
-                    &mut r,
-                    block_start,
-                    mode,
-                    rank,
-                    ip,
-                    g,
-                    &order,
-                    &mut iblock,
-                    &mut coeffs,
-                    &mut fblock,
-                    &mut clocks,
-                )?;
-                blocks::scatter(&mut out, dims, bx, by, bz, &fblock);
+                if !r.read_bit()? {
+                    classes.push(BlockClass::Zero);
+                    if let Mode::FixedRate(rate) = mode {
+                        skip_to(&mut r, block_start, rate_budget(rate, bs))?;
+                    }
+                } else if r.read_bit()? {
+                    // Raw escape block (never produced in fixed-rate mode).
+                    for v in fchunk[slot * bs..(slot + 1) * bs].iter_mut() {
+                        let bits = r.read_bits(if ip == 34 { 32 } else { 64 })?;
+                        *v = if ip == 34 {
+                            f32::from_bits(bits as u32) as f64
+                        } else {
+                            f64::from_bits(bits)
+                        };
+                    }
+                    classes.push(BlockClass::Raw);
+                } else {
+                    let emax = r.read_bits(16)? as i32 - EMAX_BIAS;
+                    let kmin = kmin_for(mode, emax, rank, ip, g);
+                    let coeffs = &mut coeffs_chunk[slot * bs..(slot + 1) * bs];
+                    coeffs.iter_mut().for_each(|c| *c = 0);
+                    if let Mode::FixedRate(rate) = mode {
+                        let budget = rate_budget(rate, bs) - 18;
+                        GroupTestCoder.decode(&mut r, coeffs, ip, kmin, Some(budget))?;
+                        skip_to(&mut r, block_start, rate_budget(rate, bs))?;
+                    } else {
+                        GroupTestCoder.decode(&mut r, coeffs, ip, kmin, None)?;
+                    }
+                    classes.push(BlockClass::Coded { emax });
+                }
             }
+            Ok(())
+        })?;
+        // Unlift phase: negabinary decode, inverse lifting, and scaling
+        // for every coded block (one lift timer tick).
+        clocks.lift.time(|| {
+            for (slot, class) in classes.iter().enumerate() {
+                let fblock = &mut fchunk[slot * bs..(slot + 1) * bs];
+                match *class {
+                    BlockClass::Zero => fblock.iter_mut().for_each(|v| *v = 0.0),
+                    BlockClass::Raw => {}
+                    BlockClass::Coded { emax } => {
+                        let coeffs = &coeffs_chunk[slot * bs..(slot + 1) * bs];
+                        for (c, &dst) in order.iter().enumerate() {
+                            iblock[dst] = nb::nb_decode(coeffs[c], ip);
+                        }
+                        Lift.inverse(&mut iblock, rank);
+                        let s = (ip as i32 - g) - emax;
+                        let inv_scale = exp2_clamped(-s);
+                        for (i, &q) in iblock.iter().enumerate() {
+                            fblock[i] = q as f64 * inv_scale;
+                        }
+                    }
+                }
+            }
+        });
+        for (slot, t) in (start..end).enumerate() {
+            let (bx, by, bz) = block_coords(t, gx, gy);
+            blocks::scatter(
+                &mut out,
+                dims,
+                bx,
+                by,
+                bz,
+                &fchunk[slot * bs..(slot + 1) * bs],
+            );
         }
+        start = end;
     }
     clocks.finish();
     Ok((out, dims))

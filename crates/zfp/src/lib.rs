@@ -35,7 +35,7 @@
 pub mod analysis;
 pub(crate) mod blocks;
 mod codec;
-mod lift;
+pub mod lift;
 pub mod nb;
 
 pub use codec::{precision_for_rel_bound, BlockSamples};

@@ -61,7 +61,62 @@ pub fn inv_lift(p: &mut [i64], base: usize, s: usize) {
 }
 
 /// Forward transform over a 4^rank block (separable).
+///
+/// Dispatches to the fused lane-batched kernels in `pwrel-kernels`
+/// (bit-identical: every lifted op is an integer wrapping add/sub or
+/// shift); `PWREL_LIFT=reference` selects the per-line loops below.
 pub fn fwd_xform(block: &mut [i64], rank: u8) {
+    if pwrel_kernels::dispatch::lift_kernel() == pwrel_kernels::BatchKernel::Batched {
+        match (rank, block.len()) {
+            (1, 4) => {
+                if let Ok(b) = <&mut [i64; 4]>::try_from(&mut *block) {
+                    return pwrel_kernels::blocklift::fwd_xform_1d(b);
+                }
+            }
+            (2, 16) => {
+                if let Ok(b) = <&mut [i64; 16]>::try_from(&mut *block) {
+                    return pwrel_kernels::blocklift::fwd_xform_2d(b);
+                }
+            }
+            (_, 64) if rank >= 3 => {
+                if let Ok(b) = <&mut [i64; 64]>::try_from(&mut *block) {
+                    return pwrel_kernels::blocklift::fwd_xform_3d(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    fwd_xform_reference(block, rank)
+}
+
+/// Inverse transform over a 4^rank block (reverses [`fwd_xform`] exactly).
+pub fn inv_xform(block: &mut [i64], rank: u8) {
+    if pwrel_kernels::dispatch::lift_kernel() == pwrel_kernels::BatchKernel::Batched {
+        match (rank, block.len()) {
+            (1, 4) => {
+                if let Ok(b) = <&mut [i64; 4]>::try_from(&mut *block) {
+                    return pwrel_kernels::blocklift::inv_xform_1d(b);
+                }
+            }
+            (2, 16) => {
+                if let Ok(b) = <&mut [i64; 16]>::try_from(&mut *block) {
+                    return pwrel_kernels::blocklift::inv_xform_2d(b);
+                }
+            }
+            (_, 64) if rank >= 3 => {
+                if let Ok(b) = <&mut [i64; 64]>::try_from(&mut *block) {
+                    return pwrel_kernels::blocklift::inv_xform_3d(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    inv_xform_reference(block, rank)
+}
+
+/// Per-line reference forward transform (the parity oracle for the fused
+/// kernels, and the fallback for odd-sized scratch slices).
+pub fn fwd_xform_reference(block: &mut [i64], rank: u8) {
     match rank {
         1 => fwd_lift(block, 0, 1),
         2 => {
@@ -92,8 +147,9 @@ pub fn fwd_xform(block: &mut [i64], rank: u8) {
     }
 }
 
-/// Inverse transform over a 4^rank block (reverses [`fwd_xform`] exactly).
-pub fn inv_xform(block: &mut [i64], rank: u8) {
+/// Per-line reference inverse transform (exact inverse of
+/// [`fwd_xform_reference`]).
+pub fn inv_xform_reference(block: &mut [i64], rank: u8) {
     match rank {
         1 => inv_lift(block, 0, 1),
         2 => {
@@ -252,5 +308,28 @@ mod tests {
     fn sequency_order_3d_ends_with_highest_frequency() {
         let p = sequency_order(3);
         assert_eq!(*p.last().unwrap(), 63);
+    }
+
+    #[test]
+    fn dispatched_xform_matches_reference() {
+        let mut x = 0xD1B54A32D192ED03u64;
+        for rank in 1..=3u8 {
+            let vals: Vec<i64> = (0..block_size(rank))
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x as i64) >> 2
+                })
+                .collect();
+            let mut a = vals.clone();
+            let mut b = vals;
+            fwd_xform(&mut a, rank);
+            fwd_xform_reference(&mut b, rank);
+            assert_eq!(a, b, "fwd rank {rank}");
+            inv_xform(&mut a, rank);
+            inv_xform_reference(&mut b, rank);
+            assert_eq!(a, b, "inv rank {rank}");
+        }
     }
 }

@@ -120,23 +120,25 @@ pub fn encode_planes_budget(
             // `z` is the next significant coefficient's offset; `z == d`
             // means it sits in the final slot and its 1 is implicit.
             while n_cur < size {
-                let more = x != 0;
-                w.write_bit(more);
-                bits -= 1;
-                if !more {
+                if x == 0 {
+                    w.write_bit(false);
+                    bits -= 1;
                     break;
                 }
                 let d = size - 1 - n_cur;
                 let z = x.trailing_zeros() as usize;
                 if z < d {
-                    // z zeros then the explicit 1, in one MSB-first write.
-                    w.write_bits(1, z as u32 + 1);
-                    bits -= z as u64 + 1;
+                    // Control 1, z zeros, then the explicit terminating 1 —
+                    // one MSB-first write (z ≤ 62, so z + 2 ≤ 64 bits).
+                    w.write_bits((1 << (z + 1)) | 1, z as u32 + 2);
+                    bits -= z as u64 + 2;
                     x >>= z + 1;
                     n_cur += z + 1;
                 } else {
-                    w.write_bits(0, d as u32);
-                    bits -= d as u64;
+                    // Control 1 then d zeros; the final slot's 1 is implicit
+                    // (d ≤ 63, so d + 1 ≤ 64 bits).
+                    w.write_bits(1 << d, d as u32 + 1);
+                    bits -= d as u64 + 1;
                     n_cur = size;
                 }
             }

@@ -1,0 +1,53 @@
+//! Property tests: the fused lane-batched block lift (dispatched through
+//! `pwrel_kernels::blocklift`) matches the reference per-axis lifting
+//! bit-for-bit in both directions, over random coefficient blocks that
+//! cover the full magnitude range the block-floating-point stage can
+//! produce (including negatives and near-overflow values).
+
+use proptest::prelude::*;
+use pwrel_zfp::lift;
+
+/// Block-floating-point coefficients: the alignment stage bounds them
+/// well inside i64, but exercise a wide range anyway.
+fn coeff() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        8 => -(1i64 << 40)..(1i64 << 40),
+        2 => -(1i64 << 58)..(1i64 << 58),
+        1 => Just(0i64),
+    ]
+}
+
+fn check_both_directions(block: &[i64], rank: u8) -> Result<(), TestCaseError> {
+    let mut fused_f = block.to_vec();
+    let mut ref_f = block.to_vec();
+    lift::fwd_xform(&mut fused_f, rank);
+    lift::fwd_xform_reference(&mut ref_f, rank);
+    prop_assert_eq!(&fused_f, &ref_f, "forward lift diverges (rank {})", rank);
+
+    // Feed the (shared) forward output through both inverses.
+    let mut fused_i = ref_f.clone();
+    let mut ref_i = ref_f;
+    lift::inv_xform(&mut fused_i, rank);
+    lift::inv_xform_reference(&mut ref_i, rank);
+    prop_assert_eq!(&fused_i, &ref_i, "inverse lift diverges (rank {})", rank);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fused_lift_matches_reference_1d(block in prop::collection::vec(coeff(), 4..5)) {
+        check_both_directions(&block, 1)?;
+    }
+
+    #[test]
+    fn fused_lift_matches_reference_2d(block in prop::collection::vec(coeff(), 16..17)) {
+        check_both_directions(&block, 2)?;
+    }
+
+    #[test]
+    fn fused_lift_matches_reference_3d(block in prop::collection::vec(coeff(), 64..65)) {
+        check_both_directions(&block, 3)?;
+    }
+}
