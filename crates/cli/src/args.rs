@@ -20,6 +20,7 @@ USAGE:
   pwrel list       -i <archive>
   pwrel run        -i <raw> --dims <...> --bound <b> [--codec <name>]
                    [--type f32|f64] [--base 2|e|10] [--trace <out.json>] [--stats]
+                   [--stream] [--chunk-elems <n>] [--workers <n>] [--window <n>]
 
   compress   raw little-endian floats -> compressed stream (default codec sz_t)
   decompress compressed stream -> raw little-endian floats (codec auto-detected)
@@ -31,7 +32,9 @@ USAGE:
   list       show an archive's contents
   run        instrumented compress+decompress round trip; --trace writes
              Chrome trace_event JSON (chrome://tracing / Perfetto) and
-             --stats prints the per-stage summary table
+             --stats prints the per-stage summary table; --stream runs the
+             chunk-pipelined out-of-core path (framed stream, bounded
+             memory) with optional --chunk-elems / --workers / --window
 
 EXAMPLES:
   pwrel compress -i snap.f32 -o snap.pwr --dims 512x512x512 --bound 1e-3
@@ -128,6 +131,18 @@ pub enum Command {
         trace: Option<String>,
         /// Print the per-stage summary table.
         stats: bool,
+        /// Round trip through the chunk-pipelined streaming path
+        /// (framed stream, bounded memory) instead of one-shot buffers.
+        stream: bool,
+        /// Elements per chunk for the streaming path (default ~4 MiB of
+        /// elements, clamped to the field).
+        chunk_elems: Option<usize>,
+        /// Worker thread count for the streaming path (default: one per
+        /// CPU).
+        workers: Option<usize>,
+        /// In-flight chunk window for the streaming path (default: two
+        /// per worker).
+        window: Option<usize>,
     },
     /// `pwrel verify`.
     Verify {
@@ -191,6 +206,18 @@ fn parse_base(s: &str) -> Result<LogBase, CliError> {
     }
 }
 
+/// Parses an optional positive-count flag (`--workers 4`); zero is a
+/// usage error, not a silent fallback.
+fn parse_count(flags: &Flags, name: &str) -> Result<Option<usize>, CliError> {
+    match flags.get(&[name]) {
+        None => Ok(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) | Err(_) => Err(usage_err(format!("bad {name} value '{s}' (want >= 1)"))),
+            Ok(n) => Ok(Some(n)),
+        },
+    }
+}
+
 fn parse_elem(s: &str) -> Result<ElemType, CliError> {
     match s {
         "f32" => Ok(ElemType::F32),
@@ -200,7 +227,7 @@ fn parse_elem(s: &str) -> Result<ElemType, CliError> {
 }
 
 /// Flags that take no value; everything else consumes the next token.
-const BOOLEAN_FLAGS: &[&str] = &["--stats"];
+const BOOLEAN_FLAGS: &[&str] = &["--stats", "--stream"];
 
 /// Collects `--flag value` / `-f value` pairs, boolean flags, and
 /// positional arguments.
@@ -351,11 +378,15 @@ impl Cli {
                     .map_or(Ok(LogBase::Two), parse_base)?,
                 trace: flags.get(&["--trace"]).map(|s| s.to_string()),
                 stats: flags.has("--stats"),
+                stream: flags.has("--stream"),
+                chunk_elems: parse_count(&flags, "--chunk-elems")?,
+                workers: parse_count(&flags, "--workers")?,
+                window: parse_count(&flags, "--window")?,
             },
             "verify" => Command::Verify {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
                 stream: flags
-                    .require(&["-c", "--stream"], "stream path")?
+                    .require(&["-c", "--compressed"], "stream path")?
                     .to_string(),
                 dims: parse_dims(flags.require(&["--dims"], "--dims")?)?,
                 bound: flags
@@ -508,6 +539,70 @@ mod tests {
                 assert!(stats);
             }
             _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn run_command_streaming_flags() {
+        let cli = Cli::parse(&argv(
+            "run -i a --dims 64x64 --bound 1e-2 --stream --chunk-elems 1024 --workers 2 --window 6",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Run {
+                stream,
+                chunk_elems,
+                workers,
+                window,
+                ..
+            } => {
+                assert!(stream);
+                assert_eq!(chunk_elems, Some(1024));
+                assert_eq!(workers, Some(2));
+                assert_eq!(window, Some(6));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn run_streaming_defaults_off() {
+        // --stream is boolean: it must not swallow the next token, and
+        // the tuning knobs default to None.
+        let cli = Cli::parse(&argv("run --stream -i a --dims 10 --bound 0.01")).unwrap();
+        match cli.command {
+            Command::Run {
+                input,
+                stream,
+                chunk_elems,
+                workers,
+                window,
+                ..
+            } => {
+                assert_eq!(input, "a");
+                assert!(stream);
+                assert_eq!(chunk_elems, None);
+                assert_eq!(workers, None);
+                assert_eq!(window, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        match Cli::parse(&argv("run -i a --dims 10 --bound 0.01"))
+            .unwrap()
+            .command
+        {
+            Command::Run { stream, .. } => assert!(!stream),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn zero_counts_are_usage_errors() {
+        for flag in ["--chunk-elems", "--workers", "--window"] {
+            let err = Cli::parse(&argv(&format!("run -i a --dims 10 --bound 0.01 {flag} 0")));
+            assert!(matches!(err, Err(CliError::Usage(_))), "{flag} 0: {err:?}");
+            let err = Cli::parse(&argv(&format!("run -i a --dims 10 --bound 0.01 {flag} x")));
+            assert!(matches!(err, Err(CliError::Usage(_))), "{flag} x: {err:?}");
         }
     }
 

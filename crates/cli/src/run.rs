@@ -86,6 +86,26 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                         h.bound
                     )?;
                 }
+                Some(StreamInfo::Framed(h)) => {
+                    let name = match global().get(h.codec_id) {
+                        Some(c) => c.name(),
+                        None if h.codec_id == pwrel_pipeline::stream::EXTERNAL_CODEC_ID => {
+                            "<external>"
+                        }
+                        None => "<unknown codec id>",
+                    };
+                    writeln!(
+                        out,
+                        "{input}: {} bytes, framed stream: codec {name} (id {}), \
+                         f{}, dims {}, bound {:e}, {} chunks",
+                        stream.len(),
+                        h.codec_id,
+                        h.elem_bits,
+                        h.dims,
+                        h.bound,
+                        h.n_chunks
+                    )?;
+                }
                 Some(StreamInfo::Legacy(kind)) => {
                     writeln!(out, "{input}: {} bytes, {}", stream.len(), kind.describe())?;
                 }
@@ -220,18 +240,52 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
             base,
             trace,
             stats,
+            stream,
+            chunk_elems,
+            workers,
+            window,
         } => {
             let opts = CompressOpts { bound, base };
-            match elem {
-                ElemType::F32 => {
-                    let data = io::read_f32(&input)?;
-                    check_dims(data.len(), dims)?;
-                    traced_run(&data, dims, &codec, &opts, trace.as_deref(), stats, out)?;
+            if stream {
+                let tuning = StreamTuning {
+                    chunk_elems,
+                    workers,
+                    window,
+                };
+                match elem {
+                    ElemType::F32 => streaming_run::<f32>(
+                        &input,
+                        dims,
+                        &codec,
+                        &opts,
+                        &tuning,
+                        trace.as_deref(),
+                        stats,
+                        out,
+                    )?,
+                    ElemType::F64 => streaming_run::<f64>(
+                        &input,
+                        dims,
+                        &codec,
+                        &opts,
+                        &tuning,
+                        trace.as_deref(),
+                        stats,
+                        out,
+                    )?,
                 }
-                ElemType::F64 => {
-                    let data = io::read_f64(&input)?;
-                    check_dims(data.len(), dims)?;
-                    traced_run(&data, dims, &codec, &opts, trace.as_deref(), stats, out)?;
+            } else {
+                match elem {
+                    ElemType::F32 => {
+                        let data = io::read_f32(&input)?;
+                        check_dims(data.len(), dims)?;
+                        traced_run(&data, dims, &codec, &opts, trace.as_deref(), stats, out)?;
+                    }
+                    ElemType::F64 => {
+                        let data = io::read_f64(&input)?;
+                        check_dims(data.len(), dims)?;
+                        traced_run(&data, dims, &codec, &opts, trace.as_deref(), stats, out)?;
+                    }
                 }
             }
         }
@@ -252,7 +306,7 @@ fn traced_run<F: Float + PipelineElem>(
     stats: bool,
     out: &mut impl std::io::Write,
 ) -> Result<(), CliError> {
-    use pwrel_trace::{export, stage, TraceSink};
+    use pwrel_trace::{stage, TraceSink};
 
     // The sink's epoch starts here, so its wall clock covers exactly the
     // round trip the root spans measure.
@@ -273,11 +327,152 @@ fn traced_run<F: Float + PipelineElem>(
         stream.len(),
         raw_bytes as f64 / stream.len() as f64
     )?;
+    report_trace(
+        &sink,
+        &[stage::COMPRESS, stage::DECOMPRESS],
+        wall_ns,
+        trace_path,
+        stats,
+        out,
+    )
+}
 
-    // Root spans (compress + decompress) against the sink's lifetime:
-    // anything far below 100% is time the trace cannot attribute.
-    let rows = export::stage_rows(&sink);
-    let root_ns: u64 = [stage::COMPRESS, stage::DECOMPRESS]
+/// Tuning knobs for the `--stream` round trip; `None` picks the
+/// documented default.
+struct StreamTuning {
+    chunk_elems: Option<usize>,
+    workers: Option<usize>,
+    window: Option<usize>,
+}
+
+/// A sink writer that only counts: the streaming round trip verifies
+/// the decoded byte count without materializing the reconstruction.
+#[derive(Default)]
+struct CountingWriter {
+    bytes: u64,
+}
+
+impl std::io::Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Instrumented *streaming* round trip: the raw file is read chunk by
+/// chunk through [`pwrel_parallel::ChunkedCodec`] (never fully
+/// resident), compressed into a framed stream, and decompressed back
+/// through a counting sink. Reports the same ratio/trace lines as the
+/// one-shot path plus the chunking parameters.
+#[allow(clippy::too_many_arguments)] // mirrors traced_run plus the tuning
+fn streaming_run<F: Float + PipelineElem>(
+    input: &str,
+    dims: Dims,
+    codec: &str,
+    opts: &CompressOpts,
+    tuning: &StreamTuning,
+    trace_path: Option<&str>,
+    stats: bool,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    use pwrel_parallel::{ChunkedCodec, WorkerPool};
+    use pwrel_pipeline::{ReadSource, WriteSink};
+    use pwrel_trace::{stage, TraceSink};
+
+    // Validate the shape against the file length before starting: the
+    // source reads exactly dims.len() elements.
+    let raw_bytes = (dims.len() * F::NBYTES) as u64;
+    let file_bytes = std::fs::metadata(input)?.len();
+    if file_bytes != raw_bytes {
+        return Err(CliError::Usage(format!(
+            "{input} holds {file_bytes} bytes but --dims {dims} needs {raw_bytes}"
+        )));
+    }
+
+    let pool = match tuning.workers {
+        Some(w) => WorkerPool::new(w),
+        None => WorkerPool::per_cpu(),
+    };
+    // Default chunk: about 4 MiB of elements, clamped to the field so
+    // small inputs stay a single legal chunk.
+    let chunk_elems = tuning
+        .chunk_elems
+        .unwrap_or((4 << 20) / F::NBYTES)
+        .min(dims.len());
+    let mut chunked = ChunkedCodec::new(pool, chunk_elems);
+    if let Some(w) = tuning.window {
+        chunked.window = w;
+    }
+
+    let sink = TraceSink::new();
+    let mut src: ReadSource<_> =
+        ReadSource::new(std::io::BufReader::new(std::fs::File::open(input)?));
+    let mut stream = Vec::new();
+    let cstats = chunked.compress_stream_traced::<F>(
+        global(),
+        codec,
+        &mut src,
+        &mut stream,
+        dims,
+        opts,
+        &sink,
+    )?;
+
+    let mut frames: &[u8] = &stream;
+    let mut decoded: WriteSink<CountingWriter> = WriteSink::new(CountingWriter::default());
+    let (header, dstats) =
+        chunked.decompress_stream_traced::<F>(global(), &mut frames, &mut decoded, &sink)?;
+    let wall_ns = sink.elapsed_ns().max(1);
+    if header.dims != dims || dstats.bytes_out != raw_bytes {
+        return Err(CliError::Codec(CodecError::Corrupt(
+            "round trip changed the value count",
+        )));
+    }
+
+    writeln!(
+        out,
+        "{codec} (streamed): {raw_bytes} -> {} bytes in {} chunks (ratio {:.2}x)",
+        cstats.bytes_out,
+        cstats.chunks,
+        raw_bytes as f64 / cstats.bytes_out as f64
+    )?;
+    writeln!(
+        out,
+        "pipeline: {} elems/chunk, {} workers, window {}",
+        chunk_elems,
+        chunked.pool.workers(),
+        chunked.window
+    )?;
+    report_trace(
+        &sink,
+        &[stage::STREAM_COMPRESS, stage::STREAM_DECOMPRESS],
+        wall_ns,
+        trace_path,
+        stats,
+        out,
+    )
+}
+
+/// Prints the root-span/wall-clock reconciliation line, the optional
+/// per-stage summary table, and the optional Chrome trace JSON file —
+/// shared by the one-shot and streaming `run` paths.
+fn report_trace(
+    sink: &pwrel_trace::TraceSink,
+    roots: &[&str],
+    wall_ns: u64,
+    trace_path: Option<&str>,
+    stats: bool,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    use pwrel_trace::export;
+
+    // Root spans against the sink's lifetime: anything far below 100%
+    // is time the trace cannot attribute.
+    let rows = export::stage_rows(sink);
+    let root_ns: u64 = roots
         .iter()
         .filter_map(|name| rows.get(name))
         .map(|row| row.total_ns)
@@ -292,10 +487,10 @@ fn traced_run<F: Float + PipelineElem>(
 
     if stats {
         writeln!(out)?;
-        write!(out, "{}", export::summary_table(&sink))?;
+        write!(out, "{}", export::summary_table(sink))?;
     }
     if let Some(path) = trace_path {
-        std::fs::write(path, export::chrome_trace_json(&sink))?;
+        std::fs::write(path, export::chrome_trace_json(sink))?;
         writeln!(out, "trace written to {path}")?;
     }
     Ok(())
@@ -476,6 +671,86 @@ mod tests {
         .unwrap();
         let msg = run_str(&format!("info -i {stream}")).unwrap();
         assert!(msg.contains("unified container: codec sz_t"), "{msg}");
+        assert!(msg.contains("dims 2048"), "{msg}");
+    }
+
+    #[test]
+    fn run_stream_round_trips_and_reports_pipeline() {
+        let raw = tmp("stream.f32");
+        let trace = tmp("stream_trace.json");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        let msg = run_str(&format!(
+            "run -i {raw} --dims 2048 --bound 1e-2 --stream --chunk-elems 256 \
+             --workers 2 --window 3 --trace {trace} --stats"
+        ))
+        .unwrap();
+        assert!(msg.contains("(streamed)"), "{msg}");
+        assert!(msg.contains("in 8 chunks"), "{msg}");
+        assert!(
+            msg.contains("256 elems/chunk, 2 workers, window 3"),
+            "{msg}"
+        );
+        assert!(msg.contains("ratio"), "{msg}");
+        assert!(msg.contains("wall clock"), "{msg}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        for want in ["stream_compress", "stream_decompress", "chunk_compress"] {
+            assert!(
+                json.contains(&format!("\"name\":\"{want}\"")),
+                "{want} missing from trace JSON"
+            );
+        }
+    }
+
+    #[test]
+    fn run_stream_every_codec_and_f64() {
+        let raw = tmp("stream_all.f32");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        for codec in global().iter().map(|c| c.name()) {
+            let msg = run_str(&format!(
+                "run -i {raw} --dims 2048 --bound 1e-2 --stream --chunk-elems 512 --codec {codec}"
+            ))
+            .unwrap_or_else(|e| panic!("{codec}: {e}"));
+            assert!(msg.contains("(streamed)"), "{codec}: {msg}");
+        }
+        let raw64 = tmp("stream_all.f64");
+        let data: Vec<f64> = (1..1025).map(|i| (i as f64).sqrt()).collect();
+        io::write_f64(&raw64, &data).unwrap();
+        let msg = run_str(&format!(
+            "run -i {raw64} --dims 1024 --bound 1e-3 --stream --chunk-elems 256 --type f64"
+        ))
+        .unwrap();
+        assert!(msg.contains("in 4 chunks"), "{msg}");
+    }
+
+    #[test]
+    fn run_stream_rejects_wrong_file_length() {
+        let raw = tmp("stream_short.f32");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        let err = run_str(&format!("run -i {raw} --dims 4096 --bound 1e-2 --stream"));
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+    }
+
+    #[test]
+    fn info_identifies_framed_streams() {
+        use pwrel_pipeline::SliceSource;
+        let path = tmp("framed_info.pws");
+        let data = sample_data();
+        let mut src = SliceSource::new(&data[..]);
+        let mut bytes = Vec::new();
+        global()
+            .compress_stream::<f32>(
+                "sz_t",
+                &mut src,
+                &mut bytes,
+                Dims::d1(data.len()),
+                &CompressOpts::rel(1e-2),
+                512,
+            )
+            .unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        let msg = run_str(&format!("info -i {path}")).unwrap();
+        assert!(msg.contains("framed stream: codec sz_t"), "{msg}");
+        assert!(msg.contains("4 chunks"), "{msg}");
         assert!(msg.contains("dims 2048"), "{msg}");
     }
 

@@ -59,6 +59,31 @@ pub trait Float:
     fn zero() -> Self {
         Self::default()
     }
+
+    /// Native width in bytes (4 or 8).
+    const NBYTES: usize = (Self::BITS / 8) as usize;
+
+    /// Appends the value's little-endian byte image to `out`.
+    fn write_le(self, out: &mut Vec<u8>) {
+        let bits = self.to_bits_u64();
+        out.extend((0..Self::NBYTES).map(|i| (bits >> (8 * i)) as u8));
+    }
+
+    /// Reads one value from the little-endian prefix of `buf`, or `None`
+    /// when fewer than [`Float::NBYTES`] bytes remain. The bit-fold keeps
+    /// the path free of slice indexing and `try_into().unwrap()` so it is
+    /// safe on attacker-controlled stream tails (audit lint L1).
+    fn read_le(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::NBYTES {
+            return None;
+        }
+        let bits = buf
+            .iter()
+            .take(Self::NBYTES)
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << (8 * i)));
+        Some(Self::from_bits_u64(bits))
+    }
 }
 
 impl Float for f32 {
@@ -155,6 +180,25 @@ mod tests {
         assert_eq!(<f64 as Float>::BITS, 1 + f64::EXP_BITS + f64::MANT_BITS);
         assert_eq!(<f32 as Float>::EPSILON, 2f32.powi(-23));
         assert_eq!(<f64 as Float>::EPSILON, 2f64.powi(-52));
+    }
+
+    #[test]
+    fn le_bytes_round_trip_and_reject_short_reads() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        (-2.75f64).write_le(&mut buf);
+        assert_eq!(buf.len(), 12);
+        assert_eq!(f32::read_le(&buf), Some(1.5));
+        assert_eq!(f64::read_le(&buf[4..]), Some(-2.75));
+        for cut in 0..4 {
+            assert!(f32::read_le(&buf[..cut]).is_none());
+        }
+        for cut in 0..8 {
+            assert!(f64::read_le(&buf[4..4 + cut]).is_none());
+        }
+        // Matches the platform encoding exactly.
+        assert_eq!(&buf[..4], &1.5f32.to_le_bytes());
+        assert_eq!(&buf[4..], &(-2.75f64).to_le_bytes());
     }
 
     #[test]

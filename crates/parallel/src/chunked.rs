@@ -1,78 +1,246 @@
-//! Chunked parallel compression of a single large field.
+//! Chunk-pipelined compression of a single large field over framed
+//! streams.
 //!
-//! The paper parallelizes across *files* (one rank, one field, one file).
-//! Within a node it is often preferable to split one large field into
-//! slabs along its slowest axis and compress the slabs concurrently: each
-//! slab is an independent stream (prediction restarts at the boundary, so
-//! the error bound is preserved per-slab at a small compression-ratio
-//! cost), and decompression parallelizes the same way.
+//! The paper parallelizes across *files* (one rank, one field, one
+//! file). Within a node it is often preferable to split one large field
+//! into slabs along its slowest axis and overlap the slabs' stages:
+//! each slab is an independent codec stream (prediction restarts at the
+//! boundary, so the error bound is preserved per-slab at a small
+//! compression-ratio cost), and decompression pipelines the same way.
 //!
-//! Container: `magic "PWC1" | elem u8 | dims header | n_chunks uvarint |
-//! (slab_extent uvarint, stream_len uvarint)* | streams...`
+//! The container is the framed stream format from
+//! [`pwrel_pipeline::stream`] (`PWS1` header + self-describing frames),
+//! so everything this wrapper emits is readable by the registry's
+//! sequential `decompress_stream` and vice versa — the pipelined and
+//! sequential engines are byte-identical for the same chunk size. Chunks
+//! flow through [`WorkerPool::pipeline`]: the calling thread reads chunk
+//! `k+2` and writes frame `k` while workers compress the chunks in
+//! between, with the bounded in-flight window capping peak memory at a
+//! few chunks regardless of field size. Chunk buffers recycle through a
+//! [`BufferPool`] arena, so the engine's own steady-state allocation per
+//! chunk is zero after warm-up.
 
 use crate::pool::WorkerPool;
-use pwrel_bitstream::varint;
 use pwrel_data::{CodecError, Dims, Float};
+use pwrel_pipeline::stream::{self, EXTERNAL_CODEC_ID};
+use pwrel_pipeline::{
+    BufferPool, ChunkPlan, ChunkSink, ChunkSource, CodecRegistry, CompressOpts, FrameHeader,
+    FrameWalker, PipelineElem, SliceSource, StreamHeader, StreamStats, VecSink,
+};
+use pwrel_trace::{stage, Recorder, Span};
+use std::io::{Read, Write};
 
-const MAGIC: &[u8; 4] = b"PWC1";
+/// Per-chunk encode hook the pipelined compress engine fans out to
+/// workers.
+type CompressChunkFn<'a, F> = &'a (dyn Fn(&[F], Dims) -> Result<Vec<u8>, CodecError> + Sync);
 
-/// Splits `dims` into at most `target_chunks` slabs along the slowest
-/// axis, returning each slab's extent along that axis.
-pub fn slab_extents(dims: Dims, target_chunks: usize) -> Vec<usize> {
-    let slow = match dims.rank() {
-        1 => dims.nx,
-        2 => dims.ny,
-        _ => dims.nz,
-    };
-    if slow == 0 {
-        return Vec::new();
-    }
-    let n = target_chunks.clamp(1, slow);
-    let base = slow / n;
-    let extra = slow % n;
-    (0..n)
-        .map(|i| base + usize::from(i < extra))
-        .filter(|&e| e > 0)
-        .collect()
-}
+/// Per-chunk decode hook the pipelined decompress engine fans out to
+/// workers.
+type DecompressChunkFn<'a, F> = &'a (dyn Fn(&[u8]) -> Result<(Vec<F>, Dims), CodecError> + Sync);
 
-/// Dims of one slab of `extent` slices.
-fn slab_dims(dims: Dims, extent: usize) -> Dims {
-    match dims.rank() {
-        1 => Dims::d1(extent),
-        2 => Dims::d2(extent, dims.nx),
-        _ => Dims::d3(extent, dims.ny, dims.nx),
-    }
-}
+/// One decoded chunk in flight: recycled payload buffer, expected slab
+/// dims, and the worker's decode result.
+type DecodedChunk<F> = (Vec<u8>, Dims, Result<(Vec<F>, Dims), CodecError>);
 
-/// Points per unit of the slowest axis.
-fn slice_len(dims: Dims) -> usize {
-    match dims.rank() {
-        1 => 1,
-        2 => dims.nx,
-        _ => dims.nx * dims.ny,
-    }
-}
-
-/// Chunked-parallel wrapper around any per-buffer codec.
+/// Chunk-pipelined wrapper running any per-buffer codec over a framed
+/// stream with bounded memory.
 #[derive(Debug, Clone)]
 pub struct ChunkedCodec {
     /// Worker pool used for both directions.
     pub pool: WorkerPool,
-    /// Desired number of slabs (clamped to the slowest-axis extent).
-    pub target_chunks: usize,
+    /// Requested elements per chunk (rounded to whole slices of the
+    /// slowest axis; see [`ChunkPlan`]). Zero or more than the field's
+    /// total element count is a usage error surfaced as
+    /// [`CodecError::InvalidArgument`], never a panic or a silent
+    /// single-chunk fallback.
+    pub chunk_elems: usize,
+    /// Bounded in-flight window for the pipelined executor (clamped to
+    /// ≥ 1): peak memory is about `window` chunks plus codec scratch.
+    pub window: usize,
 }
 
 impl ChunkedCodec {
-    /// Creates a chunked codec with one chunk per worker by default.
-    pub fn new(pool: WorkerPool) -> Self {
+    /// A chunked codec over `pool` with the given chunk size and a
+    /// two-chunks-per-worker window (enough to keep every worker busy
+    /// while the caller reads ahead and drains in order).
+    pub fn new(pool: WorkerPool, chunk_elems: usize) -> Self {
         Self {
-            target_chunks: pool.workers() * 2,
+            window: pool.workers() * 2,
             pool,
+            chunk_elems,
         }
     }
 
-    /// Compresses `data` slab-by-slab with `compress_chunk` in parallel.
+    /// The chunk-pipelined compress engine: plans slabs, writes the
+    /// stream header, then runs read → compress → write-frame over the
+    /// pool with frames emitted strictly in chunk order (byte-identical
+    /// to the sequential engine in `pwrel-pipeline`). On error the
+    /// stream written so far is abandoned mid-frame — callers discard it.
+    #[allow(clippy::too_many_arguments)] // mirrors the sequential engine plus identity
+    fn run_compress<F: Float>(
+        &self,
+        codec_id: u8,
+        granularity: usize,
+        src: &mut dyn ChunkSource<F>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        compress_chunk: CompressChunkFn<'_, F>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        let plan = ChunkPlan::new(dims, self.chunk_elems, granularity)?;
+        let header = StreamHeader {
+            codec_id,
+            elem_bits: F::BITS as u8,
+            dims,
+            bound: opts.bound,
+            base: opts.base,
+            n_chunks: plan.n_chunks() as u64,
+        };
+        let mut head = Vec::with_capacity(48);
+        stream::encode_stream_header(&mut head, &header);
+        out.write_all(&head).map_err(stream::write_failed)?;
+
+        let arena: BufferPool<F> = BufferPool::new();
+        let mut stats = StreamStats {
+            chunks: plan.n_chunks() as u64,
+            elements: dims.len() as u64,
+            bytes_in: (dims.len() * F::NBYTES) as u64,
+            bytes_out: head.len() as u64,
+        };
+        let mut produced = 0usize;
+        let mut index = 0u64;
+        let mut covered = 0u64;
+        self.pool.pipeline_traced(
+            self.window.max(1),
+            || {
+                if produced == plan.n_chunks() {
+                    return Ok(None);
+                }
+                let (_, n) = plan.chunk_range(produced);
+                let d = plan.chunk_dims(produced);
+                let mut buf = arena.take(n);
+                src.next_chunk(n, &mut buf)?;
+                if buf.len() != n {
+                    return Err(CodecError::InvalidArgument(
+                        "chunk source returned the wrong length",
+                    ));
+                }
+                produced += 1;
+                Ok(Some((buf, d)))
+            },
+            |(buf, d): (Vec<F>, Dims)| {
+                let _chunk = Span::enter(rec, stage::CHUNK_COMPRESS);
+                let payload = compress_chunk(&buf, d);
+                (buf, payload)
+            },
+            |(buf, payload): (Vec<F>, Result<Vec<u8>, CodecError>)| {
+                let n = buf.len();
+                arena.put(buf);
+                let payload = payload?;
+                head.clear();
+                stream::encode_frame_header(
+                    &mut head,
+                    &FrameHeader {
+                        index,
+                        start: covered,
+                        n_elems: n as u64,
+                        bound: opts.bound,
+                        payload_len: payload.len() as u64,
+                    },
+                );
+                out.write_all(&head).map_err(stream::write_failed)?;
+                out.write_all(&payload).map_err(stream::write_failed)?;
+                stats.bytes_out += (head.len() + payload.len()) as u64;
+                index += 1;
+                covered += n as u64;
+                Ok(())
+            },
+            rec,
+        )?;
+        if rec.is_enabled() {
+            rec.add(stage::C_STREAM_CHUNKS, stats.chunks);
+            rec.add(stage::C_BYTES_IN, stats.bytes_in);
+            rec.add(stage::C_BYTES_OUT, stats.bytes_out);
+            arena.record(rec);
+        }
+        Ok(stats)
+    }
+
+    /// The chunk-pipelined decompress engine: admits frames through the
+    /// shared [`FrameWalker`] rules (sequential indices, contiguous
+    /// coverage, payload plausibility) on the reading thread, fans the
+    /// payloads out to workers, and delivers chunks to `sink` strictly
+    /// in raster order.
+    fn run_decompress<F: Float>(
+        &self,
+        header: &StreamHeader,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<F>,
+        decompress_chunk: DecompressChunkFn<'_, F>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        if header.elem_bits as u32 != F::BITS {
+            return Err(CodecError::Mismatch("element type does not match stream"));
+        }
+        let mut walker = FrameWalker::new(header);
+        let arena: BufferPool<u8> = BufferPool::new();
+        let mut stats = StreamStats {
+            chunks: header.n_chunks,
+            elements: header.dims.len() as u64,
+            ..StreamStats::default()
+        };
+        let mut covered = 0usize;
+        self.pool.pipeline_traced(
+            self.window.max(1),
+            || {
+                if walker.remaining() == 0 {
+                    return Ok(None);
+                }
+                let fh = stream::decode_frame_header(input)?;
+                let chunk_dims = walker.admit(&fh)?;
+                // admit() capped payload_len, so sizing from it is safe.
+                let len = fh.payload_len as usize;
+                let mut payload = arena.take(len);
+                payload.resize(len, 0);
+                input
+                    .read_exact(&mut payload)
+                    .map_err(stream::read_failed)?;
+                Ok(Some((payload, chunk_dims)))
+            },
+            |(payload, d): (Vec<u8>, Dims)| {
+                let _chunk = Span::enter(rec, stage::CHUNK_DECOMPRESS);
+                let res = decompress_chunk(&payload);
+                (payload, d, res)
+            },
+            |(payload, chunk_dims, res): DecodedChunk<F>| {
+                stats.bytes_in += payload.len() as u64;
+                arena.put(payload);
+                let (data, d) = res?;
+                if d != chunk_dims || data.len() != chunk_dims.len() {
+                    return Err(CodecError::Corrupt("chunk payload shape mismatch"));
+                }
+                sink.put_chunk(covered, &data)?;
+                covered += data.len();
+                stats.bytes_out += (data.len() * F::NBYTES) as u64;
+                Ok(())
+            },
+            rec,
+        )?;
+        walker.finish()?;
+        if rec.is_enabled() {
+            rec.add(stage::C_STREAM_CHUNKS, stats.chunks);
+            rec.add(stage::C_DECOMP_BYTES_IN, stats.bytes_in);
+            rec.add(stage::C_DECOMP_BYTES_OUT, stats.bytes_out);
+            arena.record(rec);
+        }
+        Ok(stats)
+    }
+
+    /// Compresses `data` chunk-by-chunk with `compress_chunk` on the
+    /// pool, emitting a framed stream under the reserved external codec
+    /// id (the closure, not a registry entry, defines the payloads; the
+    /// recorded bound is zero because the wrapper cannot know it).
     pub fn compress<F, C>(
         &self,
         data: &[F],
@@ -86,14 +254,16 @@ impl ChunkedCodec {
         self.compress_traced(data, dims, compress_chunk, pwrel_trace::noop())
     }
 
-    /// [`ChunkedCodec::compress`] with per-task queue-wait recording on
-    /// the worker pool. Emits the same bytes.
+    /// [`ChunkedCodec::compress`] with per-stage recording: a `chunks`
+    /// span brackets the fan-out, each chunk records a `chunk_compress`
+    /// span from whichever worker runs it, and the pool adds task
+    /// counts. Emits the same bytes.
     pub fn compress_traced<F, C>(
         &self,
         data: &[F],
         dims: Dims,
         compress_chunk: C,
-        rec: &dyn pwrel_trace::Recorder,
+        rec: &dyn Recorder,
     ) -> Result<Vec<u8>, CodecError>
     where
         F: Float,
@@ -102,103 +272,23 @@ impl ChunkedCodec {
         if data.len() != dims.len() {
             return Err(CodecError::InvalidArgument("data length != dims"));
         }
-        let extents = slab_extents(dims, self.target_chunks);
-        let sl = slice_len(dims);
-
-        // Build (slab dims, slice of data) tasks.
-        let mut tasks = Vec::with_capacity(extents.len());
-        let mut offset = 0usize;
-        for &e in &extents {
-            let len = e * sl;
-            tasks.push((slab_dims(dims, e), &data[offset..offset + len]));
-            offset += len;
-        }
-
-        let results: Vec<Result<Vec<u8>, CodecError>> =
-            self.pool
-                .map_traced(tasks, |(d, slice)| compress_chunk(slice, d), rec);
-        let mut streams = Vec::with_capacity(results.len());
-        for r in results {
-            streams.push(r?);
-        }
-
+        let _chunks = Span::enter(rec, stage::CHUNKS);
+        let mut src = SliceSource::new(data);
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(F::BITS as u8);
-        let (rank, nx, ny, nz) = dims.to_header();
-        out.push(rank);
-        varint::write_uvarint(&mut out, nx);
-        varint::write_uvarint(&mut out, ny);
-        varint::write_uvarint(&mut out, nz);
-        varint::write_uvarint(&mut out, streams.len() as u64);
-        for (&e, s) in extents.iter().zip(&streams) {
-            varint::write_uvarint(&mut out, e as u64);
-            varint::write_uvarint(&mut out, s.len() as u64);
-        }
-        for s in &streams {
-            out.extend_from_slice(s);
-        }
+        self.run_compress(
+            EXTERNAL_CODEC_ID,
+            1,
+            &mut src,
+            &mut out,
+            dims,
+            &CompressOpts::rel(0.0),
+            &compress_chunk,
+            rec,
+        )?;
         Ok(out)
     }
 
-    /// Compresses slab-by-slab through a registered codec: every slab
-    /// becomes its own unified container, so the archive stays
-    /// self-describing per chunk.
-    pub fn compress_with<F: pwrel_pipeline::PipelineElem>(
-        &self,
-        registry: &pwrel_pipeline::CodecRegistry,
-        codec: &str,
-        data: &[F],
-        dims: Dims,
-        opts: &pwrel_pipeline::CompressOpts,
-    ) -> Result<Vec<u8>, CodecError> {
-        self.compress_with_traced(registry, codec, data, dims, opts, pwrel_trace::noop())
-    }
-
-    /// [`ChunkedCodec::compress_with`] with per-stage recording: a
-    /// `chunks` span brackets the fan-out, each slab records its codec
-    /// stages from whichever worker thread runs it, and the pool adds
-    /// queue-wait observations. Emits the same bytes.
-    pub fn compress_with_traced<F: pwrel_pipeline::PipelineElem>(
-        &self,
-        registry: &pwrel_pipeline::CodecRegistry,
-        codec: &str,
-        data: &[F],
-        dims: Dims,
-        opts: &pwrel_pipeline::CompressOpts,
-        rec: &dyn pwrel_trace::Recorder,
-    ) -> Result<Vec<u8>, CodecError> {
-        let _chunks = pwrel_trace::Span::enter(rec, pwrel_trace::stage::CHUNKS);
-        self.compress_traced(
-            data,
-            dims,
-            |slice, d| registry.compress_traced(codec, slice, d, opts, rec),
-            rec,
-        )
-    }
-
-    /// Decompresses a chunked container whose slabs are unified (or
-    /// legacy) streams via the registry.
-    pub fn decompress_with<F: pwrel_pipeline::PipelineElem>(
-        &self,
-        registry: &pwrel_pipeline::CodecRegistry,
-        bytes: &[u8],
-    ) -> Result<(Vec<F>, Dims), CodecError> {
-        self.decompress_with_traced(registry, bytes, pwrel_trace::noop())
-    }
-
-    /// [`ChunkedCodec::decompress_with`] with per-stage recording.
-    pub fn decompress_with_traced<F: pwrel_pipeline::PipelineElem>(
-        &self,
-        registry: &pwrel_pipeline::CodecRegistry,
-        bytes: &[u8],
-        rec: &dyn pwrel_trace::Recorder,
-    ) -> Result<(Vec<F>, Dims), CodecError> {
-        let _chunks = pwrel_trace::Span::enter(rec, pwrel_trace::stage::CHUNKS);
-        self.decompress_traced(bytes, |s| registry.decompress_traced(s, rec), rec)
-    }
-
-    /// Decompresses a chunked container with `decompress_chunk` in parallel.
+    /// Decompresses a framed stream with `decompress_chunk` on the pool.
     pub fn decompress<F, D>(
         &self,
         bytes: &[u8],
@@ -211,80 +301,196 @@ impl ChunkedCodec {
         self.decompress_traced(bytes, decompress_chunk, pwrel_trace::noop())
     }
 
-    /// [`ChunkedCodec::decompress`] with per-task queue-wait recording
-    /// on the worker pool.
+    /// [`ChunkedCodec::decompress`] with per-stage recording.
     pub fn decompress_traced<F, D>(
         &self,
         bytes: &[u8],
         decompress_chunk: D,
-        rec: &dyn pwrel_trace::Recorder,
+        rec: &dyn Recorder,
     ) -> Result<(Vec<F>, Dims), CodecError>
     where
         F: Float,
         D: Fn(&[u8]) -> Result<(Vec<F>, Dims), CodecError> + Sync,
     {
-        if bytes.len() < 7 || &bytes[..4] != MAGIC {
-            return Err(CodecError::Mismatch("bad chunked magic"));
+        let _chunks = Span::enter(rec, stage::CHUNKS);
+        let mut input: &[u8] = bytes;
+        let header = stream::decode_stream_header(&mut input)?;
+        let mut sink = VecSink::new();
+        self.run_decompress(&header, &mut input, &mut sink, &decompress_chunk, rec)?;
+        if !input.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes after final frame"));
         }
-        let mut pos = 4usize;
-        let elem = bytes[pos];
-        pos += 1;
-        if elem as u32 != F::BITS {
-            return Err(CodecError::Mismatch("element type differs from stream"));
-        }
-        let rank = bytes[pos];
-        pos += 1;
-        let nx = varint::read_uvarint(bytes, &mut pos)?;
-        let ny = varint::read_uvarint(bytes, &mut pos)?;
-        let nz = varint::read_uvarint(bytes, &mut pos)?;
-        let dims = Dims::from_header(rank, nx, ny, nz).ok_or(CodecError::Corrupt("bad dims"))?;
-        let n_chunks = varint::read_uvarint(bytes, &mut pos)? as usize;
-        if n_chunks > bytes.len() {
-            return Err(CodecError::Corrupt("chunk count exceeds stream"));
-        }
-        let mut meta = Vec::with_capacity(n_chunks);
-        for _ in 0..n_chunks {
-            let extent = varint::read_uvarint(bytes, &mut pos)? as usize;
-            let len = varint::read_uvarint(bytes, &mut pos)? as usize;
-            meta.push((extent, len));
-        }
-        let slow_total: usize = meta.iter().map(|(e, _)| e).sum();
-        let expected_slow = match dims.rank() {
-            1 => dims.nx,
-            2 => dims.ny,
-            _ => dims.nz,
-        };
-        if slow_total != expected_slow {
-            return Err(CodecError::Corrupt("slab extents do not cover the grid"));
-        }
+        Ok((sink.into_inner(), header.dims))
+    }
 
-        let mut tasks = Vec::with_capacity(n_chunks);
-        for &(extent, len) in &meta {
-            let end = pos.checked_add(len).ok_or(CodecError::Corrupt("eof"))?;
-            if end > bytes.len() {
-                return Err(CodecError::Corrupt("truncated chunk"));
-            }
-            tasks.push((extent, &bytes[pos..end]));
-            pos = end;
-        }
+    /// Compresses in-memory data chunk-by-chunk through a registered
+    /// codec. The emitted stream is byte-identical to the registry's
+    /// sequential [`CodecRegistry::compress_stream`] at the same chunk
+    /// size, so either side can decode the other's output.
+    pub fn compress_with<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        codec: &str,
+        data: &[F],
+        dims: Dims,
+        opts: &CompressOpts,
+    ) -> Result<Vec<u8>, CodecError> {
+        self.compress_with_traced(registry, codec, data, dims, opts, pwrel_trace::noop())
+    }
 
-        let results: Vec<Result<(Vec<F>, Dims), CodecError>> = self.pool.map_traced(
-            tasks,
-            |(extent, stream)| {
-                let (data, d) = decompress_chunk(stream)?;
-                if d != slab_dims(dims, extent) || data.len() != d.len() {
-                    return Err(CodecError::Corrupt("chunk dims mismatch"));
-                }
-                Ok((data, d))
-            },
+    /// [`ChunkedCodec::compress_with`] with per-stage recording: a
+    /// `chunks` span brackets the fan-out and each chunk records its
+    /// codec stages from whichever worker thread runs it. Emits the
+    /// same bytes.
+    pub fn compress_with_traced<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        codec: &str,
+        data: &[F],
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<u8>, CodecError> {
+        let c = registry
+            .by_name(codec)
+            .ok_or(CodecError::InvalidArgument("unknown codec name"))?;
+        if data.len() != dims.len() {
+            return Err(CodecError::InvalidArgument("data length != dims"));
+        }
+        let _chunks = Span::enter(rec, stage::CHUNKS);
+        let mut src = SliceSource::new(data);
+        let mut out = Vec::new();
+        self.run_compress(
+            c.id(),
+            c.chunk_granularity(),
+            &mut src,
+            &mut out,
+            dims,
+            opts,
+            &|slice: &[F], d: Dims| F::codec_compress_traced(c, slice, d, opts, rec),
             rec,
-        );
+        )?;
+        Ok(out)
+    }
 
-        let mut out = Vec::with_capacity(dims.len());
-        for r in results {
-            out.extend(r?.0);
+    /// Decompresses a framed stream whose codec is resolved from the
+    /// stream header via the registry.
+    pub fn decompress_with<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        bytes: &[u8],
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        self.decompress_with_traced(registry, bytes, pwrel_trace::noop())
+    }
+
+    /// [`ChunkedCodec::decompress_with`] with per-stage recording.
+    pub fn decompress_with_traced<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        bytes: &[u8],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        let _chunks = Span::enter(rec, stage::CHUNKS);
+        let mut input: &[u8] = bytes;
+        let header = stream::decode_stream_header(&mut input)?;
+        let codec = registry
+            .get(header.codec_id)
+            .ok_or(CodecError::InvalidArgument("unknown codec id in stream"))?;
+        let mut sink = VecSink::new();
+        self.run_decompress(
+            &header,
+            &mut input,
+            &mut sink,
+            &|p: &[u8]| F::codec_decompress_traced(codec, p, rec),
+            rec,
+        )?;
+        if !input.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes after final frame"));
         }
-        Ok((out, dims))
+        Ok((sink.into_inner(), header.dims))
+    }
+
+    /// The out-of-core entry point: compresses a chunk source into a
+    /// framed stream on `out` with a registered codec, pipelined over
+    /// the pool. Peak memory is about `window` chunks — the field is
+    /// never resident.
+    pub fn compress_stream<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        codec: &str,
+        src: &mut dyn ChunkSource<F>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+    ) -> Result<StreamStats, CodecError> {
+        self.compress_stream_traced(registry, codec, src, out, dims, opts, pwrel_trace::noop())
+    }
+
+    /// [`ChunkedCodec::compress_stream`] with per-stage recording.
+    /// Emits the same bytes.
+    #[allow(clippy::too_many_arguments)] // mirrors compress_stream plus the recorder
+    pub fn compress_stream_traced<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        codec: &str,
+        src: &mut dyn ChunkSource<F>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        let c = registry
+            .by_name(codec)
+            .ok_or(CodecError::InvalidArgument("unknown codec name"))?;
+        let _root = Span::enter(rec, stage::STREAM_COMPRESS);
+        self.run_compress(
+            c.id(),
+            c.chunk_granularity(),
+            src,
+            out,
+            dims,
+            opts,
+            &|slice: &[F], d: Dims| F::codec_compress_traced(c, slice, d, opts, rec),
+            rec,
+        )
+    }
+
+    /// The out-of-core decode entry point: decompresses a framed stream
+    /// from `input` into `sink`, pipelined over the pool, returning the
+    /// stream header and the run counters.
+    pub fn decompress_stream<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<F>,
+    ) -> Result<(StreamHeader, StreamStats), CodecError> {
+        self.decompress_stream_traced(registry, input, sink, pwrel_trace::noop())
+    }
+
+    /// [`ChunkedCodec::decompress_stream`] with per-stage recording.
+    pub fn decompress_stream_traced<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<F>,
+        rec: &dyn Recorder,
+    ) -> Result<(StreamHeader, StreamStats), CodecError> {
+        let _root = Span::enter(rec, stage::STREAM_DECOMPRESS);
+        let header = stream::decode_stream_header(input)?;
+        if header.elem_bits as u32 != F::BITS {
+            return Err(CodecError::Mismatch("element type does not match stream"));
+        }
+        let codec = registry
+            .get(header.codec_id)
+            .ok_or(CodecError::InvalidArgument("unknown codec id in stream"))?;
+        let stats = self.run_decompress(
+            &header,
+            input,
+            sink,
+            &|p: &[u8]| F::codec_decompress_traced(codec, p, rec),
+            rec,
+        )?;
+        Ok((header, stats))
     }
 }
 
@@ -293,18 +499,11 @@ mod tests {
     use super::*;
     use pwrel_core::{LogBase, PwRelCompressor};
     use pwrel_data::grf;
+    use pwrel_pipeline::{global, ReadSource, WriteSink};
     use pwrel_sz::SzCompressor;
 
     fn sz_t() -> PwRelCompressor<SzCompressor> {
         PwRelCompressor::new(SzCompressor::default(), LogBase::Two)
-    }
-
-    #[test]
-    fn slab_extents_cover_and_balance() {
-        assert_eq!(slab_extents(Dims::d3(10, 4, 4), 4), vec![3, 3, 2, 2]);
-        assert_eq!(slab_extents(Dims::d3(2, 4, 4), 8), vec![1, 1]);
-        assert_eq!(slab_extents(Dims::d1(7), 3), vec![3, 2, 2]);
-        assert_eq!(slab_extents(Dims::d2(5, 9), 1), vec![5]);
     }
 
     #[test]
@@ -313,7 +512,8 @@ mod tests {
         let data = grf::gaussian_field(dims, 42, 2, 2);
         let positive: Vec<f32> = data.iter().map(|v| v.abs() + 0.1).collect();
         let codec = sz_t();
-        let chunked = ChunkedCodec::new(WorkerPool::new(4));
+        // 6 slices of 256 elements per chunk -> 4 chunks.
+        let chunked = ChunkedCodec::new(WorkerPool::new(4), 6 * 256);
         let br = 1e-3;
         let stream = chunked
             .compress(&positive, dims, |slice, d| codec.compress(slice, d, br))
@@ -333,14 +533,8 @@ mod tests {
         let data = grf::gaussian_field(dims, 7, 3, 2);
         let codec = sz_t();
         let br = 1e-2;
-        let one = ChunkedCodec {
-            pool: WorkerPool::new(1),
-            target_chunks: 5,
-        };
-        let four = ChunkedCodec {
-            pool: WorkerPool::new(4),
-            target_chunks: 5,
-        };
+        let one = ChunkedCodec::new(WorkerPool::new(1), 8 * 32);
+        let four = ChunkedCodec::new(WorkerPool::new(4), 8 * 32);
         let a = one
             .compress(&data, dims, |s, d| codec.compress(s, d, br))
             .unwrap();
@@ -351,14 +545,47 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_bytes_match_sequential_registry_stream() {
+        use pwrel_pipeline::CompressOpts;
+        let dims = Dims::d2(32, 24);
+        let data: Vec<f32> = grf::gaussian_field(dims, 3, 2, 2)
+            .iter()
+            .map(|v| v.abs() + 0.5)
+            .collect();
+        let chunk_elems = 8 * 24;
+        let chunked = ChunkedCodec::new(WorkerPool::new(4), chunk_elems);
+        let opts = CompressOpts::rel(1e-2);
+        for codec in global().iter() {
+            let pipelined = chunked
+                .compress_with(global(), codec.name(), &data, dims, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            let mut sequential = Vec::new();
+            let mut src = SliceSource::new(&data[..]);
+            global()
+                .compress_stream::<f32>(
+                    codec.name(),
+                    &mut src,
+                    &mut sequential,
+                    dims,
+                    &opts,
+                    chunk_elems,
+                )
+                .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
+            assert_eq!(
+                pipelined,
+                sequential,
+                "{}: pipelined and sequential engines must emit identical streams",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
     fn chunked_1d_and_partial_chunks() {
         let dims = Dims::d1(1001);
         let data: Vec<f32> = (0..1001).map(|i| (i as f32 + 2.0).ln()).collect();
         let codec = sz_t();
-        let chunked = ChunkedCodec {
-            pool: WorkerPool::new(3),
-            target_chunks: 7,
-        };
+        let chunked = ChunkedCodec::new(WorkerPool::new(3), 150);
         let stream = chunked
             .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
             .unwrap();
@@ -372,17 +599,34 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_usage_errors_not_panics() {
+        let dims = Dims::d2(16, 16);
+        let data = vec![1.0f32; dims.len()];
+        let codec = sz_t();
+        for bad in [0usize, dims.len() + 1, dims.len() * 10] {
+            let chunked = ChunkedCodec::new(WorkerPool::new(2), bad);
+            let r = chunked.compress(&data, dims, |s, d| codec.compress(s, d, 1e-2));
+            assert!(
+                matches!(r, Err(CodecError::InvalidArgument(_))),
+                "chunk_elems={bad} must be a usage error, got {r:?}"
+            );
+        }
+        // A full-field chunk is legal: exactly one frame.
+        let chunked = ChunkedCodec::new(WorkerPool::new(2), dims.len());
+        assert!(chunked
+            .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
+            .is_ok());
+    }
+
+    #[test]
     fn registry_round_trip_every_codec() {
-        use pwrel_pipeline::{global, CompressOpts};
+        use pwrel_pipeline::CompressOpts;
         let dims = Dims::d2(24, 32);
         let data: Vec<f32> = grf::gaussian_field(dims, 11, 2, 2)
             .iter()
             .map(|v| v.abs() + 0.25)
             .collect();
-        let chunked = ChunkedCodec {
-            pool: WorkerPool::new(3),
-            target_chunks: 4,
-        };
+        let chunked = ChunkedCodec::new(WorkerPool::new(3), 6 * 32);
         let opts = CompressOpts::rel(1e-2);
         for codec in global().iter() {
             let stream = chunked
@@ -393,22 +637,64 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e:?}", codec.name()));
             assert_eq!(d2, dims, "{}", codec.name());
             assert_eq!(dec.len(), data.len(), "{}", codec.name());
+            // The registry's one-shot decoder reads the same stream.
+            let (dec2, d3) = global().decompress::<f32>(&stream).unwrap();
+            assert_eq!(d3, dims, "{}", codec.name());
+            assert_eq!(dec2, dec, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn out_of_core_round_trip_via_read_write() {
+        use pwrel_pipeline::CompressOpts;
+        let dims = Dims::d3(16, 8, 8);
+        let data: Vec<f32> = grf::gaussian_field(dims, 9, 2, 2)
+            .iter()
+            .map(|v| v.abs() + 0.5)
+            .collect();
+        let mut le = Vec::with_capacity(data.len() * 4);
+        for &v in &data {
+            v.write_le(&mut le);
+        }
+        let chunked = ChunkedCodec::new(WorkerPool::new(3), 4 * 64);
+        let opts = CompressOpts::rel(1e-2);
+
+        // Compress from a byte reader: the field is never resident.
+        let mut src: ReadSource<&[u8]> = ReadSource::new(&le[..]);
+        let mut stream_bytes = Vec::new();
+        let stats = chunked
+            .compress_stream::<f32>(global(), "sz_t", &mut src, &mut stream_bytes, dims, &opts)
+            .unwrap();
+        assert_eq!(stats.chunks, 4);
+        assert_eq!(stats.elements, dims.len() as u64);
+        assert_eq!(stats.bytes_out, stream_bytes.len() as u64);
+
+        // Decompress into a byte writer.
+        let mut input: &[u8] = &stream_bytes;
+        let mut sink: WriteSink<Vec<u8>> = WriteSink::new(Vec::new());
+        let (header, _) = chunked
+            .decompress_stream::<f32>(global(), &mut input, &mut sink)
+            .unwrap();
+        assert_eq!(header.dims, dims);
+        assert!(input.is_empty(), "reader must stop at the final frame");
+        let out_le = sink.into_inner();
+        assert_eq!(out_le.len(), le.len());
+        for (a, b) in le.chunks_exact(4).zip(out_le.chunks_exact(4)) {
+            let (a, b) = (f32::read_le(a).unwrap(), f32::read_le(b).unwrap());
+            assert!(((a as f64 - b as f64) / a as f64).abs() <= 1e-2);
         }
     }
 
     #[test]
     fn traced_chunked_round_trip_records_fanout() {
-        use pwrel_pipeline::{global, CompressOpts};
+        use pwrel_pipeline::CompressOpts;
         use pwrel_trace::{stage, TraceSink};
         let dims = Dims::d2(40, 32);
         let data: Vec<f32> = grf::gaussian_field(dims, 5, 2, 2)
             .iter()
             .map(|v| v.abs() + 0.25)
             .collect();
-        let chunked = ChunkedCodec {
-            pool: WorkerPool::new(4),
-            target_chunks: 4,
-        };
+        let chunked = ChunkedCodec::new(WorkerPool::new(4), 10 * 32);
         let opts = CompressOpts::rel(1e-2);
         let sink = TraceSink::new();
         let stream = chunked
@@ -425,21 +711,28 @@ mod tests {
         assert_eq!(dec.len(), data.len());
 
         let rows = pwrel_trace::export::stage_rows(&sink);
-        // Two chunks spans (one per direction), one compress/decompress
-        // root per slab, pool counters from both fan-outs.
+        // Two chunks spans (one per direction), one chunk span per frame
+        // per direction, pool tasks from both pipelined fan-outs.
         assert_eq!(rows[stage::CHUNKS].calls, 2);
-        assert_eq!(rows[stage::COMPRESS].calls, 4);
-        assert_eq!(rows[stage::DECOMPRESS].calls, 4);
-        let counters = sink.counters();
-        assert!(counters.contains(&(stage::C_POOL_TASKS, 8)));
+        assert_eq!(rows[stage::CHUNK_COMPRESS].calls, 4);
+        assert_eq!(rows[stage::CHUNK_DECOMPRESS].calls, 4);
+        let counters: std::collections::BTreeMap<_, _> = sink.counters().into_iter().collect();
+        assert_eq!(counters[stage::C_POOL_TASKS], 8);
+        assert_eq!(counters[stage::C_STREAM_CHUNKS], 8);
+        // The arena recycles once the window wraps; every take is
+        // accounted as a hit or a miss.
+        assert_eq!(
+            counters[stage::C_ARENA_HITS] + counters[stage::C_ARENA_MISSES],
+            8
+        );
     }
 
     #[test]
-    fn corrupt_container_rejected() {
+    fn corrupt_stream_rejected() {
         let dims = Dims::d1(100);
         let data = vec![1.5f32; 100];
         let codec = sz_t();
-        let chunked = ChunkedCodec::new(WorkerPool::new(2));
+        let chunked = ChunkedCodec::new(WorkerPool::new(2), 25);
         let stream = chunked
             .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
             .unwrap();
@@ -452,6 +745,13 @@ mod tests {
         assert!(chunked
             .decompress::<f64, _>(&stream, |s| codec.decompress_full::<f64>(s))
             .is_err());
+        // Truncation after a whole frame must still be caught.
+        for cut in [stream.len() - 1, stream.len() / 2] {
+            assert!(
+                chunked.decompress::<f32, _>(&stream[..cut], dec).is_err(),
+                "cut={cut}"
+            );
+        }
     }
 
     #[test]
@@ -463,10 +763,7 @@ mod tests {
             .collect();
         let codec = sz_t();
         let whole = codec.compress(&data, dims, 1e-2).unwrap();
-        let chunked = ChunkedCodec {
-            pool: WorkerPool::new(4),
-            target_chunks: 8,
-        };
+        let chunked = ChunkedCodec::new(WorkerPool::new(4), dims.len() / 8);
         let split = chunked
             .compress(&data, dims, |s, d| codec.compress(s, d, 1e-2))
             .unwrap();

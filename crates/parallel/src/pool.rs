@@ -13,10 +13,19 @@
 //!
 //! Workers inherit panics: a panicking task poisons the job and the `map`
 //! call panics, rather than silently dropping a result.
+//!
+//! A second primitive, [`WorkerPool::pipeline`], streams an unbounded
+//! sequence of items through the same threads with a bounded in-flight
+//! window: the producer and the in-order consumer stay on the submitting
+//! thread while workers overlap `f` across items, so stages of
+//! *different* chunks execute concurrently without the whole stream ever
+//! being resident (backpressure pauses the producer when the window is
+//! full).
 
 use std::cell::UnsafeCell;
+use std::collections::{BTreeMap, VecDeque};
 use std::num::NonZeroUsize;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 // Under `RUSTFLAGS="--cfg loom"` every sync primitive and thread handle
 // comes from loom, whose model tests (tests/loom_pool.rs) drive this pool
@@ -95,7 +104,7 @@ impl Job {
                 // Last task done: retire the job so idle workers stop
                 // seeing it, and wake the submitter.
                 let mut slot = lock(&shared.slot);
-                slot.job = None;
+                slot.task = None;
                 drop(slot);
                 shared.done.notify_all();
             }
@@ -103,10 +112,50 @@ impl Job {
     }
 }
 
-/// Current-job slot guarded by `Shared::slot`.
+/// One published `pipeline` call, type-erased like [`Job`]: workers call
+/// `step` repeatedly until it returns `false` (stream closed or
+/// poisoned), then disengage.
+struct StreamJob {
+    /// Type-erased single-step runner: waits for one queued item, runs
+    /// the pipeline's `f` on it, and files the result.
+    ///
+    // SAFETY: callers of `step` must pass the `ctx` pointer stored
+    // beside it (which the thunk casts back to its concrete `PipeCtx`)
+    // while the submitting frame is alive; the submitter guarantees that
+    // by waiting for `engaged == 0` before returning.
+    step: unsafe fn(*const ()) -> bool,
+    ctx: *const (),
+    /// Workers currently inside (or committed to entering) `step`.
+    /// Incremented under the slot lock at claim time so the submitter's
+    /// retire-then-drain sequence can never miss a late joiner.
+    engaged: AtomicUsize,
+}
+
+// SAFETY: `StreamJob` is only non-auto-Send because of `ctx`, a pointer
+// into the submitting `pipeline` call's stack frame. That frame outlives
+// the job: workers register in `engaged` under the slot lock before
+// touching `ctx`, and the submitter retires the task and then blocks
+// until `engaged` drops to zero before its frame unwinds.
+unsafe impl Send for StreamJob {}
+// SAFETY: concurrent `&StreamJob` access is confined to the `engaged`
+// atomic and to `step`, whose target (`PipeCtx`) serializes every shared
+// field behind its own mutex. The `T: Send`, `R: Send`, `F: Sync` bounds
+// are enforced by `WorkerPool::pipeline` before the thunk is erased.
+unsafe impl Sync for StreamJob {}
+
+/// What the job slot currently holds.
+#[derive(Clone)]
+enum Task {
+    /// A `map` batch: claim indices until the cursor is exhausted.
+    Batch(Arc<Job>),
+    /// A `pipeline` stream: step until the stream closes.
+    Stream(Arc<StreamJob>),
+}
+
+/// Current-task slot guarded by `Shared::slot`.
 #[derive(Default)]
 struct JobSlot {
-    job: Option<Arc<Job>>,
+    task: Option<Task>,
     /// Bumped per submission so a worker never re-enters a job it already
     /// drained (its cursor stays exhausted but the Arc may still be live).
     epoch: u64,
@@ -125,16 +174,23 @@ impl Shared {
     fn worker_loop(&self) {
         let mut seen_epoch = 0u64;
         loop {
-            let job = {
+            let task = {
                 let mut slot = lock(&self.slot);
                 loop {
                     if slot.shutdown {
                         return;
                     }
                     if slot.epoch != seen_epoch {
-                        if let Some(job) = &slot.job {
+                        if let Some(task) = &slot.task {
                             seen_epoch = slot.epoch;
-                            break job.clone();
+                            // Register on stream tasks while still under
+                            // the slot lock: the submitter retires the
+                            // task under this lock, so it either sees
+                            // this engagement or we never saw the task.
+                            if let Task::Stream(sjob) = task {
+                                sjob.engaged.fetch_add(1, Ordering::AcqRel);
+                            }
+                            break task.clone();
                         }
                         // Job already retired; skip to its epoch so we
                         // don't spin on the stale slot.
@@ -143,7 +199,20 @@ impl Shared {
                     slot = self.work.wait(slot).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            job.work(self);
+            match task {
+                Task::Batch(job) => job.work(self),
+                Task::Stream(sjob) => {
+                    // SAFETY: this worker is registered in `engaged`, so
+                    // the submitting frame (and the `ctx` it owns) stays
+                    // alive until we disengage below.
+                    while unsafe { (sjob.step)(sjob.ctx) } {}
+                    sjob.engaged.fetch_sub(1, Ordering::AcqRel);
+                    // Synchronize with a submitter parked in its
+                    // retire-and-drain wait, mirroring the batch retire.
+                    drop(lock(&self.slot));
+                    self.done.notify_all();
+                }
+            }
         }
     }
 }
@@ -281,7 +350,7 @@ impl WorkerPool {
         let _submit = lock(&self.inner.submit);
         {
             let mut slot = lock(&shared.slot);
-            slot.job = Some(job.clone());
+            slot.task = Some(Task::Batch(job.clone()));
             slot.epoch = slot.epoch.wrapping_add(1);
         }
         shared.work.notify_all();
@@ -325,13 +394,233 @@ impl WorkerPool {
         let submitted = std::time::Instant::now();
         let out = self.map(tasks, |t| {
             // Elapsed-at-claim covers the time the task sat behind
-            // earlier tasks — the queue wait an operator tunes
-            // `target_chunks` / worker count against.
+            // earlier tasks — the queue wait an operator tunes chunk
+            // size / worker count against.
             let wait_us = submitted.elapsed().as_micros() as f64;
             rec.observe(pwrel_trace::stage::O_QUEUE_WAIT_US, wait_us);
             f(t)
         });
         rec.add(pwrel_trace::stage::C_POOL_TASKS, n);
+        out
+    }
+
+    /// Runs a bounded-window streaming pipeline on the pool: `producer`
+    /// yields items on the calling thread, workers apply `f`
+    /// concurrently, and `consumer` receives every result on the calling
+    /// thread in production order.
+    ///
+    /// At most `window` items (clamped to ≥ 1) are in flight — queued,
+    /// executing, or finished-but-unconsumed — so peak memory is bounded
+    /// by `window` items regardless of stream length: once the window is
+    /// full the producer is not polled again until the oldest result has
+    /// been consumed (backpressure). Ordering is by construction, not by
+    /// scheduling: results are filed by sequence number and handed to
+    /// `consumer` strictly in production order.
+    ///
+    /// A `producer` or `consumer` error returns immediately with that
+    /// error; results still in flight are drained and dropped. A
+    /// panicking `f` poisons the call, which panics with
+    /// `"worker task panicked"` after draining — the pool itself
+    /// survives for the next submission, exactly like [`WorkerPool::map`].
+    pub fn pipeline<T, R, E, P, F, C>(
+        &self,
+        window: usize,
+        mut producer: P,
+        f: F,
+        mut consumer: C,
+    ) -> Result<(), E>
+    where
+        T: Send,
+        R: Send,
+        P: FnMut() -> Result<Option<T>, E>,
+        F: Fn(T) -> R + Sync,
+        C: FnMut(R) -> Result<(), E>,
+    {
+        struct PipeState<T, R> {
+            queue: VecDeque<(u64, T)>,
+            done: BTreeMap<u64, R>,
+            /// No more items will be queued (stream over, error, or
+            /// poisoned); parked workers should disengage.
+            closed: bool,
+            /// Some `f` call panicked; surfaced by the submitter.
+            panicked: bool,
+        }
+        struct PipeCtx<T, R, F> {
+            state: Mutex<PipeState<T, R>>,
+            /// Workers park here for the next queued item.
+            task_ready: Condvar,
+            /// The submitter parks here for the next filed result.
+            result_ready: Condvar,
+            f: F,
+        }
+        // SAFETY contract: `ctx` must point at a live `PipeCtx<T, R, F>`.
+        // The submitting frame keeps it alive until every engaged worker
+        // has left this function (it drains `engaged` to zero).
+        unsafe fn step_one<T, R, F: Fn(T) -> R>(ctx: *const ()) -> bool {
+            // SAFETY: per the contract, `ctx` is the submitter's live
+            // `PipeCtx` erased in `pipeline` below.
+            let ctx = unsafe { &*(ctx as *const PipeCtx<T, R, F>) };
+            let (idx, item) = {
+                let mut st = lock(&ctx.state);
+                loop {
+                    if st.panicked {
+                        return false;
+                    }
+                    if let Some(pair) = st.queue.pop_front() {
+                        break pair;
+                    }
+                    if st.closed {
+                        return false;
+                    }
+                    st = ctx.task_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            match catch_unwind(AssertUnwindSafe(|| (ctx.f)(item))) {
+                Ok(r) => {
+                    let mut st = lock(&ctx.state);
+                    st.done.insert(idx, r);
+                    drop(st);
+                    ctx.result_ready.notify_all();
+                    true
+                }
+                Err(_) => {
+                    let mut st = lock(&ctx.state);
+                    st.panicked = true;
+                    st.closed = true;
+                    drop(st);
+                    ctx.task_ready.notify_all();
+                    ctx.result_ready.notify_all();
+                    false
+                }
+            }
+        }
+
+        let window = window.max(1) as u64;
+        let ctx = PipeCtx {
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                done: BTreeMap::new(),
+                closed: false,
+                panicked: false,
+            }),
+            task_ready: Condvar::new(),
+            result_ready: Condvar::new(),
+            f,
+        };
+        let sjob = Arc::new(StreamJob {
+            step: step_one::<T, R, F>,
+            ctx: &ctx as *const PipeCtx<T, R, F> as *const (),
+            engaged: AtomicUsize::new(0),
+        });
+
+        let shared = &self.inner.shared;
+        let _submit = lock(&self.inner.submit);
+        {
+            let mut slot = lock(&shared.slot);
+            slot.task = Some(Task::Stream(sjob.clone()));
+            slot.epoch = slot.epoch.wrapping_add(1);
+        }
+        shared.work.notify_all();
+
+        // The loop runs user closures on this frame, so even a panicking
+        // producer/consumer must drain the workers before `ctx` unwinds.
+        let run = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
+            let mut next_in = 0u64;
+            let mut next_out = 0u64;
+            let mut source_done = false;
+            loop {
+                // Keep the bounded window full.
+                while !source_done && next_in - next_out < window {
+                    match producer()? {
+                        Some(item) => {
+                            let mut st = lock(&ctx.state);
+                            if st.panicked {
+                                // Surfaced as a panic after the drain.
+                                return Ok(());
+                            }
+                            st.queue.push_back((next_in, item));
+                            drop(st);
+                            ctx.task_ready.notify_one();
+                            next_in += 1;
+                        }
+                        None => source_done = true,
+                    }
+                }
+                if next_out == next_in {
+                    return Ok(());
+                }
+                // Consume the next result in production order.
+                let r = {
+                    let mut st = lock(&ctx.state);
+                    loop {
+                        if st.panicked {
+                            return Ok(());
+                        }
+                        if let Some(r) = st.done.remove(&next_out) {
+                            break r;
+                        }
+                        st = ctx.result_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                next_out += 1;
+                consumer(r)?;
+            }
+        }));
+
+        // Close the stream, retire the slot task, and wait until no
+        // worker is inside `step_one` before `ctx` leaves this frame.
+        {
+            let mut st = lock(&ctx.state);
+            st.closed = true;
+            st.queue.clear();
+        }
+        ctx.task_ready.notify_all();
+        {
+            let mut slot = lock(&shared.slot);
+            slot.task = None;
+            while sjob.engaged.load(Ordering::Acquire) > 0 {
+                slot = shared.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let panicked = lock(&ctx.state).panicked;
+        match run {
+            Err(payload) => resume_unwind(payload),
+            Ok(result) => {
+                if panicked {
+                    panic!("worker task panicked");
+                }
+                result
+            }
+        }
+    }
+
+    /// [`WorkerPool::pipeline`] with pool-task counting: every consumed
+    /// item is added to the pool-task counter. With a disabled recorder
+    /// this is exactly `pipeline`.
+    pub fn pipeline_traced<T, R, E, P, F, C>(
+        &self,
+        window: usize,
+        producer: P,
+        f: F,
+        mut consumer: C,
+        rec: &dyn pwrel_trace::Recorder,
+    ) -> Result<(), E>
+    where
+        T: Send,
+        R: Send,
+        P: FnMut() -> Result<Option<T>, E>,
+        F: Fn(T) -> R + Sync,
+        C: FnMut(R) -> Result<(), E>,
+    {
+        if !rec.is_enabled() {
+            return self.pipeline(window, producer, f, consumer);
+        }
+        let consumed = std::cell::Cell::new(0u64);
+        let out = self.pipeline(window, producer, f, |r| {
+            consumed.set(consumed.get() + 1);
+            consumer(r)
+        });
+        rec.add(pwrel_trace::stage::C_POOL_TASKS, consumed.get());
         out
     }
 }
@@ -462,6 +751,196 @@ mod tests {
         );
         let plain = pool.map((0..64u64).collect::<Vec<_>>(), |t| t + 1);
         assert_eq!(traced, plain);
+    }
+
+    #[test]
+    fn pipeline_consumes_in_production_order() {
+        let pool = WorkerPool::new(4);
+        let mut next = 0u64;
+        let mut seen = Vec::new();
+        pool.pipeline(
+            4,
+            || -> Result<Option<u64>, ()> {
+                next += 1;
+                Ok((next <= 200).then_some(next - 1))
+            },
+            |t| t * 3,
+            |r| {
+                seen.push(r);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, (0..200).map(|t| t * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipeline_window_bounds_in_flight_items() {
+        let pool = WorkerPool::new(4);
+        let window = 3usize;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let mut next = 0u32;
+        pool.pipeline(
+            window,
+            || -> Result<Option<u32>, ()> {
+                next += 1;
+                if next > 64 {
+                    return Ok(None);
+                }
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                Ok(Some(next))
+            },
+            |t| t,
+            |_| {
+                live.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(
+            peak.load(Ordering::SeqCst) <= window,
+            "window exceeded: {} in flight",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn pipeline_empty_stream_never_calls_f_or_consumer() {
+        let pool = WorkerPool::new(2);
+        pool.pipeline(
+            4,
+            || -> Result<Option<u32>, ()> { Ok(None) },
+            |_| panic!("no items to run"),
+            |_: u32| panic!("no results to consume"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pipeline_producer_error_propagates() {
+        let pool = WorkerPool::new(2);
+        let mut n = 0u32;
+        let r = pool.pipeline(
+            2,
+            || {
+                n += 1;
+                if n > 5 {
+                    Err("producer failed")
+                } else {
+                    Ok(Some(n))
+                }
+            },
+            |t| t,
+            |_| Ok(()),
+        );
+        assert_eq!(r, Err("producer failed"));
+    }
+
+    #[test]
+    fn pipeline_consumer_error_propagates() {
+        let pool = WorkerPool::new(3);
+        let mut n = 0u32;
+        let r = pool.pipeline(
+            2,
+            || {
+                n += 1;
+                Ok((n <= 50).then_some(n))
+            },
+            |t| t,
+            |r| {
+                if r == 10 {
+                    Err("consumer failed")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(r, Err("consumer failed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker task panicked")]
+    fn pipeline_task_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(3);
+        let mut n = 0u32;
+        let _ = pool.pipeline(
+            4,
+            || -> Result<Option<u32>, ()> {
+                n += 1;
+                Ok((n <= 32).then_some(n))
+            },
+            |t| {
+                if t == 9 {
+                    panic!("boom");
+                }
+                t
+            },
+            |_| Ok(()),
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_pipeline_and_alternates_with_map() {
+        let pool = WorkerPool::new(3);
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut n = 0u32;
+            let _ = pool.pipeline(
+                2,
+                || -> Result<Option<u32>, ()> {
+                    n += 1;
+                    Ok((n <= 8).then_some(n))
+                },
+                |t| {
+                    if t == 3 {
+                        panic!("boom");
+                    }
+                    t
+                },
+                |_| Ok(()),
+            );
+        }));
+        assert!(poisoned.is_err());
+        // Batch and stream submissions share the slot; both must work
+        // after the poisoned call.
+        assert_eq!(pool.map(vec![1, 2], |t| t * 2), vec![2, 4]);
+        let mut n = 0u32;
+        let mut sum = 0u32;
+        pool.pipeline(
+            2,
+            || -> Result<Option<u32>, ()> {
+                n += 1;
+                Ok((n <= 10).then_some(n))
+            },
+            |t| t,
+            |r| {
+                sum += r;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(sum, 55);
+    }
+
+    #[test]
+    fn pipeline_traced_counts_consumed_items() {
+        use pwrel_trace::{stage, TraceSink};
+        let pool = WorkerPool::new(2);
+        let sink = TraceSink::new();
+        let mut n = 0u64;
+        pool.pipeline_traced(
+            3,
+            || -> Result<Option<u64>, ()> {
+                n += 1;
+                Ok((n <= 40).then_some(n))
+            },
+            |t| t,
+            |_| Ok(()),
+            &sink,
+        )
+        .unwrap();
+        assert!(sink.counters().contains(&(stage::C_POOL_TASKS, 40)));
     }
 
     #[test]

@@ -51,6 +51,60 @@ fn model_panic_propagates_and_pool_survives() {
     });
 }
 
+/// The pipeline primitive must deliver every result, in production
+/// order, under every schedule — workers race on the shared queue while
+/// the submitter produces and consumes concurrently.
+#[test]
+fn model_pipeline_is_ordered_and_complete() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let mut next = 0u32;
+        let mut out = Vec::new();
+        pool.pipeline(
+            2,
+            || -> Result<Option<u32>, ()> {
+                next += 1;
+                Ok((next <= 3).then_some(next))
+            },
+            |t| t * 2,
+            |r| {
+                out.push(r);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(out, vec![2, 4, 6]);
+    });
+}
+
+/// A panicking pipeline task must poison exactly that call and leave the
+/// pool usable, mirroring the `map` contract.
+#[test]
+fn model_pipeline_panic_propagates_and_pool_survives() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let mut next = 0u32;
+            let _ = pool.pipeline(
+                2,
+                || -> Result<Option<u32>, ()> {
+                    next += 1;
+                    Ok((next <= 3).then_some(next))
+                },
+                |t| {
+                    if t == 2 {
+                        panic!("boom");
+                    }
+                    t
+                },
+                |_| Ok(()),
+            );
+        }));
+        assert!(poisoned.is_err());
+        assert_eq!(pool.map(vec![7u32], |t| t + 1), vec![8]);
+    });
+}
+
 /// Dropping the last pool handle mid-flight must still shut every worker
 /// down: shutdown is published under the slot lock before the wake, so no
 /// worker can park after missing it.

@@ -1,8 +1,10 @@
 //! The object-safe whole-codec trait and its generic dispatch helper.
 
+use crate::stream::{self, ChunkSink, ChunkSource, StreamHeader, StreamStats};
 use pwrel_core::LogBase;
 use pwrel_data::{CodecError, Dims, Float};
 use pwrel_trace::Recorder;
+use std::io::{Read, Write};
 
 /// Per-run compression options shared by every registered codec.
 ///
@@ -128,6 +130,106 @@ pub trait Codec: Send + Sync {
         let _ = rec;
         self.decompress_f64(payload)
     }
+
+    /// Preferred slice multiple (along the slowest axis) for framed
+    /// chunking. The block-structured codecs override this so chunk
+    /// boundaries align with their native blocks (ZFP: 4) instead of
+    /// paying edge-padding overhead in every chunk.
+    fn chunk_granularity(&self) -> usize {
+        1
+    }
+
+    /// Compresses an `f32` chunk source into a framed stream on `out`
+    /// with chunks of about `chunk_elems` elements (see
+    /// [`stream::ChunkPlan`] for the usage errors and granularity
+    /// rounding). Peak memory is one chunk plus the codec's own working
+    /// set — the full field is never resident.
+    ///
+    /// The default runs the sequential engine over the one-shot
+    /// [`Codec::compress_f32_traced`] per chunk; codecs with a cheaper
+    /// native streaming path may override it as long as the emitted
+    /// bytes stay format-identical.
+    fn compress_stream_f32(
+        &self,
+        src: &mut dyn ChunkSource<f32>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        chunk_elems: usize,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        stream::compress_frames_with(
+            self.id(),
+            self.chunk_granularity(),
+            src,
+            out,
+            dims,
+            opts,
+            chunk_elems,
+            &mut |data, d| self.compress_f32_traced(data, d, opts, rec),
+            rec,
+        )
+    }
+
+    /// [`Codec::compress_stream_f32`] for `f64` data.
+    fn compress_stream_f64(
+        &self,
+        src: &mut dyn ChunkSource<f64>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        chunk_elems: usize,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        stream::compress_frames_with(
+            self.id(),
+            self.chunk_granularity(),
+            src,
+            out,
+            dims,
+            opts,
+            chunk_elems,
+            &mut |data, d| self.compress_f64_traced(data, d, opts, rec),
+            rec,
+        )
+    }
+
+    /// Decompresses the frames following an already-decoded stream
+    /// `header` (see [`stream::decode_stream_header`]) into `sink`,
+    /// chunk by chunk. `input` must be positioned at the first frame;
+    /// it is consumed exactly through the final frame.
+    fn decompress_stream_f32(
+        &self,
+        header: &StreamHeader,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<f32>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        stream::decompress_frames_with(
+            header,
+            input,
+            sink,
+            &mut |payload| self.decompress_f32_traced(payload, rec),
+            rec,
+        )
+    }
+
+    /// [`Codec::decompress_stream_f32`] for `f64` data.
+    fn decompress_stream_f64(
+        &self,
+        header: &StreamHeader,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<f64>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        stream::decompress_frames_with(
+            header,
+            input,
+            sink,
+            &mut |payload| self.decompress_f64_traced(payload, rec),
+            rec,
+        )
+    }
 }
 
 mod sealed {
@@ -166,6 +268,27 @@ pub trait PipelineElem: Float + sealed::Sealed {
         payload: &[u8],
         rec: &dyn Recorder,
     ) -> Result<(Vec<Self>, Dims), CodecError>;
+
+    /// Calls the matching monomorphic streaming compress method.
+    #[allow(clippy::too_many_arguments)] // mirrors the Codec streaming signature
+    fn codec_compress_stream(
+        codec: &dyn Codec,
+        src: &mut dyn ChunkSource<Self>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        chunk_elems: usize,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError>;
+
+    /// Calls the matching monomorphic streaming decompress method.
+    fn codec_decompress_stream(
+        codec: &dyn Codec,
+        header: &StreamHeader,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<Self>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError>;
 }
 
 impl PipelineElem for f32 {
@@ -199,6 +322,28 @@ impl PipelineElem for f32 {
     ) -> Result<(Vec<f32>, Dims), CodecError> {
         codec.decompress_f32_traced(payload, rec)
     }
+
+    fn codec_compress_stream(
+        codec: &dyn Codec,
+        src: &mut dyn ChunkSource<f32>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        chunk_elems: usize,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        codec.compress_stream_f32(src, out, dims, opts, chunk_elems, rec)
+    }
+
+    fn codec_decompress_stream(
+        codec: &dyn Codec,
+        header: &StreamHeader,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<f32>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        codec.decompress_stream_f32(header, input, sink, rec)
+    }
 }
 
 impl PipelineElem for f64 {
@@ -231,5 +376,27 @@ impl PipelineElem for f64 {
         rec: &dyn Recorder,
     ) -> Result<(Vec<f64>, Dims), CodecError> {
         codec.decompress_f64_traced(payload, rec)
+    }
+
+    fn codec_compress_stream(
+        codec: &dyn Codec,
+        src: &mut dyn ChunkSource<f64>,
+        out: &mut dyn Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        chunk_elems: usize,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        codec.compress_stream_f64(src, out, dims, opts, chunk_elems, rec)
+    }
+
+    fn codec_decompress_stream(
+        codec: &dyn Codec,
+        header: &StreamHeader,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<f64>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        codec.decompress_stream_f64(header, input, sink, rec)
     }
 }

@@ -216,6 +216,12 @@ impl Codec for ZfpT {
         ]
     }
 
+    // Align framed chunks with ZFP's 4^d blocks so interior chunks pay
+    // no edge-padding overhead.
+    fn chunk_granularity(&self) -> usize {
+        4
+    }
+
     dispatch_elem!();
 }
 
@@ -450,6 +456,11 @@ impl Codec for ZfpP {
 
     fn stages(&self) -> &'static [&'static str] {
         &[stage::LIFT, stage::PLANE_CODE]
+    }
+
+    // Same 4^d block alignment as `ZfpT`.
+    fn chunk_granularity(&self) -> usize {
+        4
     }
 
     dispatch_elem!();

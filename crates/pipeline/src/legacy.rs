@@ -7,6 +7,7 @@
 
 use crate::codec::PipelineElem;
 use crate::container::{self, ContainerHeader};
+use crate::stream::{self, StreamHeader};
 use pwrel_core::{LogBase, PwRelCompressor};
 use pwrel_data::{CodecError, Dims};
 use pwrel_sz::SzCompressor;
@@ -40,21 +41,29 @@ impl StreamKind {
     }
 }
 
-/// What a compressed stream is, across both container generations.
+/// What a compressed stream is, across all container generations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StreamInfo {
     /// A unified container with its parsed header.
     Unified(ContainerHeader),
+    /// A framed chunk stream with its parsed stream header.
+    Framed(StreamHeader),
     /// A pre-container stream recognised by its per-codec magic.
     Legacy(StreamKind),
 }
 
-/// Identifies any compressed stream, unified or legacy.
+/// Identifies any compressed stream: unified, framed, or legacy.
 pub fn identify(bytes: &[u8]) -> Option<StreamInfo> {
     if container::is_unified(bytes) {
         return container::unwrap(bytes)
             .ok()
             .map(|(h, _)| StreamInfo::Unified(h));
+    }
+    if stream::is_framed(bytes) {
+        let mut r: &[u8] = bytes;
+        return stream::decode_stream_header(&mut r)
+            .ok()
+            .map(StreamInfo::Framed);
     }
     identify_legacy(bytes).map(StreamInfo::Legacy)
 }

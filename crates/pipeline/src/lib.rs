@@ -16,7 +16,12 @@
 //!   header (`magic | version | codec id | elem | dims | bound
 //!   metadata`) every registered codec's stream is wrapped in,
 //! * [`legacy`] keeps pre-registry streams decodable by sniffing the old
-//!   per-codec magics.
+//!   per-codec magics,
+//! * [`stream`] is the framed streaming layer: a stream header plus
+//!   self-describing per-chunk frames so whole fields compress and
+//!   decompress through chunk sources/sinks with bounded memory
+//!   (`compress_stream`/`decompress_stream` on [`Codec`] and
+//!   [`CodecRegistry`]).
 //!
 //! The stage traits the codecs are assembled from (`Transform`,
 //! `Predictor`, `Quantizer`, `Encoder`, `LosslessStage`, …) live in
@@ -28,8 +33,13 @@ pub mod codecs;
 pub mod container;
 pub mod legacy;
 pub mod registry;
+pub mod stream;
 
 pub use codec::{Codec, CompressOpts, PipelineElem};
 pub use container::{ContainerHeader, CONTAINER_MAGIC, CONTAINER_VERSION};
 pub use legacy::{identify, StreamInfo, StreamKind};
 pub use registry::{global, CodecRegistry};
+pub use stream::{
+    BufferPool, ChunkPlan, ChunkSink, ChunkSource, FrameHeader, FrameWalker, ReadSource,
+    SliceSource, StreamHeader, StreamStats, VecSink, WriteSink, STREAM_MAGIC, STREAM_VERSION,
+};

@@ -4,6 +4,7 @@ use crate::codec::{Codec, CompressOpts, PipelineElem};
 use crate::codecs;
 use crate::container::{self, ContainerHeader, CONTAINER_VERSION};
 use crate::legacy;
+use crate::stream::{self, ChunkSink, ChunkSource, StreamHeader, StreamStats, VecSink};
 use pwrel_data::{CodecError, Dims};
 use pwrel_trace::{noop, stage, Recorder, Span};
 use std::sync::OnceLock;
@@ -126,8 +127,76 @@ impl CodecRegistry {
         Ok(stream)
     }
 
-    /// Decompresses a unified container, or falls back to the legacy
-    /// per-codec magic sniff for pre-container streams.
+    /// Compresses a chunk source into a framed stream on `out` with the
+    /// named codec: the bounded-memory counterpart of
+    /// [`CodecRegistry::compress`]. See [`crate::stream`] for the frame
+    /// format and [`stream::ChunkPlan`] for chunk sizing rules.
+    pub fn compress_stream<F: PipelineElem>(
+        &self,
+        name: &str,
+        src: &mut dyn ChunkSource<F>,
+        out: &mut dyn std::io::Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        chunk_elems: usize,
+    ) -> Result<StreamStats, CodecError> {
+        self.compress_stream_traced(name, src, out, dims, opts, chunk_elems, noop())
+    }
+
+    /// [`CodecRegistry::compress_stream`] with per-stage recording: a
+    /// root `stream_compress` span brackets the run and every chunk
+    /// records its own `chunk_compress` span plus the codec's stages.
+    /// Emits the same bytes.
+    #[allow(clippy::too_many_arguments)] // mirrors compress_stream plus the recorder
+    pub fn compress_stream_traced<F: PipelineElem>(
+        &self,
+        name: &str,
+        src: &mut dyn ChunkSource<F>,
+        out: &mut dyn std::io::Write,
+        dims: Dims,
+        opts: &CompressOpts,
+        chunk_elems: usize,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
+        let codec = self
+            .by_name(name)
+            .ok_or(CodecError::InvalidArgument("unknown codec name"))?;
+        let _root = Span::enter(rec, stage::STREAM_COMPRESS);
+        F::codec_compress_stream(codec, src, out, dims, opts, chunk_elems, rec)
+    }
+
+    /// Decompresses a framed stream from `input` into `sink`, chunk by
+    /// chunk with bounded memory, returning the stream header and the
+    /// run counters.
+    pub fn decompress_stream<F: PipelineElem>(
+        &self,
+        input: &mut dyn std::io::Read,
+        sink: &mut dyn ChunkSink<F>,
+    ) -> Result<(StreamHeader, StreamStats), CodecError> {
+        self.decompress_stream_traced(input, sink, noop())
+    }
+
+    /// [`CodecRegistry::decompress_stream`] with per-stage recording.
+    pub fn decompress_stream_traced<F: PipelineElem>(
+        &self,
+        input: &mut dyn std::io::Read,
+        sink: &mut dyn ChunkSink<F>,
+        rec: &dyn Recorder,
+    ) -> Result<(StreamHeader, StreamStats), CodecError> {
+        let _root = Span::enter(rec, stage::STREAM_DECOMPRESS);
+        let header = stream::decode_stream_header(input)?;
+        if header.elem_bits as u32 != F::BITS {
+            return Err(CodecError::Mismatch("element type does not match stream"));
+        }
+        let codec = self
+            .get(header.codec_id)
+            .ok_or(CodecError::InvalidArgument("unknown codec id in stream"))?;
+        let stats = F::codec_decompress_stream(codec, &header, input, sink, rec)?;
+        Ok((header, stats))
+    }
+
+    /// Decompresses a unified container, a framed stream, or (by legacy
+    /// per-codec magic sniff) a pre-container stream.
     pub fn decompress<F: PipelineElem>(&self, bytes: &[u8]) -> Result<(Vec<F>, Dims), CodecError> {
         self.decompress_traced(bytes, noop())
     }
@@ -144,6 +213,22 @@ impl CodecRegistry {
         let _root = Span::enter(rec, stage::DECOMPRESS);
         if rec.is_enabled() {
             rec.add(stage::C_DECOMP_BYTES_IN, bytes.len() as u64);
+        }
+        if stream::is_framed(bytes) {
+            let mut input: &[u8] = bytes;
+            let mut sink = VecSink::new();
+            let (header, _) = self.decompress_stream_traced::<F>(&mut input, &mut sink, rec)?;
+            if !input.is_empty() {
+                return Err(CodecError::Corrupt("trailing bytes after final frame"));
+            }
+            let data = sink.into_inner();
+            if rec.is_enabled() {
+                rec.add(
+                    stage::C_DECOMP_BYTES_OUT,
+                    (data.len() * (F::BITS as usize / 8)) as u64,
+                );
+            }
+            return Ok((data, header.dims));
         }
         if !container::is_unified(bytes) {
             return legacy::decompress_legacy(bytes);

@@ -44,6 +44,15 @@ pub const ENCODE: &str = "encode";
 /// Chunked-container slab fan-out (compress or decompress of all slabs).
 pub const CHUNKS: &str = "chunks";
 
+/// Framed-stream root span opened around a whole `compress_stream` run.
+pub const STREAM_COMPRESS: &str = "stream_compress";
+/// Framed-stream root span opened around a whole `decompress_stream` run.
+pub const STREAM_DECOMPRESS: &str = "stream_decompress";
+/// Per-chunk compress span inside a framed-stream run (one per frame).
+pub const CHUNK_COMPRESS: &str = "chunk_compress";
+/// Per-chunk decompress span inside a framed-stream run (one per frame).
+pub const CHUNK_DECOMPRESS: &str = "chunk_decompress";
+
 /// Counter: uncompressed bytes entering a codec.
 pub const C_BYTES_IN: &str = "bytes_in";
 /// Counter: compressed bytes leaving a codec.
@@ -59,6 +68,12 @@ pub const C_QUANT_VALUES: &str = "quant_values";
 pub const C_QUANT_OUTLIERS: &str = "quant_outliers";
 /// Counter: tasks executed through the worker pool.
 pub const C_POOL_TASKS: &str = "pool_tasks";
+/// Counter: frames written or decoded by the framed-stream engines.
+pub const C_STREAM_CHUNKS: &str = "stream_chunks";
+/// Counter: scratch-arena buffer requests served from the free list.
+pub const C_ARENA_HITS: &str = "arena_hits";
+/// Counter: scratch-arena buffer requests that had to allocate.
+pub const C_ARENA_MISSES: &str = "arena_misses";
 
 /// Observation: SZ outlier rate (outliers / values) per compress.
 pub const O_OUTLIER_RATE: &str = "outlier_rate";

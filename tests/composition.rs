@@ -61,10 +61,8 @@ fn chunked_wrapper_composition_preserves_bound_and_zeros() {
         *v = 0.0;
     }
     let codec = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
-    let chunked = ChunkedCodec {
-        pool: WorkerPool::new(3),
-        target_chunks: 5,
-    };
+    // About five slab chunks, pipelined over three workers.
+    let chunked = ChunkedCodec::new(WorkerPool::new(3), field.dims.len().div_ceil(5));
     let br = 1e-2;
     let stream = chunked
         .compress(&data, field.dims, |s, d| codec.compress(s, d, br))

@@ -205,6 +205,204 @@ mod forged {
     }
 }
 
+/// Framed-stream (`PWS1`) forgeries: every corruption class the format
+/// is specified to reject — truncated stream header, truncated frame
+/// payload, inflated payload-length fields, reordered frames — must
+/// surface `Corrupt` from both the sequential registry decoder and the
+/// pipelined `ChunkedCodec` decoder, never panic.
+mod framed {
+    use super::*;
+    use pwrel::data::CodecError;
+    use pwrel::parallel::{ChunkedCodec, WorkerPool};
+    use pwrel::pipeline::{global, CompressOpts, SliceSource, VecSink};
+
+    /// Elements per chunk used by every forgery (4 slices of the 16x24
+    /// sample field: 6 frames).
+    const CHUNK_ELEMS: usize = 4 * 16;
+
+    /// A valid framed `sz_t` stream over the sample field.
+    fn framed_stream() -> Vec<u8> {
+        let (data, dims) = sample_field();
+        let mut src = SliceSource::new(&data);
+        let mut out = Vec::new();
+        global()
+            .compress_stream::<f32>(
+                "sz_t",
+                &mut src,
+                &mut out,
+                dims,
+                &CompressOpts::rel(0.01),
+                CHUNK_ELEMS,
+            )
+            .unwrap();
+        out
+    }
+
+    fn read_uvarint(bytes: &[u8], pos: &mut usize) -> u64 {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = bytes[*pos];
+            *pos += 1;
+            value |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return value;
+            }
+            shift += 7;
+        }
+    }
+
+    fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let b = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(b);
+                break;
+            }
+            out.push(b | 0x80);
+        }
+    }
+
+    /// Byte offsets of every structural landmark in a framed stream:
+    /// the header end plus, per frame, `(frame_start, len_field_start,
+    /// payload_start, payload_len)`.
+    fn frame_spans(bytes: &[u8]) -> (usize, Vec<(usize, usize, usize, u64)>) {
+        let mut pos = 4 + 1 + 1 + 1 + 1; // magic, version, codec, bits, rank
+        for _ in 0..3 {
+            read_uvarint(bytes, &mut pos); // nx ny nz
+        }
+        pos += 8 + 1; // bound, base
+        let n_chunks = read_uvarint(bytes, &mut pos);
+        let header_end = pos;
+        let mut frames = Vec::new();
+        for _ in 0..n_chunks {
+            let frame_start = pos;
+            assert_eq!(bytes[pos], 0xF7, "frame marker");
+            pos += 1;
+            for _ in 0..3 {
+                read_uvarint(bytes, &mut pos); // index, start, n_elems
+            }
+            pos += 8; // bound
+            let len_field_start = pos;
+            let payload_len = read_uvarint(bytes, &mut pos);
+            frames.push((frame_start, len_field_start, pos, payload_len));
+            pos += payload_len as usize;
+        }
+        assert_eq!(pos, bytes.len(), "walker covered the stream");
+        (header_end, frames)
+    }
+
+    /// Runs a forged stream through both decode engines; each must
+    /// return `Corrupt` without panicking.
+    fn assert_corrupt(bytes: &[u8], what: &str) {
+        let mut sink = VecSink::<f32>::new();
+        match global().decompress_stream::<f32>(&mut &bytes[..], &mut sink) {
+            Err(CodecError::Corrupt(_)) => {}
+            other => panic!("{what}: sequential decode gave {other:?}"),
+        }
+        let chunked = ChunkedCodec::new(WorkerPool::new(2), CHUNK_ELEMS);
+        let mut sink = VecSink::<f32>::new();
+        match chunked.decompress_stream::<f32>(global(), &mut &bytes[..], &mut sink) {
+            Err(CodecError::Corrupt(_)) => {}
+            other => panic!("{what}: pipelined decode gave {other:?}"),
+        }
+        // The one-shot entry sniffs the magic and routes here too.
+        let _ = global().decompress::<f32>(bytes);
+    }
+
+    /// Sanity: the unforged stream decodes identically through both
+    /// engines.
+    #[test]
+    fn intact_stream_decodes_on_both_engines() {
+        let (data, dims) = sample_field();
+        let stream = framed_stream();
+        let mut seq = VecSink::<f32>::new();
+        let (h, _) = global()
+            .decompress_stream::<f32>(&mut &stream[..], &mut seq)
+            .unwrap();
+        assert_eq!(h.dims, dims);
+        let chunked = ChunkedCodec::new(WorkerPool::new(2), CHUNK_ELEMS);
+        let mut par = VecSink::<f32>::new();
+        chunked
+            .decompress_stream::<f32>(global(), &mut &stream[..], &mut par)
+            .unwrap();
+        let (seq, par) = (seq.into_inner(), par.into_inner());
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), data.len());
+    }
+
+    /// Every cut inside the stream header is `Corrupt`.
+    #[test]
+    fn truncated_stream_header_errors() {
+        let stream = framed_stream();
+        let (header_end, _) = frame_spans(&stream);
+        for cut in 0..header_end {
+            assert_corrupt(&stream[..cut], &format!("header cut={cut}"));
+        }
+    }
+
+    /// Cuts inside a frame header or mid-payload are `Corrupt`, for the
+    /// first frame and the last.
+    #[test]
+    fn truncated_mid_frame_errors() {
+        let stream = framed_stream();
+        let (_, frames) = frame_spans(&stream);
+        for &(frame_start, _, payload_start, payload_len) in
+            [frames[0], *frames.last().unwrap()].iter()
+        {
+            for cut in [
+                frame_start,                              // before the marker
+                frame_start + 1,                          // inside the frame header
+                payload_start,                            // zero payload bytes
+                payload_start + payload_len as usize / 2, // mid-payload
+                payload_start + payload_len as usize - 1, // one byte short
+            ] {
+                assert_corrupt(&stream[..cut], &format!("frame cut={cut}"));
+            }
+        }
+    }
+
+    /// A payload-length field larger than the remaining bytes is
+    /// `Corrupt` — both a modest lie (within the decoder's plausibility
+    /// cap, caught by the short read) and an absurd one (beyond the cap,
+    /// rejected before any allocation).
+    #[test]
+    fn inflated_payload_len_errors() {
+        let stream = framed_stream();
+        let (_, frames) = frame_spans(&stream);
+        let (_, len_field_start, payload_start, payload_len) = frames[0];
+        for forged_len in [
+            stream.len() as u64, // modest: more than remains
+            payload_len + 1,     // off by one
+            u64::MAX / 2,        // absurd: fails the plausibility cap
+        ] {
+            let mut bad = stream[..len_field_start].to_vec();
+            write_uvarint(&mut bad, forged_len);
+            bad.extend_from_slice(&stream[payload_start..]);
+            assert_corrupt(&bad, &format!("payload_len={forged_len}"));
+        }
+    }
+
+    /// Swapping two frames breaks the strictly-sequential index rule:
+    /// `Corrupt`, not a silently reordered reconstruction.
+    #[test]
+    fn reordered_frames_error() {
+        let stream = framed_stream();
+        let (_, frames) = frame_spans(&stream);
+        assert!(frames.len() >= 3, "need several frames to reorder");
+        let (f0, _, _, _) = frames[0];
+        let (f1, _, _, _) = frames[1];
+        let (f2, _, _, _) = frames[2];
+        let mut bad = stream[..f0].to_vec();
+        bad.extend_from_slice(&stream[f1..f2]); // frame 1 first
+        bad.extend_from_slice(&stream[f0..f1]); // then frame 0
+        bad.extend_from_slice(&stream[f2..]);
+        assert_eq!(bad.len(), stream.len());
+        assert_corrupt(&bad, "frames 0 and 1 swapped");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -226,5 +424,32 @@ proptest! {
     #[test]
     fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         try_all_decoders("garbage", &bytes);
+    }
+
+    // Framed streams under random byte mutations: both streaming decode
+    // engines may reject but must never panic.
+    #[test]
+    fn framed_random_mutations_never_panic(
+        mutations in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        use pwrel::pipeline::{global, CompressOpts, SliceSource, VecSink};
+        use pwrel::parallel::{ChunkedCodec, WorkerPool};
+        let (data, dims) = sample_field();
+        let mut src = SliceSource::new(&data);
+        let mut stream = Vec::new();
+        global()
+            .compress_stream::<f32>(
+                "sz_t", &mut src, &mut stream, dims, &CompressOpts::rel(0.01), 4 * 16,
+            )
+            .unwrap();
+        for (idx, byte) in mutations {
+            let i = idx.index(stream.len());
+            stream[i] = byte;
+        }
+        let mut sink = VecSink::<f32>::new();
+        let _ = global().decompress_stream::<f32>(&mut &stream[..], &mut sink);
+        let chunked = ChunkedCodec::new(WorkerPool::new(2), 4 * 16);
+        let mut sink = VecSink::<f32>::new();
+        let _ = chunked.decompress_stream::<f32>(global(), &mut &stream[..], &mut sink);
     }
 }
