@@ -16,7 +16,14 @@
 //!   engines must produce byte-identical streams. Target ≥ 2×.
 //!
 //! Honours `PWREL_SCALE` (`small|medium|large`, default `medium`) and a
-//! `--reps N` flag (default 15; CI smoke passes `--reps 1`).
+//! `--reps N` flag (default 15; CI smoke passes `--reps 3`).
+//!
+//! `--gate` switches to regression-gate mode: nothing is written and the
+//! process exits non-zero unless the live engine at least matches the
+//! frozen seed engine on both hot paths (Huffman decode and ZFP plane
+//! encode+decode speedups ≥ 1). The committed-file targets (1.5× / 2×)
+//! are quiet-machine numbers; the gate floor of 1× holds on any host
+//! because both engines share each rep's scheduler and frequency noise.
 
 use pwrel_bench::baseline::{
     seed_decode_planes, seed_decode_symbols, seed_encode_planes, SeedBitReader, SeedBitWriter,
@@ -60,28 +67,40 @@ fn negabinary_blocks(data: &[f32]) -> Vec<[u64; 64]> {
 }
 
 struct HuffTimes {
+    live_enc_s: f64,
     live_s: f64,
+    seed_enc_s: f64,
     seed_s: f64,
 }
 
-/// Best-of-`reps` Huffman decode timings, live/seed interleaved per rep.
-fn bench_huffman(buf: &[u8], expect: &[u32], reps: usize) -> HuffTimes {
+/// Best-of-`reps` Huffman encode+decode timings. The engines no longer
+/// share one buffer: the live engine encodes and decodes the 4-way
+/// interleaved format, the frozen seed engine its legacy single-stream
+/// format (`encode_symbols_single` is the live encoder's compatibility
+/// path, so the seed input is still a valid legacy stream).
+fn bench_huffman(syms: &[u32], reps: usize) -> HuffTimes {
     let mut t = HuffTimes {
+        live_enc_s: f64::INFINITY,
         live_s: f64::INFINITY,
+        seed_enc_s: f64::INFINITY,
         seed_s: f64::INFINITY,
     };
     for _ in 0..reps {
+        let (live_buf, live_enc_s) = timed(|| huffman::encode_symbols(syms, 1 << 16));
+        let (seed_buf, seed_enc_s) = timed(|| huffman::encode_symbols_single(syms, 1 << 16));
         let (live, live_s) = timed(|| {
             let mut pos = 0;
-            huffman::decode_symbols(buf, &mut pos).expect("live decode")
+            huffman::decode_symbols(&live_buf, &mut pos).expect("live decode")
         });
         let (seed, seed_s) = timed(|| {
             let mut pos = 0;
-            seed_decode_symbols(buf, &mut pos).expect("seed decode")
+            seed_decode_symbols(&seed_buf, &mut pos).expect("seed decode")
         });
-        assert_eq!(live, expect, "live decode diverged");
-        assert_eq!(seed, expect, "seed decode diverged");
+        assert_eq!(live, syms, "live decode diverged");
+        assert_eq!(seed, syms, "seed decode diverged");
+        t.live_enc_s = t.live_enc_s.min(live_enc_s);
         t.live_s = t.live_s.min(live_s);
+        t.seed_enc_s = t.seed_enc_s.min(seed_enc_s);
         t.seed_s = t.seed_s.min(seed_s);
     }
     t
@@ -157,17 +176,18 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--reps N");
     }
+    let gate = args.iter().any(|a| a == "--gate");
 
     let scale = scale_from_env();
     let field = nyx::dark_matter_density(scale);
 
-    // Huffman: build the stream once (the encode side is shared format),
-    // then race the two decoders over it.
+    // Huffman: each engine encodes and decodes its own format (live =
+    // interleaved, seed = legacy single stream).
     let syms = quantize_residuals(&field.data);
     let buf = huffman::encode_symbols(&syms, 1 << 16);
     // Warm-up pass pages everything in before timing.
-    let _ = bench_huffman(&buf, &syms, 1);
-    let h = bench_huffman(&buf, &syms, reps);
+    let _ = bench_huffman(&syms, 1);
+    let h = bench_huffman(&syms, reps);
 
     let blocks = negabinary_blocks(&field.data);
     let _ = bench_planes(&blocks[..blocks.len().min(64)], 1);
@@ -176,6 +196,25 @@ fn main() {
     let msym = |s: f64| syms.len() as f64 / s / 1e6;
     let huff_speedup = h.seed_s / h.live_s;
     let plane_speedup = (p.seed_enc_s + p.seed_dec_s) / (p.live_enc_s + p.live_dec_s);
+
+    if gate {
+        let mut failed = false;
+        for (what, speedup) in [
+            ("huffman decode", huff_speedup),
+            ("zfp planes encode+decode", plane_speedup),
+        ] {
+            eprintln!("gate {what}: {speedup:.2}x vs seed engine");
+            if speedup < 1.0 {
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("entropy gate FAILED: live engine slower than the frozen seed engine");
+            std::process::exit(1);
+        }
+        eprintln!("entropy gate passed");
+        return;
+    }
 
     let json = format!(
         concat!(
@@ -186,9 +225,11 @@ fn main() {
             "  \"elements\": {},\n",
             "  \"reps\": {},\n",
             "  \"huffman\": {{\"symbols\": {}, \"stream_bytes\": {}, ",
+            "\"seed_encode_s\": {:.6}, \"live_encode_s\": {:.6}, ",
             "\"seed_decode_s\": {:.6}, \"live_decode_s\": {:.6}, ",
             "\"seed_msym_s\": {:.1}, \"live_msym_s\": {:.1}, ",
-            "\"speedup_decode\": {:.3}}},\n",
+            "\"speedup_encode\": {:.3}, \"speedup_decode\": {:.3}, ",
+            "\"speedup_encode_plus_decode\": {:.3}}},\n",
             "  \"zfp_planes\": {{\"blocks\": {}, \"stream_bytes\": {}, ",
             "\"intprec\": {}, \"kmin\": {}, ",
             "\"seed_encode_s\": {:.6}, \"seed_decode_s\": {:.6}, ",
@@ -205,11 +246,15 @@ fn main() {
         reps,
         syms.len(),
         buf.len(),
+        h.seed_enc_s,
+        h.live_enc_s,
         h.seed_s,
         h.live_s,
         msym(h.seed_s),
         msym(h.live_s),
+        h.seed_enc_s / h.live_enc_s,
         huff_speedup,
+        (h.seed_enc_s + h.seed_s) / (h.live_enc_s + h.live_s),
         blocks.len(),
         p.stream_bytes,
         INTPREC,

@@ -16,9 +16,9 @@
 //!
 //! `--gate <committed BENCH_stages.json>` switches to regression-gate
 //! mode: instead of writing the JSON, the hot-kernel stages
-//! (`predict_quantize`, `plane_code`) are compared per element against
-//! the committed file and the process exits non-zero if either regressed
-//! by more than 15%. Run it at the committed file's scale (`PWREL_SCALE=
+//! (`predict_quantize`, `huffman`, `lz`, `plane_code`) are compared per
+//! element against the committed file and the process exits non-zero if
+//! any regressed by more than 15%. Run it at the committed file's scale (`PWREL_SCALE=
 //! medium` for the checked-in baseline — itself smoke-sized): per-element
 //! cost is *not* scale-invariant for `plane_code`, whose edge-block
 //! padding overhead grows as grids shrink.
@@ -143,6 +143,8 @@ fn main() {
         let mut failed = false;
         for (codec, stage_name) in [
             ("sz_t", stage::PREDICT_QUANTIZE),
+            ("sz_t", stage::HUFFMAN),
+            ("sz_t", stage::LZ),
             ("zfp_t", stage::PLANE_CODE),
         ] {
             let sink = &best_sinks.iter().find(|(c, _)| *c == codec).unwrap().1;

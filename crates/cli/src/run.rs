@@ -78,12 +78,13 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     writeln!(
                         out,
                         "{input}: {} bytes, unified container: codec {name} (id {}), \
-                         f{}, dims {}, bound {:e}",
+                         f{}, dims {}, bound {:e}, {}",
                         stream.len(),
                         h.codec_id,
                         h.elem_bits,
                         h.dims,
-                        h.bound
+                        h.bound,
+                        describe_entropy(h.entropy_mode)
                     )?;
                 }
                 Some(StreamInfo::Framed(h)) => {
@@ -97,13 +98,14 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     writeln!(
                         out,
                         "{input}: {} bytes, framed stream: codec {name} (id {}), \
-                         f{}, dims {}, bound {:e}, {} chunks",
+                         f{}, dims {}, bound {:e}, {} chunks, {}",
                         stream.len(),
                         h.codec_id,
                         h.elem_bits,
                         h.dims,
                         h.bound,
-                        h.n_chunks
+                        h.n_chunks,
+                        describe_entropy(h.entropy_mode)
                     )?;
                 }
                 Some(StreamInfo::Legacy(kind)) => {
@@ -337,6 +339,18 @@ fn traced_run<F: Float + PipelineElem>(
     )
 }
 
+/// Human-readable entropy-mode line for `pwrel info`: the mode byte is
+/// also the sub-stream count (1 = legacy single stream, 4 = interleaved).
+fn describe_entropy(mode: u8) -> String {
+    match mode {
+        pwrel_pipeline::ENTROPY_MODE_SINGLE => "entropy mode 1 (single stream)".into(),
+        pwrel_pipeline::ENTROPY_MODE_INTERLEAVED => {
+            format!("entropy mode {mode} (interleaved, {mode} sub-streams)")
+        }
+        other => format!("entropy mode {other} (unknown)"),
+    }
+}
+
 /// Tuning knobs for the `--stream` round trip; `None` picks the
 /// documented default.
 struct StreamTuning {
@@ -392,16 +406,24 @@ fn streaming_run<F: Float + PipelineElem>(
         )));
     }
 
-    let pool = match tuning.workers {
-        Some(w) => WorkerPool::new(w),
-        None => WorkerPool::per_cpu(),
-    };
     // Default chunk: about 4 MiB of elements, clamped to the field so
     // small inputs stay a single legal chunk.
     let chunk_elems = tuning
         .chunk_elems
         .unwrap_or((4 << 20) / F::NBYTES)
         .min(dims.len());
+    // Default workers: one per CPU, clamped to the chunk count — extra
+    // threads on a short stream would only sit idle in the window.
+    let chunks = dims.len().div_ceil(chunk_elems.max(1)).max(1);
+    let pool = match tuning.workers {
+        Some(w) => WorkerPool::new(w),
+        None => WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(chunks),
+        ),
+    };
     let mut chunked = ChunkedCodec::new(pool, chunk_elems);
     if let Some(w) = tuning.window {
         chunked.window = w;
@@ -672,6 +694,10 @@ mod tests {
         let msg = run_str(&format!("info -i {stream}")).unwrap();
         assert!(msg.contains("unified container: codec sz_t"), "{msg}");
         assert!(msg.contains("dims 2048"), "{msg}");
+        assert!(
+            msg.contains("entropy mode 4 (interleaved, 4 sub-streams)"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -752,6 +778,10 @@ mod tests {
         assert!(msg.contains("framed stream: codec sz_t"), "{msg}");
         assert!(msg.contains("4 chunks"), "{msg}");
         assert!(msg.contains("dims 2048"), "{msg}");
+        assert!(
+            msg.contains("entropy mode 4 (interleaved, 4 sub-streams)"),
+            "{msg}"
+        );
     }
 
     #[test]

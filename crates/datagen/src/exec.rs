@@ -1,0 +1,59 @@
+//! Object-safe fan-out hook for independently decodable work lanes.
+//!
+//! The interleaved entropy format splits a symbol stream into a handful of
+//! independently addressable sub-streams. Whether those lanes decode on one
+//! thread (fused, ILP-overlapped) or fan out across a worker pool is an
+//! execution-policy decision that belongs to the caller, not the codec —
+//! but the codec crates sit *below* `pwrel-parallel` in the dependency
+//! graph. [`LaneExecutor`] is the seam: it lives here (the one crate every
+//! codec depends on), `pwrel-lossless` consumes it, and `pwrel-parallel`
+//! implements it for `WorkerPool`.
+//!
+//! The contract mirrors `WorkerPool::map` over borrowed closures: every
+//! lane must have run to completion when `run_lanes` returns, lanes may
+//! run in any order and concurrently, and results travel through whatever
+//! state the closures capture (each lane writes to its own slot).
+
+/// Executes a small set of independent lane closures to completion.
+pub trait LaneExecutor: Sync {
+    /// Runs every closure in `lanes` exactly once; all of them have
+    /// returned when this returns. Order and concurrency are unspecified.
+    fn run_lanes(&self, lanes: &mut [&mut (dyn FnMut() + Send)]);
+
+    /// Degree of useful concurrency: `1` means lanes run sequentially on
+    /// the calling thread, so callers can prefer a fused single-thread
+    /// path over the fan-out's per-lane bookkeeping.
+    fn width(&self) -> usize {
+        1
+    }
+}
+
+/// The no-concurrency executor: runs lanes in order on the calling thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialLanes;
+
+impl LaneExecutor for SerialLanes {
+    fn run_lanes(&self, lanes: &mut [&mut (dyn FnMut() + Send)]) {
+        for lane in lanes.iter_mut() {
+            lane();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_runs_every_lane_once() {
+        let mut hits = [0u32; 3];
+        let (a, rest) = hits.split_at_mut(1);
+        let (b, c) = rest.split_at_mut(1);
+        let mut la = || a[0] += 1;
+        let mut lb = || b[0] += 1;
+        let mut lc = || c[0] += 1;
+        SerialLanes.run_lanes(&mut [&mut la, &mut lb, &mut lc]);
+        assert_eq!(hits, [1, 1, 1]);
+        assert_eq!(SerialLanes.width(), 1);
+    }
+}

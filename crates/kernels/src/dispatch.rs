@@ -55,6 +55,13 @@ pub fn sweep_kernel() -> BatchKernel {
     *CACHE.get_or_init(|| BatchKernel::parse(std::env::var("PWREL_SWEEP")))
 }
 
+/// Kernel for the entropy-stage frequency histogram; override with
+/// `PWREL_HIST=reference`.
+pub fn hist_kernel() -> BatchKernel {
+    static CACHE: OnceLock<BatchKernel> = OnceLock::new();
+    *CACHE.get_or_init(|| BatchKernel::parse(std::env::var("PWREL_HIST")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

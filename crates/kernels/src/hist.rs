@@ -1,0 +1,142 @@
+//! Lane-batched frequency counting for the entropy stage.
+//!
+//! A Huffman histogram over quantization codes is a serial chain in
+//! disguise: runs of equal symbols (the common case after a good
+//! predictor) make every increment load the counter the previous
+//! iteration just stored, so the loop runs at store-forwarding latency,
+//! not throughput. Splitting the count across [`HIST_LANES`] partial
+//! tables — symbol `i` increments table `i % HIST_LANES` — breaks the
+//! dependence: consecutive equal symbols hit different cache lines and
+//! the four chains retire in parallel.
+//!
+//! The merge is exact, not approximate: per-symbol totals are the sum of
+//! the lane counts clamped to `u32::MAX`, which equals the reference
+//! path's per-increment `saturating_add` result for any input (if any
+//! lane saturated, the total is ≥ `u32::MAX` on both paths). Touched-slot
+//! bookkeeping mirrors the reference: only slots that were actually hit
+//! are visited and re-zeroed, so the tables stay resident and all-zero
+//! between calls no matter how the nominal alphabet varies.
+
+/// Number of partial histogram tables (and the symbol-position stride).
+pub const HIST_LANES: usize = 4;
+
+/// Reusable lane-table storage for [`LaneHistogram::count`]. All slots are
+/// zero between calls; the guarantee is maintained by clearing exactly the
+/// touched slots under the same layout that set them.
+#[derive(Debug, Default)]
+pub struct LaneHistogram {
+    /// `HIST_LANES` dense tables, laid out `[lane * alphabet + symbol]`.
+    tables: Vec<u32>,
+    /// Symbols whose slot in the corresponding lane went 0 → nonzero.
+    touched: [Vec<u32>; HIST_LANES],
+}
+
+impl LaneHistogram {
+    /// Creates an empty histogram; tables grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts `symbols` (each `< alphabet`) and returns sparse
+    /// `(symbol, frequency)` pairs in ascending symbol order — the exact
+    /// pairs a single dense saturating counter would produce.
+    pub fn count(&mut self, symbols: &[u32], alphabet: usize) -> Vec<(u32, u64)> {
+        if self.tables.len() < HIST_LANES * alphabet {
+            self.tables.resize(HIST_LANES * alphabet, 0);
+        }
+        let tables = &mut self.tables;
+        let mut quads = symbols.chunks_exact(HIST_LANES);
+        for quad in &mut quads {
+            for (lane, &s) in quad.iter().enumerate() {
+                let slot = &mut tables[lane * alphabet + s as usize];
+                if *slot == 0 {
+                    self.touched[lane].push(s);
+                }
+                *slot = slot.saturating_add(1);
+            }
+        }
+        for (lane, &s) in quads.remainder().iter().enumerate() {
+            let slot = &mut tables[lane * alphabet + s as usize];
+            if *slot == 0 {
+                self.touched[lane].push(s);
+            }
+            *slot = slot.saturating_add(1);
+        }
+
+        // Merge: one ascending pass over the union of touched symbols.
+        let mut union: Vec<u32> = Vec::with_capacity(self.touched.iter().map(Vec::len).sum());
+        for lane in &mut self.touched {
+            union.append(lane);
+        }
+        union.sort_unstable();
+        union.dedup();
+        let pairs: Vec<(u32, u64)> = union
+            .iter()
+            .map(|&s| {
+                let total: u64 = (0..HIST_LANES)
+                    .map(|lane| tables[lane * alphabet + s as usize] as u64)
+                    .sum();
+                (s, total.min(u32::MAX as u64))
+            })
+            .collect();
+        for &s in &union {
+            for lane in 0..HIST_LANES {
+                tables[lane * alphabet + s as usize] = 0;
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference single-table saturating counter.
+    fn dense(symbols: &[u32], alphabet: usize) -> Vec<(u32, u64)> {
+        let mut freqs = vec![0u32; alphabet];
+        for &s in symbols {
+            freqs[s as usize] = freqs[s as usize].saturating_add(1);
+        }
+        freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(s, &f)| (s as u32, f as u64))
+            .collect()
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let syms: Vec<u32> = (0..10_000u32).map(|i| (i * i + 3 * i) % 257).collect();
+        let mut h = LaneHistogram::new();
+        assert_eq!(h.count(&syms, 300), dense(&syms, 300));
+    }
+
+    #[test]
+    fn runs_of_equal_symbols() {
+        let mut syms = vec![5u32; 1003];
+        syms.extend(std::iter::repeat_n(2u32, 7));
+        let mut h = LaneHistogram::new();
+        assert_eq!(h.count(&syms, 8), vec![(2, 7), (5, 1003)]);
+    }
+
+    #[test]
+    fn tables_reset_between_calls_and_across_alphabets() {
+        let mut h = LaneHistogram::new();
+        let a: Vec<u32> = (0..100).map(|i| i % 10).collect();
+        let b: Vec<u32> = (0..50).map(|i| i % 33).collect();
+        assert_eq!(h.count(&a, 16), dense(&a, 16));
+        // Different alphabet re-layouts the tables; counts must not leak.
+        assert_eq!(h.count(&b, 40), dense(&b, 40));
+        assert_eq!(h.count(&a, 16), dense(&a, 16));
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        let mut h = LaneHistogram::new();
+        assert_eq!(h.count(&[], 4), Vec::new());
+        assert_eq!(h.count(&[3], 4), vec![(3, 1)]);
+        assert_eq!(h.count(&[1, 1, 1], 4), vec![(1, 3)]);
+    }
+}

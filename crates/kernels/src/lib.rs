@@ -37,9 +37,14 @@
 //!   structure-of-arrays lane code (16 lines per pass in 3D), again
 //!   bit-identical: every reordered op is an integer wrapping add/sub
 //!   or shift.
+//! * [`hist`] — the lane-batched entropy histogram: `HIST_LANES` partial
+//!   frequency tables indexed by symbol position, merged exactly at the
+//!   end, so runs of equal quantization codes stop serializing on
+//!   store-forwarding.
 //! * [`dispatch::BatchKernel`] — the `Batched`/`Reference` selector for
 //!   the above, mirroring the `Fast`/`Libm` pattern
-//!   (`PWREL_SWEEP`/`PWREL_LIFT` environment overrides for A/B runs).
+//!   (`PWREL_SWEEP`/`PWREL_LIFT`/`PWREL_HIST` environment overrides for
+//!   A/B runs).
 //! * [`mod@cast`] — the kernels-local allowlisted home for the documented
 //!   numeric casts the lane code needs (audit lint L2 applies here).
 
@@ -48,6 +53,7 @@ pub mod blocklift;
 pub mod cast;
 pub mod dispatch;
 pub mod fast;
+pub mod hist;
 pub mod kernel;
 pub mod plan;
 pub mod predict;

@@ -4,14 +4,51 @@
 //! quantization codes actually present in a dataset (a tiny subset of the
 //! nominal 2^16-code alphabet). We reproduce that with canonical codes:
 //! only (symbol, code length) pairs are serialized, never the tree shape.
+//!
+//! Two packed-buffer modes share the serialized table format:
+//!
+//! * **Single-stream (legacy)** — one bit-stream of all symbols in order;
+//!   every buffer written before the interleaved mode existed, and the
+//!   fallback the decoder keeps accepting byte-for-byte.
+//! * **Interleaved** — the Huff0/zstd trick: symbols split round-robin
+//!   into [`LANES`] independently addressable sub-streams, each encoded
+//!   with the *same* canonical code. Per-symbol order within a sub-stream
+//!   is the global order restricted to `i ≡ lane (mod LANES)`, so code
+//!   assignment, table bytes, and total payload bits are unchanged; only
+//!   the transport layout differs. The decoder runs [`LANES`] readers in
+//!   one fused loop (refill/LUT latency overlaps across lanes on one
+//!   core) or fans the lanes across a [`LaneExecutor`].
 
 use pwrel_bitstream::{varint, BitReader, BitWriter, Error, Result};
-use std::collections::BinaryHeap;
+use pwrel_data::{LaneExecutor, SerialLanes};
+use pwrel_kernels::dispatch::{hist_kernel, BatchKernel};
+use pwrel_kernels::hist::LaneHistogram;
 
 /// Maximum admissible code length. Frequencies are rescaled (halved,
 /// rounding up so nonzero stays nonzero) until the tree fits; with 2^16
 /// symbols this triggers only on adversarial distributions.
 const MAX_CODE_LEN: u32 = 48;
+
+/// Number of round-robin sub-streams in the interleaved packed mode:
+/// symbol `i` of the original stream belongs to sub-stream `i % LANES`.
+pub const LANES: usize = 4;
+
+/// Leading uvarint of an interleaved buffer. A legacy buffer starts with
+/// its serialized table's alphabet size, which [`CanonicalCode::deserialize`]
+/// rejects above `1 << 28` — so this value can never begin a valid legacy
+/// stream, and a legacy decoder handed an interleaved buffer fails loudly
+/// ("alphabet too large") instead of misparsing it.
+const INTERLEAVED_MARKER: u64 = (1 << 29) | LANES as u64;
+
+/// Below this many symbols a pooled decode's fan-out bookkeeping costs
+/// more than the decode itself; the fused single-thread loop runs instead.
+const MIN_POOLED_SYMBOLS: usize = 1 << 12;
+
+/// Number of symbols sub-stream `lane` holds out of `n` total.
+#[inline]
+fn lane_count(n: usize, lane: usize) -> usize {
+    (n + LANES - 1 - lane) / LANES
+}
 
 /// Computes Huffman code lengths for `freqs` (index = symbol).
 ///
@@ -31,10 +68,23 @@ pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
 /// symbols, frequencies > 0) — the hot-path form: the work scales with the
 /// number of *distinct* symbols, not the nominal alphabet.
 pub fn code_lengths_sparse(pairs: &[(u32, u64)], alphabet: usize) -> Vec<u32> {
+    let mut lens = vec![0u32; alphabet];
+    for (s, l) in code_length_pairs(pairs, alphabet) {
+        lens[s as usize] = l;
+    }
+    lens
+}
+
+/// [`code_lengths_sparse`] returning sparse ascending `(symbol, length)`
+/// pairs instead of a dense table — the form the hot paths consume, so
+/// per-call work never scans the nominal alphabet. `alphabet` only seeds
+/// the internal-node id counter (tie-breaking), keeping the assigned
+/// lengths identical to the dense variant's.
+pub fn code_length_pairs(pairs: &[(u32, u64)], alphabet: usize) -> Vec<(u32, u32)> {
     let mut scaled: Vec<(u32, u64)> = pairs.to_vec();
     loop {
-        let lens = tree_lengths(&scaled, alphabet);
-        if lens.iter().all(|&l| l <= MAX_CODE_LEN) {
+        let lens = tree_depths(&scaled, alphabet);
+        if lens.iter().all(|&(_, l)| l <= MAX_CODE_LEN) {
             return lens;
         }
         for (_, f) in scaled.iter_mut() {
@@ -43,90 +93,104 @@ pub fn code_lengths_sparse(pairs: &[(u32, u64)], alphabet: usize) -> Vec<u32> {
     }
 }
 
-/// One pass of plain Huffman tree construction returning per-symbol depths.
-fn tree_lengths(pairs: &[(u32, u64)], alphabet: usize) -> Vec<u32> {
-    #[derive(PartialEq, Eq)]
-    struct Node {
-        freq: u64,
-        // Tie-break on id for determinism.
-        id: u32,
-        kind: NodeKind,
-    }
-    #[derive(PartialEq, Eq)]
-    enum NodeKind {
-        Leaf(u32),
-        Internal(Box<Node>, Box<Node>),
-    }
-    impl Ord for Node {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reverse: BinaryHeap is a max-heap, we need min-by-frequency.
-            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
-        }
-    }
-    impl PartialOrd for Node {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    let mut heap: BinaryHeap<Node> = pairs
-        .iter()
-        .map(|&(s, f)| Node {
-            freq: f,
-            id: s,
-            kind: NodeKind::Leaf(s),
-        })
-        .collect();
-
-    let mut lens = vec![0u32; alphabet];
-    match heap.len() {
+/// One pass of plain Huffman tree construction returning ascending sparse
+/// `(symbol, depth)` pairs for the used symbols.
+///
+/// Two-queue merge instead of a binary heap: leaves sorted once by
+/// `(frequency, symbol)`, internals appended to a FIFO as they are
+/// created. Merged frequencies are non-decreasing and internal ids
+/// (`alphabet + creation#`) increase, so the internal queue stays sorted
+/// by the same `(frequency, id)` key the historical heap popped on — each
+/// step's two minima come from comparing the two queue fronts, and the
+/// tree shape (hence every golden stream byte) is identical. Nodes live
+/// in a flat arena; an internal's index always exceeds its children's, so
+/// one reverse sweep resolves every depth top-down.
+fn tree_depths(pairs: &[(u32, u64)], alphabet: usize) -> Vec<(u32, u32)> {
+    let mut lens: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+    match pairs.len() {
         0 => return lens,
         1 => {
-            if let NodeKind::Leaf(s) = heap.pop().unwrap().kind {
-                lens[s as usize] = 1;
-            }
+            lens.push((pairs[0].0, 1));
             return lens;
         }
         _ => {}
     }
 
-    let mut next_id = alphabet as u32;
-    while heap.len() > 1 {
-        let a = heap.pop().unwrap();
-        let b = heap.pop().unwrap();
-        heap.push(Node {
-            freq: a.freq.saturating_add(b.freq),
-            id: next_id,
-            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
-        });
-        next_id += 1;
+    // Arena: leaves are indices `0..n_leaf` in `pairs` order;
+    // `children[k]` holds the child pair of internal node `n_leaf + k`.
+    let n_leaf = pairs.len();
+    let mut order: Vec<u32> = (0..n_leaf as u32).collect();
+    order.sort_unstable_by_key(|&i| {
+        let (s, f) = pairs[i as usize];
+        (f, s)
+    });
+    let mut children: Vec<(u32, u32)> = Vec::with_capacity(n_leaf - 1);
+    let mut ifreq: Vec<u64> = Vec::with_capacity(n_leaf - 1);
+    let (mut li, mut ii) = (0usize, 0usize);
+    for _ in 0..n_leaf - 1 {
+        let mut take = |ifreq: &[u64]| -> (u64, u32) {
+            let leaf = order.get(li).map(|&i| {
+                let (s, f) = pairs[i as usize];
+                ((f, s), i)
+            });
+            let internal = ifreq
+                .get(ii)
+                .map(|&f| ((f, (alphabet + ii) as u32), (n_leaf + ii) as u32));
+            match (leaf, internal) {
+                (Some((lk, l)), Some((ik, _))) if lk < ik => {
+                    li += 1;
+                    (lk.0, l)
+                }
+                (Some((lk, l)), None) => {
+                    li += 1;
+                    (lk.0, l)
+                }
+                (_, Some((ik, i))) => {
+                    ii += 1;
+                    (ik.0, i)
+                }
+                (None, None) => unreachable!("two-queue merge ran dry"),
+            }
+        };
+        let (fa, a) = take(&ifreq);
+        let (fb, b) = take(&ifreq);
+        children.push((a, b));
+        ifreq.push(fa.saturating_add(fb));
     }
 
-    // Iterative depth assignment to avoid recursion on deep trees.
-    let root = heap.pop().unwrap();
-    let mut stack = vec![(root, 0u32)];
-    while let Some((node, depth)) = stack.pop() {
-        match node.kind {
-            NodeKind::Leaf(s) => lens[s as usize] = depth.max(1),
-            NodeKind::Internal(l, r) => {
-                stack.push((*l, depth + 1));
-                stack.push((*r, depth + 1));
-            }
-        }
+    // Top-down depth sweep over the arena, root last.
+    let mut depth = vec![0u32; n_leaf + children.len()];
+    for (k, &(a, b)) in children.iter().enumerate().rev() {
+        let d = depth[n_leaf + k] + 1;
+        depth[a as usize] = d;
+        depth[b as usize] = d;
     }
+    for (i, &(s, _)) in pairs.iter().enumerate() {
+        lens.push((s, depth[i].max(1)));
+    }
+    lens.sort_unstable_by_key(|&(s, _)| s);
     lens
 }
 
 /// Width of the decode lookup table: codes up to this length decode with a
-/// single peek instead of a bit-by-bit walk.
+/// single peek instead of a canonical walk. 11 bits (16 KiB of entries)
+/// covers the overwhelming frequency mass of SZ's residual distributions
+/// while leaving L1 room for the four lanes' hot state — 12 bits measured
+/// slower for exactly that reason.
 const LUT_BITS: u32 = 11;
 
 /// A canonical Huffman code: encode and decode tables plus a compact
 /// serialized form (sorted sparse `(symbol, length)` pairs).
 #[derive(Debug, Clone)]
 pub struct CanonicalCode {
-    /// `(code, len)` per symbol; `len == 0` means the symbol is unused.
-    encode_table: Vec<(u64, u32)>,
+    /// Packed `code << 6 | len` per symbol (`MAX_CODE_LEN` = 48 keeps the
+    /// shifted code within 54 bits); `len == 0` means the symbol is
+    /// unused. Packing halves the table's footprint over `(u64, u32)`
+    /// tuples — the encode loop's lookups are random within it, so its
+    /// cache residency is the encode throughput.
+    encode_table: Vec<u64>,
+    /// Used symbols in ascending order (the serialize/rebuild order).
+    used_symbols: Vec<u32>,
     /// Used symbols sorted canonically (by length, then symbol).
     sorted_symbols: Vec<u32>,
     /// `count[l]` = number of codes of length `l`.
@@ -141,19 +205,41 @@ pub struct CanonicalCode {
 }
 
 impl CanonicalCode {
-    /// Builds the canonical code from per-symbol lengths.
+    /// Builds the canonical code from per-symbol lengths (dense table,
+    /// zero = unused). Compatibility shim over [`CanonicalCode::from_pairs`].
     pub fn from_lengths(lens: &[u32]) -> Self {
-        let max_len = lens.iter().copied().max().unwrap_or(0) as usize;
-        let mut counts = vec![0u32; max_len + 1];
-        for &l in lens {
-            if l > 0 {
-                counts[l as usize] += 1;
-            }
-        }
-        let mut sorted: Vec<u32> = (0..lens.len() as u32)
-            .filter(|&s| lens[s as usize] > 0)
+        let pairs: Vec<(u32, u32)> = lens
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0)
+            .map(|(s, &l)| (s as u32, l))
             .collect();
-        sorted.sort_by_key(|&s| (lens[s as usize], s));
+        Self::from_pairs(&pairs, lens.len())
+    }
+
+    /// Builds the canonical code from ascending sparse `(symbol, length)`
+    /// pairs (lengths > 0, symbols < `alphabet`) — the hot-path
+    /// constructor. Only the dense encode table itself scales with the
+    /// nominal alphabet (one zeroed allocation); every scan and sort runs
+    /// over the used symbols. Canonical assignment depends only on the
+    /// `(length, symbol)` order, so the resulting code — and every encoded
+    /// byte — is identical to the dense [`CanonicalCode::from_lengths`]
+    /// path's.
+    // audit:allow-fn(L1): every index is structurally in range —
+    // `counts`, `first_code`, `offsets` and `next` are sized
+    // `max_len + 1` with `l <= max_len` by construction, and
+    // `deserialize` rejects `symbol >= alphabet` and zero/oversized
+    // lengths before `encode_table[s]` can be reached.
+    pub fn from_pairs(pairs: &[(u32, u32)], alphabet: usize) -> Self {
+        let max_len = pairs.iter().map(|&(_, l)| l).max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max_len + 1];
+        for &(_, l) in pairs {
+            counts[l as usize] += 1;
+        }
+        let used_symbols: Vec<u32> = pairs.iter().map(|&(s, _)| s).collect();
+        let mut by_len: Vec<(u32, u32)> = pairs.iter().map(|&(s, l)| (l, s)).collect();
+        by_len.sort_unstable();
+        let sorted: Vec<u32> = by_len.iter().map(|&(_, s)| s).collect();
 
         let mut first_code = vec![0u64; max_len + 1];
         let mut offsets = vec![0u32; max_len + 1];
@@ -167,19 +253,15 @@ impl CanonicalCode {
             offset += counts[l];
         }
 
-        let mut encode_table = vec![(0u64, 0u32); lens.len()];
-        let mut next = first_code.clone();
-        for &s in &sorted {
-            let l = lens[s as usize] as usize;
-            encode_table[s as usize] = (next[l], l as u32);
-            next[l] += 1;
-        }
-
-        // Decode LUT: every LUT_BITS-wide prefix of a short code maps
-        // straight to its symbol.
+        let mut encode_table = vec![0u64; alphabet];
         let mut lut = vec![(0u32, 0u8); 1usize << LUT_BITS];
-        for &s in &sorted {
-            let (code, l) = encode_table[s as usize];
+        let mut next = first_code.clone();
+        for &(l, s) in &by_len {
+            let code = next[l as usize];
+            next[l as usize] += 1;
+            encode_table[s as usize] = (code << 6) | l as u64;
+            // Decode LUT: every LUT_BITS-wide prefix of a short code maps
+            // straight to its symbol.
             if l <= LUT_BITS {
                 let lo = (code << (LUT_BITS - l)) as usize;
                 let hi = ((code + 1) << (LUT_BITS - l)) as usize;
@@ -191,12 +273,23 @@ impl CanonicalCode {
 
         Self {
             encode_table,
+            used_symbols,
             sorted_symbols: sorted,
             counts,
             first_code,
             offsets,
             lut,
         }
+    }
+
+    /// Unpacks a symbol's `(code, len)` from the packed encode table.
+    // audit:allow-fn(L1): encode-side helper — `symbol` comes from the
+    // caller's own input slice, which `encode_all`/`encode_interleaved`
+    // require to be `< alphabet` (the table's length).
+    #[inline(always)]
+    fn entry(&self, symbol: u32) -> (u64, u32) {
+        let e = self.encode_table[symbol as usize];
+        (e >> 6, (e & 63) as u32)
     }
 
     /// Number of symbols in the (nominal) alphabet.
@@ -209,7 +302,7 @@ impl CanonicalCode {
         freqs
             .iter()
             .zip(&self.encode_table)
-            .map(|(&f, &(_, len))| f * len as u64)
+            .map(|(&f, &e)| f * (e & 63))
             .sum()
     }
 
@@ -230,7 +323,7 @@ impl CanonicalCode {
     /// Writes one symbol.
     #[inline]
     pub fn encode(&self, w: &mut BitWriter, symbol: u32) {
-        let (code, len) = self.encode_table[symbol as usize];
+        let (code, len) = self.entry(symbol);
         debug_assert!(len > 0, "encoding symbol absent from the code");
         w.write_bits(code, len);
     }
@@ -249,7 +342,7 @@ impl CanonicalCode {
         let mut acc: u64 = 0;
         let mut n: u32 = 0;
         for &s in symbols {
-            let (code, len) = self.encode_table[s as usize];
+            let (code, len) = self.entry(s);
             debug_assert!(len > 0, "encoding symbol absent from the code");
             if n + len > 64 {
                 w.write_bits(acc >> (64 - n), n);
@@ -289,8 +382,10 @@ impl CanonicalCode {
         if len > 0 {
             return Some((sym, len as u32));
         }
-        // Long code: canonical walk on the window, no per-bit reads.
-        for l in 1..self.counts.len() {
+        // Long code: canonical walk on the window, no per-bit reads. A LUT
+        // miss proves the code is longer than LUT_BITS, so the walk starts
+        // past every length the LUT already covers.
+        for l in LUT_BITS as usize + 1..self.counts.len() {
             let n = self.counts[l] as u64;
             if n > 0 {
                 let code = word >> (64 - l as u32);
@@ -341,6 +436,182 @@ impl CanonicalCode {
         Ok(())
     }
 
+    /// Encodes `symbols` split round-robin into [`LANES`] sub-streams,
+    /// each byte-stream produced exactly as [`CanonicalCode::encode_all`]
+    /// would over that lane's subsequence. One pass, [`LANES`] independent
+    /// accumulators — consecutive symbols feed different accumulator
+    /// chains, so the encode side gets the same ILP overlap the fused
+    /// decoder does.
+    /// Flushes every whole byte staged in a lane accumulator straight into
+    /// its byte vector, keeping `*n < 8` leftover bits left-aligned.
+    /// Byte-identical to routing the bits through [`BitWriter`]: flushing
+    /// whole bytes early never changes the bit sequence, only when it
+    /// reaches memory. The store is a fixed eight-byte write followed by a
+    /// truncate — a constant-size copy the compiler turns into one
+    /// unconditional store, instead of a variable-length `memcpy`.
+    #[inline(always)]
+    fn flush_lane(bytes: &mut Vec<u8>, acc: &mut u64, n: &mut u32) {
+        let nb = (*n / 8) as usize;
+        bytes.extend_from_slice(&acc.to_be_bytes());
+        bytes.truncate(bytes.len() - (8 - nb));
+        *acc = if nb == 8 { 0 } else { *acc << (8 * nb) };
+        *n -= 8 * nb as u32;
+    }
+
+    /// One symbol through one lane's accumulator chain.
+    #[inline(always)]
+    fn put_lane(&self, s: u32, bytes: &mut Vec<u8>, acc: &mut u64, n: &mut u32) {
+        let (code, len) = self.entry(s);
+        debug_assert!(len > 0, "encoding symbol absent from the code");
+        if *n + len > 64 {
+            Self::flush_lane(bytes, acc, n);
+        }
+        *acc |= code << (64 - *n - len);
+        *n += len;
+    }
+
+    fn encode_interleaved(&self, symbols: &[u32]) -> [Vec<u8>; LANES] {
+        let cap = symbols.len() / (2 * LANES) + 16;
+        // Scalar per-lane state (not arrays): keeps the four accumulator
+        // chains in registers so their latencies actually overlap.
+        let [mut b0, mut b1, mut b2, mut b3]: [Vec<u8>; LANES] =
+            std::array::from_fn(|_| Vec::with_capacity(cap));
+        let (mut a0, mut a1, mut a2, mut a3) = (0u64, 0u64, 0u64, 0u64);
+        let (mut n0, mut n1, mut n2, mut n3) = (0u32, 0u32, 0u32, 0u32);
+        let mut quads = symbols.chunks_exact(LANES);
+        for quad in &mut quads {
+            self.put_lane(quad[0], &mut b0, &mut a0, &mut n0);
+            self.put_lane(quad[1], &mut b1, &mut a1, &mut n1);
+            self.put_lane(quad[2], &mut b2, &mut a2, &mut n2);
+            self.put_lane(quad[3], &mut b3, &mut a3, &mut n3);
+        }
+        {
+            let bufs = [&mut b0, &mut b1, &mut b2, &mut b3];
+            let accs = [&mut a0, &mut a1, &mut a2, &mut a3];
+            let ns = [&mut n0, &mut n1, &mut n2, &mut n3];
+            for (j, &s) in quads.remainder().iter().enumerate() {
+                self.put_lane(s, &mut *bufs[j], &mut *accs[j], &mut *ns[j]);
+            }
+            for j in 0..LANES {
+                // Tail: whole bytes, then one zero-padded partial byte —
+                // the same final alignment `BitWriter::into_bytes`
+                // produces.
+                let nb = (*ns[j]).div_ceil(8) as usize;
+                bufs[j].extend_from_slice(&accs[j].to_be_bytes()[..nb]);
+            }
+        }
+        [b0, b1, b2, b3]
+    }
+
+    /// Decodes `n` round-robin interleaved symbols from [`LANES`]
+    /// sub-stream slices in one fused loop: per round, [`LANES`]
+    /// independent `decode_from_word` + `consume` chains whose refill and
+    /// table-lookup latencies overlap. Each lane's buffered-bit window is
+    /// tracked exactly (decremented by the decoded length), so rounds run
+    /// until some lane actually drops below one whole worst-case code —
+    /// typically many more rounds per refill than the conservative
+    /// `min_buffered / max_len` bound would allow, since real codes
+    /// average far shorter than the longest one. The stream tail (or any
+    /// lane too short for the bulk guarantee) falls back to the checked
+    /// per-symbol path, surfacing truncation as [`Error::UnexpectedEof`].
+    /// One fused-loop step: decode a symbol off a lane's buffered window
+    /// and consume it. The caller guarantees ≥ one whole code is buffered.
+    #[inline(always)]
+    fn step(&self, r: &mut BitReader) -> Result<(u32, u32)> {
+        let (sym, len) = self
+            .decode_from_word(r.peek_word())
+            .ok_or(Error::InvalidValue("huffman code not in table"))?;
+        r.consume(len);
+        Ok((sym, len))
+    }
+
+    fn decode_interleaved_fused(&self, lanes: &[&[u8]; LANES], n: usize) -> Result<Vec<u32>> {
+        let max_len = self.max_code_len().max(1);
+        // Scalar per-lane readers and bit counts (not arrays) keep the four
+        // decode chains in registers so their latencies actually overlap.
+        let [mut r0, mut r1, mut r2, mut r3]: [BitReader; LANES] =
+            std::array::from_fn(|j| BitReader::new(lanes[j]));
+        let mut out = Vec::with_capacity(n);
+        let rounds = n / LANES;
+        let mut t = 0usize;
+        'refill: while t < rounds {
+            r0.refill();
+            r1.refill();
+            r2.refill();
+            r3.refill();
+            let mut a0 = r0.buffered_bits();
+            let mut a1 = r1.buffered_bits();
+            let mut a2 = r2.buffered_bits();
+            let mut a3 = r3.buffered_bits();
+            if a0.min(a1).min(a2).min(a3) < max_len {
+                break;
+            }
+            // Every lane holds ≥ max_len buffered bits at the top of each
+            // round, so the in-round decodes can never over-consume.
+            while t < rounds {
+                let (s0, l0) = self.step(&mut r0)?;
+                let (s1, l1) = self.step(&mut r1)?;
+                let (s2, l2) = self.step(&mut r2)?;
+                let (s3, l3) = self.step(&mut r3)?;
+                a0 -= l0;
+                a1 -= l1;
+                a2 -= l2;
+                a3 -= l3;
+                out.push(s0);
+                out.push(s1);
+                out.push(s2);
+                out.push(s3);
+                t += 1;
+                if a0 < max_len || a1 < max_len || a2 < max_len || a3 < max_len {
+                    continue 'refill;
+                }
+            }
+        }
+        // Each lane has decoded exactly `t` symbols; finish in global
+        // order through the checked per-symbol decoder.
+        let mut rs = [r0, r1, r2, r3];
+        for idx in LANES * t..n {
+            out.push(self.decode(&mut rs[idx % LANES])?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes `n` interleaved symbols by fanning the [`LANES`] sub-streams
+    /// across `exec` — each lane bulk-decodes into its own buffer
+    /// concurrently, then a single merge pass restores global round-robin
+    /// order. Byte-for-byte the same result as the fused path at any
+    /// executor width.
+    fn decode_interleaved_pooled(
+        &self,
+        lanes: &[&[u8]; LANES],
+        counts: &[usize; LANES],
+        n: usize,
+        exec: &dyn LaneExecutor,
+    ) -> Result<Vec<u32>> {
+        let mut results: [Result<Vec<u32>>; LANES] = std::array::from_fn(|_| Ok(Vec::new()));
+        let task = |slot: &mut Result<Vec<u32>>, bytes: &[u8], count: usize| {
+            let mut r = BitReader::new(bytes);
+            let mut v = Vec::new();
+            *slot = self.decode_all(&mut r, count, &mut v).map(|()| v);
+        };
+        {
+            let [r0, r1, r2, r3] = &mut results;
+            let mut t0 = || task(r0, lanes[0], counts[0]);
+            let mut t1 = || task(r1, lanes[1], counts[1]);
+            let mut t2 = || task(r2, lanes[2], counts[2]);
+            let mut t3 = || task(r3, lanes[3], counts[3]);
+            exec.run_lanes(&mut [&mut t0, &mut t1, &mut t2, &mut t3]);
+        }
+        let mut out = vec![0u32; n];
+        for (j, result) in results.into_iter().enumerate() {
+            let lane = result?;
+            for (k, &s) in lane.iter().enumerate() {
+                out[LANES * k + j] = s;
+            }
+        }
+        Ok(out)
+    }
+
     /// Bit-by-bit canonical decode (long codes and stream tails).
     fn decode_slow(&self, r: &mut BitReader) -> Result<u32> {
         let mut code: u64 = 0;
@@ -361,19 +632,22 @@ impl CanonicalCode {
     /// Serializes the code as sparse `(symbol delta, length)` pairs.
     pub fn serialize(&self, out: &mut Vec<u8>) {
         varint::write_uvarint(out, self.encode_table.len() as u64);
-        let used: Vec<u32> = (0..self.encode_table.len() as u32)
-            .filter(|&s| self.encode_table[s as usize].1 > 0)
-            .collect();
-        varint::write_uvarint(out, used.len() as u64);
+        varint::write_uvarint(out, self.used_symbols.len() as u64);
         let mut prev = 0u32;
-        for &s in &used {
+        for &s in &self.used_symbols {
             varint::write_uvarint(out, (s - prev) as u64);
-            varint::write_uvarint(out, self.encode_table[s as usize].1 as u64);
+            varint::write_uvarint(out, self.encode_table[s as usize] & 63);
             prev = s;
         }
     }
 
-    /// Inverse of [`CanonicalCode::serialize`].
+    /// Inverse of [`CanonicalCode::serialize`]. Accumulates the sparse
+    /// `(symbol, length)` pairs directly and rebuilds through
+    /// [`CanonicalCode::from_pairs`] — no dense per-alphabet scans, which
+    /// matters because every decode rebuilds the table. Deltas are
+    /// non-negative so symbols arrive non-decreasing; a repeated symbol
+    /// (delta 0 after the first entry) overwrites the previous pair, the
+    /// same last-write-wins the historical dense table had.
     pub fn deserialize(data: &[u8], pos: &mut usize) -> Result<Self> {
         let alphabet = varint::read_uvarint(data, pos)? as usize;
         if alphabet > (1 << 28) {
@@ -383,7 +657,7 @@ impl CanonicalCode {
         if n_used > alphabet {
             return Err(Error::InvalidValue("more used symbols than alphabet"));
         }
-        let mut lens = vec![0u32; alphabet];
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n_used);
         let mut sym = 0u64;
         for i in 0..n_used {
             let delta = varint::read_uvarint(data, pos)?;
@@ -392,9 +666,12 @@ impl CanonicalCode {
             if sym as usize >= alphabet || len == 0 || len > MAX_CODE_LEN {
                 return Err(Error::InvalidValue("bad huffman table entry"));
             }
-            lens[sym as usize] = len;
+            match pairs.last_mut() {
+                Some(last) if last.0 as u64 == sym => last.1 = len,
+                _ => pairs.push((sym as u32, len)),
+            }
         }
-        Ok(Self::from_lengths(&lens))
+        Ok(Self::from_pairs(&pairs, alphabet))
     }
 }
 
@@ -405,12 +682,21 @@ std::thread_local! {
     /// dense histogram per chunk dominated the entropy stage; instead the
     /// table persists per thread and only the touched slots are cleared.
     static FREQS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Lane-batched histogram reused the same way (the default kernel;
+    /// see `pwrel_kernels::hist` for why the partial tables are faster).
+    static LANE_FREQS: std::cell::RefCell<LaneHistogram> =
+        std::cell::RefCell::new(LaneHistogram::new());
 }
 
-/// Convenience: Huffman-encode a symbol slice into a self-contained buffer
-/// (table + count + payload).
-pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
-    let pairs = FREQS.with(|cell| {
+/// Sparse ascending `(symbol, frequency)` pairs for `symbols`, through the
+/// dispatched histogram kernel (`PWREL_HIST=reference` selects the dense
+/// single-table counter). Both kernels produce identical pairs, so the
+/// tree — and every encoded byte downstream — is kernel-independent.
+fn count_pairs(symbols: &[u32], alphabet: usize) -> Vec<(u32, u64)> {
+    if hist_kernel() == BatchKernel::Batched {
+        return LANE_FREQS.with(|cell| cell.borrow_mut().count(symbols, alphabet));
+    }
+    FREQS.with(|cell| {
         let mut freqs = cell.borrow_mut();
         if freqs.len() < alphabet {
             freqs.resize(alphabet, 0);
@@ -434,8 +720,57 @@ pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
             freqs[s as usize] = 0;
         }
         pairs
-    });
-    let code = CanonicalCode::from_lengths(&code_lengths_sparse(&pairs, alphabet));
+    })
+}
+
+/// Convenience: Huffman-encode a symbol slice into a self-contained buffer
+/// in the interleaved packed mode:
+///
+/// ```text
+/// uvarint INTERLEAVED_MARKER
+/// serialized table            (identical bytes to the legacy mode)
+/// uvarint n                   (total symbol count)
+/// uvarint payload_len         (sum of the sub-stream byte lengths)
+/// LANES × uvarint count       (per-sub-stream symbol counts)
+/// LANES × uvarint len         (per-sub-stream byte lengths)
+/// concatenated sub-stream payloads
+/// ```
+///
+/// The descriptor is fully redundant by design — counts must equal the
+/// round-robin split of `n` and lengths must sum to `payload_len` exactly —
+/// so every forged descriptor is rejected before any payload is touched.
+pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
+    let pairs = count_pairs(symbols, alphabet);
+    let code = CanonicalCode::from_pairs(&code_length_pairs(&pairs, alphabet), alphabet);
+    let payloads = code.encode_interleaved(symbols);
+    let total: usize = payloads.iter().map(Vec::len).sum();
+    // Exact-fit descriptor + payload assembly: one allocation, no
+    // realloc copies of the sub-streams (table ≤ 10 bytes per used
+    // symbol, descriptor ≤ 10 bytes per field).
+    let mut out = Vec::with_capacity(total + 10 * pairs.len() + 2 * LANES * 10 + 40);
+    varint::write_uvarint(&mut out, INTERLEAVED_MARKER);
+    code.serialize(&mut out);
+    varint::write_uvarint(&mut out, symbols.len() as u64);
+    varint::write_uvarint(&mut out, total as u64);
+    for lane in 0..LANES {
+        varint::write_uvarint(&mut out, lane_count(symbols.len(), lane) as u64);
+    }
+    for p in &payloads {
+        varint::write_uvarint(&mut out, p.len() as u64);
+    }
+    for p in &payloads {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// [`encode_symbols`] in the legacy single-stream mode (table + count +
+/// one payload). Kept as a first-class encoder so equivalence tests and
+/// the seed-engine benchmarks can still produce the format every
+/// pre-interleaving stream used; [`decode_symbols`] accepts both modes.
+pub fn encode_symbols_single(symbols: &[u32], alphabet: usize) -> Vec<u8> {
+    let pairs = count_pairs(symbols, alphabet);
+    let code = CanonicalCode::from_pairs(&code_length_pairs(&pairs, alphabet), alphabet);
     let mut out = Vec::new();
     code.serialize(&mut out);
     varint::write_uvarint(&mut out, symbols.len() as u64);
@@ -447,8 +782,37 @@ pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`encode_symbols`]; advances `pos` past the buffer.
+/// Inverse of [`encode_symbols`]; advances `pos` past the buffer. Accepts
+/// both packed modes: buffers starting with the interleaved marker decode
+/// through the fused multi-reader loop, anything else through the legacy
+/// single-stream path.
 pub fn decode_symbols(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    decode_symbols_pooled(data, pos, &SerialLanes)
+}
+
+/// [`decode_symbols`] with an explicit lane executor: interleaved buffers
+/// large enough to amortize the fan-out decode their sub-streams across
+/// `exec` (byte-identical output at any executor width); legacy buffers
+/// and small inputs take the single-thread paths.
+pub fn decode_symbols_pooled(
+    data: &[u8],
+    pos: &mut usize,
+    exec: &dyn LaneExecutor,
+) -> Result<Vec<u32>> {
+    let mut probe = *pos;
+    if varint::read_uvarint(data, &mut probe)? == INTERLEAVED_MARKER {
+        *pos = probe;
+        return decode_symbols_interleaved(data, pos, exec);
+    }
+    decode_symbols_single(data, pos)
+}
+
+/// The legacy single-stream decoder (the pre-interleaving `decode_symbols`
+/// body, byte-for-byte compatible with every historical buffer).
+// audit:allow-fn(L1): the only slice, `data[*pos..end]`, follows the
+// explicit `end > data.len()` rejection and the checked_add that
+// produced `end`.
+fn decode_symbols_single(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
     let code = CanonicalCode::deserialize(data, pos)?;
     let n = varint::read_uvarint(data, pos)? as usize;
     let payload_len = varint::read_uvarint(data, pos)? as usize;
@@ -472,6 +836,110 @@ pub fn decode_symbols(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
     code.decode_all(&mut r, n, &mut out)?;
     *pos = end;
     Ok(out)
+}
+
+/// Parses and validates the interleaved descriptor, then decodes. Every
+/// descriptor field is checked against what the format forces it to be
+/// before any sub-stream is read: symbol counts must equal the round-robin
+/// split of `n`, byte lengths must not overflow and must sum to
+/// `payload_len` exactly (no trailing bytes inside the declared payload),
+/// and the payload must lie within `data`.
+// audit:allow-fn(L1): the lane slices `data[off..off + lens[lane]]` are
+// carved from the validated payload — the lane lengths' checked sum
+// equals `payload_len` and `end = pos + payload_len` was rejected if it
+// exceeded `data.len()`, so every `off` range is in bounds.
+fn decode_symbols_interleaved(
+    data: &[u8],
+    pos: &mut usize,
+    exec: &dyn LaneExecutor,
+) -> Result<Vec<u32>> {
+    let code = CanonicalCode::deserialize(data, pos)?;
+    let n = varint::read_uvarint(data, pos)? as usize;
+    let payload_len = varint::read_uvarint(data, pos)? as usize;
+    let mut counts = [0usize; LANES];
+    for (lane, c) in counts.iter_mut().enumerate() {
+        let declared = varint::read_uvarint(data, pos)?;
+        if declared != lane_count(n, lane) as u64 {
+            return Err(Error::InvalidValue("sub-stream symbol count mismatch"));
+        }
+        *c = declared as usize;
+    }
+    let mut lens = [0usize; LANES];
+    let mut total = 0usize;
+    for len in lens.iter_mut() {
+        let declared = varint::read_uvarint(data, pos)?;
+        let declared = usize::try_from(declared)
+            .map_err(|_| Error::InvalidValue("sub-stream length overflows"))?;
+        total = total
+            .checked_add(declared)
+            .ok_or(Error::InvalidValue("sub-stream length overflows"))?;
+        *len = declared;
+    }
+    if total != payload_len {
+        return Err(Error::InvalidValue(
+            "sub-stream lengths disagree with payload",
+        ));
+    }
+    let end = pos.checked_add(payload_len).ok_or(Error::UnexpectedEof)?;
+    if end > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    // Per-lane hostile-count bound, as in the single-stream path.
+    let fits = match code.min_code_len() {
+        Some(min_len) => counts
+            .iter()
+            .zip(&lens)
+            .all(|(&c, &l)| (c as u64).saturating_mul(min_len as u64) <= l as u64 * 8),
+        None => n == 0,
+    };
+    if !fits {
+        return Err(Error::InvalidValue("symbol count exceeds payload bits"));
+    }
+    let mut off = *pos;
+    let lanes: [&[u8]; LANES] = std::array::from_fn(|lane| {
+        let s = &data[off..off + lens[lane]];
+        off += lens[lane];
+        s
+    });
+    let out = if exec.width() > 1 && n >= MIN_POOLED_SYMBOLS {
+        code.decode_interleaved_pooled(&lanes, &counts, n, exec)?
+    } else {
+        code.decode_interleaved_fused(&lanes, n)?
+    };
+    *pos = end;
+    Ok(out)
+}
+
+/// Observability probe: the per-sub-stream byte lengths of an interleaved
+/// buffer, or `None` for a legacy (or unparseable) one. Walks the
+/// descriptor without building decode tables, so it is cheap enough for
+/// per-chunk trace counters.
+pub fn lane_lengths(data: &[u8]) -> Option<[u64; LANES]> {
+    let mut pos = 0usize;
+    if varint::read_uvarint(data, &mut pos).ok()? != INTERLEAVED_MARKER {
+        return None;
+    }
+    let alphabet = varint::read_uvarint(data, &mut pos).ok()?;
+    if alphabet > (1 << 28) {
+        return None;
+    }
+    let n_used = varint::read_uvarint(data, &mut pos).ok()?;
+    if n_used > alphabet {
+        return None;
+    }
+    for _ in 0..2 * n_used {
+        varint::read_uvarint(data, &mut pos).ok()?;
+    }
+    let _n = varint::read_uvarint(data, &mut pos).ok()?;
+    let _payload_len = varint::read_uvarint(data, &mut pos).ok()?;
+    for _ in 0..LANES {
+        varint::read_uvarint(data, &mut pos).ok()?;
+    }
+    let mut lens = [0u64; LANES];
+    for len in lens.iter_mut() {
+        *len = varint::read_uvarint(data, &mut pos).ok()?;
+    }
+    Some(lens)
 }
 
 #[cfg(test)]
@@ -517,8 +985,8 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let (ca, la) = code.encode_table[a];
-                let (cb, lb) = code.encode_table[b];
+                let (ca, la) = code.entry(a as u32);
+                let (cb, lb) = code.entry(b as u32);
                 if la <= lb {
                     assert_ne!(ca, cb >> (lb - la), "code {a} prefixes {b}");
                 }
@@ -594,7 +1062,7 @@ mod tests {
     #[test]
     fn hostile_symbol_count_is_rejected_before_allocation() {
         let syms: Vec<u32> = (0..64).map(|i| i % 16).collect();
-        let buf = encode_symbols(&syms, 16);
+        let buf = encode_symbols_single(&syms, 16);
         // Re-serialize with an absurd declared count: table, then count,
         // then the original (now far too short) payload.
         let mut pos = 0;
@@ -622,5 +1090,197 @@ mod tests {
         let mut pos = 0;
         assert_eq!(decode_symbols(&buf, &mut pos).unwrap(), syms);
         assert!(buf.len() < 2500);
+    }
+
+    /// A `LaneExecutor` that actually interleaves: lanes run round-robin
+    /// one call... no — sequentially, but `width()` reports > 1 so the
+    /// pooled path is taken.
+    struct FakePool;
+    impl pwrel_data::LaneExecutor for FakePool {
+        fn run_lanes(&self, lanes: &mut [&mut (dyn FnMut() + Send)]) {
+            // Reverse order: the merge must not depend on lane run order.
+            for lane in lanes.iter_mut().rev() {
+                lane();
+            }
+        }
+        fn width(&self) -> usize {
+            4
+        }
+    }
+
+    fn mixed_symbols(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| (i * i + 7 * i) % 300).collect()
+    }
+
+    #[test]
+    fn interleaved_and_single_modes_decode_identically() {
+        for n in [0usize, 1, 2, 3, 4, 5, 63, 64, 1000, 20_000] {
+            let syms = mixed_symbols(n);
+            let new_buf = encode_symbols(&syms, 512);
+            let old_buf = encode_symbols_single(&syms, 512);
+            let (mut p0, mut p1) = (0, 0);
+            assert_eq!(decode_symbols(&new_buf, &mut p0).unwrap(), syms, "n={n}");
+            assert_eq!(decode_symbols(&old_buf, &mut p1).unwrap(), syms, "n={n}");
+            assert_eq!(p0, new_buf.len());
+            assert_eq!(p1, old_buf.len());
+        }
+    }
+
+    #[test]
+    fn pooled_decode_matches_fused_at_any_width() {
+        let syms = mixed_symbols(30_000);
+        let buf = encode_symbols(&syms, 512);
+        let mut pos = 0;
+        let fused = decode_symbols(&buf, &mut pos).unwrap();
+        let mut pos = 0;
+        let pooled = decode_symbols_pooled(&buf, &mut pos, &FakePool).unwrap();
+        assert_eq!(fused, syms);
+        assert_eq!(pooled, syms);
+    }
+
+    #[test]
+    fn legacy_decoder_rejects_interleaved_buffers_loudly() {
+        let syms = mixed_symbols(100);
+        let buf = encode_symbols(&syms, 512);
+        let mut pos = 0;
+        assert_eq!(
+            decode_symbols_single(&buf, &mut pos),
+            Err(Error::InvalidValue("huffman alphabet too large"))
+        );
+    }
+
+    /// Splits an interleaved buffer at its descriptor fields so forgery
+    /// tests can rewrite them: returns (head = marker+table+n, payload_len,
+    /// counts, lens, payload bytes).
+    fn dissect(buf: &[u8]) -> (Vec<u8>, u64, [u64; LANES], [u64; LANES], Vec<u8>) {
+        let mut pos = 0;
+        assert_eq!(
+            varint::read_uvarint(buf, &mut pos).unwrap(),
+            INTERLEAVED_MARKER
+        );
+        let _ = CanonicalCode::deserialize(buf, &mut pos).unwrap();
+        let _n = varint::read_uvarint(buf, &mut pos).unwrap();
+        let head = buf[..pos].to_vec();
+        let payload_len = varint::read_uvarint(buf, &mut pos).unwrap();
+        let mut counts = [0u64; LANES];
+        for c in counts.iter_mut() {
+            *c = varint::read_uvarint(buf, &mut pos).unwrap();
+        }
+        let mut lens = [0u64; LANES];
+        for l in lens.iter_mut() {
+            *l = varint::read_uvarint(buf, &mut pos).unwrap();
+        }
+        (head, payload_len, counts, lens, buf[pos..].to_vec())
+    }
+
+    fn reassemble(
+        head: &[u8],
+        payload_len: u64,
+        counts: &[u64; LANES],
+        lens: &[u64; LANES],
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let mut out = head.to_vec();
+        varint::write_uvarint(&mut out, payload_len);
+        for &c in counts {
+            varint::write_uvarint(&mut out, c);
+        }
+        for &l in lens {
+            varint::write_uvarint(&mut out, l);
+        }
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn forged_descriptor_fields_are_corrupt_never_panic() {
+        let syms = mixed_symbols(5000);
+        let buf = encode_symbols(&syms, 512);
+        let (head, payload_len, counts, lens, payload) = dissect(&buf);
+
+        // Sub-stream count that disagrees with the round-robin split.
+        let mut bad = counts;
+        bad[1] += 1;
+        let forged = reassemble(&head, payload_len, &bad, &lens, &payload);
+        let mut pos = 0;
+        assert_eq!(
+            decode_symbols(&forged, &mut pos),
+            Err(Error::InvalidValue("sub-stream symbol count mismatch"))
+        );
+
+        // Lengths whose sum overflows usize.
+        let mut bad = lens;
+        bad[0] = u64::MAX - 7;
+        bad[1] = u64::MAX - 7;
+        let forged = reassemble(&head, payload_len, &counts, &bad, &payload);
+        let mut pos = 0;
+        assert_eq!(
+            decode_symbols(&forged, &mut pos),
+            Err(Error::InvalidValue("sub-stream length overflows"))
+        );
+
+        // Lengths that sum past the declared payload.
+        let mut bad = lens;
+        bad[2] += 1;
+        let forged = reassemble(&head, payload_len, &counts, &bad, &payload);
+        let mut pos = 0;
+        assert_eq!(
+            decode_symbols(&forged, &mut pos),
+            Err(Error::InvalidValue(
+                "sub-stream lengths disagree with payload"
+            ))
+        );
+
+        // Lengths that leave trailing bytes inside the declared payload.
+        let mut bad = lens;
+        bad[3] -= 1;
+        let forged = reassemble(&head, payload_len, &counts, &bad, &payload);
+        let mut pos = 0;
+        assert_eq!(
+            decode_symbols(&forged, &mut pos),
+            Err(Error::InvalidValue(
+                "sub-stream lengths disagree with payload"
+            ))
+        );
+
+        // Declared payload reaching past the buffer.
+        let grown = lens.map(|l| l + 100);
+        let forged = reassemble(&head, payload_len + 400, &counts, &grown, &payload);
+        let mut pos = 0;
+        assert_eq!(decode_symbols(&forged, &mut pos), Err(Error::UnexpectedEof));
+
+        // Truncated payload bytes.
+        let mut pos = 0;
+        assert!(decode_symbols(&buf[..buf.len() - 3], &mut pos).is_err());
+    }
+
+    #[test]
+    fn lane_lengths_probe() {
+        let syms = mixed_symbols(4096);
+        let buf = encode_symbols(&syms, 512);
+        let (_, payload_len, _, lens, _) = dissect(&buf);
+        assert_eq!(lane_lengths(&buf), Some(lens));
+        assert_eq!(lens.iter().sum::<u64>(), payload_len);
+        let legacy = encode_symbols_single(&syms, 512);
+        assert_eq!(lane_lengths(&legacy), None);
+        assert_eq!(lane_lengths(&[]), None);
+    }
+
+    #[test]
+    fn histogram_kernels_agree_byte_for_byte() {
+        // Same pairs → same tree → same buffer, whichever kernel counted.
+        let syms = mixed_symbols(10_000);
+        let batched = LANE_FREQS.with(|c| c.borrow_mut().count(&syms, 512));
+        let mut dense = vec![0u64; 512];
+        for &s in &syms {
+            dense[s as usize] += 1;
+        }
+        let expect: Vec<(u32, u64)> = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(s, &f)| (s as u32, f))
+            .collect();
+        assert_eq!(batched, expect);
     }
 }

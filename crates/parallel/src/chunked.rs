@@ -80,6 +80,7 @@ impl ChunkedCodec {
     fn run_compress<F: Float>(
         &self,
         codec_id: u8,
+        entropy_mode: u8,
         granularity: usize,
         src: &mut dyn ChunkSource<F>,
         out: &mut dyn Write,
@@ -95,6 +96,7 @@ impl ChunkedCodec {
             dims,
             bound: opts.bound,
             base: opts.base,
+            entropy_mode,
             n_chunks: plan.n_chunks() as u64,
         };
         let mut head = Vec::with_capacity(48);
@@ -277,6 +279,7 @@ impl ChunkedCodec {
         let mut out = Vec::new();
         self.run_compress(
             EXTERNAL_CODEC_ID,
+            pwrel_pipeline::container::ENTROPY_MODE_SINGLE,
             1,
             &mut src,
             &mut out,
@@ -362,6 +365,7 @@ impl ChunkedCodec {
         let mut out = Vec::new();
         self.run_compress(
             c.id(),
+            c.entropy_mode(),
             c.chunk_granularity(),
             &mut src,
             &mut out,
@@ -445,6 +449,7 @@ impl ChunkedCodec {
         let _root = Span::enter(rec, stage::STREAM_COMPRESS);
         self.run_compress(
             c.id(),
+            c.entropy_mode(),
             c.chunk_granularity(),
             src,
             out,

@@ -131,12 +131,50 @@ pub trait Codec: Send + Sync {
         self.decompress_f64(payload)
     }
 
+    /// [`Codec::decompress_f32_traced`] with an executor for intra-chunk
+    /// fan-out: codecs whose payload carries independently decodable
+    /// entropy sub-streams decode them through `exec` (e.g. the worker
+    /// pool). The default ignores the executor. Output must be identical
+    /// for any executor, so the registry can route either way.
+    fn decompress_f32_pooled(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f32>, Dims), CodecError> {
+        let _ = exec;
+        self.decompress_f32_traced(payload, rec)
+    }
+
+    /// [`Codec::decompress_f32_pooled`] for `f64` data.
+    fn decompress_f64_pooled(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f64>, Dims), CodecError> {
+        let _ = exec;
+        self.decompress_f64_traced(payload, rec)
+    }
+
     /// Preferred slice multiple (along the slowest axis) for framed
     /// chunking. The block-structured codecs override this so chunk
     /// boundaries align with their native blocks (ZFP: 4) instead of
     /// paying edge-padding overhead in every chunk.
     fn chunk_granularity(&self) -> usize {
         1
+    }
+
+    /// Sub-stream count of the codec's quantization-code entropy stage,
+    /// recorded in the v2 container and stream headers: 1 for codecs
+    /// without an interleaved Huffman stage, [`huffman::LANES`] for the
+    /// codecs whose payloads carry 4-way interleaved symbol streams.
+    /// Advisory — payloads self-describe — but lets `pwrel info` report
+    /// the engine without decoding.
+    ///
+    /// [`huffman::LANES`]: pwrel_lossless::huffman::LANES
+    fn entropy_mode(&self) -> u8 {
+        crate::container::ENTROPY_MODE_SINGLE
     }
 
     /// Compresses an `f32` chunk source into a framed stream on `out`
@@ -160,6 +198,7 @@ pub trait Codec: Send + Sync {
     ) -> Result<StreamStats, CodecError> {
         stream::compress_frames_with(
             self.id(),
+            self.entropy_mode(),
             self.chunk_granularity(),
             src,
             out,
@@ -183,6 +222,7 @@ pub trait Codec: Send + Sync {
     ) -> Result<StreamStats, CodecError> {
         stream::compress_frames_with(
             self.id(),
+            self.entropy_mode(),
             self.chunk_granularity(),
             src,
             out,
@@ -269,6 +309,14 @@ pub trait PipelineElem: Float + sealed::Sealed {
         rec: &dyn Recorder,
     ) -> Result<(Vec<Self>, Dims), CodecError>;
 
+    /// Calls the matching monomorphic pooled decompress method.
+    fn codec_decompress_pooled(
+        codec: &dyn Codec,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<Self>, Dims), CodecError>;
+
     /// Calls the matching monomorphic streaming compress method.
     #[allow(clippy::too_many_arguments)] // mirrors the Codec streaming signature
     fn codec_compress_stream(
@@ -321,6 +369,15 @@ impl PipelineElem for f32 {
         rec: &dyn Recorder,
     ) -> Result<(Vec<f32>, Dims), CodecError> {
         codec.decompress_f32_traced(payload, rec)
+    }
+
+    fn codec_decompress_pooled(
+        codec: &dyn Codec,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f32>, Dims), CodecError> {
+        codec.decompress_f32_pooled(payload, rec, exec)
     }
 
     fn codec_compress_stream(
@@ -376,6 +433,15 @@ impl PipelineElem for f64 {
         rec: &dyn Recorder,
     ) -> Result<(Vec<f64>, Dims), CodecError> {
         codec.decompress_f64_traced(payload, rec)
+    }
+
+    fn codec_decompress_pooled(
+        codec: &dyn Codec,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f64>, Dims), CodecError> {
+        codec.decompress_f64_pooled(payload, rec, exec)
     }
 
     fn codec_compress_stream(

@@ -123,6 +123,15 @@ impl SzT {
         // compile-side default.
         PwRelCompressor::new(self.config(), LogBase::Two).decompress_full_traced(payload, rec)
     }
+
+    fn decompress_pooled_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        PwRelCompressor::new(self.config(), LogBase::Two).decompress_full_pooled(payload, rec, exec)
+    }
 }
 
 impl Codec for SzT {
@@ -164,6 +173,28 @@ impl Codec for SzT {
                 stage::SIGNS,
             ]
         }
+    }
+
+    fn entropy_mode(&self) -> u8 {
+        crate::container::ENTROPY_MODE_INTERLEAVED
+    }
+
+    fn decompress_f32_pooled(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f32>, Dims), CodecError> {
+        self.decompress_pooled_impl(payload, rec, exec)
+    }
+
+    fn decompress_f64_pooled(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f64>, Dims), CodecError> {
+        self.decompress_pooled_impl(payload, rec, exec)
     }
 
     dispatch_elem!();
@@ -249,6 +280,15 @@ impl SzAbs {
     ) -> Result<(Vec<F>, Dims), CodecError> {
         SzCompressor::default().decompress_traced(payload, rec)
     }
+
+    fn decompress_pooled_impl<F: Float>(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<F>, Dims), CodecError> {
+        SzCompressor::default().decompress_pooled(payload, rec, exec)
+    }
 }
 
 impl Codec for SzAbs {
@@ -266,6 +306,28 @@ impl Codec for SzAbs {
 
     fn stages(&self) -> &'static [&'static str] {
         &[stage::PREDICT_QUANTIZE, stage::HUFFMAN, stage::LZ]
+    }
+
+    fn entropy_mode(&self) -> u8 {
+        crate::container::ENTROPY_MODE_INTERLEAVED
+    }
+
+    fn decompress_f32_pooled(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f32>, Dims), CodecError> {
+        self.decompress_pooled_impl(payload, rec, exec)
+    }
+
+    fn decompress_f64_pooled(
+        &self,
+        payload: &[u8],
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(Vec<f64>, Dims), CodecError> {
+        self.decompress_pooled_impl(payload, rec, exec)
     }
 
     dispatch_elem!();
@@ -316,6 +378,10 @@ impl Codec for SzPwr {
         &[stage::ENCODE]
     }
 
+    fn entropy_mode(&self) -> u8 {
+        crate::container::ENTROPY_MODE_INTERLEAVED
+    }
+
     dispatch_elem!();
 }
 
@@ -362,6 +428,10 @@ impl Codec for Fpzip {
         &[stage::ENCODE]
     }
 
+    fn entropy_mode(&self) -> u8 {
+        crate::container::ENTROPY_MODE_INTERLEAVED
+    }
+
     dispatch_elem!();
 }
 
@@ -406,6 +476,10 @@ impl Codec for Isabela {
 
     fn stages(&self) -> &'static [&'static str] {
         &[stage::ENCODE]
+    }
+
+    fn entropy_mode(&self) -> u8 {
+        crate::container::ENTROPY_MODE_INTERLEAVED
     }
 
     dispatch_elem!();

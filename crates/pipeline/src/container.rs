@@ -6,9 +6,16 @@
 //! ```text
 //! magic "PWU1" | version u8 | codec id u8 | elem_bits u8
 //! rank u8 | nx ny nz uvarint
-//! bound f64 | base id u8
+//! bound f64 | base id u8 | entropy mode u8 (v2+)
 //! payload_len uvarint | payload (codec-native self-describing stream)
 //! ```
+//!
+//! Version 2 added the entropy-mode byte: the sub-stream count of the
+//! codec's quantization-code entropy stage (1 = legacy single stream,
+//! 4 = 4-way interleaved Huffman). Version 1 streams decode with an
+//! implied mode of 1. The byte is advisory — payloads self-describe
+//! their entropy framing — but lets tools like `pwrel info` report the
+//! engine without decoding, so unknown values are rejected as corrupt.
 //!
 //! The header is intentionally redundant with the codec payloads (which
 //! stay self-describing): decoding dispatches on the codec id alone, and
@@ -24,7 +31,13 @@ use pwrel_data::{CodecError, Dims};
 pub const CONTAINER_MAGIC: &[u8; 4] = b"PWU1";
 
 /// Current container format version.
-pub const CONTAINER_VERSION: u8 = 1;
+pub const CONTAINER_VERSION: u8 = 2;
+
+/// Entropy-mode byte of the legacy single-stream Huffman engine.
+pub const ENTROPY_MODE_SINGLE: u8 = 1;
+
+/// Entropy-mode byte of the 4-way interleaved Huffman engine.
+pub const ENTROPY_MODE_INTERLEAVED: u8 = pwrel_lossless::huffman::LANES as u8;
 
 /// Parsed unified container header.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +54,9 @@ pub struct ContainerHeader {
     pub bound: f64,
     /// Logarithm base recorded for the transform-wrapped codecs.
     pub base: LogBase,
+    /// Sub-stream count of the codec's entropy stage (1 = legacy single
+    /// stream, 4 = interleaved); implied 1 for version-1 streams.
+    pub entropy_mode: u8,
 }
 
 /// Serializes the header and payload into one unified stream.
@@ -57,6 +73,9 @@ pub fn wrap(header: &ContainerHeader, payload: &[u8]) -> Vec<u8> {
     varint::write_uvarint(&mut out, nz);
     bytesio::put_f64(&mut out, header.bound);
     out.push(header.base.id());
+    if header.version >= 2 {
+        out.push(header.entropy_mode);
+    }
     varint::write_uvarint(&mut out, payload.len() as u64);
     out.extend_from_slice(payload);
     out
@@ -79,7 +98,7 @@ pub fn unwrap(bytes: &[u8]) -> Result<(ContainerHeader, &[u8]), CodecError> {
     let mut pos = 4usize;
     let version = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
     pos += 1;
-    if version != CONTAINER_VERSION {
+    if version == 0 || version > CONTAINER_VERSION {
         return Err(CodecError::Mismatch("unsupported container version"));
     }
     let codec_id = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
@@ -99,6 +118,16 @@ pub fn unwrap(bytes: &[u8]) -> Result<(ContainerHeader, &[u8]), CodecError> {
     let base = LogBase::from_id(*bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?)
         .ok_or(CodecError::Corrupt("bad base id"))?;
     pos += 1;
+    let entropy_mode = if version >= 2 {
+        let mode = *bytes.get(pos).ok_or(CodecError::Corrupt("eof in header"))?;
+        pos += 1;
+        if mode != ENTROPY_MODE_SINGLE && mode != ENTROPY_MODE_INTERLEAVED {
+            return Err(CodecError::Corrupt("bad entropy mode"));
+        }
+        mode
+    } else {
+        ENTROPY_MODE_SINGLE
+    };
     let payload_len = varint::read_uvarint(bytes, &mut pos)? as usize;
     let payload = bytesio::get_bytes(bytes, &mut pos, payload_len)?;
     Ok((
@@ -109,6 +138,7 @@ pub fn unwrap(bytes: &[u8]) -> Result<(ContainerHeader, &[u8]), CodecError> {
             dims,
             bound,
             base,
+            entropy_mode,
         },
         payload,
     ))
@@ -126,6 +156,7 @@ mod tests {
             dims: Dims::d2(16, 32),
             bound: 1e-3,
             base: LogBase::Two,
+            entropy_mode: ENTROPY_MODE_INTERLEAVED,
         }
     }
 
@@ -154,6 +185,31 @@ mod tests {
             unwrap(&bytes),
             Err(CodecError::Mismatch("unsupported container version"))
         );
+    }
+
+    #[test]
+    fn version1_decodes_with_implied_single_mode() {
+        let mut h = header();
+        h.version = 1;
+        let bytes = wrap(&h, b"payload");
+        let (parsed, p) = unwrap(&bytes).unwrap();
+        assert_eq!(parsed.version, 1);
+        assert_eq!(parsed.entropy_mode, ENTROPY_MODE_SINGLE);
+        assert_eq!(p, b"payload");
+    }
+
+    #[test]
+    fn bad_entropy_mode_is_corrupt() {
+        for bad in [0u8, 2, 3, 5, 255] {
+            let mut h = header();
+            h.entropy_mode = bad;
+            let bytes = wrap(&h, b"x");
+            assert_eq!(
+                unwrap(&bytes),
+                Err(CodecError::Corrupt("bad entropy mode")),
+                "mode={bad}"
+            );
+        }
     }
 
     #[test]

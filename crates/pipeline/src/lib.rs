@@ -36,7 +36,10 @@ pub mod registry;
 pub mod stream;
 
 pub use codec::{Codec, CompressOpts, PipelineElem};
-pub use container::{ContainerHeader, CONTAINER_MAGIC, CONTAINER_VERSION};
+pub use container::{
+    ContainerHeader, CONTAINER_MAGIC, CONTAINER_VERSION, ENTROPY_MODE_INTERLEAVED,
+    ENTROPY_MODE_SINGLE,
+};
 pub use legacy::{identify, StreamInfo, StreamKind};
 pub use registry::{global, CodecRegistry};
 pub use stream::{

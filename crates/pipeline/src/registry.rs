@@ -119,6 +119,7 @@ impl CodecRegistry {
             dims,
             bound: opts.bound,
             base: opts.base,
+            entropy_mode: codec.entropy_mode(),
         };
         let stream = container::wrap(&header, &payload);
         if rec.is_enabled() {
@@ -192,6 +193,42 @@ impl CodecRegistry {
             .get(header.codec_id)
             .ok_or(CodecError::InvalidArgument("unknown codec id in stream"))?;
         let stats = F::codec_decompress_stream(codec, &header, input, sink, rec)?;
+        Ok((header, stats))
+    }
+
+    /// [`CodecRegistry::decompress_stream_traced`] with intra-chunk
+    /// fan-out: the frames are still read and decoded strictly in order
+    /// on the calling thread, but each chunk's independently addressable
+    /// entropy sub-streams decode through `exec` (e.g. the worker pool).
+    /// The complement of the chunk-parallel engine in `pwrel-parallel`:
+    /// use that one when there are many chunks, this one when a few
+    /// large chunks leave workers idle. Output is byte-identical to the
+    /// sequential engine for any executor.
+    ///
+    /// When `exec` is a worker pool, this must be called from outside
+    /// any pool task — nested submission deadlocks.
+    pub fn decompress_stream_pooled<F: PipelineElem>(
+        &self,
+        input: &mut dyn std::io::Read,
+        sink: &mut dyn ChunkSink<F>,
+        rec: &dyn Recorder,
+        exec: &dyn pwrel_data::LaneExecutor,
+    ) -> Result<(StreamHeader, StreamStats), CodecError> {
+        let _root = Span::enter(rec, stage::STREAM_DECOMPRESS);
+        let header = stream::decode_stream_header(input)?;
+        if header.elem_bits as u32 != F::BITS {
+            return Err(CodecError::Mismatch("element type does not match stream"));
+        }
+        let codec = self
+            .get(header.codec_id)
+            .ok_or(CodecError::InvalidArgument("unknown codec id in stream"))?;
+        let stats = stream::decompress_frames_with(
+            &header,
+            input,
+            sink,
+            &mut |payload| F::codec_decompress_pooled(codec, payload, rec, exec),
+            rec,
+        )?;
         Ok((header, stats))
     }
 

@@ -6,11 +6,16 @@
 //! ```text
 //! magic "PWS1" | version u8 | codec id u8 | elem_bits u8
 //! rank u8 | nx ny nz uvarint
-//! bound f64 | base id u8 | n_chunks uvarint
+//! bound f64 | base id u8 | entropy mode u8 (v2+) | n_chunks uvarint
 //!
 //! frame := marker 0xF7 | index uvarint | start uvarint | n_elems uvarint
 //!          | bound f64 | payload_len uvarint | payload
 //! ```
+//!
+//! Version 2 added the entropy-mode byte (see the container module): the
+//! sub-stream count of the codec's entropy stage, 1 for the legacy
+//! single-stream engine and 4 for interleaved Huffman. Version-1 streams
+//! decode with an implied mode of 1; other values are rejected.
 //!
 //! Chunks are slabs along the slowest axis (prediction restarts at each
 //! boundary, so the per-point bound is preserved per chunk at a small
@@ -47,7 +52,7 @@ use std::sync::Mutex;
 pub const STREAM_MAGIC: &[u8; 4] = b"PWS1";
 
 /// Current framed-stream format version.
-pub const STREAM_VERSION: u8 = 1;
+pub const STREAM_VERSION: u8 = 2;
 
 /// Leading byte of every frame; a cheap desync detector.
 pub const FRAME_MARKER: u8 = 0xF7;
@@ -84,6 +89,9 @@ pub struct StreamHeader {
     pub bound: f64,
     /// Logarithm base recorded for the transform-wrapped codecs.
     pub base: LogBase,
+    /// Sub-stream count of the codec's entropy stage (1 = legacy single
+    /// stream, 4 = interleaved); implied 1 for version-1 streams.
+    pub entropy_mode: u8,
     /// Number of frames that follow the header.
     pub n_chunks: u64,
 }
@@ -181,6 +189,7 @@ pub fn encode_stream_header(out: &mut Vec<u8>, h: &StreamHeader) {
     varint::write_uvarint(out, nz);
     bytesio::put_f64(out, h.bound);
     out.push(h.base.id());
+    out.push(h.entropy_mode);
     varint::write_uvarint(out, h.n_chunks);
 }
 
@@ -195,7 +204,8 @@ pub fn decode_stream_header(r: &mut dyn Read) -> Result<StreamHeader, CodecError
     if &magic != STREAM_MAGIC {
         return Err(CodecError::Mismatch("not a framed stream"));
     }
-    if read_u8(r)? != STREAM_VERSION {
+    let version = read_u8(r)?;
+    if version == 0 || version > STREAM_VERSION {
         return Err(CodecError::Mismatch("unsupported stream version"));
     }
     let codec_id = read_u8(r)?;
@@ -211,6 +221,17 @@ pub fn decode_stream_header(r: &mut dyn Read) -> Result<StreamHeader, CodecError
     let bound = read_f64(r)?;
     let base =
         LogBase::from_id(read_u8(r)?).ok_or(CodecError::Corrupt("bad base id in stream header"))?;
+    let entropy_mode = if version >= 2 {
+        let mode = read_u8(r)?;
+        if mode != crate::container::ENTROPY_MODE_SINGLE
+            && mode != crate::container::ENTROPY_MODE_INTERLEAVED
+        {
+            return Err(CodecError::Corrupt("bad entropy mode"));
+        }
+        mode
+    } else {
+        crate::container::ENTROPY_MODE_SINGLE
+    };
     let n_chunks = read_uvarint(r)?;
     if n_chunks == 0 || n_chunks > dims.len() as u64 {
         return Err(CodecError::Corrupt("implausible chunk count"));
@@ -221,6 +242,7 @@ pub fn decode_stream_header(r: &mut dyn Read) -> Result<StreamHeader, CodecError
         dims,
         bound,
         base,
+        entropy_mode,
         n_chunks,
     })
 }
@@ -674,6 +696,7 @@ pub type DecompressChunkFn<'a, F> = &'a mut dyn FnMut(&[u8]) -> Result<(Vec<F>, 
 #[allow(clippy::too_many_arguments)] // mirrors the Codec streaming signature plus identity
 pub fn compress_frames_with<F: Float>(
     codec_id: u8,
+    entropy_mode: u8,
     granularity: usize,
     src: &mut dyn ChunkSource<F>,
     out: &mut dyn Write,
@@ -690,6 +713,7 @@ pub fn compress_frames_with<F: Float>(
         dims,
         bound: opts.bound,
         base: opts.base,
+        entropy_mode,
         n_chunks: plan.n_chunks() as u64,
     };
     let mut head = Vec::with_capacity(48);
@@ -802,6 +826,7 @@ mod tests {
             dims: Dims::d3(8, 6, 4),
             bound: 1e-3,
             base: LogBase::Two,
+            entropy_mode: crate::container::ENTROPY_MODE_INTERLEAVED,
             n_chunks: 4,
         }
     }
@@ -822,6 +847,47 @@ mod tests {
         for cut in 0..buf.len() {
             let mut r: &[u8] = &buf[..cut];
             assert!(decode_stream_header(&mut r).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn version1_stream_header_decodes_with_implied_single_mode() {
+        // Hand-built v1 header: identical to v2 minus the entropy-mode byte.
+        let h = header();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STREAM_MAGIC);
+        buf.push(1); // version
+        buf.push(h.codec_id);
+        buf.push(h.elem_bits);
+        let (rank, nx, ny, nz) = h.dims.to_header();
+        buf.push(rank);
+        varint::write_uvarint(&mut buf, nx);
+        varint::write_uvarint(&mut buf, ny);
+        varint::write_uvarint(&mut buf, nz);
+        bytesio::put_f64(&mut buf, h.bound);
+        buf.push(h.base.id());
+        varint::write_uvarint(&mut buf, h.n_chunks);
+        let mut r: &[u8] = &buf;
+        let parsed = decode_stream_header(&mut r).unwrap();
+        assert_eq!(parsed.entropy_mode, crate::container::ENTROPY_MODE_SINGLE);
+        assert_eq!(parsed.codec_id, h.codec_id);
+        assert_eq!(parsed.n_chunks, h.n_chunks);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bad_stream_entropy_mode_is_corrupt() {
+        for bad in [0u8, 2, 3, 5, 255] {
+            let mut h = header();
+            h.entropy_mode = bad;
+            let mut buf = Vec::new();
+            encode_stream_header(&mut buf, &h);
+            let mut r: &[u8] = &buf;
+            assert_eq!(
+                decode_stream_header(&mut r),
+                Err(CodecError::Corrupt("bad entropy mode")),
+                "mode={bad}"
+            );
         }
     }
 

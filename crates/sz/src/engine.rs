@@ -401,11 +401,40 @@ pub(crate) fn compress_fused<F: Float>(
     ))
 }
 
+/// Publishes the interleaved-entropy descriptor for one Huffman payload:
+/// how many sub-streams it carries and how their bytes balance (lane
+/// imbalance bounds the pooled-decode speedup an operator can expect).
+/// Legacy single-stream payloads record nothing.
+fn record_entropy_lanes(rec: &dyn Recorder, buf: &[u8]) {
+    if !rec.is_enabled() {
+        return;
+    }
+    if let Some(lens) = pwrel_lossless::huffman::lane_lengths(buf) {
+        rec.add(stage::C_ENTROPY_INTERLEAVED, 1);
+        rec.add(stage::C_ENTROPY_SUBSTREAMS, lens.len() as u64);
+        for &len in &lens {
+            rec.observe(stage::O_ENTROPY_LANE_BYTES, len as f64);
+        }
+    }
+}
+
 /// Decompresses any mode. The recorder attributes the LZ unwrap (inside
 /// deserialization), the Huffman decode, and the reconstruction sweep.
 pub(crate) fn decompress<F: Float>(
     bytes: &[u8],
     rec: &dyn Recorder,
+) -> Result<(Vec<F>, Dims), CodecError> {
+    decompress_pooled(bytes, rec, &pwrel_data::SerialLanes)
+}
+
+/// [`decompress`] with entropy sub-stream fan-out: interleaved Huffman
+/// payloads decode their lanes through `exec`. Must not be called from
+/// inside a worker-pool task when `exec` is the pool itself (see
+/// `HuffmanStage::decode_pooled`).
+pub(crate) fn decompress_pooled<F: Float>(
+    bytes: &[u8],
+    rec: &dyn Recorder,
+    exec: &dyn pwrel_data::LaneExecutor,
 ) -> Result<(Vec<F>, Dims), CodecError> {
     let stream = SzStream::deserialize_traced(bytes, rec)?;
     if stream.float_bits as u32 != F::BITS {
@@ -449,7 +478,8 @@ pub(crate) fn decompress<F: Float>(
     let mut pos = 0usize;
     let codes = {
         let _huff = Span::enter(rec, stage::HUFFMAN);
-        HuffmanStage.decode(&stream.codes_buf, &mut pos)?
+        record_entropy_lanes(rec, &stream.codes_buf);
+        HuffmanStage.decode_pooled(&stream.codes_buf, &mut pos, exec)?
     };
     if codes.len() != n {
         return Err(CodecError::Corrupt("code count != point count"));

@@ -74,6 +74,16 @@ pub const C_STREAM_CHUNKS: &str = "stream_chunks";
 pub const C_ARENA_HITS: &str = "arena_hits";
 /// Counter: scratch-arena buffer requests that had to allocate.
 pub const C_ARENA_MISSES: &str = "arena_misses";
+/// Counter: interleaved entropy payloads decoded (one per Huffman buffer
+/// carrying the multi-stream descriptor; legacy buffers don't count).
+pub const C_ENTROPY_INTERLEAVED: &str = "entropy_interleaved";
+/// Counter: entropy sub-streams decoded across interleaved payloads
+/// (`C_ENTROPY_INTERLEAVED` × lane count when every payload is 4-way).
+pub const C_ENTROPY_SUBSTREAMS: &str = "entropy_substreams";
+
+/// Observation: per-sub-stream payload bytes in an interleaved entropy
+/// buffer — the balance across lanes bounds the pooled-decode speedup.
+pub const O_ENTROPY_LANE_BYTES: &str = "entropy_lane_bytes";
 
 /// Observation: SZ outlier rate (outliers / values) per compress.
 pub const O_OUTLIER_RATE: &str = "outlier_rate";

@@ -352,7 +352,18 @@ fn write_chunk<F: Float>(
     g: i32,
     coeffs_chunk: &[u64],
 ) {
+    // Small blocks (1D: 4, 2D: 16 coefficients) batch 64/bs neighbours
+    // through one shared bit-matrix transpose instead of per-plane
+    // extraction loops; 3D blocks already transpose individually.
+    let small = bs < 64;
+    let group = if small { nb::PlaneBatch::group(bs) } else { 1 };
+    let mut batch: Option<nb::PlaneBatch> = None;
     for (slot, class) in classes.iter().enumerate() {
+        if small && slot % group == 0 {
+            let lo = slot * bs;
+            let hi = ((slot + group) * bs).min(classes.len() * bs);
+            batch = Some(nb::PlaneBatch::gather(&coeffs_chunk[lo..hi], bs));
+        }
         let block_start = w.bit_len();
         match *class {
             BlockClass::Raw => {
@@ -371,13 +382,19 @@ fn write_chunk<F: Float>(
                 w.write_bits(0b10, 2); // tag 10 = transform-coded block
                 w.write_bits((emax + EMAX_BIAS) as u64, 16);
                 let kmin = kmin_for(mode, emax, rank, ip, g);
-                let coeffs = &coeffs_chunk[slot * bs..(slot + 1) * bs];
-                if let Mode::FixedRate(rate) = mode {
-                    let budget = rate_budget(rate, bs) - 18; // tag + exponent
-                    GroupTestCoder.encode(w, coeffs, ip, kmin, Some(budget));
-                    pad_to(w, block_start, rate_budget(rate, bs));
+                let budget = match mode {
+                    Mode::FixedRate(rate) => rate_budget(rate, bs) - 18, // tag + exponent
+                    _ => u64::MAX,
+                };
+                if let Some(b) = &batch {
+                    let words = b.block_planes(slot % group);
+                    nb::encode_plane_words(w, &words, bs, ip, kmin, budget);
                 } else {
-                    GroupTestCoder.encode(w, coeffs, ip, kmin, None);
+                    let coeffs = &coeffs_chunk[slot * bs..(slot + 1) * bs];
+                    nb::encode_planes_budget(w, coeffs, ip, kmin, budget);
+                }
+                if let Mode::FixedRate(rate) = mode {
+                    pad_to(w, block_start, rate_budget(rate, bs));
                 }
             }
         }
@@ -681,7 +698,16 @@ pub(crate) fn decompress<F: Float>(
         // Read phase: tags, exponents, raw bits, and embedded planes for
         // the whole chunk, in stream order (one plane_code timer tick).
         clocks.plane.time(|| -> Result<(), CodecError> {
+            // Small blocks decode into plane words and scatter groups of
+            // 64/bs through one shared transpose (mirror of write_chunk's
+            // batched gather); 3D blocks transpose individually.
+            let small = bs < 64;
+            let group = if small { nb::PlaneBatch::group(bs) } else { 1 };
+            let mut batch: Option<nb::PlaneBatch> = None;
             for slot in 0..cn {
+                if small && slot % group == 0 {
+                    batch = Some(nb::PlaneBatch::collect(bs));
+                }
                 let block_start = r.bits_read();
                 if !r.read_bit()? {
                     classes.push(BlockClass::Zero);
@@ -702,16 +728,29 @@ pub(crate) fn decompress<F: Float>(
                 } else {
                     let emax = r.read_bits(16)? as i32 - EMAX_BIAS;
                     let kmin = kmin_for(mode, emax, rank, ip, g);
-                    let coeffs = &mut coeffs_chunk[slot * bs..(slot + 1) * bs];
-                    coeffs.iter_mut().for_each(|c| *c = 0);
-                    if let Mode::FixedRate(rate) = mode {
-                        let budget = rate_budget(rate, bs) - 18;
-                        GroupTestCoder.decode(&mut r, coeffs, ip, kmin, Some(budget))?;
-                        skip_to(&mut r, block_start, rate_budget(rate, bs))?;
+                    let budget = match mode {
+                        Mode::FixedRate(rate) => rate_budget(rate, bs) - 18,
+                        _ => u64::MAX,
+                    };
+                    if let Some(b) = batch.as_mut() {
+                        let mut words = [0u64; 64];
+                        nb::decode_plane_words(&mut r, &mut words, bs, ip, kmin, budget)?;
+                        b.set_block_planes(slot % group, &words);
                     } else {
-                        GroupTestCoder.decode(&mut r, coeffs, ip, kmin, None)?;
+                        let coeffs = &mut coeffs_chunk[slot * bs..(slot + 1) * bs];
+                        coeffs.iter_mut().for_each(|c| *c = 0);
+                        nb::decode_planes_budget(&mut r, coeffs, ip, kmin, budget)?;
+                    }
+                    if let Mode::FixedRate(rate) = mode {
+                        skip_to(&mut r, block_start, rate_budget(rate, bs))?;
                     }
                     classes.push(BlockClass::Coded { emax });
+                }
+                if small && (slot % group == group - 1 || slot == cn - 1) {
+                    if let Some(b) = batch.take() {
+                        let lo = (slot / group) * group * bs;
+                        b.scatter(&mut coeffs_chunk[lo..(slot + 1) * bs]);
+                    }
                 }
             }
             Ok(())

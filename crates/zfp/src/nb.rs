@@ -48,18 +48,100 @@ pub fn nb_decode(u: u64, n: u32) -> i64 {
 /// decoder reuses it to scatter planes back into coefficients.
 #[inline]
 fn transpose64(a: &mut [u64; 64]) {
-    let mut j = 32u32;
-    let mut m = 0x0000_0000_FFFF_FFFFu64;
-    while j != 0 {
-        let mut k = 0usize;
-        while k < 64 {
-            let t = ((a[k] >> j) ^ a[k | j as usize]) & m;
-            a[k] ^= t << j;
-            a[k | j as usize] ^= t;
-            k = (k + j as usize + 1) & !(j as usize);
+    // One butterfly round: masked swaps between rows `k` and `k + J` for
+    // every k whose bit J is clear. The const-generic stride gives each
+    // round compile-time trip counts and shift amounts, so the inner loop
+    // is branch-free and auto-vectorizes (the dynamic `(k + j + 1) & !j`
+    // stepping of the generic form defeats both).
+    #[inline(always)]
+    fn round<const J: usize>(a: &mut [u64; 64], m: u64) {
+        let mut base = 0;
+        while base < 64 {
+            for k in base..base + J {
+                let t = ((a[k] >> J) ^ a[k + J]) & m;
+                a[k] ^= t << J;
+                a[k + J] ^= t;
+            }
+            base += 2 * J;
         }
-        j >>= 1;
-        m ^= m << j;
+    }
+    round::<32>(a, 0x0000_0000_FFFF_FFFF);
+    round::<16>(a, 0x0000_FFFF_0000_FFFF);
+    round::<8>(a, 0x00FF_00FF_00FF_00FF);
+    round::<4>(a, 0x0F0F_0F0F_0F0F_0F0F);
+    round::<2>(a, 0x3333_3333_3333_3333);
+    round::<1>(a, 0x5555_5555_5555_5555);
+}
+
+/// One 64-row bit matrix shared by `64 / bs` consecutive small blocks:
+/// rows `bs*j .. bs*(j+1)` hold block `j`'s coefficients, so a single
+/// 64x64 bit-matrix transpose yields every block's plane words at once
+/// instead of one per-plane extraction loop per block. The same layout
+/// runs in both
+/// directions: `gather` + [`Self::block_planes`] feed the encoder,
+/// [`Self::set_block_planes`] + `scatter` collect the decoder's output.
+pub struct PlaneBatch {
+    planes: [u64; 64],
+    bs: usize,
+}
+
+impl PlaneBatch {
+    /// Number of `bs`-coefficient blocks one batch covers.
+    #[inline]
+    pub fn group(bs: usize) -> usize {
+        64 / bs
+    }
+
+    /// Gathers up to `64/bs` blocks' coefficients (concatenated in
+    /// `coeffs`) for encoding. Rows past `coeffs.len()` stay zero.
+    pub fn gather(coeffs: &[u64], bs: usize) -> Self {
+        debug_assert!(bs < 64 && 64 % bs == 0 && coeffs.len() <= 64);
+        let mut planes = [0u64; 64];
+        planes[..coeffs.len()].copy_from_slice(coeffs);
+        transpose64(&mut planes);
+        Self { planes, bs }
+    }
+
+    /// Empty batch accumulating decoded sub-blocks.
+    pub fn collect(bs: usize) -> Self {
+        debug_assert!(bs < 64 && 64 % bs == 0);
+        Self {
+            planes: [0u64; 64],
+            bs,
+        }
+    }
+
+    /// Plane words of sub-block `j` (bit `i` of word `k` = coefficient
+    /// `i`'s bit `k`), ready for [`encode_plane_words`].
+    #[inline]
+    pub fn block_planes(&self, j: usize) -> [u64; 64] {
+        let sh = self.bs * j;
+        let mask = (1u64 << self.bs) - 1;
+        let mut out = [0u64; 64];
+        for (o, p) in out.iter_mut().zip(&self.planes) {
+            *o = (p >> sh) & mask;
+        }
+        out
+    }
+
+    /// Deposits sub-block `j`'s decoded plane words into the batch.
+    #[inline]
+    pub fn set_block_planes(&mut self, j: usize, words: &[u64; 64]) {
+        let sh = self.bs * j;
+        for (p, w) in self.planes.iter_mut().zip(words) {
+            *p |= w << sh;
+        }
+    }
+
+    /// Scatters the accumulated planes back into coefficient rows with
+    /// one transpose; `coeffs` receives the first `coeffs.len()` rows.
+    // audit:allow-fn(L1): `planes` is a fixed [u64; 64] and every caller
+    // scatters a batch of `group * bs == 64` coefficients at most (the
+    // final partial group is shorter), so `planes[..coeffs.len()]` is in
+    // range for any stream.
+    pub fn scatter(mut self, coeffs: &mut [u64]) {
+        transpose64(&mut self.planes);
+        coeffs.copy_from_slice(&self.planes[..coeffs.len()]);
     }
 }
 
@@ -81,30 +163,60 @@ pub fn encode_planes_budget(
     let size = coeffs.len();
     debug_assert!(size <= 64);
     // Full 3D blocks: gather every plane up front with one bit transpose.
-    // Smaller blocks (4, 16 coefficients) keep the short extraction loop —
-    // padding them to 64 rows would cost more than it saves.
+    // Smaller standalone blocks (4, 16 coefficients) extract plane words
+    // with the short loop; chunked call sites batch them through a shared
+    // transpose instead (see [`PlaneBatch`]).
     let mut planes = [0u64; 64];
-    let transposed = size == 64;
-    if transposed {
+    if size == 64 {
         planes.copy_from_slice(coeffs);
         transpose64(&mut planes);
-    }
-    let mut bits = maxbits;
-    let mut n: usize = 0;
-    for k in (kmin..intprec).rev() {
-        if bits == 0 {
-            break;
-        }
-        // Plane k (bit i = coefficient i's bit k).
-        let mut x: u64 = if transposed {
-            planes[k as usize]
-        } else {
+    } else {
+        for k in kmin..intprec {
             let mut x = 0;
             for (i, &c) in coeffs.iter().enumerate() {
                 x |= ((c >> k) & 1) << i;
             }
-            x
-        };
+            planes[k as usize] = x;
+        }
+    }
+    encode_plane_words(w, &planes, size, intprec, kmin, maxbits)
+}
+
+/// Group-test encodes pre-gathered plane words (bit `i` of `planes[k]` =
+/// coefficient `i`'s bit `k`) for a block of `size` coefficients. Core of
+/// every encode entry point; the stream is bit-identical to the reference
+/// per-plane/per-bit loop.
+pub fn encode_plane_words(
+    w: &mut BitWriter,
+    planes: &[u64; 64],
+    size: usize,
+    intprec: u32,
+    kmin: u32,
+    maxbits: u64,
+) -> u64 {
+    let mut bits = maxbits;
+    let mut n: usize = 0;
+    let mut k = intprec;
+    while k > kmin {
+        if bits == 0 {
+            break;
+        }
+        k -= 1;
+        // While no coefficient is significant yet, an empty plane costs
+        // exactly one 0 control bit. Those planes dominate scaled blocks
+        // (~40 of 48 on the Nyx field), so emit the whole run as a single
+        // multi-bit write instead of per-plane write_bit calls.
+        if n == 0 && planes[k as usize] == 0 {
+            let mut j: u64 = 1;
+            while k > kmin && planes[(k - 1) as usize] == 0 && j < bits.min(64) {
+                k -= 1;
+                j += 1;
+            }
+            w.write_bits(0, j as u32);
+            bits -= j;
+            continue;
+        }
+        let mut x = planes[k as usize];
         // First n coefficients are already significant: verbatim bits
         // (truncated to the remaining budget).
         let m = (n as u64).min(bits) as u32;
@@ -232,15 +344,77 @@ pub fn decode_planes_budget(
 ) -> Result<u64> {
     let size = coeffs.len();
     debug_assert!(size <= 64);
-    // Mirror of the encoder's gather: full blocks collect plane words and
-    // scatter them into coefficients with one transpose at the end.
+    // Mirror of the encoder's gather: plane words accumulate in a local
+    // matrix and scatter into coefficients once at the end (full blocks
+    // via one transpose, small blocks via the short per-plane loop).
     let mut planes = [0u64; 64];
-    let transposed = size == 64;
+    let used = decode_plane_words(r, &mut planes, size, intprec, kmin, maxbits)?;
+    if size == 64 {
+        transpose64(&mut planes);
+        for (c, p) in coeffs.iter_mut().zip(&planes) {
+            *c |= p;
+        }
+    } else {
+        for k in kmin..intprec {
+            let x = planes[k as usize];
+            if x == 0 {
+                continue;
+            }
+            for (i, c) in coeffs.iter_mut().enumerate() {
+                *c |= ((x >> i) & 1) << k;
+            }
+        }
+    }
+    Ok(used)
+}
+
+/// Group-test decodes one block's planes into pre-zeroed plane words
+/// (mirror of [`encode_plane_words`]); scattering words back into
+/// coefficients is the caller's job, so chunked call sites can batch it
+/// through one shared transpose (see [`PlaneBatch`]).
+pub fn decode_plane_words(
+    r: &mut BitReader,
+    planes: &mut [u64; 64],
+    size: usize,
+    intprec: u32,
+    kmin: u32,
+    maxbits: u64,
+) -> Result<u64> {
     let mut bits = maxbits;
     let mut n: usize = 0;
-    for k in (kmin..intprec).rev() {
+    let mut k = intprec;
+    'outer: while k > kmin {
         if bits == 0 {
             break;
+        }
+        k -= 1;
+        // Mirror of the encoder's zero-plane batch: while nothing is
+        // significant yet, each empty plane is a lone 0 control bit, so a
+        // run of empty planes sits as a run of zeros in the buffered
+        // window — skip them all with one peek + consume per refill.
+        if n == 0 {
+            loop {
+                r.refill();
+                let avail = r.buffered_bits();
+                if avail == 0 {
+                    return Err(pwrel_bitstream::Error::UnexpectedEof);
+                }
+                let lz = r.peek_word().leading_zeros().min(avail);
+                let take = (lz as u64).min((k - kmin + 1) as u64).min(bits) as u32;
+                if take == 0 {
+                    break; // plane k's control bit is a 1
+                }
+                r.consume(take);
+                bits -= take as u64;
+                if take == k - kmin + 1 || bits == 0 {
+                    break 'outer; // every remaining plane was empty
+                }
+                k -= take;
+                if lz < avail {
+                    break; // a 1 follows in the buffer: plane k is live
+                }
+                // The window held nothing but zeros — refill and rescan.
+            }
         }
         let m = (n as u64).min(bits) as u32;
         bits -= m as u64;
@@ -248,18 +422,63 @@ pub fn decode_planes_budget(
         let mut n_cur = if (m as usize) < n { size } else { n };
         if bits >= 192 {
             // Mirror of the encoder's bulk path: the budget cannot expire
-            // mid-plane, so whole unary runs are scanned per buffered word.
+            // mid-plane, so control bit + unary run are parsed together
+            // from the peeked window ("1", z zeros, "1" — terminator
+            // implicit when the run reaches the last slot). `avail` tracks
+            // the window locally so several short runs share one refill.
+            let mut avail = r.buffered_bits();
             while n_cur < size {
-                bits -= 1;
-                if !r.read_bit()? {
-                    break;
+                if avail < 34 {
+                    r.refill();
+                    avail = r.buffered_bits();
+                    if avail == 0 {
+                        return Err(pwrel_bitstream::Error::UnexpectedEof);
+                    }
+                }
+                let wd = r.peek_word();
+                if wd >> 63 == 0 {
+                    r.consume(1);
+                    bits -= 1;
+                    break; // control 0: plane over
                 }
                 let d = size - 1 - n_cur;
-                let (z, explicit) = read_unary_capped(r, d)?;
-                bits -= z as u64 + explicit as u64;
-                n_cur += z;
-                x += 1u64 << n_cur;
-                n_cur += 1;
+                if d == 0 {
+                    // Last slot: its terminating 1 is implicit.
+                    r.consume(1);
+                    bits -= 1;
+                    x += 1u64 << n_cur;
+                    n_cur += 1;
+                    continue;
+                }
+                let lz = ((wd << 1).leading_zeros()).min(avail - 1) as usize;
+                if lz >= d {
+                    // d buffered zeros: the run caps out, terminator implicit.
+                    r.consume(d as u32 + 1);
+                    avail -= d as u32 + 1;
+                    bits -= d as u64 + 1;
+                    n_cur += d;
+                    x += 1u64 << n_cur;
+                    n_cur += 1;
+                } else if (lz as u32) < avail - 1 {
+                    // Explicit terminating 1 inside the window.
+                    r.consume(lz as u32 + 2);
+                    avail -= lz as u32 + 2;
+                    bits -= lz as u64 + 2;
+                    n_cur += lz;
+                    x += 1u64 << n_cur;
+                    n_cur += 1;
+                } else {
+                    // The zero run outlives the window: fall back to the
+                    // multi-refill scan for this (rare) case.
+                    r.consume(1);
+                    bits -= 1;
+                    let (z, explicit) = read_unary_capped(r, d)?;
+                    bits -= z as u64 + explicit as u64;
+                    n_cur += z;
+                    x += 1u64 << n_cur;
+                    n_cur += 1;
+                    avail = r.buffered_bits();
+                }
             }
         } else {
             while n_cur < size && bits > 0 {
@@ -281,20 +500,8 @@ pub fn decode_planes_budget(
                 n_cur += 1;
             }
         }
-        if transposed {
-            planes[k as usize] = x;
-        } else {
-            for (i, c) in coeffs.iter_mut().enumerate() {
-                *c |= ((x >> i) & 1) << k;
-            }
-        }
+        planes[k as usize] = x;
         n = if (m as usize) < n { n } else { n_cur };
-    }
-    if transposed {
-        transpose64(&mut planes);
-        for (c, p) in coeffs.iter_mut().zip(&planes) {
-            *c |= p;
-        }
     }
     Ok(maxbits - bits)
 }

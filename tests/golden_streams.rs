@@ -1,17 +1,28 @@
-//! Golden-stream compatibility: committed fixtures produced by the seed
-//! byte-at-a-time bitstream engine must keep decoding — and re-encoding
-//! byte-identically — as the engine underneath evolves.
+//! Golden-stream compatibility across both container generations.
+//!
+//! * **Legacy fixtures** (`<codec>_<elem>_<rank>d.bin`) were produced by
+//!   the v1 container with single-stream Huffman payloads. They are
+//!   decode-only: the current decoder must keep reading them byte-exactly
+//!   (and the point-wise bound must hold), but the encoder no longer
+//!   produces that format.
+//! * **v2 fixtures** (`<codec>_<elem>_<rank>d_v2.bin`) carry the current
+//!   format — v2 container header (entropy-mode byte) and, for the SZ
+//!   family, 4-way interleaved Huffman payloads. Today's encoder must
+//!   reproduce them byte-identically.
 //!
 //! Every registered codec is covered for f32/f64 × 1D/2D/3D. The input
 //! field is derived from a closed-form expression (no RNG, no dataset
 //! files), so a fixture mismatch always means the *stream format* moved,
 //! never the test harness.
 //!
-//! Regenerate after an intentional format change with:
+//! Regenerate the v2 fixtures after an intentional format change with:
 //!
 //! ```text
 //! PWREL_REGEN_FIXTURES=1 cargo test --test golden_streams
 //! ```
+//!
+//! Legacy fixtures are never regenerated — the encoder that produced them
+//! is gone by design, which is exactly why they are pinned.
 
 use pwrel::data::Dims;
 use pwrel::pipeline::{global, CompressOpts};
@@ -34,10 +45,10 @@ fn shapes() -> [Dims; 3] {
     [Dims::d1(240), Dims::d2(16, 15), Dims::d3(6, 8, 5)]
 }
 
-fn fixture_path(codec: &str, elem: &str, rank: u8) -> PathBuf {
+fn fixture_path(codec: &str, elem: &str, rank: u8, suffix: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
-        .join(format!("{codec}_{elem}_{rank}d.bin"))
+        .join(format!("{codec}_{elem}_{rank}d{suffix}.bin"))
 }
 
 const REL_BOUND: f64 = 1e-3;
@@ -93,6 +104,25 @@ fn check_decode(codec: &str, elem: &str, dims: Dims, stream: &[u8]) {
     }
 }
 
+/// Legacy v1 fixtures keep decoding byte-exactly — the old single-stream
+/// mode stays a first-class fallback decoder forever.
+#[test]
+fn legacy_golden_streams_still_decode() {
+    let codecs: Vec<&str> = global().iter().map(|c| c.name()).collect();
+    for codec in codecs {
+        for elem in ["f32", "f64"] {
+            for dims in shapes() {
+                let path = fixture_path(codec, elem, dims.rank(), "");
+                let golden = std::fs::read(&path)
+                    .unwrap_or_else(|e| panic!("missing legacy fixture {path:?} ({e})"));
+                check_decode(codec, elem, dims, &golden);
+            }
+        }
+    }
+}
+
+/// The current encoder reproduces the committed v2 (interleaved-mode)
+/// fixtures byte-identically, and they decode within the bound.
 #[test]
 fn golden_streams_decode_and_reencode_byte_identically() {
     let regen = std::env::var("PWREL_REGEN_FIXTURES").is_ok();
@@ -100,7 +130,7 @@ fn golden_streams_decode_and_reencode_byte_identically() {
     for codec in codecs {
         for elem in ["f32", "f64"] {
             for dims in shapes() {
-                let path = fixture_path(codec, elem, dims.rank());
+                let path = fixture_path(codec, elem, dims.rank(), "_v2");
                 let stream = encode_cell(codec, elem, dims);
                 if regen {
                     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
