@@ -1,0 +1,601 @@
+//! On-disk incremental cache for the audit (`--cache <dir>`).
+//!
+//! Two layers:
+//!
+//! - **Per-file model cache** — every analyzed [`FileModel`] is stored
+//!   under its source's FNV-1a content hash, with a manifest mapping
+//!   `path → (mtime, size, hash)`. A warm run stats each file; when
+//!   mtime+size match the manifest the stored hash is trusted and the
+//!   file is neither read nor re-lexed. Content hashing (not mtime) keys
+//!   the models themselves, so a `touch` costs one hash, not a re-lex.
+//! - **Full-result record** — the final findings + stale keys, keyed by
+//!   a run hash over all (path, content-hash) pairs, the allowlist
+//!   bytes, the registered codec list, the fixtures directory listing,
+//!   and [`LINT_REV`]. When nothing changed, the lints are skipped
+//!   entirely; this is what makes the warm/cold ratio large.
+//!
+//! Everything is serialized as a versioned line-based text format (the
+//! workspace has no serde). Corrupt or version-mismatched entries are
+//! treated as misses, never errors.
+
+use crate::dataflow::{FlowEvent, FnFlow};
+use crate::lints::Finding;
+use crate::model::{FileModel, FnDef, Site, SiteKind};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
+
+/// Bump when lint/model/flow semantics change so stale cached results
+/// cannot survive an audit upgrade.
+pub const LINT_REV: &str = "pwrel-audit-rev9";
+
+const MANIFEST_MAGIC: &str = "PWAUDIT-MANIFEST v1";
+const MODEL_MAGIC: &str = "PWAUDIT-MODEL v1";
+const RESULT_MAGIC: &str = "PWAUDIT-RESULT v1";
+
+/// FNV-1a 64-bit over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Handle on an open cache directory.
+pub struct Cache {
+    dir: PathBuf,
+    manifest: HashMap<String, (u128, u64, u64)>, // path -> (mtime_ns, size, hash)
+    dirty: bool,
+}
+
+impl Cache {
+    /// Opens (creating if needed) the cache at `dir`; a missing or
+    /// corrupt manifest is an empty one.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(dir.join("manifest.v1")) {
+            let mut lines = text.lines();
+            if lines.next() == Some(MANIFEST_MAGIC) {
+                for l in lines {
+                    let mut it = l.splitn(4, '|');
+                    let (Some(m), Some(s), Some(h), Some(p)) =
+                        (it.next(), it.next(), it.next(), it.next())
+                    else {
+                        continue;
+                    };
+                    let (Ok(m), Ok(s), Ok(h)) = (
+                        m.parse::<u128>(),
+                        s.parse::<u64>(),
+                        u64::from_str_radix(h, 16),
+                    ) else {
+                        continue;
+                    };
+                    manifest.insert(p.to_string(), (m, s, h));
+                }
+            }
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            manifest,
+            dirty: false,
+        })
+    }
+
+    /// Returns the stored content hash when `(mtime, size)` match the
+    /// manifest entry for `rel`.
+    pub fn stat_hash(&self, rel: &str, mtime_ns: u128, size: u64) -> Option<u64> {
+        self.manifest
+            .get(rel)
+            .filter(|(m, s, _)| *m == mtime_ns && *s == size)
+            .map(|(_, _, h)| *h)
+    }
+
+    /// Records the manifest entry for `rel`.
+    pub fn note_file(&mut self, rel: &str, mtime_ns: u128, size: u64, hash: u64) {
+        let entry = (mtime_ns, size, hash);
+        if self.manifest.get(rel) != Some(&entry) {
+            self.manifest.insert(rel.to_string(), entry);
+            self.dirty = true;
+        }
+    }
+
+    fn model_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("m{hash:016x}.mdl"))
+    }
+
+    /// Loads the cached model for a content hash, if present and intact.
+    pub fn load_model(&self, hash: u64) -> Option<FileModel> {
+        let text = std::fs::read_to_string(self.model_path(hash)).ok()?;
+        deserialize_model(&text)
+    }
+
+    /// Stores a model under its source's content hash.
+    pub fn store_model(&self, hash: u64, model: &FileModel) -> io::Result<()> {
+        std::fs::write(self.model_path(hash), serialize_model(model))
+    }
+
+    /// Loads the full-result record when its key matches `key`.
+    pub fn load_result(&self, key: u64) -> Option<(Vec<Finding>, Vec<String>)> {
+        let text = std::fs::read_to_string(self.dir.join("result.v1")).ok()?;
+        let mut lines = text.lines();
+        if lines.next() != Some(RESULT_MAGIC) {
+            return None;
+        }
+        let stored = lines.next()?.strip_prefix("key ")?;
+        if u64::from_str_radix(stored, 16).ok()? != key {
+            return None;
+        }
+        let mut findings = Vec::new();
+        let mut stale = Vec::new();
+        for l in lines {
+            if let Some(rest) = l.strip_prefix("F ") {
+                findings.push(deserialize_finding(rest)?);
+            } else if let Some(rest) = l.strip_prefix("S ") {
+                stale.push(unesc(rest));
+            }
+        }
+        Some((findings, stale))
+    }
+
+    /// Stores the full-result record under `key`.
+    pub fn store_result(&self, key: u64, findings: &[Finding], stale: &[String]) -> io::Result<()> {
+        let mut out = format!("{RESULT_MAGIC}\nkey {key:016x}\n");
+        for f in findings {
+            out.push_str("F ");
+            out.push_str(&serialize_finding(f));
+            out.push('\n');
+        }
+        for s in stale {
+            out.push_str("S ");
+            out.push_str(&esc(s));
+            out.push('\n');
+        }
+        std::fs::write(self.dir.join("result.v1"), out)
+    }
+
+    /// Writes the manifest back if any entry changed.
+    pub fn save(&self) -> io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let mut entries: Vec<_> = self.manifest.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut out = String::from(MANIFEST_MAGIC);
+        out.push('\n');
+        for (p, (m, s, h)) in entries {
+            out.push_str(&format!("{m}|{s}|{h:016x}|{p}\n"));
+        }
+        std::fs::write(self.dir.join("manifest.v1"), out)
+    }
+}
+
+/// `(mtime_ns, size)` of a file, for manifest matching.
+pub fn stat_key(path: &Path) -> io::Result<(u128, u64)> {
+    let md = std::fs::metadata(path)?;
+    let mtime = md
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+        .map_or(0, |d| d.as_nanos());
+    Ok((mtime, md.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Text (de)serialization
+// ---------------------------------------------------------------------------
+
+/// Escapes `\`, newline, tab, and `|` (the field separator).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '|' => out.push_str("\\p"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('p') => out.push('|'),
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+fn opt(s: &Option<String>) -> String {
+    s.as_deref().map_or_else(|| "-".to_string(), esc)
+}
+
+fn unopt(s: &str) -> Option<String> {
+    (s != "-").then(|| unesc(s))
+}
+
+fn csv(v: &[String]) -> String {
+    v.join(",")
+}
+
+fn uncsv(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').map(str::to_string).collect()
+    }
+}
+
+/// `name:qual` pairs joined with `,` (idents contain neither).
+fn calls_ser(v: &[(String, Option<String>)]) -> String {
+    v.iter()
+        .map(|(n, q)| format!("{n}:{}", q.as_deref().unwrap_or("-")))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn calls_de(s: &str) -> Option<Vec<(String, Option<String>)>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|p| {
+            let (n, q) = p.split_once(':')?;
+            Some((n.to_string(), (q != "-").then(|| q.to_string())))
+        })
+        .collect()
+}
+
+fn site_ser(k: &SiteKind) -> String {
+    match k {
+        SiteKind::Call { name, qual, method } => {
+            format!("call|{}|{}|{}", esc(name), opt(qual), method)
+        }
+        SiteKind::Macro(m) => format!("macro|{}", esc(m)),
+        SiteKind::Index => "index".to_string(),
+        SiteKind::Cast(t) => format!("cast|{}", esc(t)),
+        SiteKind::Unsafe => "unsafe".to_string(),
+        SiteKind::LockUnwrap => "lockunwrap".to_string(),
+        SiteKind::UnsafeImpl(h) => format!("unsafeimpl|{}", esc(h)),
+    }
+}
+
+fn site_de(s: &str) -> Option<SiteKind> {
+    let mut it = s.split('|');
+    Some(match it.next()? {
+        "call" => SiteKind::Call {
+            name: unesc(it.next()?),
+            qual: unopt(it.next()?),
+            method: it.next()? == "true",
+        },
+        "macro" => SiteKind::Macro(unesc(it.next()?)),
+        "index" => SiteKind::Index,
+        "cast" => SiteKind::Cast(unesc(it.next()?)),
+        "unsafe" => SiteKind::Unsafe,
+        "lockunwrap" => SiteKind::LockUnwrap,
+        "unsafeimpl" => SiteKind::UnsafeImpl(unesc(it.next()?)),
+        _ => return None,
+    })
+}
+
+fn event_ser(e: &FlowEvent) -> String {
+    match e {
+        FlowEvent::Assign {
+            line,
+            bounded,
+            lhs,
+            rhs,
+            rhs_calls,
+        } => format!(
+            "assign|{line}|{bounded}|{}|{}|{}",
+            csv(lhs),
+            csv(rhs),
+            calls_ser(rhs_calls)
+        ),
+        FlowEvent::Validate { line, vars } => format!("validate|{line}|{}", csv(vars)),
+        FlowEvent::Sink { line, kind, vars } => {
+            format!("sink|{line}|{}|{}", esc(kind), csv(vars))
+        }
+        FlowEvent::Call {
+            line,
+            name,
+            qual,
+            method,
+            args,
+        } => format!(
+            "fcall|{line}|{}|{}|{method}|{}|{}",
+            esc(name),
+            opt(qual),
+            args.len(),
+            args.iter().map(|a| csv(a)).collect::<Vec<_>>().join(";")
+        ),
+        FlowEvent::Return { line, vars, calls } => {
+            format!("return|{line}|{}|{}", csv(vars), calls_ser(calls))
+        }
+    }
+}
+
+fn event_de(s: &str) -> Option<FlowEvent> {
+    let mut it = s.split('|');
+    Some(match it.next()? {
+        "assign" => FlowEvent::Assign {
+            line: it.next()?.parse().ok()?,
+            bounded: it.next()? == "true",
+            lhs: uncsv(it.next()?),
+            rhs: uncsv(it.next()?),
+            rhs_calls: calls_de(it.next()?)?,
+        },
+        "validate" => FlowEvent::Validate {
+            line: it.next()?.parse().ok()?,
+            vars: uncsv(it.next()?),
+        },
+        "sink" => FlowEvent::Sink {
+            line: it.next()?.parse().ok()?,
+            kind: unesc(it.next()?),
+            vars: uncsv(it.next()?),
+        },
+        "fcall" => {
+            let line = it.next()?.parse().ok()?;
+            let name = unesc(it.next()?);
+            let qual = unopt(it.next()?);
+            let method = it.next()? == "true";
+            let n: usize = it.next()?.parse().ok()?;
+            let rest = it.next().unwrap_or("");
+            let args: Vec<Vec<String>> = if n == 0 {
+                Vec::new()
+            } else {
+                let parts: Vec<_> = rest.split(';').collect();
+                if parts.len() != n {
+                    return None;
+                }
+                parts.into_iter().map(uncsv).collect()
+            };
+            FlowEvent::Call {
+                line,
+                name,
+                qual,
+                method,
+                args,
+            }
+        }
+        "return" => FlowEvent::Return {
+            line: it.next()?.parse().ok()?,
+            vars: uncsv(it.next()?),
+            calls: calls_de(it.next()?)?,
+        },
+        _ => return None,
+    })
+}
+
+/// Serializes a [`FileModel`] into the versioned text format.
+pub fn serialize_model(m: &FileModel) -> String {
+    // The revision rides in the header: model files are keyed by source
+    // content hash, so without it an audit upgrade that changes the
+    // model/flow extraction would keep serving pre-upgrade models.
+    let mut out = format!("{MODEL_MAGIC} {LINT_REV}\nP {}\n", esc(&m.path));
+    for f in &m.fns {
+        out.push_str(&format!(
+            "F {}|{}|{}|{}|{}|{}|{}\n",
+            esc(&f.name),
+            opt(&f.qualifier),
+            f.line,
+            f.end_line,
+            f.body.0,
+            f.body.1,
+            f.is_test
+        ));
+    }
+    for s in &m.sites {
+        out.push_str(&format!(
+            "S {}|{}|{}\n",
+            s.line,
+            s.fn_idx.map_or_else(|| "-".to_string(), |i| i.to_string()),
+            site_ser(&s.kind)
+        ));
+    }
+    for c in &m.comments {
+        out.push_str(&format!("C {}|{}|{}\n", c.line, c.end_line, esc(&c.text)));
+    }
+    for fl in &m.flows {
+        out.push_str(&format!("L {}\n", csv(&fl.params)));
+        for e in &fl.events {
+            out.push_str(&format!("E {}\n", event_ser(e)));
+        }
+    }
+    out
+}
+
+/// Parses the text format back; `None` on any corruption.
+pub fn deserialize_model(text: &str) -> Option<FileModel> {
+    let mut lines = text.lines();
+    if lines.next() != Some(format!("{MODEL_MAGIC} {LINT_REV}").as_str()) {
+        return None;
+    }
+    let path = unesc(lines.next()?.strip_prefix("P ")?);
+    let mut fns = Vec::new();
+    let mut sites = Vec::new();
+    let mut comments = Vec::new();
+    let mut flows: Vec<FnFlow> = Vec::new();
+    for l in lines {
+        if let Some(rest) = l.strip_prefix("F ") {
+            let mut it = rest.split('|');
+            fns.push(FnDef {
+                name: unesc(it.next()?),
+                qualifier: unopt(it.next()?),
+                line: it.next()?.parse().ok()?,
+                end_line: it.next()?.parse().ok()?,
+                body: (it.next()?.parse().ok()?, it.next()?.parse().ok()?),
+                is_test: it.next()? == "true",
+            });
+        } else if let Some(rest) = l.strip_prefix("S ") {
+            let mut it = rest.splitn(3, '|');
+            let line = it.next()?.parse().ok()?;
+            let fn_idx = match it.next()? {
+                "-" => None,
+                n => Some(n.parse().ok()?),
+            };
+            sites.push(Site {
+                kind: site_de(it.next()?)?,
+                line,
+                fn_idx,
+            });
+        } else if let Some(rest) = l.strip_prefix("C ") {
+            let mut it = rest.splitn(3, '|');
+            comments.push(crate::lexer::Comment {
+                line: it.next()?.parse().ok()?,
+                end_line: it.next()?.parse().ok()?,
+                text: unesc(it.next()?),
+            });
+        } else if let Some(rest) = l.strip_prefix("L ") {
+            flows.push(FnFlow {
+                params: uncsv(rest),
+                events: Vec::new(),
+            });
+        } else if let Some(rest) = l.strip_prefix("E ") {
+            flows.last_mut()?.events.push(event_de(rest)?);
+        }
+    }
+    if flows.len() != fns.len() {
+        return None;
+    }
+    Some(FileModel {
+        path,
+        fns,
+        sites,
+        comments,
+        flows,
+    })
+}
+
+fn serialize_finding(f: &Finding) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        f.lint,
+        f.line,
+        f.allowed,
+        f.waived,
+        esc(&f.path),
+        esc(&f.func),
+        esc(&f.kind),
+        esc(&f.msg),
+        opt(&f.note)
+    )
+}
+
+fn deserialize_finding(s: &str) -> Option<Finding> {
+    let mut it = s.split('|');
+    let lint: &'static str = match it.next()? {
+        "L1" => "L1",
+        "L2" => "L2",
+        "L3" => "L3",
+        "L4" => "L4",
+        "L5" => "L5",
+        "L6" => "L6",
+        _ => return None,
+    };
+    Some(Finding {
+        lint,
+        line: it.next()?.parse().ok()?,
+        allowed: it.next()? == "true",
+        waived: it.next()? == "true",
+        path: unesc(it.next()?),
+        func: unesc(it.next()?),
+        kind: unesc(it.next()?),
+        msg: unesc(it.next()?),
+        note: unopt(it.next()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::analyze_source;
+
+    #[test]
+    fn model_roundtrips_through_text() {
+        let src = "impl Foo {\n\
+                   // SAFETY: modeled by loom | pipe test.\n\
+                   unsafe impl Send for X {}\n\
+                   fn decode(&self, data: &[u8]) -> Vec<u8> {\n\
+                   let mut pos = 0;\n\
+                   let n = read_uvarint(data, &mut pos) as usize;\n\
+                   if n > data.len() { return Vec::new(); }\n\
+                   let mut out = vec![0u8; n];\n\
+                   out[0] = data[0];\n\
+                   out } }";
+        let m = analyze_source("crates/lossless/src/x.rs", src, false);
+        let round = deserialize_model(&serialize_model(&m)).expect("roundtrip");
+        assert_eq!(format!("{m:?}"), format!("{round:?}"));
+    }
+
+    #[test]
+    fn corrupt_model_is_a_miss_not_a_panic() {
+        assert!(deserialize_model("garbage").is_none());
+        let hdr = format!("PWAUDIT-MODEL v1 {LINT_REV}");
+        assert!(deserialize_model(&format!("{hdr}\nP x\nF broken")).is_none());
+        assert!(deserialize_model(&format!("{hdr}\nP x\nE assign|zz")).is_none());
+        // A model written by a different audit revision is stale.
+        assert!(deserialize_model("PWAUDIT-MODEL v1 other-rev\nP x\n").is_none());
+    }
+
+    #[test]
+    fn finding_roundtrips_with_separator_chars() {
+        let f = Finding {
+            lint: "L5",
+            path: "crates/sz/src/x.rs".into(),
+            line: 42,
+            func: "decode".into(),
+            kind: "taint-vec".into(),
+            msg: "pipe | and\nnewline".into(),
+            note: Some("origin `read_u32()` at a.rs:7".into()),
+            allowed: true,
+            waived: false,
+        };
+        let round = deserialize_finding(&serialize_finding(&f)).expect("roundtrip");
+        assert_eq!(format!("{f:?}"), format!("{round:?}"));
+    }
+
+    #[test]
+    fn cache_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("pwrel_audit_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Cache::open(&dir).unwrap();
+        let src = "fn f() { g(); }";
+        let h = fnv1a(src.as_bytes());
+        assert!(c.load_model(h).is_none());
+        let m = analyze_source("x.rs", src, false);
+        c.store_model(h, &m).unwrap();
+        c.note_file("x.rs", 1234, src.len() as u64, h);
+        c.save().unwrap();
+
+        let c2 = Cache::open(&dir).unwrap();
+        assert_eq!(c2.stat_hash("x.rs", 1234, src.len() as u64), Some(h));
+        assert_eq!(c2.stat_hash("x.rs", 9999, src.len() as u64), None);
+        let loaded = c2.load_model(h).expect("model hit");
+        assert_eq!(format!("{m:?}"), format!("{loaded:?}"));
+
+        assert!(c2.load_result(7).is_none());
+        c2.store_result(7, &[], &["L1 a b c".into()]).unwrap();
+        let (f, s) = c2.load_result(7).expect("result hit");
+        assert!(f.is_empty());
+        assert_eq!(s, vec!["L1 a b c".to_string()]);
+        assert!(c2.load_result(8).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,6 +1,6 @@
 //! `pwrel-audit`: workspace-specific static analysis.
 //!
-//! Four lints clippy cannot express (see `DESIGN.md` §10):
+//! Six lints clippy cannot express (see `DESIGN.md` §10 and §16):
 //!
 //! - **L1** — no `panic!`-family macro, `.unwrap()`, `.expect(..)`, or
 //!   unchecked `[..]` indexing reachable from a decode/decompress entry
@@ -13,18 +13,33 @@
 //!   there carries a `// SAFETY:` comment.
 //! - **L4** — every codec registered in `CodecRegistry::builtin` has all
 //!   six golden-stream fixtures under `tests/fixtures`.
+//! - **L5** — interprocedural taint: a value read from an untrusted
+//!   stream (uvarints, header fields, bit reads) must pass a recognized
+//!   validation before reaching an allocation size, slice index, or loop
+//!   bound anywhere downstream, across function boundaries.
+//! - **L6** — parallel discipline in `pwrel-parallel`: no
+//!   `.lock().unwrap()` outside the poisoning policy, no panic-capable
+//!   construct in fns driving the executor's channel/condvar protocol,
+//!   and every `unsafe impl Send/Sync` names its loom model test.
 //!
 //! The analysis is a purpose-built lexer + token-level model rather than
 //! a full parser: the build environment vendors no `syn`, and two of the
 //! lints (L3, inline waivers) need comment text a parser drops anyway.
-//! Reachability (L1) is a syntactic over-approximation by function name
-//! and `Type::` qualifier, with ubiquitous constructor-shaped names
-//! excluded; its misses are covered dynamically by the fuzz targets.
+//! Reachability (L1) and taint propagation (L5) are syntactic
+//! over-approximations by function name and `Type::` qualifier, with
+//! ubiquitous constructor-shaped names excluded; their misses are
+//! covered dynamically by the fuzz targets.
+//!
+//! With `--cache <dir>` the audit keeps an incremental on-disk cache
+//! (see [`cache`]) so warm runs re-lex only changed files and skip the
+//! lints entirely when nothing changed at all.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod cache;
+pub mod dataflow;
 pub mod lexer;
 pub mod lints;
 pub mod model;
@@ -33,6 +48,7 @@ pub mod report;
 use allowlist::Allowlist;
 use lints::{classify, Finding};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Audit configuration.
 pub struct Config {
@@ -46,6 +62,8 @@ pub struct Config {
     pub update_allowlist: bool,
     /// Itemize allowed/waived findings too.
     pub verbose: bool,
+    /// Incremental cache directory (`--cache`), if enabled.
+    pub cache: Option<PathBuf>,
 }
 
 impl Config {
@@ -58,8 +76,43 @@ impl Config {
             json: None,
             update_allowlist: false,
             verbose: false,
+            cache: None,
         }
     }
+}
+
+/// Wall-clock and cache counters for one audit run (reported in the
+/// `--json` output so CI logs show the warm-run speedup).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// File discovery walk, milliseconds.
+    pub collect_ms: f64,
+    /// Lex + model + flow extraction (or cache load), milliseconds.
+    pub analyze_ms: f64,
+    /// Per-lint wall clock, milliseconds, in execution order.
+    pub lint_ms: Vec<(&'static str, f64)>,
+    /// Whole `run()`, milliseconds.
+    pub total_ms: f64,
+    /// True when a cache directory was configured.
+    pub cache_enabled: bool,
+    /// Files served from the model cache.
+    pub file_hits: usize,
+    /// Files that had to be (re-)analyzed.
+    pub file_misses: usize,
+    /// True when the full-result record short-circuited the lints.
+    pub full_result_hit: bool,
+}
+
+/// Everything `run` produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// All findings, with allow/waive flags applied.
+    pub findings: Vec<Finding>,
+    /// Allowlist keys that matched no finding (stale — the file only
+    /// shrinks, so these must be deleted).
+    pub stale: Vec<String>,
+    /// Timing and cache counters.
+    pub stats: RunStats,
 }
 
 /// Collects every `.rs` file the audit covers, as repo-relative paths.
@@ -97,38 +150,190 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Runs the full audit; returns all findings (allow/waive flags applied)
-/// plus the number of stale allowlist entries.
-pub fn run(cfg: &Config, registered_codecs: &[String]) -> std::io::Result<(Vec<Finding>, usize)> {
-    let mut files = Vec::new();
-    for rel in collect_files(&cfg.root)? {
+/// The run key folds everything a cached result depends on: file content
+/// hashes, the allowlist, the codec list (L4), the fixtures listing
+/// (L4), and the lint revision.
+fn run_key(
+    hashes: &[(String, u64)],
+    allowlist_bytes: &[u8],
+    codecs: &[String],
+    fixtures_dir: &Path,
+) -> u64 {
+    let mut buf = String::new();
+    for (p, h) in hashes {
+        buf.push_str(p);
+        buf.push_str(&format!(":{h:016x}\n"));
+    }
+    buf.push_str(cache::LINT_REV);
+    buf.push('\n');
+    for c in codecs {
+        buf.push_str(c);
+        buf.push(',');
+    }
+    buf.push('\n');
+    let mut fixtures: Vec<String> = std::fs::read_dir(fixtures_dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+                .collect()
+        })
+        .unwrap_or_default();
+    fixtures.sort();
+    for f in fixtures {
+        buf.push_str(&f);
+        buf.push(',');
+    }
+    let mut h = cache::fnv1a(buf.as_bytes());
+    h ^= cache::fnv1a(allowlist_bytes).rotate_left(17);
+    h
+}
+
+/// One scanned file: repo-relative path, content hash, lazily read
+/// source (`None` on a manifest stat hit), and the `(mtime, size)`
+/// stat key that vouched for the hash.
+type FileEntry = (String, u64, Option<String>, (u128, u64));
+
+/// Runs the full audit.
+pub fn run(cfg: &Config, registered_codecs: &[String]) -> std::io::Result<RunOutput> {
+    let t_run = Instant::now();
+    let mut stats = RunStats {
+        cache_enabled: cfg.cache.is_some(),
+        ..RunStats::default()
+    };
+
+    let t = Instant::now();
+    let rels = collect_files(&cfg.root)?;
+    stats.collect_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut cache = match &cfg.cache {
+        Some(dir) => Some(cache::Cache::open(dir)?),
+        None => None,
+    };
+    let allowlist_bytes = std::fs::read(&cfg.allowlist).unwrap_or_default();
+    let fixtures_dir = cfg.root.join("tests/fixtures");
+
+    let t = Instant::now();
+    // Per-file content hash, trusting manifest mtime+size where possible.
+    // `src` is read lazily: a manifest hit never touches the file bytes.
+    let mut entries: Vec<FileEntry> = Vec::new();
+    for rel in &rels {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let class = classify(&rel_str);
-        let src = std::fs::read_to_string(cfg.root.join(&rel))?;
-        let force_test = class == lints::FileClass::TestOnly;
-        files.push((model::analyze_source(&rel_str, &src, force_test), class));
+        let abs = cfg.root.join(rel);
+        let (mtime, size) = cache::stat_key(&abs)?;
+        let known = cache
+            .as_ref()
+            .and_then(|c| c.stat_hash(&rel_str, mtime, size));
+        match known {
+            Some(h) => entries.push((rel_str, h, None, (mtime, size))),
+            None => {
+                let src = std::fs::read_to_string(&abs)?;
+                let h = cache::fnv1a(src.as_bytes());
+                entries.push((rel_str, h, Some(src), (mtime, size)));
+            }
+        }
+    }
+    let hashes: Vec<(String, u64)> = entries.iter().map(|e| (e.0.clone(), e.1)).collect();
+    let key = run_key(&hashes, &allowlist_bytes, registered_codecs, &fixtures_dir);
+
+    // Full-result fast path: nothing changed since the stored run.
+    if let Some(c) = &cache {
+        if let Some((findings, stale)) = c.load_result(key) {
+            stats.full_result_hit = true;
+            stats.file_hits = entries.len();
+            stats.analyze_ms = t.elapsed().as_secs_f64() * 1e3;
+            stats.total_ms = t_run.elapsed().as_secs_f64() * 1e3;
+            if let Some(json) = &cfg.json {
+                std::fs::write(json, report::render_json(&findings, &stale, Some(&stats)))?;
+            }
+            return Ok(RunOutput {
+                findings,
+                stale,
+                stats,
+            });
+        }
     }
 
+    // Per-file models: cache by content hash, analyze on miss.
+    let mut files = Vec::new();
+    for (rel_str, hash, src, (mtime, size)) in entries {
+        let class = classify(&rel_str);
+        // The model cache is keyed by content hash; the stored path must
+        // match too (identical bytes at two paths classify differently).
+        let cached = cache
+            .as_ref()
+            .and_then(|c| c.load_model(hash).filter(|m| m.path == rel_str));
+        let model = match cached {
+            Some(m) => {
+                stats.file_hits += 1;
+                m
+            }
+            None => {
+                let src = match src {
+                    Some(s) => s,
+                    None => std::fs::read_to_string(cfg.root.join(&rel_str))?,
+                };
+                let force_test = class == lints::FileClass::TestOnly;
+                let m = model::analyze_source(&rel_str, &src, force_test);
+                if let Some(c) = &cache {
+                    c.store_model(hash, &m)?;
+                }
+                stats.file_misses += 1;
+                m
+            }
+        };
+        if let Some(c) = &mut cache {
+            c.note_file(&rel_str, mtime, size, hash);
+        }
+        files.push((model, class));
+    }
+    stats.analyze_ms = t.elapsed().as_secs_f64() * 1e3;
+
     let mut findings = Vec::new();
-    findings.extend(lints::lint_l1(&files));
-    findings.extend(lints::lint_l2(&files));
-    findings.extend(lints::lint_l3(&files));
-    findings.extend(lints::lint_l4(
-        registered_codecs,
-        &cfg.root.join("tests/fixtures"),
+    let timed = |name: &'static str, f: Vec<Finding>, stats: &mut RunStats, t0: Instant| {
+        stats.lint_ms.push((name, t0.elapsed().as_secs_f64() * 1e3));
+        f
+    };
+    let t0 = Instant::now();
+    findings.extend(timed("L1", lints::lint_l1(&files), &mut stats, t0));
+    let t0 = Instant::now();
+    findings.extend(timed("L2", lints::lint_l2(&files), &mut stats, t0));
+    let t0 = Instant::now();
+    findings.extend(timed("L3", lints::lint_l3(&files), &mut stats, t0));
+    let t0 = Instant::now();
+    findings.extend(timed(
+        "L4",
+        lints::lint_l4(registered_codecs, &fixtures_dir),
+        &mut stats,
+        t0,
     ));
+    let t0 = Instant::now();
+    findings.extend(timed("L5", dataflow::lint_l5(&files), &mut stats, t0));
+    let t0 = Instant::now();
+    findings.extend(timed("L6", lints::lint_l6(&files), &mut stats, t0));
 
     lints::apply_waivers(&files, &mut findings);
 
     let allow = Allowlist::load(&cfg.allowlist)?;
     allow.apply(&mut findings);
-    let stale = allow.stale(&findings).len();
+    let stale: Vec<String> = allow
+        .stale(&findings)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
 
     if cfg.update_allowlist {
         std::fs::write(&cfg.allowlist, Allowlist::render(&findings))?;
     }
-    if let Some(json) = &cfg.json {
-        std::fs::write(json, report::render_json(&findings))?;
+    if let Some(c) = &cache {
+        c.store_result(key, &findings, &stale)?;
+        c.save()?;
     }
-    Ok((findings, stale))
+    stats.total_ms = t_run.elapsed().as_secs_f64() * 1e3;
+    if let Some(json) = &cfg.json {
+        std::fs::write(json, report::render_json(&findings, &stale, Some(&stats)))?;
+    }
+    Ok(RunOutput {
+        findings,
+        stale,
+        stats,
+    })
 }

@@ -50,8 +50,9 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 
 /// Unqualified call names too ubiquitous to resolve by name alone; edges
 /// through them are dropped (documented approximation — they are
-/// constructor/std-trait shaped and not decode logic).
-const RESOLVE_STOPLIST: &[&str] = &[
+/// constructor/std-trait shaped and not decode logic). Shared with the
+/// L5 taint engine's call resolution.
+pub(crate) const RESOLVE_STOPLIST: &[&str] = &[
     "new",
     "default",
     "fmt",
@@ -84,6 +85,11 @@ const RESOLVE_STOPLIST: &[&str] = &[
     "hash",
     "write",
     "flush",
+    // `Option::take`/`Iterator::take` and the `Index` trait shadow the
+    // workspace's same-named helpers (`BufferPool::take`, `Dims::index`);
+    // qualified calls still resolve.
+    "take",
+    "index",
 ];
 
 /// One lint finding.
@@ -150,7 +156,7 @@ pub fn classify(path: &str) -> FileClass {
 
 /// The crate directory name of a repo-relative path (`"sz"` for
 /// `crates/sz/src/lib.rs`), or `""` for root-package files.
-fn crate_of(path: &str) -> &str {
+pub(crate) fn crate_of(path: &str) -> &str {
     path.strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
         .unwrap_or("")
@@ -437,10 +443,170 @@ pub fn lint_l4(registered: &[String], fixtures_dir: &std::path::Path) -> Vec<Fin
     out
 }
 
+/// Method names that participate in the pipeline executor's channel and
+/// condvar protocol; a panic inside a fn that drives this protocol can
+/// strand peers blocked on the other end (L6).
+const PROTOCOL_CALLS: &[&str] = &[
+    "send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "wait",
+    "wait_while",
+    "wait_timeout",
+    "notify_one",
+    "notify_all",
+];
+
+/// Runs L6: parallel-discipline rules inside `crates/parallel`.
+///
+/// - `lock-unwrap`: `.lock().unwrap()` / `.try_lock().unwrap()` outside
+///   the documented poisoning policy (the poison-tolerant `lock()` helper
+///   is the only sanctioned way to take a mutex).
+/// - `unsafe-impl-unmodeled`: an `unsafe impl Send/Sync` whose SAFETY
+///   comment block does not name a loom model test.
+/// - `protocol-panic`: a panic-capable construct (`unwrap`/`expect`/panic
+///   macro) inside a non-test fn that drives the executor's channel or
+///   condvar protocol — a panic there strands blocked peers.
+pub fn lint_l6(files: &[(FileModel, FileClass)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fm, _) in files {
+        if !fm.path.starts_with("crates/parallel/") {
+            continue;
+        }
+        // Fns that touch the channel/condvar protocol.
+        let mut protocol_fns: HashMap<usize, &str> = HashMap::new();
+        for site in &fm.sites {
+            let SiteKind::Call { name, method, .. } = &site.kind else {
+                continue;
+            };
+            if *method && PROTOCOL_CALLS.contains(&name.as_str()) {
+                if let Some(fi) = site.fn_idx {
+                    protocol_fns.entry(fi).or_insert(name.as_str());
+                }
+            }
+        }
+        for site in &fm.sites {
+            if fm.site_in_test(site) {
+                continue;
+            }
+            match &site.kind {
+                SiteKind::LockUnwrap => {
+                    out.push(Finding {
+                        lint: "L6",
+                        path: fm.path.clone(),
+                        line: site.line,
+                        func: fm.fn_name(site).to_string(),
+                        kind: "lock-unwrap".to_string(),
+                        msg: "`.lock().unwrap()` outside the documented poisoning policy"
+                            .to_string(),
+                        note: Some(
+                            "use the poison-tolerant `lock()` helper (pool.rs) so a panicked \
+                             worker cannot wedge its peers"
+                                .to_string(),
+                        ),
+                        allowed: false,
+                        waived: false,
+                    });
+                }
+                SiteKind::UnsafeImpl(header)
+                    if header.contains("Send") || header.contains("Sync") =>
+                {
+                    // The contiguous comment block ending on the impl line
+                    // or directly above it must name a loom model test.
+                    let names_loom = |c: &crate::lexer::Comment| c.text.contains("loom");
+                    let mut modeled = fm
+                        .comments
+                        .iter()
+                        .any(|c| c.end_line == site.line && names_loom(c));
+                    let mut l = site.line;
+                    while !modeled {
+                        let Some(c) = fm.comments.iter().find(|c| c.end_line + 1 == l) else {
+                            break;
+                        };
+                        modeled = names_loom(c);
+                        l = c.line;
+                    }
+                    if !modeled {
+                        out.push(Finding {
+                            lint: "L6",
+                            path: fm.path.clone(),
+                            line: site.line,
+                            func: fm.fn_name(site).to_string(),
+                            kind: "unsafe-impl-unmodeled".to_string(),
+                            msg: format!(
+                                "`unsafe impl {header}` without a loom model test named in \
+                                 its SAFETY comment"
+                            ),
+                            note: Some(
+                                "name the covering test from tests/loom_pool.rs in the \
+                                 comment block above the impl"
+                                    .to_string(),
+                            ),
+                            allowed: false,
+                            waived: false,
+                        });
+                    }
+                }
+                SiteKind::Macro(m) if PANIC_MACROS.contains(&m.as_str()) => {
+                    if let Some(proto) = site.fn_idx.and_then(|fi| protocol_fns.get(&fi)) {
+                        out.push(Finding {
+                            lint: "L6",
+                            path: fm.path.clone(),
+                            line: site.line,
+                            func: fm.fn_name(site).to_string(),
+                            kind: format!("protocol-panic-{m}"),
+                            msg: format!(
+                                "`{m}!` inside a fn driving the channel/condvar protocol \
+                                 (calls `.{proto}()`)"
+                            ),
+                            note: Some(
+                                "a panic between send/recv pairs strands blocked peers; \
+                                 propagate an error or document the drain invariant"
+                                    .to_string(),
+                            ),
+                            allowed: false,
+                            waived: false,
+                        });
+                    }
+                }
+                SiteKind::Call { name, method, .. }
+                    if *method && (name == "unwrap" || name == "expect") =>
+                {
+                    if let Some(proto) = site.fn_idx.and_then(|fi| protocol_fns.get(&fi)) {
+                        out.push(Finding {
+                            lint: "L6",
+                            path: fm.path.clone(),
+                            line: site.line,
+                            func: fm.fn_name(site).to_string(),
+                            kind: format!("protocol-{name}"),
+                            msg: format!(
+                                "`.{name}()` inside a fn driving the channel/condvar \
+                                 protocol (calls `.{proto}()`)"
+                            ),
+                            note: Some(
+                                "a panic between send/recv pairs strands blocked peers; \
+                                 propagate an error or document the drain invariant"
+                                    .to_string(),
+                            ),
+                            allowed: false,
+                            waived: false,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 /// Applies inline comment waivers.
 ///
-/// - `audit:allow(Ln[, Lm…]): reason` suppresses matching findings on
-///   its own line and the next.
+/// - `audit:allow(Ln[, Lm…]): reason` suppresses matching findings from
+///   the marker through the end of its contiguous comment block and the
+///   first code line after it — documented invariants routinely span
+///   several `//` lines, which the lexer keeps as separate comments.
 /// - `audit:allow-fn(Ln[, Lm…]): reason`, placed inside a function or in
 ///   the doc/attribute block directly above it, suppresses the whole
 ///   function — for guarded hot loops where one invariant covers every
@@ -464,6 +630,8 @@ pub fn apply_waivers(files: &[(FileModel, FileClass)], findings: &mut [Finding])
                         "L2" => "L2",
                         "L3" => "L3",
                         "L4" => "L4",
+                        "L5" => "L5",
+                        "L6" => "L6",
                         _ => continue,
                     };
                     if fn_scope {
@@ -485,7 +653,13 @@ pub fn apply_waivers(files: &[(FileModel, FileClass)], findings: &mut [Finding])
                             fns.insert((fm.path.clone(), lint, f.name.clone()));
                         }
                     } else {
-                        for l in c.line..=c.end_line + 1 {
+                        // Extend through the contiguous comment run below
+                        // the marker, then one code line past it.
+                        let mut last = c.end_line;
+                        while let Some(n) = fm.comments.iter().find(|n| n.line == last + 1) {
+                            last = n.end_line;
+                        }
+                        for l in c.line..=last + 1 {
                             lines.insert((fm.path.clone(), lint, l));
                         }
                     }
@@ -679,6 +853,73 @@ mod tests {
             }
         }
         assert_eq!(f.iter().filter(|x| !x.waived).count(), 1);
+    }
+
+    #[test]
+    fn l6_lock_unwrap_flagged_but_poison_helper_clean() {
+        let files = vec![(
+            analyze_source(
+                "crates/parallel/src/pool.rs",
+                "fn bad(m: &Mutex<u8>) { let _ = m.lock().unwrap(); }\n\
+                 fn good(m: &Mutex<u8>) { let _ = m.lock().unwrap_or_else(|e| e.into_inner()); }",
+                false,
+            ),
+            FileClass::Source,
+        )];
+        let f = lint_l6(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, "lock-unwrap");
+        assert_eq!(f[0].func, "bad");
+    }
+
+    #[test]
+    fn l6_unsafe_send_impl_requires_loom_reference() {
+        let files = vec![(
+            analyze_source(
+                "crates/parallel/src/pool.rs",
+                "// SAFETY: modeled by loom_pool::send_sync.\n\
+                 unsafe impl Send for A {}\n\
+                 // SAFETY: the pointer is never aliased.\n\
+                 unsafe impl Sync for B {}\n\
+                 unsafe impl Other for C {}",
+                false,
+            ),
+            FileClass::Source,
+        )];
+        let f = lint_l6(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, "unsafe-impl-unmodeled");
+        assert!(f[0].msg.contains("Sync for B"), "{f:?}");
+    }
+
+    #[test]
+    fn l6_panic_in_protocol_fn_flagged_elsewhere_not() {
+        let files = vec![(
+            analyze_source(
+                "crates/parallel/src/pool.rs",
+                "fn drive(rx: &Receiver<u8>) { let v = rx.recv().unwrap(); drop(v); }\n\
+                 fn plain(x: Option<u8>) { x.unwrap(); }",
+                false,
+            ),
+            FileClass::Source,
+        )];
+        let f = lint_l6(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, "protocol-unwrap");
+        assert_eq!(f[0].func, "drive");
+    }
+
+    #[test]
+    fn l6_outside_parallel_is_ignored() {
+        let files = vec![(
+            analyze_source(
+                "crates/sz/src/engine.rs",
+                "fn f(m: &Mutex<u8>) { let _ = m.lock().unwrap(); }",
+                false,
+            ),
+            FileClass::Source,
+        )];
+        assert!(lint_l6(&files).is_empty());
     }
 
     #[test]

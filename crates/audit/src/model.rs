@@ -1,18 +1,19 @@
 //! Structural view of one lexed file: function spans, impl contexts,
 //! test-code spans, and the lint-relevant sites inside them.
 
+use crate::dataflow::{extract_flows, FnFlow};
 use crate::lexer::{lex, Comment, Tok, TokKind};
 
 /// Keywords that can precede `[` without the bracket being an index
 /// expression (patterns, types, array literals).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "let", "mut", "in", "if", "else", "match", "return", "move", "ref", "as", "impl", "dyn", "for",
     "while", "loop", "where", "use", "pub", "unsafe", "break", "continue", "const", "static",
     "type", "enum", "struct", "trait", "mod", "fn",
 ];
 
 /// Keywords that look like calls when followed by `(`.
-const NON_CALL_KEYWORDS: &[&str] = &[
+pub(crate) const NON_CALL_KEYWORDS: &[&str] = &[
     "if", "while", "for", "match", "return", "fn", "loop", "move", "in", "let", "as", "where",
     "impl", "dyn", "pub", "unsafe", "use", "mod", "break", "continue",
 ];
@@ -61,6 +62,11 @@ pub enum SiteKind {
     Cast(String),
     /// An `unsafe` keyword (block, fn, impl, or fn-pointer type).
     Unsafe,
+    /// A `.lock().unwrap()` / `.try_lock().unwrap()` chain (L6).
+    LockUnwrap,
+    /// An `unsafe impl …` item with its header text, e.g.
+    /// `"Send for Job"` (L6).
+    UnsafeImpl(String),
 }
 
 /// One occurrence of a [`SiteKind`] with its position.
@@ -85,6 +91,8 @@ pub struct FileModel {
     pub sites: Vec<Site>,
     /// All comments (for `SAFETY:` and `audit:allow` scanning).
     pub comments: Vec<Comment>,
+    /// Per-function def-use chains (`flows[i]` belongs to `fns[i]`).
+    pub flows: Vec<FnFlow>,
 }
 
 impl FileModel {
@@ -248,8 +256,10 @@ pub fn analyze_source(path: &str, src: &str, force_test: bool) -> FileModel {
         i += 1;
     }
 
-    // Pass 2: function definitions.
+    // Pass 2: function definitions (plus the `fn` keyword token index of
+    // each, which the data-flow pass needs for parameter parsing).
     let mut fns: Vec<FnDef> = Vec::new();
+    let mut fn_kws: Vec<usize> = Vec::new();
     for i in 0..toks.len() {
         if !toks[i].is_ident("fn") || i + 1 >= toks.len() {
             continue;
@@ -276,6 +286,7 @@ pub fn analyze_source(path: &str, src: &str, force_test: bool) -> FileModel {
             body: (open, close),
             is_test,
         });
+        fn_kws.push(i);
     }
 
     // Pass 3: sites.
@@ -291,6 +302,23 @@ pub fn analyze_source(path: &str, src: &str, force_test: bool) -> FileModel {
                     line: t.line,
                     fn_idx: FileModel::innermost_fn(&fns, i),
                 });
+                // `unsafe impl Trait for Type` additionally records an
+                // UnsafeImpl site carrying the header text for L6.
+                if next.is_some_and(|n| n.is_ident("impl")) {
+                    let mut header = Vec::new();
+                    let mut j = i + 2;
+                    while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        if toks[j].kind == TokKind::Ident {
+                            header.push(toks[j].text.as_str());
+                        }
+                        j += 1;
+                    }
+                    sites.push(Site {
+                        kind: SiteKind::UnsafeImpl(header.join(" ")),
+                        line: t.line,
+                        fn_idx: FileModel::innermost_fn(&fns, i),
+                    });
+                }
             }
             TokKind::Ident if t.text == "as" => {
                 if let Some(n) = next {
@@ -304,6 +332,22 @@ pub fn analyze_source(path: &str, src: &str, force_test: bool) -> FileModel {
                 }
             }
             TokKind::Ident => {
+                // `.lock().unwrap()` / `.try_lock().unwrap()` chain (L6):
+                // matched at the lock ident so the site survives alongside
+                // the plain Call sites of both methods.
+                if (t.text == "lock" || t.text == "try_lock")
+                    && prev.is_some_and(|p| p.is_punct('.'))
+                    && next.is_some_and(|n| n.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+                    && toks.get(i + 3).is_some_and(|n| n.is_punct('.'))
+                    && toks.get(i + 4).is_some_and(|n| n.is_ident("unwrap"))
+                {
+                    sites.push(Site {
+                        kind: SiteKind::LockUnwrap,
+                        line: t.line,
+                        fn_idx: FileModel::innermost_fn(&fns, i),
+                    });
+                }
                 // Macro invocation `name!` (not `!=`).
                 if next.is_some_and(|n| n.is_punct('!'))
                     && toks.get(i + 2).is_none_or(|n| !n.is_punct('='))
@@ -366,11 +410,15 @@ pub fn analyze_source(path: &str, src: &str, force_test: bool) -> FileModel {
         }
     }
 
+    // Pass 4: per-function def-use chains for the L5 taint engine.
+    let flows = extract_flows(toks, &fns, &fn_kws);
+
     FileModel {
         path: path.to_string(),
         fns,
         sites,
         comments: lexed.comments,
+        flows,
     }
 }
 

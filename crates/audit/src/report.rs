@@ -2,6 +2,7 @@
 //! report (hand-serialized — the workspace has no serde).
 
 use crate::lints::Finding;
+use crate::RunStats;
 use std::fmt::Write as _;
 
 /// Renders findings as rustc-style diagnostics. Allowed/waived findings
@@ -47,8 +48,10 @@ pub fn counts(findings: &[Finding]) -> (usize, usize, usize) {
     (active, allowed, waived)
 }
 
-/// Renders the machine-readable JSON report.
-pub fn render_json(findings: &[Finding]) -> String {
+/// Renders the machine-readable JSON report: findings, stale allowlist
+/// keys, summary counts, and (when available) per-lint timings plus
+/// cache hit/miss counters so CI logs show the warm-run speedup.
+pub fn render_json(findings: &[Finding], stale: &[String], stats: Option<&RunStats>) -> String {
     let mut out = String::from("{\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
@@ -73,12 +76,38 @@ pub fn render_json(findings: &[Finding]) -> String {
         }
         out.push('}');
     }
+    out.push_str("\n  ],\n  \"stale_allowlist_keys\": [");
+    for (i, s) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(s));
+    }
+    out.push(']');
     let (active, allowed, waived) = counts(findings);
     let _ = write!(
         out,
-        "\n  ],\n  \"summary\": {{\"errors\": {active}, \"allowlisted\": {allowed}, \
-         \"waived\": {waived}}}\n}}\n"
+        ",\n  \"summary\": {{\"errors\": {active}, \"allowlisted\": {allowed}, \
+         \"waived\": {waived}}}"
     );
+    if let Some(s) = stats {
+        let _ = write!(
+            out,
+            ",\n  \"timings_ms\": {{\"collect\": {:.3}, \"analyze\": {:.3}",
+            s.collect_ms, s.analyze_ms
+        );
+        for (lint, ms) in &s.lint_ms {
+            let _ = write!(out, ", \"{lint}\": {ms:.3}");
+        }
+        let _ = write!(out, ", \"total\": {:.3}}}", s.total_ms);
+        let _ = write!(
+            out,
+            ",\n  \"cache\": {{\"enabled\": {}, \"file_hits\": {}, \"file_misses\": {}, \
+             \"full_result_hit\": {}}}",
+            s.cache_enabled, s.file_hits, s.file_misses, s.full_result_hit
+        );
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -142,8 +171,31 @@ mod tests {
     fn json_escapes_and_counts() {
         let mut f = finding();
         f.msg = "quote \" and\nnewline".into();
-        let j = render_json(&[f]);
+        let j = render_json(&[f], &[], None);
         assert!(j.contains("quote \\\" and\\nnewline"));
         assert!(j.contains("\"errors\": 1"));
+        assert!(!j.contains("timings_ms"));
+    }
+
+    #[test]
+    fn json_includes_stale_keys_and_stats() {
+        let stats = RunStats {
+            collect_ms: 1.0,
+            analyze_ms: 2.0,
+            lint_ms: vec![("L1", 3.5), ("L5", 0.25)],
+            total_ms: 7.0,
+            cache_enabled: true,
+            file_hits: 10,
+            file_misses: 2,
+            full_result_hit: false,
+        };
+        let j = render_json(&[], &["L1 a b index".into()], Some(&stats));
+        assert!(
+            j.contains("\"stale_allowlist_keys\": [\"L1 a b index\"]"),
+            "{j}"
+        );
+        assert!(j.contains("\"L5\": 0.250"), "{j}");
+        assert!(j.contains("\"file_hits\": 10"), "{j}");
+        assert!(j.contains("\"full_result_hit\": false"), "{j}");
     }
 }

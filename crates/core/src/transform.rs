@@ -95,7 +95,7 @@ pub fn compress_signs(signs: &[bool]) -> Vec<u8> {
 pub fn decompress_signs(buf: &[u8], expect: usize) -> Result<Vec<bool>, CodecError> {
     let unpacked = lz::decompress(buf)?;
     let mut pos = 0;
-    let bits = rle::decompress_bits(&unpacked, &mut pos)?;
+    let bits = rle::decompress_bits(&unpacked, &mut pos, expect)?;
     if bits.len() != expect {
         return Err(CodecError::Corrupt("sign bitmap length mismatch"));
     }

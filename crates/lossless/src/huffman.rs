@@ -317,7 +317,7 @@ impl CanonicalCode {
     /// [`decode_symbols`] uses to reject hostile symbol counts before
     /// allocating.
     pub fn min_code_len(&self) -> Option<u32> {
-        (1..self.counts.len() as u32).find(|&l| self.counts[l as usize] > 0)
+        (1..self.counts.len() as u32).find(|&l| self.counts.get(l as usize).is_some_and(|&c| c > 0))
     }
 
     /// Writes one symbol.
@@ -360,13 +360,16 @@ impl CanonicalCode {
     /// Reads one symbol.
     #[inline]
     pub fn decode(&self, r: &mut BitReader) -> Result<u32> {
-        // Fast path: one table lookup when enough bits remain.
+        // Fast path: one table lookup when enough bits remain. The peeked
+        // prefix is `LUT_BITS` wide, matching the table size, but a `get`
+        // keeps stream-derived bits out of any unchecked index.
         if r.bits_remaining() >= LUT_BITS as u64 {
             let prefix = r.peek_bits(LUT_BITS)?;
-            let (sym, len) = self.lut[prefix as usize];
-            if len > 0 {
-                r.skip_bits(len as u32)?;
-                return Ok(sym);
+            if let Some(&(sym, len)) = self.lut.get(prefix as usize) {
+                if len > 0 {
+                    r.skip_bits(len as u32)?;
+                    return Ok(sym);
+                }
             }
         }
         self.decode_slow(r)
@@ -613,16 +616,27 @@ impl CanonicalCode {
     }
 
     /// Bit-by-bit canonical decode (long codes and stream tails).
+    ///
+    /// `counts`, `first_code` and `offsets` share one length, so the loop
+    /// index is in bounds for all three; `idx` is the only value shaped by
+    /// stream bits, and the `get` on `sorted_symbols` turns an impossible
+    /// out-of-table walk into a decode error instead of a panic.
     fn decode_slow(&self, r: &mut BitReader) -> Result<u32> {
         let mut code: u64 = 0;
         for len in 1..self.counts.len() {
             code = (code << 1) | r.read_bit()? as u64;
-            let n = self.counts[len] as u64;
+            let n = self.counts.get(len).copied().unwrap_or(0) as u64;
             if n > 0 {
-                let first = self.first_code[len];
-                if code < first + n {
-                    let idx = self.offsets[len] as u64 + (code - first);
-                    return Ok(self.sorted_symbols[idx as usize]);
+                let first = self.first_code.get(len).copied().unwrap_or(u64::MAX);
+                if let Some(delta) = code.checked_sub(first) {
+                    if delta < n {
+                        let off = self.offsets.get(len).copied().unwrap_or(0) as u64;
+                        return self
+                            .sorted_symbols
+                            .get((off + delta) as usize)
+                            .copied()
+                            .ok_or(Error::InvalidValue("huffman code not in table"));
+                    }
                 }
             }
         }

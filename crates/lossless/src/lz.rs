@@ -102,31 +102,45 @@ fn tokenize(input: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Preallocation cap for [`detokenize`]: the claimed output length is
+/// header data, so the upfront reservation is bounded and the vector
+/// only grows past it as actual decoded bytes accumulate (an attacker
+/// must pay stream bytes for every further doubling).
+const MAX_PREALLOC: usize = 1 << 20;
+
 /// Decodes the raw token stream into `expected_len` bytes.
 fn detokenize(tokens: &[u8], expected_len: usize) -> Result<Vec<u8>> {
-    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len.min(MAX_PREALLOC));
     let mut pos = 0usize;
     while out.len() < expected_len {
         let lit_len = varint::read_uvarint(tokens, &mut pos)? as usize;
         let end = pos.checked_add(lit_len).ok_or(Error::UnexpectedEof)?;
-        if end > tokens.len() || out.len() + lit_len > expected_len {
+        // `expected_len - out.len()` is the remaining budget; the loop
+        // condition guarantees the subtraction (phrasing the checks this
+        // way also keeps hostile lengths from overflowing the additions).
+        if lit_len > expected_len - out.len() {
             return Err(Error::UnexpectedEof);
         }
-        out.extend_from_slice(&tokens[pos..end]);
+        out.extend_from_slice(tokens.get(pos..end).ok_or(Error::UnexpectedEof)?);
         pos = end;
         if out.len() == expected_len {
             break;
         }
-        let match_len = varint::read_uvarint(tokens, &mut pos)? as usize + MIN_MATCH;
-        let dist = varint::read_uvarint(tokens, &mut pos)? as usize + 1;
-        if dist > out.len() || out.len() + match_len > expected_len {
+        let match_len =
+            (varint::read_uvarint(tokens, &mut pos)? as usize).saturating_add(MIN_MATCH);
+        let dist = (varint::read_uvarint(tokens, &mut pos)? as usize).saturating_add(1);
+        if dist > out.len() || match_len > expected_len - out.len() {
             return Err(Error::InvalidValue("lz match out of range"));
         }
         let start = out.len() - dist;
-        // Byte-by-byte copy: matches may overlap their own output.
-        for k in 0..match_len {
-            let b = out[start + k];
-            out.push(b);
+        // Byte-by-byte copy: matches may overlap their own output. The
+        // range is in bounds by the check above; `get` keeps the error
+        // path panic-free instead of grandfathering an indexing site.
+        for k in start..start + match_len {
+            match out.get(k).copied() {
+                Some(b) => out.push(b),
+                None => return Err(Error::InvalidValue("lz match out of range")),
+            }
         }
     }
     Ok(out)
@@ -162,12 +176,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     match mode {
         MODE_STORED => {
             let end = pos.checked_add(raw_len).ok_or(Error::UnexpectedEof)?;
-            if end > data.len() {
-                return Err(Error::UnexpectedEof);
-            }
-            Ok(data[pos..end].to_vec())
+            Ok(data.get(pos..end).ok_or(Error::UnexpectedEof)?.to_vec())
         }
-        MODE_TOKENS => detokenize(&data[pos..], raw_len),
+        MODE_TOKENS => detokenize(data.get(pos..).ok_or(Error::UnexpectedEof)?, raw_len),
         MODE_TOKENS_HUFF => {
             let syms = huffman::decode_symbols(data, &mut pos)?;
             let tokens: Vec<u8> = syms.into_iter().map(|s| s as u8).collect();

@@ -55,10 +55,19 @@ pub fn compress_bits(bits: &[bool]) -> Vec<u8> {
 }
 
 /// Inverse of [`compress_bits`]; advances `pos` past the buffer.
-pub fn decompress_bits(data: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
+///
+/// `max_bits` bounds the stored bit count *before* any allocation. The
+/// caller always knows how many bits it expects (sign planes are one bit
+/// per element), so a forged header claiming 2^60 bits is rejected here
+/// instead of sizing a `Vec` — the stream must never pick the allocation.
+pub fn decompress_bits(data: &[u8], pos: &mut usize, max_bits: usize) -> Result<Vec<bool>> {
     let mode = *data.get(*pos).ok_or(Error::UnexpectedEof)?;
     *pos += 1;
-    let n = varint::read_uvarint(data, pos)? as usize;
+    let n64 = varint::read_uvarint(data, pos)?;
+    if n64 > max_bits as u64 {
+        return Err(Error::InvalidValue("bitmap length exceeds expected size"));
+    }
+    let n = n64 as usize;
     match mode {
         MODE_RLE => {
             let mut out = Vec::with_capacity(n);
@@ -85,10 +94,8 @@ pub fn decompress_bits(data: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
         MODE_PACKED => {
             let nbytes = n.div_ceil(8);
             let end = pos.checked_add(nbytes).ok_or(Error::UnexpectedEof)?;
-            if end > data.len() {
-                return Err(Error::UnexpectedEof);
-            }
-            let mut r = BitReader::new(&data[*pos..end]);
+            let packed = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
+            let mut r = BitReader::new(packed);
             let mut out = Vec::with_capacity(n);
             let mut left = n;
             while left > 0 {
@@ -113,7 +120,7 @@ mod tests {
     fn round_trip(bits: &[bool]) {
         let c = compress_bits(bits);
         let mut pos = 0;
-        assert_eq!(decompress_bits(&c, &mut pos).unwrap(), bits);
+        assert_eq!(decompress_bits(&c, &mut pos, bits.len()).unwrap(), bits);
         assert_eq!(pos, c.len());
     }
 
@@ -167,8 +174,8 @@ mod tests {
         let mut buf = compress_bits(&a);
         buf.extend(compress_bits(&b));
         let mut pos = 0;
-        assert_eq!(decompress_bits(&buf, &mut pos).unwrap(), a);
-        assert_eq!(decompress_bits(&buf, &mut pos).unwrap(), b);
+        assert_eq!(decompress_bits(&buf, &mut pos, a.len()).unwrap(), a);
+        assert_eq!(decompress_bits(&buf, &mut pos, b.len()).unwrap(), b);
         assert_eq!(pos, buf.len());
     }
 
@@ -179,6 +186,22 @@ mod tests {
         let last = c.len() - 1;
         c[last] = 0xFF; // break final varint
         let mut pos = 0;
-        assert!(decompress_bits(&c, &mut pos).is_err());
+        assert!(decompress_bits(&c, &mut pos, 100).is_err());
+    }
+
+    #[test]
+    fn oversized_bit_count_rejected_before_allocating() {
+        // A forged RLE header claiming u64::MAX bits must fail the
+        // `max_bits` gate, not size a Vec from the stream.
+        let mut forged = vec![MODE_RLE];
+        varint::write_uvarint(&mut forged, u64::MAX);
+        forged.push(1);
+        let mut pos = 0;
+        assert!(decompress_bits(&forged, &mut pos, 4096).is_err());
+
+        let mut forged = vec![MODE_PACKED];
+        varint::write_uvarint(&mut forged, 1 << 60);
+        let mut pos = 0;
+        assert!(decompress_bits(&forged, &mut pos, 4096).is_err());
     }
 }

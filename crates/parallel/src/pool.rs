@@ -77,11 +77,15 @@ struct Job {
 // the submitter blocks until `remaining == 0` before returning. The data
 // behind `ctx` is `MapCtx<T, R, F>` whose `T: Send`, `R: Send`, `F: Sync`
 // bounds are enforced by `WorkerPool::map` before the thunk is erased.
+// Modeled by the loom test `model_job_claiming_is_exactly_once` in
+// tests/loom_pool.rs.
 unsafe impl Send for Job {}
 // SAFETY: concurrent `&Job` access is confined to the atomics (claim
 // cursor, remaining count, panic flag) and to `run`, which partitions the
 // `UnsafeCell` task/result slots by claimed index so no two threads touch
-// the same cell (see `run_one`).
+// the same cell (see `run_one`). Modeled by the loom tests
+// `model_job_claiming_is_exactly_once` and
+// `model_panic_propagates_and_pool_survives` in tests/loom_pool.rs.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -135,12 +139,17 @@ struct StreamJob {
 // into the submitting `pipeline` call's stack frame. That frame outlives
 // the job: workers register in `engaged` under the slot lock before
 // touching `ctx`, and the submitter retires the task and then blocks
-// until `engaged` drops to zero before its frame unwinds.
+// until `engaged` drops to zero before its frame unwinds. Modeled by the
+// loom test `model_pipeline_is_ordered_and_complete` in
+// tests/loom_pool.rs.
 unsafe impl Send for StreamJob {}
 // SAFETY: concurrent `&StreamJob` access is confined to the `engaged`
 // atomic and to `step`, whose target (`PipeCtx`) serializes every shared
 // field behind its own mutex. The `T: Send`, `R: Send`, `F: Sync` bounds
 // are enforced by `WorkerPool::pipeline` before the thunk is erased.
+// Modeled by the loom tests `model_pipeline_is_ordered_and_complete` and
+// `model_pipeline_panic_propagates_and_pool_survives` in
+// tests/loom_pool.rs.
 unsafe impl Sync for StreamJob {}
 
 /// What the job slot currently holds.
@@ -364,10 +373,17 @@ impl WorkerPool {
         drop(slot);
 
         if job.panicked.load(Ordering::Acquire) {
+            // audit:allow(L6): deliberate panic propagation, not protocol
+            // state. The job is already drained (`remaining == 0` above)
+            // and retired from the slot by the last finisher, so unwinding
+            // here cannot leave a worker waiting on a missed notification.
             panic!("worker task panicked");
         }
         ctx.results
             .into_iter()
+            // audit:allow(L6): unreachable unless a task panicked, and that
+            // path already unwound above; the drain invariant (job retired,
+            // `remaining == 0`) holds before any of these expects run.
             .map(|cell| cell.into_inner().expect("worker task panicked"))
             .collect()
     }
@@ -587,6 +603,10 @@ impl WorkerPool {
             Err(payload) => resume_unwind(payload),
             Ok(result) => {
                 if panicked {
+                    // audit:allow(L6): deliberate panic propagation, not
+                    // protocol state. The stream is retired from the slot
+                    // and fully drained (`engaged == 0` above) before this
+                    // runs, so no worker is parked on this call's condvars.
                     panic!("worker task panicked");
                 }
                 result

@@ -124,10 +124,12 @@ pub(crate) fn compress<F: Float>(
 
 /// Decompresses an `AbsHybrid` stream (called from the main decoder after
 /// the container is parsed).
-// audit:allow-fn(L1): in-range by construction — `codes.len() == n` is
+// audit:allow-fn(L1,L5): in-range by construction — `codes.len() == n` is
 // checked, `dec` holds n elements and `dims.index` stays below n, and
 // `model_pos` only advances by NBYTES after `LinearModel::read` proved the
 // slice held that many bytes (so the range slice never starts past the end).
+// The taint lint sees `idx` derive from header `dims`; the L1 invariant
+// above is exactly the missing bound (`dec` is sized from the same dims).
 pub(crate) fn decompress<F: Float>(stream: &SzStream) -> Result<(Vec<F>, Dims), CodecError> {
     let (eb, selectors, model_bytes) = match &stream.mode {
         SzMode::AbsHybrid {

@@ -117,10 +117,12 @@ pub(crate) fn compress<F: Float>(
 }
 
 /// Decompresses a `PwrSpatial` stream.
-// audit:allow-fn(L1): `block_exps.len() == blist.len()` and
+// audit:allow-fn(L1,L5): `block_exps.len() == blist.len()` and
 // `codes.len() == n` are checked before the loop; `dec` holds n elements
 // and `dims.index` stays below n for in-grid points, so the per-block
-// indexing cannot go out of bounds.
+// indexing cannot go out of bounds. The same invariant covers the taint
+// lint: `idx` derives from header `dims`, but only through in-grid
+// coordinates of blocks partitioned from those same dims.
 pub(crate) fn decompress<F: Float>(stream: &SzStream) -> Result<(Vec<F>, Dims), CodecError> {
     let block_exps = match &stream.mode {
         SzMode::PwrSpatial { block_exps, .. } => block_exps,

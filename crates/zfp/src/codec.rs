@@ -667,6 +667,9 @@ pub(crate) fn decompress<F: Float>(
     let payload = bytesio::get_bytes(bytes, &mut pos, payload_len)?;
 
     let rank = dims.rank();
+    // `Dims::from_header` only constructs rank 1..=3, bounding
+    // `block_size(rank)` to at most 64 before the scratch allocations.
+    debug_assert!((1..=3).contains(&rank));
     let bs = lift::block_size(rank);
     let order = lift::sequency_order(rank);
     let ip = intprec::<F>();
@@ -836,6 +839,9 @@ pub(crate) fn decompress_block<F: Float>(
     let payload = bytesio::get_bytes(bytes, &mut pos, payload_len)?;
 
     let rank = dims.rank();
+    // `Dims::from_header` only constructs rank 1..=3, bounding
+    // `block_size(rank)` to at most 64 before the scratch allocations.
+    debug_assert!((1..=3).contains(&rank));
     let bs = lift::block_size(rank);
     let order = lift::sequency_order(rank);
     let ip = intprec::<F>();

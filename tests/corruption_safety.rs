@@ -323,6 +323,90 @@ mod forged {
     }
 }
 
+/// Allocation bombs found by the L5 taint lint: decode-path length
+/// fields that used to size `Vec` allocations straight from the stream.
+/// Each forgery claims an absurd length in a header a decoder once
+/// trusted; the fixed decoders must reject (or cap the reservation)
+/// before any memory proportional to the claim is touched.
+mod allocation_bombs {
+    use super::*;
+    use pwrel::lossless::{lz, rle};
+
+    /// `rle::decompress_bits` previously did
+    /// `Vec::with_capacity(read_uvarint(..))` — a forged bitmap header
+    /// could demand an arbitrary allocation before any run was decoded.
+    /// The fix gates the stored count on the caller's `max_bits`.
+    #[test]
+    fn rle_bit_count_bomb_is_rejected() {
+        for forged_count in [u64::MAX, 1 << 60, 4097] {
+            for mode in [0u8, 1] {
+                // MODE_RLE / MODE_PACKED header claiming `forged_count` bits.
+                let mut forged = vec![mode];
+                write_uvarint(&mut forged, forged_count);
+                forged.push(1);
+                let mut pos = 0;
+                assert!(
+                    rle::decompress_bits(&forged, &mut pos, 4096).is_err(),
+                    "mode={mode} count={forged_count}"
+                );
+            }
+        }
+    }
+
+    /// `lz::detokenize` previously did `Vec::with_capacity(raw_len)`
+    /// with `raw_len` read straight from the container header. The fix
+    /// caps the upfront reservation; growth past the cap is paid for by
+    /// actual decoded bytes, so a tiny stream claiming 2^60 bytes fails
+    /// at its first token instead of reserving the claim.
+    #[test]
+    fn lz_raw_len_bomb_is_capped() {
+        // MODE_TOKENS (tag 1): claims u64::MAX/2 output bytes, supplies
+        // one 4-byte literal run and nothing else.
+        let mut forged = vec![1u8];
+        write_uvarint(&mut forged, u64::MAX / 2);
+        write_uvarint(&mut forged, 4);
+        forged.extend_from_slice(b"abcd");
+        assert!(lz::decompress(&forged).is_err());
+
+        // MODE_STORED (tag 0): claims 2^60 stored bytes, supplies 4.
+        let mut forged = vec![0u8];
+        write_uvarint(&mut forged, 1 << 60);
+        forged.extend_from_slice(b"abcd");
+        assert!(lz::decompress(&forged).is_err());
+    }
+
+    /// End to end through the `PWT1` transform container: a forged sign
+    /// section whose inner RLE bitmap claims u64::MAX bits must surface
+    /// as a decode error from the public codec entry point — the sign
+    /// plane is one bit per element, and the decoder knows the element
+    /// count before it ever reads the bitmap header.
+    #[test]
+    fn forged_sign_bitmap_count_errors() {
+        let dims = Dims::d2(8, 8);
+        let data: Vec<f32> = (0..dims.len())
+            .map(|i| (if i % 3 == 0 { -2.0 } else { 1.5 }) * (1.0 + i as f32 * 0.01))
+            .collect();
+        let codec = PwRelCompressor::new(SzCompressor::default(), LogBase::Two);
+        let stream = codec.compress(&data, dims, 0.01).unwrap();
+        assert_eq!(stream[6], 1, "mixed-sign field stores a sign section");
+        let sign_len_at = 4 + 1 + 1 + 1 + 8 + 8; // magic, width, base, flag, bounds
+        let mut pos = sign_len_at;
+        let n = read_uvarint(&stream, &mut pos);
+        let sign_end = pos + n as usize;
+        // Forged bitmap: RLE mode (tag 0) claiming u64::MAX bits, wrapped
+        // in the LZ layer the section format expects.
+        let mut bomb = vec![0u8];
+        write_uvarint(&mut bomb, u64::MAX);
+        bomb.push(1);
+        let blob = lz::compress(&bomb);
+        let mut bad = stream[..sign_len_at].to_vec();
+        write_uvarint(&mut bad, blob.len() as u64);
+        bad.extend_from_slice(&blob);
+        bad.extend_from_slice(&stream[sign_end..]);
+        assert!(codec.decompress::<f32>(&bad).is_err());
+    }
+}
+
 /// Framed-stream (`PWS1`) forgeries: every corruption class the format
 /// is specified to reject — truncated stream header, truncated frame
 /// payload, inflated payload-length fields, reordered frames — must

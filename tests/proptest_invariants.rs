@@ -42,7 +42,7 @@ proptest! {
     fn rle_round_trips(bits in prop::collection::vec(any::<bool>(), 0..4096)) {
         let c = rle::compress_bits(&bits);
         let mut pos = 0;
-        prop_assert_eq!(rle::decompress_bits(&c, &mut pos).unwrap(), bits);
+        prop_assert_eq!(rle::decompress_bits(&c, &mut pos, bits.len()).unwrap(), bits);
         prop_assert_eq!(pos, c.len());
     }
 
