@@ -103,6 +103,7 @@ pub const L5_CRATES: &[&str] = &[
     "isabela",
     "pipeline",
     "core",
+    "serve",
 ];
 
 /// One ordered def-use event inside a function body.
@@ -123,7 +124,7 @@ pub enum FlowEvent {
         rhs_calls: Vec<(String, Option<String>)>,
     },
     /// A recognized validation touching `vars` (comparison, `match`
-    /// scrutinee, or a [`VALIDATOR_CALLS`] call).
+    /// scrutinee, or a `VALIDATOR_CALLS` call).
     Validate {
         /// 1-based source line.
         line: u32,

@@ -12,7 +12,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// `parallel` is covered by L3/loom instead. `trace` is policed through
 /// its exporter entry points rather than decoders (see
 /// [`is_decode_entry`]): exporters run at the end of long jobs, where a
-/// panic throws away the whole run's recording.
+/// panic throws away the whole run's recording. `serve` is policed both
+/// through its wire decoders and through the per-request `handle_*`
+/// dispatchers: a panic there kills a worker thread mid-connection and
+/// strands every queued client.
 const L1_CRATES: &[&str] = &[
     "bitstream",
     "lossless",
@@ -25,6 +28,7 @@ const L1_CRATES: &[&str] = &[
     "datagen",
     "kernels",
     "trace",
+    "serve",
 ];
 
 /// Bound-arithmetic modules where bare numeric `as` casts are forbidden
@@ -170,6 +174,7 @@ fn is_decode_entry(path: &str, name: &str) -> bool {
         || (name == "unwrap" && path.ends_with("pipeline/src/container.rs"))
         || (path.ends_with("trace/src/export.rs")
             && matches!(name, "summary_table" | "chrome_trace_json" | "stage_rows"))
+        || (path.ends_with("serve/src/server.rs") && name.starts_with("handle_"))
 }
 
 /// Global function id: (file index, fn index).

@@ -187,7 +187,10 @@ pub fn analyze_source(path: &str, src: &str, force_test: bool) -> FileModel {
                 }
                 j += 1;
             }
-            let attr_toks = &toks[attr_start..j.saturating_sub(1)];
+            // A source truncated right after `#[` leaves the attribute
+            // empty with `attr_start` past the last token.
+            let attr_end = j.saturating_sub(1).max(attr_start);
+            let attr_toks = toks.get(attr_start..attr_end).unwrap_or_default();
             let is_test_attr = attr_toks.iter().any(|t| t.is_ident("test"))
                 && attr_toks
                     .iter()

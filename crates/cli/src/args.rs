@@ -21,6 +21,11 @@ USAGE:
   pwrel run        -i <raw> --dims <...> --bound <b> [--codec <name>]
                    [--type f32|f64] [--base 2|e|10] [--trace <out.json>] [--stats]
                    [--stream] [--chunk-elems <n>] [--workers <n>] [--window <n>]
+  pwrel serve      [--addr <host:port>] [--workers <n>] [--inflight <n>]
+                   [--max-conns <n>] [--quota <bytes>] [--max-elems <n>]
+                   [--timeout-ms <ms>] [--window <n>] [--chunk-elems <n>]
+  pwrel remote     <compress|decompress|info|codecs|metrics|ping>
+                   [--server <host:port>] (plus the matching local flags)
 
   compress   raw little-endian floats -> compressed stream (default codec sz_t)
   decompress compressed stream -> raw little-endian floats (codec auto-detected)
@@ -35,6 +40,12 @@ USAGE:
              --stats prints the per-stage summary table; --stream runs the
              chunk-pipelined out-of-core path (framed stream, bounded
              memory) with optional --chunk-elems / --workers / --window
+  serve      run the PWRP/1 compression service (protocol: PROTOCOL.md,
+             runbook: OPERATIONS.md); serves until killed
+  remote     run compress/decompress/info/codecs/metrics/ping against a
+             running pwrel-serve (--server defaults to 127.0.0.1:9474);
+             remote compress takes the same flags as local compress plus
+             an optional --chunk-elems
 
 EXAMPLES:
   pwrel compress -i snap.f32 -o snap.pwr --dims 512x512x512 --bound 1e-3
@@ -144,6 +155,21 @@ pub enum Command {
         /// per worker).
         window: Option<usize>,
     },
+    /// `pwrel serve`: run the PWRP/1 service in the foreground. Flags
+    /// pass through verbatim to `pwrel_serve::ServeConfig::from_args`,
+    /// so the subcommand and the standalone `pwrel-serve` binary accept
+    /// the same set.
+    Serve {
+        /// Raw flag tokens after `serve`.
+        args: Vec<String>,
+    },
+    /// `pwrel remote`: drive a running server over PWRP/1.
+    Remote {
+        /// Server address (`host:port`).
+        server: String,
+        /// The remote action.
+        action: RemoteAction,
+    },
     /// `pwrel verify`.
     Verify {
         /// Raw original path.
@@ -157,6 +183,48 @@ pub enum Command {
         /// Element type.
         elem: ElemType,
     },
+}
+
+/// One `pwrel remote` action.
+#[derive(Debug, PartialEq)]
+pub enum RemoteAction {
+    /// Compress a raw file through the server.
+    Compress {
+        /// Raw input path.
+        input: String,
+        /// Stream output path.
+        output: String,
+        /// Grid shape.
+        dims: Dims,
+        /// Error bound (interpretation depends on the codec).
+        bound: f64,
+        /// Registered codec name (validated locally; the server decides).
+        codec: String,
+        /// Element type.
+        elem: ElemType,
+        /// Log base for the transform codecs.
+        base: LogBase,
+        /// Elements per PWS1 chunk (None = server default).
+        chunk_elems: Option<usize>,
+    },
+    /// Decompress a PWS1 stream through the server.
+    Decompress {
+        /// Stream input path.
+        input: String,
+        /// Raw output path.
+        output: String,
+    },
+    /// Ask the server to identify a stream's leading bytes.
+    Info {
+        /// Stream path.
+        input: String,
+    },
+    /// Print the server's codec listing.
+    Codecs,
+    /// Print the server's metrics exposition.
+    Metrics,
+    /// Liveness probe.
+    Ping,
 }
 
 /// Top-level parsed CLI.
@@ -290,6 +358,16 @@ impl Cli {
         if cmd == "--help" || cmd == "-h" || cmd == "help" {
             return Err(CliError::Usage(USAGE.to_string()));
         }
+        if cmd == "serve" {
+            // Flags pass through verbatim: ServeConfig::from_args owns
+            // their validation so `pwrel serve` and the standalone
+            // binary cannot drift.
+            return Ok(Cli {
+                command: Command::Serve {
+                    args: rest.to_vec(),
+                },
+            });
+        }
         let flags = Flags::parse(rest)?;
         let elem = flags
             .get(&["--type"])
@@ -383,6 +461,59 @@ impl Cli {
                 workers: parse_count(&flags, "--workers")?,
                 window: parse_count(&flags, "--window")?,
             },
+            "remote" => {
+                let action_name = flags.positionals.first().ok_or_else(|| {
+                    usage_err(
+                        "remote needs an action (compress|decompress|info|codecs|metrics|ping)",
+                    )
+                })?;
+                let action = match action_name.as_str() {
+                    "compress" => RemoteAction::Compress {
+                        input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                        output: flags
+                            .require(&["-o", "--output"], "output path")?
+                            .to_string(),
+                        dims: parse_dims(flags.require(&["--dims"], "--dims")?)?,
+                        bound: flags
+                            .require(&["--bound", "-b"], "--bound")?
+                            .parse::<f64>()
+                            .map_err(|_| usage_err("bad --bound value"))?,
+                        codec: flags
+                            .get(&["--codec"])
+                            .map_or(Ok("sz_t".to_string()), parse_codec)?,
+                        elem,
+                        base: flags
+                            .get(&["--base"])
+                            .map_or(Ok(LogBase::Two), parse_base)?,
+                        chunk_elems: parse_count(&flags, "--chunk-elems")?,
+                    },
+                    "decompress" => RemoteAction::Decompress {
+                        input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                        output: flags
+                            .require(&["-o", "--output"], "output path")?
+                            .to_string(),
+                    },
+                    "info" => RemoteAction::Info {
+                        input: flags.require(&["-i", "--input"], "input path")?.to_string(),
+                    },
+                    "codecs" => RemoteAction::Codecs,
+                    "metrics" => RemoteAction::Metrics,
+                    "ping" => RemoteAction::Ping,
+                    other => {
+                        return Err(usage_err(format!(
+                            "unknown remote action '{other}' \
+                             (compress|decompress|info|codecs|metrics|ping)"
+                        )))
+                    }
+                };
+                Command::Remote {
+                    server: flags
+                        .get(&["--server"])
+                        .unwrap_or("127.0.0.1:9474")
+                        .to_string(),
+                    action,
+                }
+            }
             "verify" => Command::Verify {
                 input: flags.require(&["-i", "--input"], "input path")?.to_string(),
                 stream: flags
@@ -612,6 +743,90 @@ mod tests {
             Cli::parse(&argv("codecs")).unwrap().command,
             Command::Codecs
         );
+    }
+
+    #[test]
+    fn serve_passes_flags_through_verbatim() {
+        let cli = Cli::parse(&argv("serve --addr 127.0.0.1:0 --inflight 2")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                args: argv("--addr 127.0.0.1:0 --inflight 2")
+            }
+        );
+        // Even unknown flags pass through; ServeConfig::from_args rejects
+        // them later with its own message.
+        assert!(Cli::parse(&argv("serve --wat 1")).is_ok());
+    }
+
+    #[test]
+    fn remote_actions_parse() {
+        let cli = Cli::parse(&argv(
+            "remote compress -i a.f32 -o a.pwr --dims 8x8 --bound 1e-3 \
+             --codec zfp_t --type f64 --base 10 --chunk-elems 32 --server 10.0.0.1:9999",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Remote { server, action } => {
+                assert_eq!(server, "10.0.0.1:9999");
+                match action {
+                    RemoteAction::Compress {
+                        dims,
+                        bound,
+                        codec,
+                        elem,
+                        base,
+                        chunk_elems,
+                        ..
+                    } => {
+                        assert_eq!(dims, Dims::d2(8, 8));
+                        assert_eq!(bound, 1e-3);
+                        assert_eq!(codec, "zfp_t");
+                        assert_eq!(elem, ElemType::F64);
+                        assert_eq!(base, LogBase::Ten);
+                        assert_eq!(chunk_elems, Some(32));
+                    }
+                    other => panic!("wrong action {other:?}"),
+                }
+            }
+            _ => panic!("wrong command"),
+        }
+        // Default server address, simple actions.
+        match Cli::parse(&argv("remote ping")).unwrap().command {
+            Command::Remote { server, action } => {
+                assert_eq!(server, "127.0.0.1:9474");
+                assert_eq!(action, RemoteAction::Ping);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            Cli::parse(&argv("remote codecs")).unwrap().command,
+            Command::Remote {
+                action: RemoteAction::Codecs,
+                ..
+            }
+        ));
+        assert!(matches!(
+            Cli::parse(&argv("remote metrics")).unwrap().command,
+            Command::Remote {
+                action: RemoteAction::Metrics,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn remote_rejects_bad_actions() {
+        assert!(matches!(
+            Cli::parse(&argv("remote")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Cli::parse(&argv("remote teleport")),
+            Err(CliError::Usage(_))
+        ));
+        // remote compress shares required flags with local compress.
+        assert!(Cli::parse(&argv("remote compress -i a -o b --bound 1e-3")).is_err());
     }
 
     #[test]

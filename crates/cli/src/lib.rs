@@ -26,6 +26,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Compression/decompression failure.
     Codec(pwrel_data::CodecError),
+    /// PWRP/1 service failure (`pwrel serve` / `pwrel remote`).
+    Serve(pwrel_serve::ServeError),
 }
 
 impl std::fmt::Display for CliError {
@@ -34,6 +36,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Codec(e) => write!(f, "codec error: {e}"),
+            CliError::Serve(e) => write!(f, "server error: {e}"),
         }
     }
 }
@@ -49,5 +52,11 @@ impl From<std::io::Error> for CliError {
 impl From<pwrel_data::CodecError> for CliError {
     fn from(e: pwrel_data::CodecError) -> Self {
         CliError::Codec(e)
+    }
+}
+
+impl From<pwrel_serve::ServeError> for CliError {
+    fn from(e: pwrel_serve::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }

@@ -6,7 +6,7 @@
 //! keep decoding via the registry's sniff fallback.
 
 use crate::archive::{self, Entry};
-use crate::args::{Cli, Command, ElemType};
+use crate::args::{Cli, Command, ElemType, RemoteAction};
 use crate::io;
 use crate::CliError;
 use pwrel_data::{CodecError, Dims, Float};
@@ -290,6 +290,100 @@ pub fn run(cli: Cli, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     }
                 }
             }
+        }
+        Command::Serve { args } => {
+            let cfg = pwrel_serve::ServeConfig::from_args(&args)
+                .map_err(|e| CliError::Usage(format!("serve: {e}")))?;
+            let server = pwrel_serve::Server::bind(cfg)?;
+            if let Ok(addr) = server.local_addr() {
+                writeln!(out, "pwrel-serve listening on {addr}")?;
+                out.flush()?;
+            }
+            server.run()?;
+        }
+        Command::Remote { server, action } => remote(&server, action, out)?,
+    }
+    Ok(())
+}
+
+/// Executes one `pwrel remote` action against a running server.
+fn remote(
+    server: &str,
+    action: RemoteAction,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    let mut client = pwrel_serve::Client::connect(server)?;
+    match action {
+        RemoteAction::Compress {
+            input,
+            output,
+            dims,
+            bound,
+            codec,
+            elem,
+            base,
+            chunk_elems,
+        } => {
+            // Same up-front shape check as the local streaming path: the
+            // server reads exactly dims.len() elements off the wire.
+            let nbytes = match elem {
+                ElemType::F32 => 4u64,
+                ElemType::F64 => 8u64,
+            };
+            let raw_bytes = dims.len() as u64 * nbytes;
+            let file_bytes = std::fs::metadata(&input)?.len();
+            if file_bytes != raw_bytes {
+                return Err(CliError::Usage(format!(
+                    "{input} holds {file_bytes} bytes but --dims {dims} needs {raw_bytes}"
+                )));
+            }
+            // parse_codec validated the name; the id is what goes on the
+            // wire (and what the server validates against its registry).
+            let codec_id = global()
+                .by_name(&codec)
+                .ok_or_else(|| CliError::Usage(format!("unknown codec '{codec}'")))?
+                .id();
+            let header = pwrel_serve::CompressHeader {
+                codec_id,
+                elem_bits: (nbytes * 8) as u8,
+                base,
+                bound,
+                dims,
+                chunk_elems: chunk_elems.unwrap_or(0) as u64,
+            };
+            let mut src = std::io::BufReader::new(std::fs::File::open(&input)?);
+            let mut dst = std::io::BufWriter::new(std::fs::File::create(&output)?);
+            let stream_bytes = client.compress_stream(&header, &mut src, &mut dst)?;
+            std::io::Write::flush(&mut dst)?;
+            writeln!(
+                out,
+                "{input} -> {output} via {server}: {raw_bytes} -> {stream_bytes} bytes \
+                 (ratio {:.2}x)",
+                raw_bytes as f64 / stream_bytes.max(1) as f64
+            )?;
+        }
+        RemoteAction::Decompress { input, output } => {
+            let mut src = std::io::BufReader::new(std::fs::File::open(&input)?);
+            let mut dst = std::io::BufWriter::new(std::fs::File::create(&output)?);
+            let raw_bytes = client.decompress_stream(&mut src, &mut dst)?;
+            std::io::Write::flush(&mut dst)?;
+            writeln!(
+                out,
+                "{input} -> {output} via {server}: {raw_bytes} raw bytes"
+            )?;
+        }
+        RemoteAction::Info { input } => {
+            // The server only needs the leading bytes; Client::info clips
+            // the blob to the protocol cap.
+            let stream = std::fs::read(&input)?;
+            let text = client.info(&stream)?;
+            writeln!(out, "{input}: {text}")?;
+        }
+        RemoteAction::Codecs => write!(out, "{}", client.codecs()?)?,
+        RemoteAction::Metrics => write!(out, "{}", client.metrics()?)?,
+        RemoteAction::Ping => {
+            client.ping()?;
+            writeln!(out, "{server}: ok (protocol v{})", client.server_version())?;
         }
     }
     Ok(())
@@ -954,6 +1048,80 @@ mod tests {
             .and_then(|p| p.parse().ok())
             .unwrap_or_else(|| panic!("bad reconciliation line {line}"));
         assert!(pct >= 95.0, "root spans cover only {pct}% of wall: {msg}");
+    }
+
+    /// Spawns a server on an ephemeral port for the remote tests.
+    fn spawn_server() -> pwrel_serve::ServerHandle {
+        let cfg = pwrel_serve::ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..Default::default()
+        };
+        pwrel_serve::Server::bind(cfg).unwrap().spawn().unwrap()
+    }
+
+    #[test]
+    fn remote_round_trip_matches_local_verify() {
+        let handle = spawn_server();
+        let addr = handle.addr();
+        let raw = tmp("remote.f32");
+        let stream = tmp("remote.pws");
+        let restored = tmp("remote_out.f32");
+        io::write_f32(&raw, &sample_data()).unwrap();
+
+        let msg = run_str(&format!(
+            "remote compress -i {raw} -o {stream} --dims 2048 --bound 1e-3 \
+             --chunk-elems 512 --server {addr}"
+        ))
+        .unwrap();
+        assert!(msg.contains("ratio"), "{msg}");
+
+        let msg = run_str(&format!(
+            "remote decompress -i {stream} -o {restored} --server {addr}"
+        ))
+        .unwrap();
+        assert!(msg.contains("8192 raw bytes"), "{msg}");
+
+        // The server-produced stream verifies locally against the bound.
+        let msg = run_str(&format!(
+            "verify -i {raw} -c {stream} --dims 2048 --bound 1e-3"
+        ))
+        .unwrap();
+        assert!(msg.contains("verdict:       PASS"), "{msg}");
+
+        // Remote info identifies the framed stream.
+        let msg = run_str(&format!("remote info -i {stream} --server {addr}")).unwrap();
+        assert!(msg.contains("framed"), "{msg}");
+    }
+
+    #[test]
+    fn remote_simple_actions() {
+        let handle = spawn_server();
+        let addr = handle.addr();
+        let msg = run_str(&format!("remote ping --server {addr}")).unwrap();
+        assert!(msg.contains("ok (protocol v1)"), "{msg}");
+        let msg = run_str(&format!("remote codecs --server {addr}")).unwrap();
+        assert!(msg.contains("sz_t") && msg.contains("zfp_p"), "{msg}");
+        let msg = run_str(&format!("remote metrics --server {addr}")).unwrap();
+        assert!(msg.contains("pwrp_requests_total"), "{msg}");
+    }
+
+    #[test]
+    fn remote_compress_rejects_wrong_file_length() {
+        let handle = spawn_server();
+        let addr = handle.addr();
+        let raw = tmp("remote_short.f32");
+        io::write_f32(&raw, &sample_data()).unwrap();
+        let err = run_str(&format!(
+            "remote compress -i {raw} -o /dev/null --dims 4096 --bound 1e-2 --server {addr}"
+        ));
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+    }
+
+    #[test]
+    fn remote_connect_failure_is_serve_error() {
+        // Port 1 on localhost refuses connections.
+        let err = run_str("remote ping --server 127.0.0.1:1");
+        assert!(matches!(err, Err(CliError::Serve(_))), "{err:?}");
     }
 
     #[test]

@@ -482,20 +482,37 @@ impl ChunkedCodec {
     ) -> Result<(StreamHeader, StreamStats), CodecError> {
         let _root = Span::enter(rec, stage::STREAM_DECOMPRESS);
         let header = stream::decode_stream_header(input)?;
+        let stats = self.decompress_stream_body_traced(registry, &header, input, sink, rec)?;
+        Ok((header, stats))
+    }
+
+    /// Pool-pipelined counterpart of
+    /// [`CodecRegistry::decompress_stream_body_traced`]: decompresses
+    /// the frames of a stream whose header the caller already decoded
+    /// and vetted, with `input` positioned at the first frame marker.
+    /// Lets a server impose its own shape limits between header and
+    /// body without re-buffering the header bytes.
+    pub fn decompress_stream_body_traced<F: PipelineElem>(
+        &self,
+        registry: &CodecRegistry,
+        header: &StreamHeader,
+        input: &mut dyn Read,
+        sink: &mut dyn ChunkSink<F>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
         if header.elem_bits as u32 != F::BITS {
             return Err(CodecError::Mismatch("element type does not match stream"));
         }
         let codec = registry
             .get(header.codec_id)
             .ok_or(CodecError::InvalidArgument("unknown codec id in stream"))?;
-        let stats = self.run_decompress(
-            &header,
+        self.run_decompress(
+            header,
             input,
             sink,
             &|p: &[u8]| F::codec_decompress_traced(codec, p, rec),
             rec,
-        )?;
-        Ok((header, stats))
+        )
     }
 }
 

@@ -186,14 +186,31 @@ impl CodecRegistry {
     ) -> Result<(StreamHeader, StreamStats), CodecError> {
         let _root = Span::enter(rec, stage::STREAM_DECOMPRESS);
         let header = stream::decode_stream_header(input)?;
+        let stats = self.decompress_stream_body_traced(&header, input, sink, rec)?;
+        Ok((header, stats))
+    }
+
+    /// Decompresses the frame sequence of a stream whose header the
+    /// caller already decoded (and vetted): `input` must be positioned
+    /// at the first frame marker. This is the admission-control hook for
+    /// servers — `pwrel-serve` decodes the header off the socket,
+    /// rejects implausible shapes against its own limits, and only then
+    /// commits to the frame walk, without re-parsing or buffering the
+    /// header bytes.
+    pub fn decompress_stream_body_traced<F: PipelineElem>(
+        &self,
+        header: &StreamHeader,
+        input: &mut dyn std::io::Read,
+        sink: &mut dyn ChunkSink<F>,
+        rec: &dyn Recorder,
+    ) -> Result<StreamStats, CodecError> {
         if header.elem_bits as u32 != F::BITS {
             return Err(CodecError::Mismatch("element type does not match stream"));
         }
         let codec = self
             .get(header.codec_id)
             .ok_or(CodecError::InvalidArgument("unknown codec id in stream"))?;
-        let stats = F::codec_decompress_stream(codec, &header, input, sink, rec)?;
-        Ok((header, stats))
+        F::codec_decompress_stream(codec, header, input, sink, rec)
     }
 
     /// [`CodecRegistry::decompress_stream_traced`] with intra-chunk

@@ -94,3 +94,39 @@ pub const O_SIGN_DENSITY: &str = "sign_density";
 pub const O_LEMMA2_CORRECTION: &str = "lemma2_correction";
 /// Observation: per-task queue wait in the worker pool, microseconds.
 pub const O_QUEUE_WAIT_US: &str = "queue_wait_us";
+
+// ---------------------------------------------------------------------------
+// pwrel-serve (the PWRP/1 service). Serve spans are recorded as
+// aggregated totals (`Recorder::add_span_total`), never as raw events:
+// a long-running server must not grow its sink per request.
+// ---------------------------------------------------------------------------
+
+/// Serve span: one whole request, any type (header read to last byte of
+/// the response).
+pub const SERVE_REQUEST: &str = "serve.request";
+/// Serve span: the codec work of one `compress` request.
+pub const SERVE_COMPRESS: &str = "serve.compress";
+/// Serve span: the codec work of one `decompress` request.
+pub const SERVE_DECOMPRESS: &str = "serve.decompress";
+/// Serve span: one `info` request (stream identification).
+pub const SERVE_INFO: &str = "serve.info";
+/// Serve span: one `codecs` listing request.
+pub const SERVE_CODECS: &str = "serve.codecs";
+/// Serve span: one `metrics` exposition request.
+pub const SERVE_METRICS: &str = "serve.metrics";
+
+/// Counter: requests fully parsed (any type, before dispatch).
+pub const C_SERVE_REQUESTS: &str = "serve_requests";
+/// Counter: requests rejected with `busy` by the in-flight cap.
+pub const C_SERVE_BUSY: &str = "serve_busy";
+/// Counter: requests rejected for exhausting the connection byte quota.
+pub const C_SERVE_QUOTA: &str = "serve_quota";
+/// Counter: connections dropped by the read timeout mid-request.
+pub const C_SERVE_TIMEOUTS: &str = "serve_timeouts";
+/// Counter: request body bytes consumed off the wire.
+pub const C_SERVE_BYTES_IN: &str = "serve_bytes_in";
+/// Counter: response body bytes produced onto the wire.
+pub const C_SERVE_BYTES_OUT: &str = "serve_bytes_out";
+
+/// Observation: end-to-end latency of one served request, microseconds.
+pub const O_SERVE_REQUEST_US: &str = "serve_request_us";

@@ -36,5 +36,6 @@ pub use pwrel_lossless as lossless;
 pub use pwrel_metrics as metrics;
 pub use pwrel_parallel as parallel;
 pub use pwrel_pipeline as pipeline;
+pub use pwrel_serve as serve;
 pub use pwrel_sz as sz;
 pub use pwrel_zfp as zfp;
